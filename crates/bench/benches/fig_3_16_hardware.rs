@@ -1,0 +1,26 @@
+//! Figure 3.16: spin-lock baseline on the 16-processor Alewife hardware
+//! prototype (20 MHz cost model: network cheaper in processor cycles).
+
+use alewife_sim::CostModel;
+use repro_bench::experiments::lock_overhead;
+use repro_bench::table;
+use sim_apps::alg::LockAlg;
+
+fn main() {
+    let procs = [1usize, 2, 4, 8, 16];
+    let cols: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
+    table::title("Figure 3.16: spin locks on the 16-node prototype (cycles per CS)");
+    table::header("algorithm \\ procs", &cols);
+    for (label, alg) in [
+        ("test&set (backoff)", LockAlg::TestAndSet),
+        ("test&test&set (backoff)", LockAlg::Tts),
+        ("MCS queue", LockAlg::Mcs),
+        ("reactive", LockAlg::Reactive),
+    ] {
+        let vals: Vec<f64> = procs
+            .iter()
+            .map(|&p| lock_overhead(alg, p, CostModel::prototype(), false))
+            .collect();
+        table::row_f64(label, &vals);
+    }
+}

@@ -1,0 +1,30 @@
+//! Figures 3.17-3.19: the multiple-lock test over contention patterns
+//! 1-12, normalized to the simulated per-lock-optimal static choice.
+
+use repro_bench::experiments::{multi_object, patterns};
+use repro_bench::table;
+use sim_apps::alg::LockAlg;
+
+fn main() {
+    table::title("Figures 3.17-3.19: multiple-lock test (normalized elapsed time)");
+    table::header(
+        "pattern",
+        &[
+            "optimal".into(),
+            "test&set".into(),
+            "MCS".into(),
+            "reactive".into(),
+        ],
+    );
+    let acq = 12; // per-processor acquisitions (scaled down from 16384 total)
+    for p in patterns() {
+        let opt = multi_object(&p, None, acq) as f64;
+        let ts = multi_object(&p, Some(LockAlg::TestAndSet), acq) as f64;
+        let mcs = multi_object(&p, Some(LockAlg::Mcs), acq) as f64;
+        let re = multi_object(&p, Some(LockAlg::Reactive), acq) as f64;
+        table::row_ratio(
+            &format!("pattern {:>2} {:?}", p.id, p.groups),
+            &[1.0, ts / opt, mcs / opt, re / opt],
+        );
+    }
+}

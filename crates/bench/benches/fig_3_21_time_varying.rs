@@ -1,0 +1,41 @@
+//! Figure 3.21: the time-varying contention test — elapsed times
+//! normalized to the MCS queue lock, across period lengths and
+//! contention percentages (default always-switch policy).
+
+use repro_bench::experiments::time_varying;
+use repro_bench::table;
+use sim_apps::alg::LockAlg;
+
+#[allow(dead_code)] // this file is also included as a module by figs 3.22/3.23
+fn main() {
+    run_with(LockAlg::Reactive, "reactive (always-switch)");
+}
+
+/// Shared driver used by Figures 3.21-3.23.
+pub fn run_with(reactive: LockAlg, label: &str) {
+    let periods = 4;
+    let lengths = [256u64, 512, 1024, 2048];
+    let cols: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
+    for pct in [10u64, 30, 50, 70, 90] {
+        table::title(&format!(
+            "time-varying contention ({pct}% contention), normalized to MCS [{label}]"
+        ));
+        table::header("algorithm \\ period len", &cols);
+        let mcs: Vec<f64> = lengths
+            .iter()
+            .map(|&l| time_varying(LockAlg::Mcs, l, pct, periods) as f64)
+            .collect();
+        for (lab, alg) in [
+            ("test&set (backoff)", LockAlg::TestAndSet),
+            ("MCS queue", LockAlg::Mcs),
+            (label, reactive),
+        ] {
+            let vals: Vec<f64> = lengths
+                .iter()
+                .zip(&mcs)
+                .map(|(&l, &m)| time_varying(alg, l, pct, periods) as f64 / m)
+                .collect();
+            table::row_ratio(lab, &vals);
+        }
+    }
+}

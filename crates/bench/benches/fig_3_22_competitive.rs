@@ -1,0 +1,11 @@
+//! Figure 3.22: the time-varying contention test under the
+//! 3-competitive protocol-switching policy (§3.4.1).
+
+#[path = "fig_3_21_time_varying.rs"]
+mod driver;
+
+use sim_apps::alg::LockAlg;
+
+fn main() {
+    driver::run_with(LockAlg::ReactiveCompetitive, "reactive (3-competitive)");
+}

@@ -1,0 +1,13 @@
+//! Figure 3.23: the time-varying contention test under hysteresis
+//! switching policies (§3.5.5): Hysteresis(20,55), (500,4), (4,500).
+
+#[path = "fig_3_21_time_varying.rs"]
+mod driver;
+
+use sim_apps::alg::LockAlg;
+
+fn main() {
+    driver::run_with(LockAlg::ReactiveHysteresis(20, 55), "hysteresis(20,55)");
+    driver::run_with(LockAlg::ReactiveHysteresis(500, 4), "hysteresis(500,4)");
+    driver::run_with(LockAlg::ReactiveHysteresis(4, 500), "hysteresis(4,500)");
+}

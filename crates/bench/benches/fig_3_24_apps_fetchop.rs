@@ -1,0 +1,42 @@
+//! Figure 3.24: execution times of the fetch-and-op applications
+//! (Gamteb, TSP, AQ) under queue-lock-based, combining-tree, and
+//! reactive fetch-and-op.
+
+use repro_bench::table;
+use sim_apps::alg::{FetchOpAlg, WaitAlg};
+use sim_apps::{aq, gamteb, tsp};
+
+fn main() {
+    let algs = [
+        ("queue-lock", FetchOpAlg::QueueLock),
+        ("combining", FetchOpAlg::Combining),
+        ("reactive", FetchOpAlg::Reactive),
+    ];
+    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
+
+    table::title("Figure 3.24: fetch-and-op application execution times (cycles)");
+    table::header("app / procs", &cols);
+    for procs in [8usize, 16, 32] {
+        let vals: Vec<f64> = algs
+            .iter()
+            .map(|&(_, a)| gamteb::run(&gamteb::GamtebConfig::small(procs, a)).elapsed as f64)
+            .collect();
+        table::row_f64(&format!("Gamteb  P={procs}"), &vals);
+    }
+    for procs in [4usize, 8, 16] {
+        let vals: Vec<f64> = algs
+            .iter()
+            .map(|&(_, a)| tsp::run(&tsp::TspConfig::small(procs, a)).elapsed as f64)
+            .collect();
+        table::row_f64(&format!("TSP     P={procs}"), &vals);
+    }
+    for procs in [4usize, 8, 16] {
+        let vals: Vec<f64> = algs
+            .iter()
+            .map(|&(_, a)| {
+                aq::run_queue(&aq::AqConfig::small(procs, a, WaitAlg::Spin)).elapsed as f64
+            })
+            .collect();
+        table::row_f64(&format!("AQ      P={procs}"), &vals);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 3.25: execution times of the spin-lock applications (MP3D at
+//! two problem sizes, Cholesky) under test&set, MCS, and reactive locks.
+
+use repro_bench::table;
+use sim_apps::alg::LockAlg;
+use sim_apps::{cholesky, mp3d};
+
+fn main() {
+    let algs = [
+        ("test&set", LockAlg::TestAndSet),
+        ("MCS queue", LockAlg::Mcs),
+        ("reactive", LockAlg::Reactive),
+    ];
+    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
+
+    table::title("Figure 3.25: spin-lock application execution times (cycles)");
+    table::header("app / procs", &cols);
+    for procs in [4usize, 8, 16] {
+        let vals: Vec<f64> = algs
+            .iter()
+            .map(|&(_, a)| {
+                let mut cfg = mp3d::Mp3dConfig::small(procs, a);
+                cfg.particles_per_proc = 8;
+                mp3d::run(&cfg).elapsed as f64
+            })
+            .collect();
+        table::row_f64(&format!("MP3D-3k  P={procs}"), &vals);
+    }
+    for procs in [4usize, 8, 16] {
+        let vals: Vec<f64> = algs
+            .iter()
+            .map(|&(_, a)| {
+                let mut cfg = mp3d::Mp3dConfig::small(procs, a);
+                cfg.particles_per_proc = 24;
+                mp3d::run(&cfg).elapsed as f64
+            })
+            .collect();
+        table::row_f64(&format!("MP3D-10k P={procs}"), &vals);
+    }
+    for procs in [4usize, 8, 16] {
+        let vals: Vec<f64> = algs
+            .iter()
+            .map(|&(_, a)| cholesky::run(&cholesky::CholeskyConfig::small(procs, a)).elapsed as f64)
+            .collect();
+        table::row_f64(&format!("Cholesky P={procs}"), &vals);
+    }
+}

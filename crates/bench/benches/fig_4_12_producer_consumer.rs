@@ -1,0 +1,44 @@
+//! Figure 4.12 / Table 4.3: execution times of the producer-consumer
+//! benchmarks (Jacobi with J-structures, Fib and AQ with futures) under
+//! each waiting algorithm, normalized to the best static choice.
+
+use alewife_sim::CostModel;
+use repro_bench::table;
+use sim_apps::alg::{FetchOpAlg, WaitAlg};
+use sim_apps::{aq, fib, jacobi};
+
+fn main() {
+    let b = CostModel::nwo().block_cost();
+    let algs = [
+        ("always-spin", WaitAlg::Spin),
+        ("always-block", WaitAlg::Block),
+        ("2phase L=B", WaitAlg::TwoPhase(b)),
+        ("2phase L=.54B", WaitAlg::TwoPhase((b as f64 * 0.5413) as u64)),
+    ];
+    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
+
+    table::title("Fig 4.12 / Table 4.3: producer-consumer benchmarks (cycles)");
+    table::header("benchmark", &cols);
+
+    let vals: Vec<f64> = algs
+        .iter()
+        .map(|&(_, w)| {
+            jacobi::run_jstructures(&jacobi::JacobiConfig::small(8, w)).elapsed as f64
+        })
+        .collect();
+    table::row_f64("Jacobi (J-structs) P=8", &vals);
+
+    let vals: Vec<f64> = algs
+        .iter()
+        .map(|&(_, w)| fib::run(&fib::FibConfig::small(8, w)).elapsed as f64)
+        .collect();
+    table::row_f64("Fib (futures) P=8", &vals);
+
+    let vals: Vec<f64> = algs
+        .iter()
+        .map(|&(_, w)| {
+            aq::run_futures(&aq::AqConfig::small(8, FetchOpAlg::TtsLock, w)).elapsed as f64
+        })
+        .collect();
+    table::row_f64("AQ (futures) P=8", &vals);
+}

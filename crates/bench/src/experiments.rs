@@ -1,0 +1,309 @@
+//! Shared experiment runners for the paper's tables and figures.
+
+use alewife_sim::{Config, CostModel, Machine};
+use reactive_core::mp::{ReactiveMpFetchOp, ReactiveMpLock};
+use sim_apps::alg::{AnyFetchOp, AnyLock, FetchOpAlg, LockAlg};
+use sync_protocols::barrier::{BarrierCtx, SenseBarrier};
+use sync_protocols::waiting::AlwaysSpin;
+
+/// Processor counts swept by the baseline experiments.
+pub const BASELINE_PROCS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Total acquisitions per baseline data point (split across procs).
+const BASELINE_OPS: u64 = 1024;
+
+/// Critical-section length in the lock baseline (paper: 100).
+const CS: u64 = 100;
+/// Mean think time in the baselines (paper: U(0,500), mean 250).
+const THINK_BOUND: u64 = 500;
+
+/// Average overhead (cycles) added per critical section by `alg` with
+/// `procs` contenders — the baseline test of §3.5.1 / Figure 3.15 left.
+pub fn lock_overhead(alg: LockAlg, procs: usize, cost: CostModel, full_map: bool) -> f64 {
+    let m = Machine::new(
+        Config::default()
+            .nodes(procs.max(2))
+            .cost(cost)
+            .full_map(full_map),
+    );
+    let lock = AnyLock::make(&m, 0, alg, procs);
+    let iters = (BASELINE_OPS / procs as u64).max(8);
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let lock = lock.clone();
+        m.spawn(p, async move {
+            for _ in 0..iters {
+                let t = lock.acquire(&cpu).await;
+                cpu.work(CS).await;
+                lock.release(&cpu, t).await;
+                cpu.work(cpu.rand_below(THINK_BOUND)).await;
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "{alg:?} deadlocked at {procs} procs");
+    let total_cs = iters * procs as u64;
+    let per_cs = elapsed as f64 / total_cs as f64;
+    // Test-loop latency per critical section (§3.5.1): the think time
+    // overlaps across processors; the CS itself serializes.
+    let ideal = ((CS + THINK_BOUND / 2) as f64 / procs as f64).max(CS as f64);
+    (per_cs - ideal).max(0.0)
+}
+
+/// Average overhead per fetch-and-increment (Figure 3.15 right).
+pub fn fetchop_overhead(alg: FetchOpAlg, procs: usize, cost: CostModel) -> f64 {
+    let m = Machine::new(Config::default().nodes(procs.max(2)).cost(cost));
+    let f = AnyFetchOp::make(&m, 0, alg, procs);
+    let iters = (BASELINE_OPS / procs as u64).max(8);
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let f = f.clone();
+        m.spawn(p, async move {
+            for _ in 0..iters {
+                f.fetch_add(&cpu, 1).await;
+                cpu.work(cpu.rand_below(THINK_BOUND)).await;
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "{alg:?} deadlocked at {procs} procs");
+    let ops = iters * procs as u64;
+    let per_op = elapsed as f64 / ops as f64;
+    let ideal = (THINK_BOUND / 2) as f64 / procs as f64;
+    (per_op - ideal).max(0.0)
+}
+
+/// Reactive shared-memory-vs-message-passing lock baseline (Fig 3.26).
+pub fn mp_reactive_lock_overhead(procs: usize) -> f64 {
+    let m = Machine::new(Config::default().nodes(procs.max(2)));
+    let lock = ReactiveMpLock::new(&m, 0, 0, procs);
+    let iters = (BASELINE_OPS / procs as u64).max(8);
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let lock = lock.clone();
+        m.spawn(p, async move {
+            for _ in 0..iters {
+                let t = lock.acquire(&cpu).await;
+                cpu.work(CS).await;
+                lock.release(&cpu, t).await;
+                cpu.work(cpu.rand_below(THINK_BOUND)).await;
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "reactive MP lock deadlocked");
+    let total_cs = iters * procs as u64;
+    let ideal = ((CS + THINK_BOUND / 2) as f64 / procs as f64).max(CS as f64);
+    (elapsed as f64 / total_cs as f64 - ideal).max(0.0)
+}
+
+/// Reactive shared-memory-vs-message-passing fetch-op baseline.
+pub fn mp_reactive_fetchop_overhead(procs: usize) -> f64 {
+    let m = Machine::new(Config::default().nodes(procs.max(2)));
+    let f = ReactiveMpFetchOp::new(&m, 0, 0, procs);
+    let iters = (BASELINE_OPS / procs as u64).max(8);
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let f = f.clone();
+        m.spawn(p, async move {
+            for _ in 0..iters {
+                f.fetch_add(&cpu, 1).await;
+                cpu.work(cpu.rand_below(THINK_BOUND)).await;
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "reactive MP fetch-op deadlocked");
+    let ops = iters * procs as u64;
+    let ideal = (THINK_BOUND / 2) as f64 / procs as f64;
+    (elapsed as f64 / ops as f64 - ideal).max(0.0)
+}
+
+/// One multiple-lock contention pattern (Figures 3.17-3.19): a list of
+/// lock groups, each `(locks_in_group, procs_per_lock)`.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    /// Pattern number as in the paper.
+    pub id: usize,
+    /// `(number_of_locks, contending_procs_each)` groups.
+    pub groups: Vec<(usize, usize)>,
+}
+
+/// The twelve contention patterns of §3.5.3. Patterns 1-8 follow the
+/// paper's text exactly (one or more high-contention locks plus 32
+/// single- or double-proc locks); 9-12 are uniform mixes covering the
+/// same axis (the thesis figures do not tabulate them numerically).
+pub fn patterns() -> Vec<Pattern> {
+    let mut v = Vec::new();
+    // Patterns 1-4: k locks with 32/k procs, plus 32 locks with 1 proc.
+    for (i, &(n, c)) in [(1, 32), (2, 16), (4, 8), (8, 4)].iter().enumerate() {
+        v.push(Pattern {
+            id: i + 1,
+            groups: vec![(n, c), (32, 1)],
+        });
+    }
+    // Patterns 5-8: low-contention locks have 2 procs each.
+    for (i, &(n, c)) in [(1, 32), (2, 16), (4, 8), (8, 4)].iter().enumerate() {
+        v.push(Pattern {
+            id: i + 5,
+            groups: vec![(n, c), (16, 2)],
+        });
+    }
+    // Patterns 9-12: uniform contention levels.
+    for (i, &(n, c)) in [(32, 2), (16, 4), (64, 1), (1, 64)].iter().enumerate() {
+        v.push(Pattern {
+            id: i + 9,
+            groups: vec![(n, c)],
+        });
+    }
+    v
+}
+
+/// Elapsed time for the multiple-lock test under one pattern.
+/// `alg = None` runs the *simulated optimal*: per-lock static choice
+/// (TTS below 4 contenders, MCS at 4 or more), as in §3.5.3.
+pub fn multi_object(pattern: &Pattern, alg: Option<LockAlg>, acq_per_proc: u64) -> u64 {
+    let procs: usize = pattern.groups.iter().map(|(n, c)| n * c).sum();
+    let m = Machine::new(Config::default().nodes(procs));
+    let mut assignments: Vec<(AnyLock, alewife_sim::Addr)> = Vec::new();
+    let mut lock_of_proc: Vec<usize> = Vec::new();
+    for &(n, c) in &pattern.groups {
+        for _ in 0..n {
+            let home = assignments.len() % procs;
+            let chosen = match alg {
+                Some(a) => a,
+                None => {
+                    if c < 4 {
+                        LockAlg::Tts
+                    } else {
+                        LockAlg::Mcs
+                    }
+                }
+            };
+            let lock = AnyLock::make(&m, home, chosen, c);
+            let val = m.alloc_on(home, 1);
+            assignments.push((lock, val));
+            for _ in 0..c {
+                lock_of_proc.push(assignments.len() - 1);
+            }
+        }
+    }
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let (lock, val) = assignments[lock_of_proc[p]].clone();
+        m.spawn(p, async move {
+            for _ in 0..acq_per_proc {
+                let t = lock.acquire(&cpu).await;
+                // "Increment a double-precision value": read + fp work +
+                // write.
+                let v = cpu.read(val).await;
+                cpu.work(20).await;
+                cpu.write(val, v + 1).await;
+                lock.release(&cpu, t).await;
+                cpu.work(cpu.rand_below(THINK_BOUND)).await;
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "multi-object deadlock");
+    elapsed
+}
+
+/// The time-varying contention test of §3.5.4 (Figures 3.20-3.23):
+/// alternating low-contention (1 proc, 10-cycle CS, 20-cycle think) and
+/// high-contention (16 procs, 100-cycle CS, 250-cycle think) phases.
+/// `period_len` = locks acquired per period, `contention_pct` = fraction
+/// acquired in the high phase, `periods` repetitions. Runs on the
+/// 16-node prototype cost model. Returns elapsed cycles.
+pub fn time_varying(
+    alg: LockAlg,
+    period_len: u64,
+    contention_pct: u64,
+    periods: u64,
+) -> u64 {
+    let procs = 16usize;
+    let m = Machine::new(Config::default().nodes(procs).cost(CostModel::prototype()));
+    let lock = AnyLock::make(&m, 0, alg, procs);
+    let bar = SenseBarrier::new(&m, 0, procs as u64);
+    let high_total = period_len * contention_pct / 100;
+    let high_each = (high_total / procs as u64).max(1);
+    let low_total = period_len - high_total;
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let lock = lock.clone();
+        m.spawn(p, async move {
+            let mut bctx = BarrierCtx::default();
+            for _ in 0..periods {
+                // Low phase: only proc 0 uses the lock.
+                if p == 0 {
+                    for _ in 0..low_total {
+                        let t = lock.acquire(&cpu).await;
+                        cpu.work(10).await;
+                        lock.release(&cpu, t).await;
+                        cpu.work(20).await;
+                    }
+                }
+                bar.wait(&cpu, &mut bctx, &AlwaysSpin).await;
+                // High phase: everyone contends.
+                for _ in 0..high_each {
+                    let t = lock.acquire(&cpu).await;
+                    cpu.work(100).await;
+                    lock.release(&cpu, t).await;
+                    cpu.work(cpu.rand_below(500)).await;
+                }
+                bar.wait(&cpu, &mut bctx, &AlwaysSpin).await;
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "time-varying deadlock");
+    elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_shapes_hold() {
+        // The headline tradeoff (Figure 1.1): TTS beats MCS alone, MCS
+        // beats test&set at 16 procs, and the reactive lock is near the
+        // better protocol at both ends.
+        let nwo = CostModel::nwo;
+        let tts1 = lock_overhead(LockAlg::Tts, 1, nwo(), false);
+        let mcs1 = lock_overhead(LockAlg::Mcs, 1, nwo(), false);
+        let re1 = lock_overhead(LockAlg::Reactive, 1, nwo(), false);
+        assert!(tts1 < mcs1, "uncontended: TTS {tts1} !< MCS {mcs1}");
+        assert!(re1 < 1.6 * tts1.max(8.0), "reactive {re1} vs TTS {tts1}");
+
+        let ts16 = lock_overhead(LockAlg::TestAndSet, 16, nwo(), false);
+        let mcs16 = lock_overhead(LockAlg::Mcs, 16, nwo(), false);
+        let re16 = lock_overhead(LockAlg::Reactive, 16, nwo(), false);
+        assert!(mcs16 < ts16, "contended: MCS {mcs16} !< TS {ts16}");
+        assert!(re16 < 1.6 * mcs16, "reactive {re16} vs MCS {mcs16}");
+    }
+
+    #[test]
+    fn fetchop_crossover_holds() {
+        let tree1 = fetchop_overhead(FetchOpAlg::Combining, 1, CostModel::nwo());
+        let lock1 = fetchop_overhead(FetchOpAlg::TtsLock, 1, CostModel::nwo());
+        assert!(lock1 < tree1, "uncontended: lock {lock1} !< tree {tree1}");
+        let tree32 = fetchop_overhead(FetchOpAlg::Combining, 32, CostModel::nwo());
+        let tts32 = fetchop_overhead(FetchOpAlg::TtsLock, 32, CostModel::nwo());
+        assert!(tree32 < tts32, "contended: tree {tree32} !< TTS-lock {tts32}");
+    }
+
+    #[test]
+    fn multi_object_runs_all_patterns_small() {
+        for p in patterns().iter().take(2) {
+            let t = multi_object(p, Some(LockAlg::Reactive), 4);
+            assert!(t > 0);
+        }
+    }
+
+    #[test]
+    fn time_varying_runs() {
+        let t = time_varying(LockAlg::Reactive, 64, 50, 2);
+        assert!(t > 0);
+    }
+}

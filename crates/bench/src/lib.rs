@@ -1,0 +1,11 @@
+//! # repro-bench — the paper's evaluation harness
+//!
+//! One bench target (`harness = false`) per table/figure of the paper;
+//! this library holds the shared experiment runners and table printers.
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record each target regenerates.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,560 @@
+//! The reactive fetch-and-op algorithm (§3.3.2, Appendix C).
+//!
+//! Chooses among three protocols at run time:
+//!
+//! 1. a counter protected by a **test-and-test-and-set lock** (lowest
+//!    latency, worst scaling),
+//! 2. a counter protected by an **MCS queue lock** (fair, moderate
+//!    scaling), and
+//! 3. a **software combining tree** (high throughput under contention,
+//!    high fixed cost).
+//!
+//! The consensus objects are the two lock words and the tree root (a
+//! one-word lock guarding the `tree_valid` flag and the counter). The
+//! invariant mirrors the reactive lock: at most one protocol is valid,
+//! invalid locks are left busy/INVALID, and the combining-tree root
+//! answers climbs with a retry sentinel while invalid — a process that
+//! reaches an invalid root *completes the protocol* by distributing the
+//! retry down to everyone it combined with (§3.3.2).
+//!
+//! Monitoring (§3.3.2): failed `test&set`s (TTS → queue), empty-queue
+//! streaks (queue → TTS), queue waiting time (queue → tree, the queue is
+//! FIFO so waiting time estimates contention), and the combining rate
+//! observed at the root (tree → queue). The paper's optimization of
+//! keeping the fetch-and-op value "in a common location so updates are
+//! not necessary" is used: all three protocols mutate the same counter
+//! word.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use alewife_sim::{Addr, Cpu, Machine};
+use sync_protocols::fetch_op::{CombiningTree, FetchOp, RETRY_SENTINEL};
+use sync_protocols::spin::{
+    dec, enc, Backoff, FREE, GO, INITIAL_DELAY, INVALID_PTR, INVALID_STATUS, NIL, WAITING,
+};
+
+use crate::policy::{Mode, Policy};
+
+const MODE_TTS: u64 = 0;
+const MODE_QUEUE: u64 = 1;
+const MODE_TREE: u64 = 2;
+
+const QN_NEXT: u64 = 0;
+const QN_STATUS: u64 = 1;
+
+/// Failed `test&set`s per acquisition signalling high contention.
+pub const TTS_RETRY_LIMIT: u64 = 4;
+/// Consecutive empty-queue acquisitions signalling low contention.
+pub const EMPTY_QUEUE_LIMIT: u64 = 4;
+/// Queue waiting time (cycles) above which combining pays off.
+pub const QUEUE_WAIT_LIMIT: u64 = 1_800;
+/// Minimum ops combined at the root for the tree to be worthwhile.
+pub const TREE_COMBINE_MIN: usize = 2;
+/// Consecutive low-combining root visits before leaving the tree.
+pub const TREE_LOW_STREAK: u64 = 4;
+
+/// The reactive fetch-and-op object. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct ReactiveFetchOp {
+    /// `[tts_flag, queue_tail]` on one line.
+    locks: Addr,
+    /// Mode hint on its own line.
+    mode: Addr,
+    /// The fetch-and-op variable, shared by all three protocols.
+    var: Addr,
+    /// `[root_lock, tree_valid]` — the combining tree's consensus.
+    root: Addr,
+    tree: CombiningTree,
+    policy: Policy,
+    empty_streak: Rc<Cell<u64>>,
+    low_combine_streak: Rc<Cell<u64>>,
+    pool: Rc<RefCell<Vec<Vec<Addr>>>>,
+    max_procs: usize,
+}
+
+impl std::fmt::Debug for ReactiveFetchOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactiveFetchOp")
+            .field("var", &self.var)
+            .finish()
+    }
+}
+
+impl ReactiveFetchOp {
+    /// Create a reactive fetch-and-op homed on `home`, with a combining
+    /// tree sized for `max_procs` and the default always-switch policy.
+    pub fn new(m: &Machine, home: usize, max_procs: usize) -> ReactiveFetchOp {
+        ReactiveFetchOp::with_policy(m, home, max_procs, Policy::always())
+    }
+
+    /// Create with an explicit switching policy.
+    pub fn with_policy(
+        m: &Machine,
+        home: usize,
+        max_procs: usize,
+        policy: Policy,
+    ) -> ReactiveFetchOp {
+        let locks = m.alloc_on(home, 2);
+        let mode = m.alloc_on(home, 1);
+        let var = m.alloc_on(home, 1);
+        let root = m.alloc_on(home, 2);
+        // Initial state: TTS mode.
+        m.write_word(locks, FREE);
+        m.write_word(locks.plus(1), INVALID_PTR);
+        m.write_word(mode, MODE_TTS);
+        m.write_word(root, 0); // root lock free
+        m.write_word(root.plus(1), 0); // tree invalid
+        ReactiveFetchOp {
+            locks,
+            mode,
+            var,
+            root,
+            tree: CombiningTree::new(m, home, max_procs),
+            policy,
+            empty_streak: Rc::new(Cell::new(0)),
+            low_combine_streak: Rc::new(Cell::new(0)),
+            pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
+            max_procs,
+        }
+    }
+
+    fn tts(&self) -> Addr {
+        self.locks
+    }
+
+    fn tail(&self) -> Addr {
+        self.locks.plus(1)
+    }
+
+    fn root_lock(&self) -> Addr {
+        self.root
+    }
+
+    fn tree_valid(&self) -> Addr {
+        self.root.plus(1)
+    }
+
+    /// The counter word (for post-run inspection).
+    pub fn var(&self) -> Addr {
+        self.var
+    }
+
+    /// Number of protocol changes performed so far.
+    pub fn switches(&self) -> u64 {
+        self.policy.switches()
+    }
+
+    fn take_qnode(&self, cpu: &Cpu) -> Addr {
+        let mut pool = self.pool.borrow_mut();
+        match pool[cpu.node()].pop() {
+            Some(a) => a,
+            None => cpu.alloc_on(cpu.node(), 2),
+        }
+    }
+
+    fn put_qnode(&self, cpu: &Cpu, q: Addr) {
+        self.pool.borrow_mut()[cpu.node()].push(q);
+    }
+
+    /// Atomically add `delta`, returning the previous value. Dispatches
+    /// on the mode hint; invalid protocols bounce us back here.
+    pub async fn fetch_add(&self, cpu: &Cpu, delta: u64) -> u64 {
+        loop {
+            let mode = cpu.read(self.mode).await;
+            let r = match mode {
+                MODE_TTS => self.try_tts(cpu, delta).await,
+                MODE_QUEUE => self.try_queue(cpu, delta).await,
+                _ => self.try_tree(cpu, delta).await,
+            };
+            if let Some(v) = r {
+                return v;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TTS-lock protocol
+    // ------------------------------------------------------------------
+
+    async fn try_tts(&self, cpu: &Cpu, delta: u64) -> Option<u64> {
+        let mut backoff = Backoff::new(INITIAL_DELAY, 64 * self.max_procs as u64);
+        let mut failures: u64 = 0;
+        loop {
+            if cpu.read(self.tts()).await == FREE {
+                if cpu.test_and_set(self.tts()).await == FREE {
+                    break;
+                }
+                failures += 1;
+                backoff.pause(cpu).await;
+            } else {
+                let deadline = cpu.now() + 400;
+                cpu.poll_until_deadline(self.tts(), |v| v == FREE, deadline)
+                    .await;
+            }
+            if cpu.read(self.mode).await != MODE_TTS {
+                return None;
+            }
+        }
+        // Critical section: apply the op.
+        let old = cpu.read(self.var).await;
+        cpu.write(self.var, old.wrapping_add(delta)).await;
+        self.empty_streak.set(0);
+        let suboptimal = failures > TTS_RETRY_LIMIT;
+        if suboptimal && self.policy.observe(Mode::Cheap, true, 150.0) {
+            // Switch TTS -> queue: validate the queue, leave TTS busy.
+            let q = self.take_qnode(cpu);
+            self.acquire_invalid_queue(cpu, q).await;
+            cpu.write(self.mode, MODE_QUEUE).await;
+            cpu.bump("reactive_fop.to_queue", 1);
+            self.release_queue(cpu, q).await;
+            self.put_qnode(cpu, q);
+        } else {
+            if !suboptimal {
+                self.policy.observe(Mode::Cheap, false, 0.0);
+            }
+            cpu.write(self.tts(), FREE).await;
+        }
+        Some(old)
+    }
+
+    // ------------------------------------------------------------------
+    // Queue-lock protocol
+    // ------------------------------------------------------------------
+
+    async fn try_queue(&self, cpu: &Cpu, delta: u64) -> Option<u64> {
+        let q = self.take_qnode(cpu);
+        cpu.write(q.plus(QN_NEXT), NIL).await;
+        let t_enqueue = cpu.now();
+        let pred = cpu.fetch_and_store(self.tail(), enc(q)).await;
+        let mut empty = false;
+        if pred == NIL {
+            empty = true;
+        } else if pred != INVALID_PTR {
+            cpu.write(q.plus(QN_STATUS), WAITING).await;
+            cpu.write(dec(pred).plus(QN_NEXT), enc(q)).await;
+            let status = cpu.poll_until(q.plus(QN_STATUS), |v| v != WAITING).await;
+            if status != GO {
+                debug_assert_eq!(status, INVALID_STATUS);
+                self.put_qnode(cpu, q);
+                return None;
+            }
+        } else {
+            self.invalidate_queue_from(cpu, q).await;
+            self.put_qnode(cpu, q);
+            return None;
+        }
+        let wait_time = cpu.now() - t_enqueue;
+
+        // Critical section.
+        let old = cpu.read(self.var).await;
+        cpu.write(self.var, old.wrapping_add(delta)).await;
+
+        // Monitoring: the queue is FIFO, so waiting time estimates
+        // contention (§3.3.2). Long waits favour the combining tree;
+        // empty-queue streaks favour TTS.
+        if empty {
+            let streak = self.empty_streak.get() + 1;
+            self.empty_streak.set(streak);
+            if streak > EMPTY_QUEUE_LIMIT && self.policy.observe(Mode::Scalable, true, 15.0) {
+                // Switch queue -> TTS.
+                cpu.write(self.mode, MODE_TTS).await;
+                cpu.bump("reactive_fop.to_tts", 1);
+                self.invalidate_queue_from(cpu, q).await;
+                self.put_qnode(cpu, q);
+                cpu.write(self.tts(), FREE).await;
+                return Some(old);
+            }
+            self.policy.observe(Mode::Scalable, false, 0.0);
+        } else {
+            self.empty_streak.set(0);
+            if wait_time > QUEUE_WAIT_LIMIT
+                && self
+                    .policy
+                    .observe(Mode::Cheap, true, wait_time as f64 / 4.0)
+            {
+                // Switch queue -> tree: validate the root, invalidate the
+                // queue. TTS stays busy.
+                self.lock_root(cpu).await;
+                cpu.write(self.tree_valid(), 1).await;
+                self.unlock_root(cpu).await;
+                cpu.write(self.mode, MODE_TREE).await;
+                cpu.bump("reactive_fop.to_tree", 1);
+                self.low_combine_streak.set(0);
+                self.invalidate_queue_from(cpu, q).await;
+                self.put_qnode(cpu, q);
+                return Some(old);
+            }
+        }
+        self.release_queue(cpu, q).await;
+        self.put_qnode(cpu, q);
+        Some(old)
+    }
+
+    // ------------------------------------------------------------------
+    // Combining-tree protocol
+    // ------------------------------------------------------------------
+
+    async fn try_tree(&self, cpu: &Cpu, delta: u64) -> Option<u64> {
+        match self.tree.climb(cpu, delta).await {
+            Ok((total, owed)) => {
+                // We won the root: take the consensus lock and check
+                // validity atomically with the update.
+                self.lock_root(cpu).await;
+                let valid = cpu.read(self.tree_valid()).await == 1;
+                if !valid {
+                    self.unlock_root(cpu).await;
+                    self.tree.distribute(cpu, &owed, RETRY_SENTINEL).await;
+                    return None;
+                }
+                let old = cpu.read(self.var).await;
+                cpu.write(self.var, old.wrapping_add(total)).await;
+
+                // Monitoring: how much combining did this root visit
+                // carry? (The paper piggybacks a fetch-and-increment to
+                // measure the combining rate.)
+                let combined = owed.len() + 1;
+                let mut switched = false;
+                if combined < TREE_COMBINE_MIN {
+                    let streak = self.low_combine_streak.get() + 1;
+                    self.low_combine_streak.set(streak);
+                    if streak > TREE_LOW_STREAK
+                        && self.policy.observe(Mode::Scalable, true, 400.0)
+                    {
+                        // Switch tree -> queue while we hold the root.
+                        cpu.write(self.tree_valid(), 0).await;
+                        switched = true;
+                    }
+                } else {
+                    self.low_combine_streak.set(0);
+                    self.policy.observe(Mode::Scalable, false, 0.0);
+                }
+                self.unlock_root(cpu).await;
+                if switched {
+                    let q = self.take_qnode(cpu);
+                    self.acquire_invalid_queue(cpu, q).await;
+                    cpu.write(self.mode, MODE_QUEUE).await;
+                    cpu.bump("reactive_fop.tree_to_queue", 1);
+                    self.empty_streak.set(0);
+                    self.release_queue(cpu, q).await;
+                    self.put_qnode(cpu, q);
+                }
+                self.tree.distribute(cpu, &owed, old).await;
+                Some(old)
+            }
+            Err(base) => {
+                if base == RETRY_SENTINEL {
+                    None
+                } else {
+                    Some(base)
+                }
+            }
+        }
+    }
+
+    async fn lock_root(&self, cpu: &Cpu) {
+        let mut b = Backoff::new(4, 256);
+        loop {
+            if cpu.test_and_set(self.root_lock()).await == 0 {
+                return;
+            }
+            b.pause(cpu).await;
+        }
+    }
+
+    async fn unlock_root(&self, cpu: &Cpu) {
+        cpu.write(self.root_lock(), 0).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Shared queue-lock plumbing (same as the reactive lock)
+    // ------------------------------------------------------------------
+
+    async fn release_queue(&self, cpu: &Cpu, q: Addr) {
+        let next = cpu.read(q.plus(QN_NEXT)).await;
+        if next == NIL {
+            let old_tail = cpu.fetch_and_store(self.tail(), NIL).await;
+            if old_tail == enc(q) {
+                return;
+            }
+            let usurper = cpu.fetch_and_store(self.tail(), old_tail).await;
+            let next = cpu.poll_until(q.plus(QN_NEXT), |v| v != NIL).await;
+            if usurper != NIL {
+                cpu.write(dec(usurper).plus(QN_NEXT), next).await;
+            } else {
+                cpu.write(dec(next).plus(QN_STATUS), GO).await;
+            }
+        } else {
+            cpu.write(dec(next).plus(QN_STATUS), GO).await;
+        }
+    }
+
+    async fn acquire_invalid_queue(&self, cpu: &Cpu, q: Addr) {
+        loop {
+            cpu.write(q.plus(QN_NEXT), NIL).await;
+            let pred = cpu.fetch_and_store(self.tail(), enc(q)).await;
+            if pred == INVALID_PTR {
+                return;
+            }
+            cpu.write(q.plus(QN_STATUS), WAITING).await;
+            cpu.write(dec(pred).plus(QN_NEXT), enc(q)).await;
+            cpu.poll_until(q.plus(QN_STATUS), |v| v != WAITING).await;
+        }
+    }
+
+    async fn invalidate_queue_from(&self, cpu: &Cpu, head: Addr) {
+        let tail = cpu.fetch_and_store(self.tail(), INVALID_PTR).await;
+        let mut head = head;
+        while enc(head) != tail {
+            let next = cpu.poll_until(head.plus(QN_NEXT), |v| v != NIL).await;
+            cpu.write(head.plus(QN_STATUS), INVALID_STATUS).await;
+            head = dec(next);
+        }
+        cpu.write(head.plus(QN_STATUS), INVALID_STATUS).await;
+    }
+}
+
+impl FetchOp for ReactiveFetchOp {
+    async fn fetch_add(&self, cpu: &Cpu, delta: u64) -> u64 {
+        ReactiveFetchOp::fetch_add(self, cpu, delta).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::{Config, Machine};
+
+    /// All returns must form the exact set {0..procs*iters}.
+    fn hammer(procs: usize, iters: u64, think: u64) -> (u64, u64) {
+        let m = Machine::new(Config::default().nodes(procs.max(2)));
+        let f = ReactiveFetchOp::new(&m, 0, procs);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..procs {
+            let cpu = m.cpu(p);
+            let f = f.clone();
+            let seen = seen.clone();
+            m.spawn(p, async move {
+                for _ in 0..iters {
+                    let v = f.fetch_add(&cpu, 1).await;
+                    seen.borrow_mut().push(v);
+                    cpu.work(cpu.rand_below(think.max(1))).await;
+                }
+            });
+        }
+        let t = m.run();
+        assert_eq!(m.live_tasks(), 0, "reactive fetch-op deadlock");
+        let mut got = seen.borrow().clone();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..procs as u64 * iters).collect();
+        assert_eq!(got, want, "returns not a fetch-and-add permutation");
+        (m.read_word(f.var()), f.switches())
+    }
+
+    #[test]
+    fn single_proc_stays_cheap() {
+        let (v, switches) = hammer(1, 100, 50);
+        assert_eq!(v, 100);
+        assert_eq!(switches, 0);
+    }
+
+    #[test]
+    fn two_procs_correct() {
+        let (v, _) = hammer(2, 60, 100);
+        assert_eq!(v, 120);
+    }
+
+    #[test]
+    fn eight_procs_correct() {
+        let (v, _) = hammer(8, 25, 100);
+        assert_eq!(v, 200);
+    }
+
+    #[test]
+    fn sixteen_procs_correct_and_adaptive() {
+        let (v, switches) = hammer(16, 25, 50);
+        assert_eq!(v, 400);
+        assert!(switches >= 1, "16-way contention should trigger a switch");
+    }
+
+    #[test]
+    fn thirtytwo_procs_reaches_tree() {
+        let m = Machine::new(Config::default().nodes(32));
+        let f = ReactiveFetchOp::new(&m, 0, 32);
+        for p in 0..32 {
+            let cpu = m.cpu(p);
+            let f = f.clone();
+            m.spawn(p, async move {
+                for _ in 0..20 {
+                    f.fetch_add(&cpu, 1).await;
+                    cpu.work(cpu.rand_below(100)).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        assert_eq!(m.read_word(f.var()), 640);
+        let st = m.stats();
+        assert!(
+            st.counter("reactive_fop.to_tree") >= 1,
+            "32-way contention should reach the combining tree; counters: {:?}",
+            st.counters
+        );
+    }
+
+    #[test]
+    fn contention_fade_returns_from_tree() {
+        let m = Machine::new(Config::default().nodes(32));
+        let f = ReactiveFetchOp::new(&m, 0, 32);
+        for p in 0..32 {
+            let cpu = m.cpu(p);
+            let f = f.clone();
+            m.spawn(p, async move {
+                for _ in 0..15 {
+                    f.fetch_add(&cpu, 1).await;
+                    cpu.work(cpu.rand_below(100)).await;
+                }
+                if cpu.node() == 0 {
+                    // Solo phase.
+                    for _ in 0..40 {
+                        f.fetch_add(&cpu, 1).await;
+                        cpu.work(30).await;
+                    }
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        assert_eq!(m.read_word(f.var()), 32 * 15 + 40);
+        let st = m.stats();
+        // It must have left the tree once contention faded.
+        if st.counter("reactive_fop.to_tree") > 0 {
+            assert!(
+                st.counter("reactive_fop.tree_to_queue") >= 1,
+                "never left the tree; counters: {:?}",
+                st.counters
+            );
+        }
+    }
+
+    #[test]
+    fn deltas_other_than_one() {
+        let m = Machine::new(Config::default().nodes(4));
+        let f = ReactiveFetchOp::new(&m, 0, 4);
+        for p in 0..4 {
+            let cpu = m.cpu(p);
+            let f = f.clone();
+            m.spawn(p, async move {
+                for i in 0..20 {
+                    f.fetch_add(&cpu, (p as u64) + i % 3).await;
+                    cpu.work(cpu.rand_below(60)).await;
+                }
+            });
+        }
+        m.run();
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..20u64).map(|i| p + i % 3).sum::<u64>())
+            .sum();
+        assert_eq!(m.read_word(f.var()), expect);
+    }
+}

@@ -1,0 +1,460 @@
+//! The protocol-selection framework of §3.2: protocol objects, the
+//! protocol manager, and C-serializability (Definitions 1 and 2).
+//!
+//! The practical reactive algorithms ([`crate::lock`],
+//! [`crate::fetch_op`]) collapse this layering for performance (§3.2.6).
+//! This module keeps the framework itself executable:
+//!
+//! * [`NaiveProtocolObject`] / [`NaiveManager`] implement the lock-based
+//!   reference design of Figures 3.5-3.7 verbatim on the simulator —
+//!   correct for *any* protocol, but with the serialization overheads
+//!   §3.2.4 identifies.
+//! * [`History`] records per-object operation intervals, and
+//!   [`check_c_serial`] verifies Definition 1: at every object, each
+//!   protocol-change operation (`Invalidate`/`Validate`) is totally
+//!   ordered with respect to every other operation. We record the
+//!   *serialization intervals* (the locked sections), whose C-seriality
+//!   witnesses an equivalent legal C-serial history for the full
+//!   request/response history.
+//! * [`check_at_most_one_valid`] verifies the manager invariant of
+//!   §3.2.3: at any time, at most one protocol object is valid.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use alewife_sim::{Addr, Cpu, Machine};
+use sync_protocols::spin::{Lock, TtsLock};
+
+/// Operation kinds at a protocol object (Figure 3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Execute the synchronization protocol.
+    DoProtocol,
+    /// Invalidate the object (first half of a protocol change).
+    Invalidate,
+    /// Update + validate the object (second half of a change).
+    Validate,
+}
+
+/// One recorded operation interval at a protocol object.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Issuing process (node id).
+    pub proc_id: usize,
+    /// Protocol object id.
+    pub obj: usize,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Serialization interval start (cycles).
+    pub start: u64,
+    /// Serialization interval end (cycles).
+    pub end: u64,
+    /// For `DoProtocol`: whether the execution found the object valid.
+    pub valid_execution: bool,
+}
+
+/// A shared recorder of operation intervals.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    records: Rc<RefCell<Vec<OpRecord>>>,
+}
+
+impl History {
+    /// Create an empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Append a record.
+    pub fn record(&self, r: OpRecord) {
+        self.records.borrow_mut().push(r);
+    }
+
+    /// Snapshot the records.
+    pub fn snapshot(&self) -> Vec<OpRecord> {
+        self.records.borrow().clone()
+    }
+}
+
+/// Check Definition 1 (C-seriality): for each object, no
+/// `Invalidate`/`Validate` interval may overlap any other operation's
+/// interval on the same object.
+pub fn check_c_serial(records: &[OpRecord]) -> Result<(), String> {
+    for (i, a) in records.iter().enumerate() {
+        if a.kind == OpKind::DoProtocol {
+            continue;
+        }
+        for (j, b) in records.iter().enumerate() {
+            if i == j || a.obj != b.obj {
+                continue;
+            }
+            let disjoint = a.end <= b.start || b.end <= a.start;
+            if !disjoint {
+                return Err(format!(
+                    "change op {a:?} overlaps {b:?} on object {}",
+                    a.obj
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the §3.2.3 manager invariant: replaying the change operations
+/// in serialization order, at most one object is ever valid (given
+/// `initial_valid`).
+pub fn check_at_most_one_valid(
+    records: &[OpRecord],
+    objects: usize,
+    initial_valid: usize,
+) -> Result<(), String> {
+    let mut changes: Vec<&OpRecord> = records
+        .iter()
+        .filter(|r| r.kind != OpKind::DoProtocol)
+        .collect();
+    changes.sort_by_key(|r| r.start);
+    let mut valid = vec![false; objects];
+    valid[initial_valid] = true;
+    for c in changes {
+        match c.kind {
+            OpKind::Invalidate => valid[c.obj] = false,
+            OpKind::Validate => {
+                valid[c.obj] = true;
+                let count = valid.iter().filter(|&&v| v).count();
+                if count > 1 {
+                    return Err(format!(
+                        "{count} objects valid after {c:?} (invariant: ≤ 1)"
+                    ));
+                }
+            }
+            OpKind::DoProtocol => unreachable!(),
+        }
+    }
+    Ok(())
+}
+
+/// The naive lock-based protocol object of Figure 3.7, specialized to a
+/// counter protocol (the protocol state is one word; `RunProtocol` adds
+/// a delta; `UpdateProtocol` copies the state in).
+#[derive(Clone)]
+pub struct NaiveProtocolObject {
+    /// Object id for history records.
+    pub id: usize,
+    lock: TtsLock,
+    valid: Addr,
+    state: Addr,
+    history: History,
+    /// Cycles `RunProtocol` busies the processor (models protocol work).
+    work: u64,
+}
+
+impl NaiveProtocolObject {
+    /// Allocate a protocol object homed on `home`.
+    pub fn new(
+        m: &Machine,
+        home: usize,
+        id: usize,
+        initially_valid: bool,
+        work: u64,
+        history: History,
+    ) -> NaiveProtocolObject {
+        let valid = m.alloc_on(home, 1);
+        m.write_word(valid, initially_valid as u64);
+        NaiveProtocolObject {
+            id,
+            lock: TtsLock::new(m, home, 64),
+            valid,
+            state: m.alloc_on(home, 1),
+            history,
+            work,
+        }
+    }
+
+    /// `DoProtocol` (Figure 3.7): run the protocol under the object
+    /// lock; returns `None` if the object was invalid.
+    pub async fn do_protocol(&self, cpu: &Cpu, delta: u64) -> Option<u64> {
+        self.lock.acquire(cpu).await;
+        let t0 = cpu.now();
+        let valid = cpu.read(self.valid).await == 1;
+        let result = if valid {
+            let old = cpu.read(self.state).await;
+            cpu.work(self.work).await;
+            cpu.write(self.state, old.wrapping_add(delta)).await;
+            Some(old)
+        } else {
+            None
+        };
+        let t1 = cpu.now();
+        self.lock.release(cpu, ()).await;
+        self.history.record(OpRecord {
+            proc_id: cpu.node(),
+            obj: self.id,
+            kind: OpKind::DoProtocol,
+            start: t0,
+            end: t1,
+            valid_execution: valid,
+        });
+        result
+    }
+
+    /// `Invalidate` (Figure 3.7): returns the captured state if the
+    /// object was valid (so the manager can transfer it), else `None`.
+    pub async fn invalidate(&self, cpu: &Cpu) -> Option<u64> {
+        self.lock.acquire(cpu).await;
+        let t0 = cpu.now();
+        let was_valid = cpu.read(self.valid).await == 1;
+        let state = if was_valid {
+            cpu.write(self.valid, 0).await;
+            Some(cpu.read(self.state).await)
+        } else {
+            None
+        };
+        let t1 = cpu.now();
+        self.lock.release(cpu, ()).await;
+        self.history.record(OpRecord {
+            proc_id: cpu.node(),
+            obj: self.id,
+            kind: OpKind::Invalidate,
+            start: t0,
+            end: t1,
+            valid_execution: was_valid,
+        });
+        state
+    }
+
+    /// `Validate` (Figure 3.7): `UpdateProtocol` (copy the transferred
+    /// state in) and mark valid.
+    pub async fn validate(&self, cpu: &Cpu, state: u64) {
+        self.lock.acquire(cpu).await;
+        let t0 = cpu.now();
+        if cpu.read(self.valid).await == 0 {
+            cpu.write(self.state, state).await;
+            cpu.write(self.valid, 1).await;
+        }
+        let t1 = cpu.now();
+        self.lock.release(cpu, ()).await;
+        self.history.record(OpRecord {
+            proc_id: cpu.node(),
+            obj: self.id,
+            kind: OpKind::Validate,
+            start: t0,
+            end: t1,
+            valid_execution: true,
+        });
+    }
+
+    /// `IsValid` (unlocked hint read, as in Figure 3.7).
+    pub async fn is_valid(&self, cpu: &Cpu) -> bool {
+        cpu.read(self.valid).await == 1
+    }
+}
+
+/// The protocol manager of Figure 3.6 over two protocol objects.
+#[derive(Clone)]
+pub struct NaiveManager {
+    /// Protocol object 1.
+    pub p1: NaiveProtocolObject,
+    /// Protocol object 2.
+    pub p2: NaiveProtocolObject,
+}
+
+impl NaiveManager {
+    /// Build a manager over a pair of counter protocols; protocol 1
+    /// starts valid. `work1`/`work2` are the protocols' per-op costs.
+    pub fn new(m: &Machine, home: usize, work1: u64, work2: u64, history: History) -> NaiveManager {
+        NaiveManager {
+            p1: NaiveProtocolObject::new(m, home, 0, true, work1, history.clone()),
+            p2: NaiveProtocolObject::new(m, home, 1, false, work2, history),
+        }
+    }
+
+    /// `DoSynchOp` (Figure 3.6): loop until a valid protocol executes.
+    pub async fn do_synch_op(&self, cpu: &Cpu, delta: u64) -> u64 {
+        loop {
+            if self.p1.is_valid(cpu).await {
+                if let Some(v) = self.p1.do_protocol(cpu, delta).await {
+                    return v;
+                }
+            } else if self.p2.is_valid(cpu).await {
+                if let Some(v) = self.p2.do_protocol(cpu, delta).await {
+                    return v;
+                }
+            }
+        }
+    }
+
+    /// `DoChange` (Figure 3.6): invalidate whichever protocol is valid
+    /// and validate the other, transferring the state.
+    pub async fn do_change(&self, cpu: &Cpu) {
+        if let Some(state) = self.p1.invalidate(cpu).await {
+            self.p2.validate(cpu, state).await;
+        } else if let Some(state) = self.p2.invalidate(cpu).await {
+            self.p1.validate(cpu, state).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::Config;
+
+    #[test]
+    fn naive_manager_counts_correctly_under_changes() {
+        let m = Machine::new(Config::default().nodes(8));
+        let history = History::new();
+        let mgr = NaiveManager::new(&m, 0, 20, 60, history.clone());
+        for p in 0..7 {
+            let cpu = m.cpu(p);
+            let mgr = mgr.clone();
+            m.spawn(p, async move {
+                for _ in 0..20 {
+                    mgr.do_synch_op(&cpu, 1).await;
+                    cpu.work(cpu.rand_below(150)).await;
+                }
+            });
+        }
+        // A dedicated changer flips protocols repeatedly (§3.2.1 models
+        // changes as generated by an internal process).
+        {
+            let cpu = m.cpu(7);
+            let mgr = mgr.clone();
+            m.spawn(7, async move {
+                for _ in 0..10 {
+                    cpu.work(1_000).await;
+                    mgr.do_change(&cpu).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0, "framework deadlock");
+        // All 140 increments must have landed in exactly one of the two
+        // protocol states (whichever is currently valid holds the total).
+        let recs = history.snapshot();
+        let total_valid_ops = recs
+            .iter()
+            .filter(|r| r.kind == OpKind::DoProtocol && r.valid_execution)
+            .count();
+        assert_eq!(total_valid_ops, 140, "an op was lost or double-counted");
+    }
+
+    #[test]
+    fn histories_are_c_serial() {
+        let m = Machine::new(Config::default().nodes(6));
+        let history = History::new();
+        let mgr = NaiveManager::new(&m, 0, 10, 30, history.clone());
+        for p in 0..5 {
+            let cpu = m.cpu(p);
+            let mgr = mgr.clone();
+            m.spawn(p, async move {
+                for _ in 0..15 {
+                    mgr.do_synch_op(&cpu, 1).await;
+                    cpu.work(cpu.rand_below(100)).await;
+                }
+            });
+        }
+        {
+            let cpu = m.cpu(5);
+            let mgr = mgr.clone();
+            m.spawn(5, async move {
+                for _ in 0..6 {
+                    cpu.work(800).await;
+                    mgr.do_change(&cpu).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        let recs = history.snapshot();
+        check_c_serial(&recs).expect("history not C-serial");
+        check_at_most_one_valid(&recs, 2, 0).expect("validity invariant broken");
+    }
+
+    #[test]
+    fn checker_rejects_overlapping_change() {
+        let bad = vec![
+            OpRecord {
+                proc_id: 0,
+                obj: 0,
+                kind: OpKind::DoProtocol,
+                start: 0,
+                end: 100,
+                valid_execution: true,
+            },
+            OpRecord {
+                proc_id: 1,
+                obj: 0,
+                kind: OpKind::Invalidate,
+                start: 50,
+                end: 150,
+                valid_execution: true,
+            },
+        ];
+        assert!(check_c_serial(&bad).is_err());
+    }
+
+    #[test]
+    fn checker_accepts_overlapping_protocol_executions() {
+        // Concurrent DoProtocol executions are explicitly allowed
+        // (that is the whole point of C-serial vs serial, §3.2.5).
+        let ok = vec![
+            OpRecord {
+                proc_id: 0,
+                obj: 0,
+                kind: OpKind::DoProtocol,
+                start: 0,
+                end: 100,
+                valid_execution: true,
+            },
+            OpRecord {
+                proc_id: 1,
+                obj: 0,
+                kind: OpKind::DoProtocol,
+                start: 50,
+                end: 150,
+                valid_execution: true,
+            },
+        ];
+        assert!(check_c_serial(&ok).is_ok());
+    }
+
+    #[test]
+    fn checker_allows_changes_on_different_objects() {
+        // H3 of Figure 3.8: a change on x may overlap an op on y.
+        let ok = vec![
+            OpRecord {
+                proc_id: 0,
+                obj: 0,
+                kind: OpKind::Invalidate,
+                start: 0,
+                end: 100,
+                valid_execution: true,
+            },
+            OpRecord {
+                proc_id: 1,
+                obj: 1,
+                kind: OpKind::DoProtocol,
+                start: 50,
+                end: 150,
+                valid_execution: true,
+            },
+        ];
+        assert!(check_c_serial(&ok).is_ok());
+    }
+
+    #[test]
+    fn validity_checker_detects_double_valid() {
+        let bad = vec![
+            OpRecord {
+                proc_id: 0,
+                obj: 1,
+                kind: OpKind::Validate,
+                start: 0,
+                end: 10,
+                valid_execution: true,
+            },
+            // Object 0 was initially valid and never invalidated.
+        ];
+        assert!(check_at_most_one_valid(&bad, 2, 0).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # reactive-core — reactive synchronization algorithms
+//!
+//! The paper's contribution (Lim & Agarwal, ASPLOS '94; Lim's MIT thesis,
+//! 1994): synchronization algorithms that *select their protocol and
+//! waiting mechanism at run time* in response to observed conditions,
+//! while staying within a constant factor of the best static choice.
+//!
+//! * [`policy`] — when to switch protocols (§3.4): switch-immediately,
+//!   the 3-competitive cumulative-cost policy, and hysteresis.
+//! * [`lock`] — the reactive spin lock (§3.3.1, Figures 3.27-3.29):
+//!   dynamically selects between test-and-test-and-set and the MCS queue
+//!   lock, using the lock words themselves as consensus objects (an
+//!   invalid sub-lock is left permanently busy, so the mode variable is
+//!   only a hint and correctness never depends on it).
+//! * [`fetch_op`] — the reactive fetch-and-op (§3.3.2, Appendix C):
+//!   selects among a TTS-lock-protected counter, a queue-lock-protected
+//!   counter, and a software combining tree.
+//! * [`framework`] — the protocol-object framework of §3.2: protocol
+//!   objects, the protocol manager, and a C-serializability checker used
+//!   to validate histories in tests.
+//! * [`waiting`] — two-phase waiting algorithms (Chapter 4): poll up to
+//!   `Lpoll`, then block; plus switch-spinning variants for
+//!   multithreaded nodes.
+//! * [`mp`] — reactive selection between shared-memory and
+//!   message-passing protocols (§3.6).
+
+#![deny(missing_docs)]
+
+pub mod fetch_op;
+pub mod framework;
+pub mod lock;
+pub mod mp;
+pub mod policy;
+pub mod waiting;
+
+pub use fetch_op::ReactiveFetchOp;
+pub use lock::ReactiveLock;
+pub use policy::Policy;
+pub use waiting::TwoPhase;

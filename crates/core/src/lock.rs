@@ -1,0 +1,559 @@
+//! The reactive spin lock (§3.3.1, §3.7.3, Figures 3.27-3.29).
+//!
+//! Combines the low uncontended latency of a test-and-test-and-set lock
+//! with the scalability and fairness of the MCS queue lock by switching
+//! protocol at run time. The two sub-locks *are* the consensus objects:
+//!
+//! * The algorithm maintains the invariant that **the two sub-locks are
+//!   never free at the same time** — the inactive sub-lock is left in a
+//!   busy state (TTS flag held `BUSY`; queue tail holding the `INVALID`
+//!   marker), so at most one process can ever win a sub-lock.
+//! * The mode variable is therefore only a *hint* for fast dispatch: a
+//!   process that races a protocol change simply finds the stale
+//!   sub-lock busy (or receives an `INVALID` signal on the queue) and
+//!   retries with the other protocol.
+//! * Protocol changes are performed only by the current lock holder,
+//!   which serializes them with all protocol executions (C-serialization
+//!   via consensus objects, §3.2.5).
+//!
+//! Contention monitoring (§3.3.1): in TTS mode the number of failed
+//! `test&set` attempts per acquisition estimates contention; in queue
+//! mode a streak of empty-queue acquisitions signals its absence. A
+//! [`Policy`] turns those signals into switch decisions.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use alewife_sim::{Addr, Cpu, Machine};
+use sync_protocols::spin::{
+    dec, enc, Backoff, Lock, FREE, GO, INITIAL_DELAY, INVALID_PTR, INVALID_STATUS, NIL, WAITING,
+};
+
+use crate::policy::{Mode, Policy};
+
+/// Mode word values.
+const MODE_TTS: u64 = 0;
+const MODE_QUEUE: u64 = 1;
+
+/// Queue-node field offsets (`next`, `status`).
+const QN_NEXT: u64 = 0;
+const QN_STATUS: u64 = 1;
+
+/// Failed `test&set` attempts in one acquisition that signal high
+/// contention (the monitor's hysteresis, §3.7.3).
+pub const TTS_RETRY_LIMIT: u64 = 4;
+
+/// Consecutive empty-queue acquisitions that signal low contention.
+pub const EMPTY_QUEUE_LIMIT: u64 = 4;
+
+/// Estimated residual cost (cycles) of serving one high-contention
+/// acquisition with the TTS protocol instead of the queue (§3.5.5).
+pub const TTS_RESIDUAL: f64 = 150.0;
+
+/// Estimated residual cost of serving one low-contention acquisition
+/// with the queue protocol instead of TTS (§3.5.5).
+pub const QUEUE_RESIDUAL: f64 = 15.0;
+
+/// Empirical round-trip protocol-switching cost (§3.5.5: ≈ 8000 cycles
+/// TTS→queue plus ≈ 800 cycles queue→TTS).
+pub const SWITCH_ROUND_TRIP: f64 = 8_800.0;
+
+/// What [`ReactiveLock::release`] must do — the paper's `release_mode`
+/// (Figure 3.27), carrying the queue node where one is in play.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleaseMode {
+    /// Held via the TTS sub-lock; plain release.
+    Tts,
+    /// Held via the TTS sub-lock; switch to the queue protocol on
+    /// release.
+    TtsToQueue,
+    /// Held via the queue sub-lock (queue node attached); plain release.
+    Queue(Addr),
+    /// Held via the queue sub-lock; switch to TTS on release.
+    QueueToTts(Addr),
+}
+
+/// The reactive spin lock. Cheap to clone; clones share the lock.
+#[derive(Clone)]
+pub struct ReactiveLock {
+    /// Line holding `[tts_flag, queue_tail]` (§3.7.3 recommends the
+    /// sub-locks share a line so the optimistic `test&set` prefetches
+    /// the queue tail).
+    locks: Addr,
+    /// Mode hint on its own (mostly-read) line.
+    mode: Addr,
+    policy: Policy,
+    empty_streak: Rc<Cell<u64>>,
+    pool: Rc<RefCell<Vec<Vec<Addr>>>>,
+    max_procs: usize,
+}
+
+impl std::fmt::Debug for ReactiveLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactiveLock")
+            .field("locks", &self.locks)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+impl ReactiveLock {
+    /// Create a reactive lock homed on `home` with the default
+    /// switch-immediately policy, sized for `max_procs` contenders.
+    pub fn new(m: &Machine, home: usize, max_procs: usize) -> ReactiveLock {
+        ReactiveLock::with_policy(m, home, max_procs, Policy::always())
+    }
+
+    /// Create a reactive lock with an explicit switching policy.
+    pub fn with_policy(m: &Machine, home: usize, max_procs: usize, policy: Policy) -> ReactiveLock {
+        let locks = m.alloc_on(home, 2);
+        let mode = m.alloc_on(home, 1);
+        // Initial state: TTS mode — TTS lock free, queue invalid.
+        m.write_word(locks, FREE);
+        m.write_word(locks.plus(1), INVALID_PTR);
+        m.write_word(mode, MODE_TTS);
+        ReactiveLock {
+            locks,
+            mode,
+            policy,
+            empty_streak: Rc::new(Cell::new(0)),
+            pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
+            max_procs,
+        }
+    }
+
+    fn tts(&self) -> Addr {
+        self.locks
+    }
+
+    fn tail(&self) -> Addr {
+        self.locks.plus(1)
+    }
+
+    /// Number of protocol changes performed so far.
+    pub fn switches(&self) -> u64 {
+        self.policy.switches()
+    }
+
+    /// Raw word addresses `(tts_flag, queue_tail, mode)` for invariant
+    /// inspection in tests and tools (e.g. checking the never-both-free
+    /// invariant at quiescence).
+    pub fn inspect_words(&self) -> (Addr, Addr, Addr) {
+        (self.tts(), self.tail(), self.mode)
+    }
+
+    fn take_qnode(&self, cpu: &Cpu) -> Addr {
+        let mut pool = self.pool.borrow_mut();
+        match pool[cpu.node()].pop() {
+            Some(a) => a,
+            None => cpu.alloc_on(cpu.node(), 2),
+        }
+    }
+
+    fn put_qnode(&self, cpu: &Cpu, q: Addr) {
+        self.pool.borrow_mut()[cpu.node()].push(q);
+    }
+
+    /// Acquire the lock; the returned [`ReleaseMode`] must be passed to
+    /// [`ReactiveLock::release`].
+    pub async fn acquire(&self, cpu: &Cpu) -> ReleaseMode {
+        // Optimistic attempt (§3.7.3): in QUEUE mode the TTS flag is
+        // permanently BUSY, so success implies the TTS protocol is
+        // valid. Test before test&set so the optimism costs only a
+        // cache hit while the queue protocol is in force (the flag is
+        // constant-BUSY then, so the line stays read-cached).
+        if cpu.read(self.tts()).await == FREE && cpu.test_and_set(self.tts()).await == FREE {
+            return self.decide_after_tts(0);
+        }
+        loop {
+            let mode = cpu.read(self.mode).await;
+            let r = if mode == MODE_TTS {
+                self.acquire_tts(cpu).await
+            } else {
+                self.acquire_queue(cpu).await
+            };
+            if let Some(r) = r {
+                return r;
+            }
+            // Protocol changed under us (or the queue was invalid):
+            // re-dispatch on the fresh mode hint.
+        }
+    }
+
+    /// TTS-protocol acquisition (Figure 3.28's `acquire_tts`). Returns
+    /// `None` if the mode changed away from TTS.
+    async fn acquire_tts(&self, cpu: &Cpu) -> Option<ReleaseMode> {
+        let mut backoff = Backoff::new(INITIAL_DELAY, 64 * self.max_procs as u64);
+        let mut failures: u64 = 0;
+        loop {
+            if cpu.read(self.tts()).await == FREE {
+                if cpu.test_and_set(self.tts()).await == FREE {
+                    return Some(self.decide_after_tts(failures));
+                }
+                failures += 1;
+                backoff.pause(cpu).await;
+            } else {
+                // Read-poll the (cached) flag, but wake periodically to
+                // re-check the mode hint: an invalid TTS flag stays BUSY
+                // forever and would otherwise spin us indefinitely.
+                let deadline = cpu.now() + 400;
+                cpu.poll_until_deadline(self.tts(), |v| v == FREE, deadline)
+                    .await;
+            }
+            if cpu.read(self.mode).await != MODE_TTS {
+                return None;
+            }
+        }
+    }
+
+    /// Monitor + policy decision after winning the TTS sub-lock.
+    fn decide_after_tts(&self, failures: u64) -> ReleaseMode {
+        self.empty_streak.set(0);
+        let suboptimal = failures > TTS_RETRY_LIMIT;
+        let residual = TTS_RESIDUAL * (failures as f64 / TTS_RETRY_LIMIT as f64).min(4.0);
+        if suboptimal && self.policy.observe(Mode::Cheap, true, residual) {
+            ReleaseMode::TtsToQueue
+        } else {
+            if !suboptimal {
+                self.policy.observe(Mode::Cheap, false, 0.0);
+            }
+            ReleaseMode::Tts
+        }
+    }
+
+    /// Queue-protocol acquisition (Figure 3.28's `acquire_queue`).
+    /// Returns `None` if the queue protocol was invalid.
+    async fn acquire_queue(&self, cpu: &Cpu) -> Option<ReleaseMode> {
+        let q = self.take_qnode(cpu);
+        cpu.write(q.plus(QN_NEXT), NIL).await;
+        let pred = cpu.fetch_and_store(self.tail(), enc(q)).await;
+        if pred == NIL {
+            // Empty queue: lock acquired immediately (low contention).
+            let streak = self.empty_streak.get() + 1;
+            self.empty_streak.set(streak);
+            let suboptimal = streak > EMPTY_QUEUE_LIMIT;
+            if suboptimal && self.policy.observe(Mode::Scalable, true, QUEUE_RESIDUAL) {
+                return Some(ReleaseMode::QueueToTts(q));
+            }
+            if !suboptimal {
+                self.policy.observe(Mode::Scalable, false, 0.0);
+            }
+            return Some(ReleaseMode::Queue(q));
+        }
+        if pred != INVALID_PTR {
+            cpu.write(q.plus(QN_STATUS), WAITING).await;
+            cpu.write(dec(pred).plus(QN_NEXT), enc(q)).await;
+            self.empty_streak.set(0);
+            let status = cpu
+                .poll_until(q.plus(QN_STATUS), |v| v != WAITING)
+                .await;
+            if status == GO {
+                self.policy.observe(Mode::Scalable, false, 0.0);
+                return Some(ReleaseMode::Queue(q));
+            }
+            // INVALID: the queue protocol was switched away while we
+            // waited; retry via dispatch (mode now points at TTS).
+            debug_assert_eq!(status, INVALID_STATUS);
+            self.put_qnode(cpu, q);
+            return None;
+        }
+        // We swapped our node onto an *invalid* queue: restore the
+        // INVALID marker (propagating it to anyone who chained behind
+        // us) and retry with the other protocol.
+        self.invalidate_queue_from(cpu, q).await;
+        self.put_qnode(cpu, q);
+        None
+    }
+
+    /// Release the lock, performing any protocol change the acquisition
+    /// decided on (Figure 3.29).
+    pub async fn release(&self, cpu: &Cpu, rm: ReleaseMode) {
+        match rm {
+            ReleaseMode::Tts => {
+                cpu.write(self.tts(), FREE).await;
+            }
+            ReleaseMode::Queue(q) => {
+                self.release_queue(cpu, q).await;
+                self.put_qnode(cpu, q);
+            }
+            ReleaseMode::TtsToQueue => {
+                // `release_tts_to_queue`: make the queue valid (leaving
+                // the TTS flag BUSY), then release via the queue.
+                let q = self.take_qnode(cpu);
+                self.acquire_invalid_queue(cpu, q).await;
+                cpu.write(self.mode, MODE_QUEUE).await;
+                cpu.bump("reactive_lock.to_queue", 1);
+                self.empty_streak.set(0);
+                self.release_queue(cpu, q).await;
+                self.put_qnode(cpu, q);
+            }
+            ReleaseMode::QueueToTts(q) => {
+                // `release_queue_to_tts`: flip the hint, invalidate the
+                // queue (bouncing any waiters), then free the TTS flag.
+                cpu.write(self.mode, MODE_TTS).await;
+                cpu.bump("reactive_lock.to_tts", 1);
+                self.invalidate_queue_from(cpu, q).await;
+                self.put_qnode(cpu, q);
+                cpu.write(self.tts(), FREE).await;
+            }
+        }
+    }
+
+    /// MCS release with the usurper race handling (Figure 3.28).
+    async fn release_queue(&self, cpu: &Cpu, q: Addr) {
+        let next = cpu.read(q.plus(QN_NEXT)).await;
+        if next == NIL {
+            let old_tail = cpu.fetch_and_store(self.tail(), NIL).await;
+            if old_tail == enc(q) {
+                return;
+            }
+            let usurper = cpu.fetch_and_store(self.tail(), old_tail).await;
+            let next = cpu
+                .poll_until(q.plus(QN_NEXT), |v| v != NIL)
+                .await;
+            if usurper != NIL {
+                cpu.write(dec(usurper).plus(QN_NEXT), next).await;
+            } else {
+                cpu.write(dec(next).plus(QN_STATUS), GO).await;
+            }
+        } else {
+            cpu.write(dec(next).plus(QN_STATUS), GO).await;
+        }
+    }
+
+    /// Figure 3.29's `acquire_invalid_queue`: install our node as the
+    /// head of the (currently invalid) queue, retrying if other racers
+    /// piled onto it first.
+    async fn acquire_invalid_queue(&self, cpu: &Cpu, q: Addr) {
+        loop {
+            cpu.write(q.plus(QN_NEXT), NIL).await;
+            let pred = cpu.fetch_and_store(self.tail(), enc(q)).await;
+            if pred == INVALID_PTR {
+                return;
+            }
+            // Landed behind someone on an invalid queue: wait for the
+            // INVALID signal to ripple to us, then retry.
+            cpu.write(q.plus(QN_STATUS), WAITING).await;
+            cpu.write(dec(pred).plus(QN_NEXT), enc(q)).await;
+            cpu.poll_until(q.plus(QN_STATUS), |v| v != WAITING).await;
+        }
+    }
+
+    /// Figure 3.29's `invalidate_queue`: swap the tail to INVALID and
+    /// walk from `head` to the old tail signalling every waiter to
+    /// retry.
+    async fn invalidate_queue_from(&self, cpu: &Cpu, head: Addr) {
+        let tail = cpu.fetch_and_store(self.tail(), INVALID_PTR).await;
+        let mut head = head;
+        while enc(head) != tail {
+            let next = cpu
+                .poll_until(head.plus(QN_NEXT), |v| v != NIL)
+                .await;
+            cpu.write(head.plus(QN_STATUS), INVALID_STATUS).await;
+            head = dec(next);
+        }
+        cpu.write(head.plus(QN_STATUS), INVALID_STATUS).await;
+    }
+}
+
+impl Lock for ReactiveLock {
+    type Token = ReleaseMode;
+
+    async fn acquire(&self, cpu: &Cpu) -> ReleaseMode {
+        ReactiveLock::acquire(self, cpu).await
+    }
+
+    async fn release(&self, cpu: &Cpu, t: ReleaseMode) {
+        ReactiveLock::release(self, cpu, t).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::{Config, Machine};
+
+    fn hammer(policy: Policy, procs: usize, iters: u64) -> (u64, u64, u64) {
+        let m = Machine::new(Config::default().nodes(procs.max(2)));
+        let lock = ReactiveLock::with_policy(&m, 0, procs, policy);
+        let shared = m.alloc_on(1, 1);
+        for p in 0..procs {
+            let cpu = m.cpu(p);
+            let lock = lock.clone();
+            m.spawn(p, async move {
+                for _ in 0..iters {
+                    let t = lock.acquire(&cpu).await;
+                    let v = cpu.read(shared).await;
+                    cpu.work(10).await;
+                    cpu.write(shared, v + 1).await;
+                    lock.release(&cpu, t).await;
+                    cpu.work(cpu.rand_below(100)).await;
+                }
+            });
+        }
+        let t = m.run();
+        assert_eq!(m.live_tasks(), 0, "reactive lock deadlock");
+        (m.read_word(shared), t, lock.switches())
+    }
+
+    #[test]
+    fn mutual_exclusion_single_proc() {
+        let (v, _, _) = hammer(Policy::always(), 1, 200);
+        assert_eq!(v, 200);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let (v, _, switches) = hammer(Policy::always(), 16, 30);
+        assert_eq!(v, 480);
+        // Heavy contention from the start: it should have moved to the
+        // queue protocol.
+        assert!(switches >= 1, "never switched protocols");
+    }
+
+    #[test]
+    fn mutual_exclusion_two_procs() {
+        let (v, _, _) = hammer(Policy::always(), 2, 150);
+        assert_eq!(v, 300);
+    }
+
+    #[test]
+    fn stays_in_tts_mode_uncontended() {
+        let m = Machine::new(Config::default().nodes(2));
+        let lock = ReactiveLock::new(&m, 0, 2);
+        let cpu = m.cpu(0);
+        let l2 = lock.clone();
+        m.spawn(0, async move {
+            for _ in 0..100 {
+                let t = l2.acquire(&cpu).await;
+                cpu.work(10).await;
+                l2.release(&cpu, t).await;
+                cpu.work(20).await;
+            }
+        });
+        m.run();
+        assert_eq!(lock.switches(), 0, "uncontended lock should not switch");
+        assert_eq!(m.read_word(lock.mode), MODE_TTS);
+    }
+
+    #[test]
+    fn switches_to_queue_under_sustained_contention() {
+        let (_, _, switches) = hammer(Policy::always(), 32, 20);
+        assert!(switches >= 1);
+    }
+
+    #[test]
+    fn switches_back_to_tts_when_contention_fades() {
+        // Phase 1: 8 procs hammer the lock; phase 2: only proc 0 uses it.
+        let m = Machine::new(Config::default().nodes(8));
+        let lock = ReactiveLock::new(&m, 0, 8);
+        let shared = m.alloc_on(1, 1);
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            let lock = lock.clone();
+            m.spawn(p, async move {
+                for _ in 0..20 {
+                    let t = lock.acquire(&cpu).await;
+                    cpu.work(50).await;
+                    cpu.fetch_and_add(shared, 1).await;
+                    lock.release(&cpu, t).await;
+                    cpu.work(cpu.rand_below(100)).await;
+                }
+                if cpu.node() == 0 {
+                    // Solo phase: far more than EMPTY_QUEUE_LIMIT
+                    // acquisitions with an empty queue.
+                    for _ in 0..30 {
+                        let t = lock.acquire(&cpu).await;
+                        cpu.work(10).await;
+                        cpu.fetch_and_add(shared, 1).await;
+                        lock.release(&cpu, t).await;
+                        cpu.work(20).await;
+                    }
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        assert_eq!(m.read_word(shared), 8 * 20 + 30);
+        // After the solo phase the lock must have returned to TTS mode.
+        assert_eq!(m.read_word(lock.mode), MODE_TTS, "did not fall back to TTS");
+        let st = m.stats();
+        assert!(st.counter("reactive_lock.to_queue") >= 1);
+        assert!(st.counter("reactive_lock.to_tts") >= 1);
+    }
+
+    #[test]
+    fn competitive_policy_switches_more_conservatively() {
+        let (_, _, sw_always) = hammer(Policy::always(), 16, 25);
+        let (_, _, sw_comp) = hammer(Policy::competitive3(SWITCH_ROUND_TRIP), 16, 25);
+        assert!(
+            sw_comp <= sw_always,
+            "3-competitive ({sw_comp}) switched more than always ({sw_always})"
+        );
+    }
+
+    #[test]
+    fn reactive_close_to_best_static_at_both_extremes() {
+        use sync_protocols::spin::{McsLock, TtsLock};
+
+        fn run_static<L: sync_protocols::spin::Lock>(
+            mk: impl Fn(&Machine) -> L,
+            procs: usize,
+            iters: u64,
+        ) -> u64 {
+            let m = Machine::new(Config::default().nodes(procs.max(2)));
+            let lock = mk(&m);
+            for p in 0..procs {
+                let cpu = m.cpu(p);
+                let lock = lock.clone();
+                m.spawn(p, async move {
+                    for _ in 0..iters {
+                        let t = lock.acquire(&cpu).await;
+                        cpu.work(100).await;
+                        lock.release(&cpu, t).await;
+                        cpu.work(cpu.rand_below(500)).await;
+                    }
+                });
+            }
+            let t = m.run();
+            assert_eq!(m.live_tasks(), 0);
+            t
+        }
+
+        fn run_reactive(procs: usize, iters: u64) -> u64 {
+            let m = Machine::new(Config::default().nodes(procs.max(2)));
+            let lock = ReactiveLock::new(&m, 0, procs);
+            for p in 0..procs {
+                let cpu = m.cpu(p);
+                let lock = lock.clone();
+                m.spawn(p, async move {
+                    for _ in 0..iters {
+                        let t = lock.acquire(&cpu).await;
+                        cpu.work(100).await;
+                        lock.release(&cpu, t).await;
+                        cpu.work(cpu.rand_below(500)).await;
+                    }
+                });
+            }
+            let t = m.run();
+            assert_eq!(m.live_tasks(), 0);
+            t
+        }
+
+        // Uncontended: reactive should be within 1.5x of TTS.
+        let tts1 = run_static(|m| TtsLock::new(m, 0, 1), 1, 150);
+        let re1 = run_reactive(1, 150);
+        assert!(
+            (re1 as f64) < 1.5 * tts1 as f64,
+            "reactive {re1} vs TTS {tts1} uncontended"
+        );
+
+        // Contended: reactive should be within 1.5x of MCS.
+        let mcs16 = run_static(|m| McsLock::new(m, 0), 16, 25);
+        let re16 = run_reactive(16, 25);
+        assert!(
+            (re16 as f64) < 1.5 * mcs16 as f64,
+            "reactive {re16} vs MCS {mcs16} contended"
+        );
+    }
+}

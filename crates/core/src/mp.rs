@@ -1,0 +1,456 @@
+//! Reactive selection between shared-memory and message-passing
+//! protocols (§3.6).
+//!
+//! Recent machines let software bypass shared memory and talk to the
+//! message layer directly; message-passing protocols win under high
+//! contention (better communication patterns, handler atomicity) but
+//! lose under low contention (fixed send/receive overheads). These
+//! reactive algorithms make that choice at run time:
+//!
+//! * [`ReactiveMpLock`] — test-and-test-and-set (shared memory) vs. a
+//!   message-passing queue lock. Consensus objects: the TTS flag (left
+//!   busy when invalid) and the manager's validity (an invalid manager
+//!   bounces requesters with a retry reply).
+//! * [`ReactiveMpFetchOp`] — TTS-lock-protected counter vs. centralized
+//!   message-passing fetch-and-op vs. message-passing combining tree.
+//!   Protocol changes transfer the counter value; the changer performs
+//!   them while holding the currently-valid consensus object.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use alewife_sim::{Addr, Cpu, Machine};
+use sync_protocols::mp::{MpCombiningTree, MpCounter, MpQueueLock};
+use sync_protocols::spin::{Backoff, FREE, INITIAL_DELAY};
+
+use crate::policy::{Mode, Policy};
+
+const MODE_TTS: u64 = 0;
+const MODE_MP: u64 = 1;
+const MODE_TREE: u64 = 2;
+
+/// Failed `test&set`s per acquisition signalling high contention.
+const TTS_RETRY_LIMIT: u64 = 4;
+/// Consecutive zero-length grant queues signalling low contention.
+const EMPTY_LIMIT: u64 = 4;
+
+/// Release token for [`ReactiveMpLock`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpReleaseMode {
+    /// Held via TTS; plain release.
+    Tts,
+    /// Held via TTS; switch to the message-passing queue on release.
+    TtsToMp,
+    /// Held via the MP queue; plain release.
+    Mp,
+    /// Held via the MP queue; switch to TTS on release.
+    MpToTts,
+}
+
+/// Reactive spin lock selecting between a shared-memory TTS protocol
+/// and a message-passing queue-lock protocol (§3.6).
+#[derive(Clone)]
+pub struct ReactiveMpLock {
+    tts: Addr,
+    mode: Addr,
+    mp: MpQueueLock,
+    policy: Policy,
+    empty_streak: Rc<Cell<u64>>,
+    max_procs: usize,
+}
+
+impl std::fmt::Debug for ReactiveMpLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactiveMpLock").field("tts", &self.tts).finish()
+    }
+}
+
+impl ReactiveMpLock {
+    /// Create with the TTS protocol initially valid; the MP lock manager
+    /// is installed on `manager`.
+    pub fn new(m: &Machine, home: usize, manager: usize, max_procs: usize) -> ReactiveMpLock {
+        let tts = m.alloc_on(home, 1);
+        let mode = m.alloc_on(home, 1);
+        m.write_word(tts, FREE);
+        m.write_word(mode, MODE_TTS);
+        ReactiveMpLock {
+            tts,
+            mode,
+            mp: MpQueueLock::with_validity(m, manager, false),
+            policy: Policy::always(),
+            empty_streak: Rc::new(Cell::new(0)),
+            max_procs,
+        }
+    }
+
+    /// Number of protocol changes so far.
+    pub fn switches(&self) -> u64 {
+        self.policy.switches()
+    }
+
+    /// Acquire; pass the returned token to [`ReactiveMpLock::release`].
+    pub async fn acquire(&self, cpu: &Cpu) -> MpReleaseMode {
+        loop {
+            if cpu.read(self.mode).await == MODE_TTS {
+                if let Some(r) = self.acquire_tts(cpu).await {
+                    return r;
+                }
+            } else if let Some(r) = self.acquire_mp(cpu).await {
+                return r;
+            }
+        }
+    }
+
+    async fn acquire_tts(&self, cpu: &Cpu) -> Option<MpReleaseMode> {
+        let mut backoff = Backoff::new(INITIAL_DELAY, 64 * self.max_procs as u64);
+        let mut failures = 0u64;
+        loop {
+            if cpu.read(self.tts).await == FREE {
+                if cpu.test_and_set(self.tts).await == FREE {
+                    let subopt = failures > TTS_RETRY_LIMIT;
+                    self.empty_streak.set(0);
+                    return Some(if subopt && self.policy.observe(Mode::Cheap, true, 150.0) {
+                        MpReleaseMode::TtsToMp
+                    } else {
+                        if !subopt {
+                            self.policy.observe(Mode::Cheap, false, 0.0);
+                        }
+                        MpReleaseMode::Tts
+                    });
+                }
+                failures += 1;
+                backoff.pause(cpu).await;
+            } else {
+                let deadline = cpu.now() + 400;
+                cpu.poll_until_deadline(self.tts, |v| v == FREE, deadline)
+                    .await;
+            }
+            if cpu.read(self.mode).await != MODE_TTS {
+                return None;
+            }
+        }
+    }
+
+    async fn acquire_mp(&self, cpu: &Cpu) -> Option<MpReleaseMode> {
+        let qlen = self.mp.try_acquire_with_qlen(cpu).await?;
+        if qlen == 0 {
+            let streak = self.empty_streak.get() + 1;
+            self.empty_streak.set(streak);
+            if streak > EMPTY_LIMIT && self.policy.observe(Mode::Scalable, true, 40.0) {
+                return Some(MpReleaseMode::MpToTts);
+            }
+            if streak <= EMPTY_LIMIT {
+                self.policy.observe(Mode::Scalable, false, 0.0);
+            }
+        } else {
+            self.empty_streak.set(0);
+            self.policy.observe(Mode::Scalable, false, 0.0);
+        }
+        Some(MpReleaseMode::Mp)
+    }
+
+    /// Release, performing any protocol change decided at acquire time.
+    pub async fn release(&self, cpu: &Cpu, rm: MpReleaseMode) {
+        match rm {
+            MpReleaseMode::Tts => cpu.write(self.tts, FREE).await,
+            MpReleaseMode::Mp => {
+                use sync_protocols::spin::Lock as _;
+                self.mp.release(cpu, ()).await;
+            }
+            MpReleaseMode::TtsToMp => {
+                // Validate the manager with the lock held by us, flip the
+                // hint, then release through the manager. TTS stays BUSY.
+                self.mp.validate_held_via(cpu).await;
+                cpu.write(self.mode, MODE_MP).await;
+                cpu.bump("reactive_mp_lock.to_mp", 1);
+                self.empty_streak.set(0);
+                use sync_protocols::spin::Lock as _;
+                self.mp.release(cpu, ()).await;
+            }
+            MpReleaseMode::MpToTts => {
+                cpu.write(self.mode, MODE_TTS).await;
+                cpu.bump("reactive_mp_lock.to_tts", 1);
+                self.mp.invalidate_via(cpu).await;
+                cpu.write(self.tts, FREE).await;
+            }
+        }
+    }
+}
+
+/// Reactive fetch-and-op selecting among a shared-memory TTS-lock
+/// counter, a centralized message-passing counter, and a
+/// message-passing combining tree (§3.6).
+///
+/// Monitoring: failed `test&set`s promote TTS → central MP; central-MP
+/// round-trip times (which grow with manager occupancy) promote central
+/// → tree and demote tree → central; an empty machine demotes back to
+/// TTS. Counter-value transfer happens at switch time under the current
+/// consensus object.
+#[derive(Clone)]
+pub struct ReactiveMpFetchOp {
+    tts: Addr,
+    var: Addr,
+    mode: Addr,
+    central: MpCounter,
+    tree: MpCombiningTree,
+    policy: Policy,
+    calm_streak: Rc<Cell<u64>>,
+    max_procs: usize,
+}
+
+impl std::fmt::Debug for ReactiveMpFetchOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactiveMpFetchOp")
+            .field("var", &self.var)
+            .finish()
+    }
+}
+
+/// Central-counter RPC round-trip (cycles) above which combining wins.
+const RTT_HIGH: u64 = 700;
+/// Round-trip below which the tree is overkill.
+const RTT_LOW: u64 = 260;
+
+impl ReactiveMpFetchOp {
+    /// Create with the shared-memory TTS protocol initially valid; MP
+    /// handlers are installed on `manager`.
+    pub fn new(m: &Machine, home: usize, manager: usize, max_procs: usize) -> ReactiveMpFetchOp {
+        let tts = m.alloc_on(home, 1);
+        let var = m.alloc_on(home, 1);
+        let mode = m.alloc_on(home, 1);
+        m.write_word(tts, FREE);
+        m.write_word(mode, MODE_TTS);
+        ReactiveMpFetchOp {
+            tts,
+            var,
+            mode,
+            central: MpCounter::with_validity(m, manager, false),
+            tree: MpCombiningTree::with_validity(m, manager, max_procs, false),
+            policy: Policy::always(),
+            calm_streak: Rc::new(Cell::new(0)),
+            max_procs,
+        }
+    }
+
+    /// Number of protocol changes so far.
+    pub fn switches(&self) -> u64 {
+        self.policy.switches()
+    }
+
+    /// The final counter value (host-side inspection after a run).
+    pub fn value(&self, m: &Machine) -> u64 {
+        // The value lives wherever the currently-valid protocol keeps it.
+        match m.read_word(self.mode) {
+            MODE_TTS => m.read_word(self.var),
+            MODE_MP => self.central.value(),
+            _ => self.tree.value(),
+        }
+    }
+
+    /// Atomically add `delta`, returning the previous value.
+    pub async fn fetch_add(&self, cpu: &Cpu, delta: u64) -> u64 {
+        loop {
+            match cpu.read(self.mode).await {
+                MODE_TTS => {
+                    if let Some(v) = self.try_tts(cpu, delta).await {
+                        return v;
+                    }
+                }
+                MODE_MP => {
+                    if let Some(v) = self.try_central(cpu, delta).await {
+                        return v;
+                    }
+                }
+                _ => {
+                    if let Ok(v) = self.tree.try_fetch_add(cpu, delta).await {
+                        // Tree → central demotion is decided by sampled
+                        // round-trips on the central path; the tree has
+                        // no cheap per-op monitor here, so we sample by
+                        // occasionally observing machine calm via the
+                        // policy (handled in try_central after demotion).
+                        self.note_tree_op(cpu).await;
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+
+    async fn try_tts(&self, cpu: &Cpu, delta: u64) -> Option<u64> {
+        let mut backoff = Backoff::new(INITIAL_DELAY, 64 * self.max_procs as u64);
+        let mut failures = 0u64;
+        loop {
+            if cpu.read(self.tts).await == FREE {
+                if cpu.test_and_set(self.tts).await == FREE {
+                    break;
+                }
+                failures += 1;
+                backoff.pause(cpu).await;
+            } else {
+                let deadline = cpu.now() + 400;
+                cpu.poll_until_deadline(self.tts, |v| v == FREE, deadline)
+                    .await;
+            }
+            if cpu.read(self.mode).await != MODE_TTS {
+                return None;
+            }
+        }
+        let old = cpu.read(self.var).await;
+        cpu.write(self.var, old.wrapping_add(delta)).await;
+        if failures > TTS_RETRY_LIMIT && self.policy.observe(Mode::Cheap, true, 150.0) {
+            // Switch TTS -> central MP, transferring the value. We hold
+            // the TTS consensus; leave it busy. The validate RPC runs in
+            // the manager's handler, atomically with any queued ops.
+            let v = cpu.read(self.var).await;
+            self.central.validate_via(cpu, v).await;
+            cpu.write(self.mode, MODE_MP).await;
+            cpu.bump("reactive_mp_fop.to_central", 1);
+            self.calm_streak.set(0);
+        } else {
+            cpu.write(self.tts, FREE).await;
+        }
+        Some(old)
+    }
+
+    async fn try_central(&self, cpu: &Cpu, delta: u64) -> Option<u64> {
+        let t0 = cpu.now();
+        let old = self.central.try_fetch_add(cpu, delta).await.ok()?;
+        let rtt = cpu.now() - t0;
+        if rtt > RTT_HIGH && self.policy.observe(Mode::Cheap, true, (rtt - RTT_HIGH) as f64) {
+            // Promote central -> tree. The invalidate RPC serializes in
+            // the manager handler (it IS the consensus object, §3.6) and
+            // returns the final value; queued ops bounce and retry.
+            let v = self.central.invalidate_via(cpu).await;
+            self.tree.validate_via(cpu, v).await;
+            cpu.write(self.mode, MODE_TREE).await;
+            cpu.bump("reactive_mp_fop.to_tree", 1);
+        } else if rtt < RTT_LOW {
+            let streak = self.calm_streak.get() + 1;
+            self.calm_streak.set(streak);
+            if streak > EMPTY_LIMIT && self.policy.observe(Mode::Scalable, true, 40.0) {
+                // Demote central -> shared-memory TTS.
+                let v = self.central.invalidate_via(cpu).await;
+                cpu.write(self.var, v).await;
+                cpu.write(self.mode, MODE_TTS).await;
+                cpu.bump("reactive_mp_fop.to_tts", 1);
+                cpu.write(self.tts, FREE).await;
+            }
+        } else {
+            self.calm_streak.set(0);
+        }
+        Some(old)
+    }
+
+    /// Tree-mode monitoring: sample the machine every so often by
+    /// demoting to the central protocol when the tree's own round trips
+    /// are fast (little combining → little contention).
+    async fn note_tree_op(&self, cpu: &Cpu) {
+        // Sample 1 op in 8 to keep monitoring cheap.
+        if cpu.rand_below(8) != 0 {
+            return;
+        }
+        let t0 = cpu.now();
+        // A no-op fetch_add(0) probes the tree's latency end to end.
+        if self.tree.try_fetch_add(cpu, 0).await.is_ok() {
+            let rtt = cpu.now() - t0;
+            if rtt < RTT_HIGH && self.policy.observe(Mode::Scalable, true, 100.0) {
+                let v = self.tree.invalidate_via(cpu).await;
+                self.central.validate_via(cpu, v).await;
+                cpu.write(self.mode, MODE_MP).await;
+                cpu.bump("reactive_mp_fop.tree_to_central", 1);
+                self.calm_streak.set(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::Config;
+    use std::cell::RefCell;
+
+    #[test]
+    fn mp_lock_mutual_exclusion_and_adaptation() {
+        let m = Machine::new(Config::default().nodes(8));
+        let lock = ReactiveMpLock::new(&m, 0, 0, 8);
+        let shared = m.alloc_on(1, 1);
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            let lock = lock.clone();
+            m.spawn(p, async move {
+                for _ in 0..25 {
+                    let t = lock.acquire(&cpu).await;
+                    let v = cpu.read(shared).await;
+                    cpu.work(10).await;
+                    cpu.write(shared, v + 1).await;
+                    lock.release(&cpu, t).await;
+                    cpu.work(cpu.rand_below(80)).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0, "reactive MP lock deadlock");
+        assert_eq!(m.read_word(shared), 200);
+    }
+
+    #[test]
+    fn mp_lock_single_proc_stays_tts() {
+        let m = Machine::new(Config::default().nodes(2));
+        let lock = ReactiveMpLock::new(&m, 0, 1, 2);
+        let cpu = m.cpu(0);
+        let l2 = lock.clone();
+        m.spawn(0, async move {
+            for _ in 0..60 {
+                let t = l2.acquire(&cpu).await;
+                cpu.work(10).await;
+                l2.release(&cpu, t).await;
+                cpu.work(30).await;
+            }
+        });
+        m.run();
+        assert_eq!(lock.switches(), 0);
+    }
+
+    #[test]
+    fn mp_fetch_op_linearizes_across_switches() {
+        let m = Machine::new(Config::default().nodes(16));
+        let f = ReactiveMpFetchOp::new(&m, 0, 0, 16);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..16 {
+            let cpu = m.cpu(p);
+            let f = f.clone();
+            let seen = seen.clone();
+            m.spawn(p, async move {
+                for _ in 0..15 {
+                    let v = f.fetch_add(&cpu, 1).await;
+                    seen.borrow_mut().push(v);
+                    cpu.work(cpu.rand_below(80)).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0, "reactive MP fetch-op deadlock");
+        let mut got = seen.borrow().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..240u64).collect::<Vec<_>>());
+        assert_eq!(f.value(&m), 240);
+    }
+
+    #[test]
+    fn mp_fetch_op_single_proc_stays_shared_memory() {
+        let m = Machine::new(Config::default().nodes(2));
+        let f = ReactiveMpFetchOp::new(&m, 0, 1, 2);
+        let cpu = m.cpu(0);
+        let f2 = f.clone();
+        m.spawn(0, async move {
+            for _ in 0..80 {
+                f2.fetch_add(&cpu, 1).await;
+                cpu.work(20).await;
+            }
+        });
+        m.run();
+        assert_eq!(f.switches(), 0);
+        assert_eq!(f.value(&m), 80);
+    }
+}

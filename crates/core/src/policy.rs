@@ -1,0 +1,209 @@
+//! Protocol-switching policies (§3.4, §3.5.5).
+//!
+//! A reactive algorithm's *monitoring* code produces a stream of
+//! observations ("this acquisition ran under the wrong protocol, wasting
+//! about `residual` cycles"). The policy decides whether to actually
+//! switch, trading adaptation speed against thrash resistance:
+//!
+//! * [`Policy::always`] — switch immediately on a sub-optimality signal
+//!   (the paper's default; tracks contention closely, can thrash).
+//! * [`Policy::competitive3`] — the 3-competitive rule from the
+//!   Borodin-Linial-Saks task-system algorithm (§3.4.1): accumulate the
+//!   residual cost of staying and switch when it exceeds the round-trip
+//!   switching cost. Worst case 3× the off-line optimum.
+//! * [`Policy::hysteresis`] — switch after `x` (resp. `y`) *consecutive*
+//!   sub-optimal acquisitions; streak breaks reset the evidence.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Which protocol a two-protocol reactive object currently runs
+/// (generalizes to "cheap" vs "scalable").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The low-latency protocol (e.g. test-and-test-and-set).
+    Cheap,
+    /// The contention-tolerant protocol (e.g. MCS queue / combining).
+    Scalable,
+}
+
+#[derive(Clone, Debug)]
+enum Kind {
+    Always,
+    Competitive3 {
+        /// d_AB + d_BA: the round-trip protocol-switching cost.
+        round_trip: f64,
+        accumulated: Cell<f64>,
+    },
+    Hysteresis {
+        /// Consecutive sub-optimal signals needed to leave `Cheap`.
+        x: u64,
+        /// Consecutive sub-optimal signals needed to leave `Scalable`.
+        y: u64,
+        streak: Cell<u64>,
+    },
+}
+
+/// A protocol-switching policy instance. One per reactive object (the
+/// internal counters are object-local); cheap to clone and share among
+/// the tasks using that object.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    kind: Rc<Kind>,
+    switches: Rc<Cell<u64>>,
+}
+
+impl Policy {
+    /// Switch as soon as the monitor reports the other protocol would be
+    /// better (§3.4's default policy).
+    pub fn always() -> Policy {
+        Policy::from_kind(Kind::Always)
+    }
+
+    /// 3-competitive policy (§3.4.1): switch when the cumulative residual
+    /// cost of the sub-optimal protocol exceeds `round_trip` (the
+    /// empirical §3.5.5 value is ≈ 8000 + 800 = 8800 cycles).
+    pub fn competitive3(round_trip: f64) -> Policy {
+        assert!(round_trip > 0.0, "round-trip cost must be positive");
+        Policy::from_kind(Kind::Competitive3 {
+            round_trip,
+            accumulated: Cell::new(0.0),
+        })
+    }
+
+    /// Hysteresis(x, y) (§3.5.5): leave `Cheap` after `x` consecutive
+    /// sub-optimal acquisitions, leave `Scalable` after `y`.
+    pub fn hysteresis(x: u64, y: u64) -> Policy {
+        assert!(x > 0 && y > 0, "hysteresis thresholds must be positive");
+        Policy::from_kind(Kind::Hysteresis {
+            x,
+            y,
+            streak: Cell::new(0),
+        })
+    }
+
+    fn from_kind(kind: Kind) -> Policy {
+        Policy {
+            kind: Rc::new(kind),
+            switches: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Report one acquisition observed in mode `mode`. `suboptimal` is
+    /// the monitor's verdict for this acquisition; `residual` its
+    /// estimate of the cycles wasted relative to the other protocol.
+    /// Returns `true` if the algorithm should switch protocols now.
+    pub fn observe(&self, mode: Mode, suboptimal: bool, residual: f64) -> bool {
+        let switch = match &*self.kind {
+            Kind::Always => suboptimal,
+            Kind::Competitive3 {
+                round_trip,
+                accumulated,
+            } => {
+                if suboptimal {
+                    accumulated.set(accumulated.get() + residual);
+                }
+                // Unlike hysteresis, the cumulative cost persists across
+                // breaks in the streak (§3.4).
+                accumulated.get() > *round_trip
+            }
+            Kind::Hysteresis { x, y, streak } => {
+                if suboptimal {
+                    streak.set(streak.get() + 1);
+                } else {
+                    streak.set(0);
+                }
+                let limit = match mode {
+                    Mode::Cheap => *x,
+                    Mode::Scalable => *y,
+                };
+                streak.get() >= limit
+            }
+        };
+        if switch {
+            self.reset();
+            self.switches.set(self.switches.get() + 1);
+        }
+        switch
+    }
+
+    /// Clear accumulated evidence (called automatically on a switch).
+    pub fn reset(&self) {
+        match &*self.kind {
+            Kind::Always => {}
+            Kind::Competitive3 { accumulated, .. } => accumulated.set(0.0),
+            Kind::Hysteresis { streak, .. } => streak.set(0),
+        }
+    }
+
+    /// Number of switches this policy has approved.
+    pub fn switches(&self) -> u64 {
+        self.switches.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_switches_immediately() {
+        let p = Policy::always();
+        assert!(!p.observe(Mode::Cheap, false, 0.0));
+        assert!(p.observe(Mode::Cheap, true, 100.0));
+        assert_eq!(p.switches(), 1);
+    }
+
+    #[test]
+    fn competitive3_waits_for_cumulative_cost() {
+        let p = Policy::competitive3(1_000.0);
+        for _ in 0..9 {
+            assert!(!p.observe(Mode::Cheap, true, 100.0));
+        }
+        // 10th observation pushes the total over the round trip.
+        assert!(p.observe(Mode::Cheap, true, 150.0));
+        // Evidence resets after a switch.
+        assert!(!p.observe(Mode::Scalable, true, 100.0));
+    }
+
+    #[test]
+    fn competitive3_persists_across_streak_breaks() {
+        let p = Policy::competitive3(1_000.0);
+        for _ in 0..6 {
+            p.observe(Mode::Cheap, true, 100.0);
+            // Optimal acquisitions do NOT reset the accumulator.
+            p.observe(Mode::Cheap, false, 0.0);
+        }
+        assert!(p.observe(Mode::Cheap, true, 500.0));
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_evidence() {
+        let p = Policy::hysteresis(3, 5);
+        assert!(!p.observe(Mode::Cheap, true, 1.0));
+        assert!(!p.observe(Mode::Cheap, true, 1.0));
+        // A break resets the streak.
+        assert!(!p.observe(Mode::Cheap, false, 0.0));
+        assert!(!p.observe(Mode::Cheap, true, 1.0));
+        assert!(!p.observe(Mode::Cheap, true, 1.0));
+        assert!(p.observe(Mode::Cheap, true, 1.0));
+    }
+
+    #[test]
+    fn hysteresis_is_direction_sensitive() {
+        let p = Policy::hysteresis(1, 3);
+        assert!(p.observe(Mode::Cheap, true, 1.0));
+        assert!(!p.observe(Mode::Scalable, true, 1.0));
+        assert!(!p.observe(Mode::Scalable, true, 1.0));
+        assert!(p.observe(Mode::Scalable, true, 1.0));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Policy::competitive3(100.0);
+        let q = p.clone();
+        p.observe(Mode::Cheap, true, 60.0);
+        assert!(q.observe(Mode::Cheap, true, 60.0));
+        assert_eq!(p.switches(), 1);
+    }
+}

@@ -1,0 +1,366 @@
+//! Two-phase waiting algorithms (Chapter 4).
+//!
+//! A two-phase waiting algorithm polls until the cost of polling reaches
+//! `Lpoll`, then blocks (cost `B`). With `Lpoll = B` it is 2-competitive
+//! against any adversary; with the tuned static choices of §4.5
+//! (`Lpoll = 0.54·B` for exponential waits, `0.62·B` for uniform waits)
+//! it approaches the on-line optimum of `e/(e-1) ≈ 1.58` against a
+//! restricted adversary.
+//!
+//! [`SwitchSpinPhase`] is the multithreaded-processor variant (§4.1):
+//! the polling phase yields to other loaded contexts between polls, so
+//! polling costs `t/β` instead of `t` and `Lpoll` buys a β-times longer
+//! polling phase.
+
+use alewife_sim::{Addr, Cpu, FullEmpty, WaitQueueId};
+use sync_protocols::waiting::WaitStrategy;
+
+/// Two-phase waiting: poll up to `lpoll` cycles, then block.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPhase {
+    /// Maximum cycles spent polling before blocking (`Lpoll`).
+    pub lpoll: u64,
+}
+
+impl TwoPhase {
+    /// Two-phase waiting with an explicit polling limit.
+    pub fn new(lpoll: u64) -> TwoPhase {
+        TwoPhase { lpoll }
+    }
+
+    /// `Lpoll = α·B` for a machine whose blocking cost is `block_cost`.
+    pub fn with_alpha(alpha: f64, block_cost: u64) -> TwoPhase {
+        assert!(alpha >= 0.0);
+        TwoPhase {
+            lpoll: (alpha * block_cost as f64) as u64,
+        }
+    }
+
+    /// The §4.5.1 optimum for exponential waits: `Lpoll = ln(e-1)·B`.
+    pub fn optimal_exponential(block_cost: u64) -> TwoPhase {
+        TwoPhase::with_alpha(0.5413, block_cost)
+    }
+
+    /// The §4.5.2 optimum for uniform waits: `Lpoll = 0.62·B`.
+    pub fn optimal_uniform(block_cost: u64) -> TwoPhase {
+        TwoPhase::with_alpha(0.62, block_cost)
+    }
+}
+
+impl WaitStrategy for TwoPhase {
+    async fn wait_word(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        q: WaitQueueId,
+        pred: impl Fn(u64) -> bool + Clone + 'static,
+    ) -> u64 {
+        // Phase 1: poll. (Spinning costs exactly the elapsed cycles.)
+        let deadline = cpu.now() + self.lpoll;
+        if let Some(v) = cpu.poll_until_deadline(addr, pred.clone(), deadline).await {
+            return v;
+        }
+        // Phase 2: block until signalled, then re-check.
+        loop {
+            let v = cpu.read(addr).await;
+            if pred(v) {
+                return v;
+            }
+            cpu.block_on(q).await;
+        }
+    }
+
+    async fn wait_full(&self, cpu: &Cpu, addr: Addr, q: WaitQueueId) -> u64 {
+        let deadline = cpu.now() + self.lpoll;
+        if let Some(v) = cpu.poll_until_full_deadline(addr, deadline).await {
+            return v;
+        }
+        loop {
+            if let FullEmpty::Full(v) = cpu.read_full(addr).await {
+                return v;
+            }
+            cpu.block_on(q).await;
+        }
+    }
+}
+
+/// Switch-spinning (§4.1): a polling mechanism on a multithreaded node
+/// that cycles through the other loaded contexts between polls; with `N`
+/// contexts the effective polling cost is `t/N`. Falls back to plain
+/// spinning when no peer thread is ready.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SwitchSpin;
+
+impl WaitStrategy for SwitchSpin {
+    async fn wait_word(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        _q: WaitQueueId,
+        pred: impl Fn(u64) -> bool + Clone + 'static,
+    ) -> u64 {
+        loop {
+            let v = cpu.read(addr).await;
+            if pred(v) {
+                return v;
+            }
+            if !cpu.yield_now().await {
+                // Nobody to switch to: read-poll until the line changes.
+                let deadline = cpu.now() + 200;
+                if let Some(v) = cpu.poll_until_deadline(addr, pred.clone(), deadline).await {
+                    return v;
+                }
+            }
+        }
+    }
+
+    async fn wait_full(&self, cpu: &Cpu, addr: Addr, _q: WaitQueueId) -> u64 {
+        loop {
+            if let FullEmpty::Full(v) = cpu.read_full(addr).await {
+                return v;
+            }
+            if !cpu.yield_now().await {
+                let deadline = cpu.now() + 200;
+                if let Some(v) = cpu.poll_until_full_deadline(addr, deadline).await {
+                    return v;
+                }
+            }
+        }
+    }
+}
+
+/// Two-phase switch-spinning: switch-spin until the *polling cost*
+/// (elapsed / contexts) reaches `Lpoll`, then block — the waiting
+/// algorithm Alewife's runtime uses on multithreaded nodes (§4.6).
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPhaseSwitchSpin {
+    /// Maximum polling *cost* before blocking.
+    pub lpoll: u64,
+}
+
+impl WaitStrategy for TwoPhaseSwitchSpin {
+    async fn wait_word(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        q: WaitQueueId,
+        pred: impl Fn(u64) -> bool + Clone + 'static,
+    ) -> u64 {
+        let beta = cpu.contexts().max(1) as u64;
+        let deadline = cpu.now() + self.lpoll * beta;
+        loop {
+            let v = cpu.read(addr).await;
+            if pred(v) {
+                return v;
+            }
+            if cpu.now() >= deadline {
+                break;
+            }
+            if !cpu.yield_now().await {
+                cpu.poll_until_deadline(addr, pred.clone(), deadline).await;
+            }
+        }
+        loop {
+            let v = cpu.read(addr).await;
+            if pred(v) {
+                return v;
+            }
+            cpu.block_on(q).await;
+        }
+    }
+
+    async fn wait_full(&self, cpu: &Cpu, addr: Addr, q: WaitQueueId) -> u64 {
+        let beta = cpu.contexts().max(1) as u64;
+        let deadline = cpu.now() + self.lpoll * beta;
+        loop {
+            if let FullEmpty::Full(v) = cpu.read_full(addr).await {
+                return v;
+            }
+            if cpu.now() >= deadline {
+                break;
+            }
+            if !cpu.yield_now().await {
+                cpu.poll_until_full_deadline(addr, deadline).await;
+            }
+        }
+        loop {
+            if let FullEmpty::Full(v) = cpu.read_full(addr).await {
+                return v;
+            }
+            cpu.block_on(q).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::{Config, CostModel, Machine};
+    use sync_protocols::waiting::{AlwaysBlock, AlwaysSpin};
+
+    /// One waiter, one producer who fills after `delay`; returns the
+    /// waiter's completion time. (Not the machine drain time: a
+    /// two-phase waiter that resolves in its polling phase leaves a
+    /// stale deadline timer behind, which would inflate drain time.)
+    fn one_wait<W: WaitStrategy>(w: W, delay: u64) -> u64 {
+        let m = Machine::new(Config::default().nodes(2));
+        let slot = m.alloc_on(0, 1);
+        let q = m.new_wait_queue();
+        let done = m.alloc_on(1, 1);
+        let c0 = m.cpu(0);
+        m.spawn(0, async move {
+            let v = w.wait_full(&c0, slot, q).await;
+            assert_eq!(v, 1);
+            c0.write(done, c0.now()).await;
+        });
+        let c1 = m.cpu(1);
+        m.spawn(1, async move {
+            c1.work(delay).await;
+            c1.write_fill(slot, 1).await;
+            c1.signal_all(q).await;
+        });
+        m.run();
+        assert_eq!(m.live_tasks(), 0, "two-phase deadlock");
+        let done_at = m.read_word(done);
+        assert!(done_at > 0, "waiter never completed");
+        done_at
+    }
+
+    #[test]
+    fn short_wait_resolves_in_polling_phase() {
+        let b = CostModel::nwo().block_cost();
+        // Wait shorter than Lpoll: should behave like spinning.
+        let t_2p = one_wait(TwoPhase::new(b), 100);
+        let t_spin = one_wait(AlwaysSpin, 100);
+        assert!(
+            t_2p <= t_spin + 50,
+            "two-phase ({t_2p}) much slower than spin ({t_spin}) on short wait"
+        );
+    }
+
+    #[test]
+    fn long_wait_blocks() {
+        let b = CostModel::nwo().block_cost();
+        let delay = 20 * b;
+        // On long waits two-phase completes like blocking (within the
+        // polling phase + reload noise).
+        let t_2p = one_wait(TwoPhase::new(b), delay);
+        let t_block = one_wait(AlwaysBlock, delay);
+        assert!(
+            t_2p < t_block + 2 * b,
+            "two-phase ({t_2p}) not close to block ({t_block}) on long wait"
+        );
+    }
+
+    #[test]
+    fn zero_lpoll_is_always_block() {
+        let t = one_wait(TwoPhase::new(0), 2_000);
+        let t_block = one_wait(AlwaysBlock, 2_000);
+        assert!(t.abs_diff(t_block) < 100);
+    }
+
+    #[test]
+    fn optimal_constructors() {
+        let b = 465;
+        assert_eq!(TwoPhase::optimal_exponential(b).lpoll, (0.5413 * 465.0) as u64);
+        assert_eq!(TwoPhase::optimal_uniform(b).lpoll, (0.62 * 465.0) as u64);
+    }
+
+    #[test]
+    fn two_phase_frees_processor_for_peer_thread() {
+        // Node 0 runs the waiter AND a compute thread. With two-phase
+        // waiting the waiter blocks after Lpoll and the compute thread
+        // runs; with always-spin the compute thread starves until the
+        // producer fills the slot.
+        fn run<W: WaitStrategy>(w: W) -> u64 {
+            let m = Machine::new(Config::default().nodes(2).contexts(2));
+            let slot = m.alloc_on(1, 1);
+            let q = m.new_wait_queue();
+            let compute_done = m.alloc_on(0, 1);
+            let c0a = m.cpu(0);
+            m.spawn(0, async move {
+                w.wait_full(&c0a, slot, q).await;
+            });
+            let c0b = m.cpu(0);
+            m.spawn(0, async move {
+                c0b.work(1_000).await;
+                c0b.write(compute_done, c0b.now()).await;
+            });
+            let c1 = m.cpu(1);
+            m.spawn(1, async move {
+                c1.work(50_000).await;
+                c1.write_fill(slot, 1).await;
+                c1.signal_all(q).await;
+            });
+            m.run();
+            assert_eq!(m.live_tasks(), 0);
+            m.read_word(compute_done)
+        }
+        let done_2p = run(TwoPhase::new(465));
+        let done_spin = run(AlwaysSpin);
+        assert!(
+            done_2p < 10_000,
+            "compute thread should run once the waiter blocks ({done_2p})"
+        );
+        assert!(
+            done_spin > 40_000,
+            "spin-waiting should starve the compute thread ({done_spin})"
+        );
+    }
+
+    #[test]
+    fn switch_spin_overlaps_waiting_with_computation() {
+        // Like above, but switch-spinning interleaves rather than blocks.
+        let m = Machine::new(Config::default().nodes(2).contexts(2));
+        let slot = m.alloc_on(1, 1);
+        let q = m.new_wait_queue();
+        let compute_done = m.alloc_on(0, 1);
+        let c0a = m.cpu(0);
+        m.spawn(0, async move {
+            SwitchSpin.wait_full(&c0a, slot, q).await;
+        });
+        let c0b = m.cpu(0);
+        m.spawn(0, async move {
+            for _ in 0..100 {
+                c0b.work(100).await;
+                c0b.yield_now().await;
+            }
+            c0b.write(compute_done, c0b.now()).await;
+        });
+        let c1 = m.cpu(1);
+        m.spawn(1, async move {
+            c1.work(60_000).await;
+            c1.write_fill(slot, 1).await;
+            c1.signal_all(q).await;
+        });
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        let done = m.read_word(compute_done);
+        assert!(
+            done > 0 && done < 60_000,
+            "switch-spinning should let the compute thread finish early ({done})"
+        );
+    }
+
+    #[test]
+    fn two_phase_switch_spin_eventually_blocks() {
+        let m = Machine::new(Config::default().nodes(2).contexts(2));
+        let slot = m.alloc_on(1, 1);
+        let q = m.new_wait_queue();
+        let c0 = m.cpu(0);
+        m.spawn(0, async move {
+            let v = TwoPhaseSwitchSpin { lpoll: 465 }
+                .wait_full(&c0, slot, q)
+                .await;
+            assert_eq!(v, 9);
+        });
+        let c1 = m.cpu(1);
+        m.spawn(1, async move {
+            c1.work(30_000).await;
+            c1.write_fill(slot, 9).await;
+            c1.signal_all(q).await;
+        });
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+    }
+}

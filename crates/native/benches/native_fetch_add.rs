@@ -1,0 +1,66 @@
+//! Criterion benchmarks of counter strategies on the host: a hardware
+//! `fetch_add` versus a lock-protected counter — the native analogue of
+//! the paper's centralized fetch-and-op protocols.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reactive_native::ReactiveMutex;
+
+fn counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fetch_add_4_threads");
+    g.sample_size(10);
+    let threads = 4;
+    let iters = 20_000u64;
+
+    g.bench_function("atomic_fetch_add", |b| {
+        b.iter(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let start = Arc::new(Barrier::new(threads));
+            let hs: Vec<_> = (0..threads)
+                .map(|_| {
+                    let counter = counter.clone();
+                    let start = start.clone();
+                    std::thread::spawn(move || {
+                        start.wait();
+                        for _ in 0..iters {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), threads as u64 * iters);
+        })
+    });
+
+    g.bench_function("reactive_mutex_counter", |b| {
+        b.iter(|| {
+            let counter = Arc::new(ReactiveMutex::new(0u64));
+            let start = Arc::new(Barrier::new(threads));
+            let hs: Vec<_> = (0..threads)
+                .map(|_| {
+                    let counter = counter.clone();
+                    let start = start.clone();
+                    std::thread::spawn(move || {
+                        start.wait();
+                        for _ in 0..iters {
+                            *counter.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock(), threads as u64 * iters);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, counters);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Criterion benchmarks of the native reactive lock against its
+//! component protocols, `std::sync::Mutex`, and `parking_lot::Mutex`,
+//! uncontended and under contention (ecosystem-fit validation, E20).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reactive_native::{McsLock, ReactiveLock, TtsLock};
+
+fn uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_lock_unlock");
+    g.sample_size(20);
+
+    let tts = TtsLock::new();
+    g.bench_function("tts", |b| {
+        b.iter(|| {
+            tts.lock();
+            tts.unlock();
+        })
+    });
+
+    let mcs = McsLock::new();
+    g.bench_function("mcs", |b| {
+        b.iter(|| {
+            let n = reactive_native::mcs::McsNode::new();
+            mcs.lock(&n);
+            mcs.unlock(&n);
+        })
+    });
+
+    let re = ReactiveLock::new();
+    g.bench_function("reactive", |b| {
+        b.iter(|| {
+            let h = re.acquire();
+            re.release(h);
+        })
+    });
+
+    let std_m = Mutex::new(());
+    g.bench_function("std_mutex", |b| {
+        b.iter(|| {
+            drop(std_m.lock().unwrap());
+        })
+    });
+
+    let pl = parking_lot::Mutex::new(());
+    g.bench_function("parking_lot", |b| {
+        b.iter(|| {
+            drop(pl.lock());
+        })
+    });
+    g.finish();
+}
+
+/// Contended throughput: `threads` workers each take the lock `iters`
+/// times; returns nothing, measured as one batch per iteration.
+fn contended_batch<L: Send + Sync + 'static>(
+    threads: usize,
+    iters: u64,
+    lock: Arc<L>,
+    acquire_release: fn(&L, &AtomicU64),
+) {
+    let counter = Arc::new(AtomicU64::new(0));
+    let start = Arc::new(Barrier::new(threads));
+    let hs: Vec<_> = (0..threads)
+        .map(|_| {
+            let lock = lock.clone();
+            let counter = counter.clone();
+            let start = start.clone();
+            std::thread::spawn(move || {
+                start.wait();
+                for _ in 0..iters {
+                    acquire_release(&lock, &counter);
+                }
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), threads as u64 * iters);
+}
+
+fn contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_4_threads");
+    g.sample_size(10);
+    let threads = 4;
+    let iters = 5_000;
+
+    g.bench_function("tts", |b| {
+        b.iter(|| {
+            contended_batch(threads, iters, Arc::new(TtsLock::new()), |l, cnt| {
+                l.lock();
+                let v = cnt.load(Ordering::Relaxed);
+                cnt.store(v + 1, Ordering::Relaxed);
+                l.unlock();
+            })
+        })
+    });
+
+    g.bench_function("mcs", |b| {
+        b.iter(|| {
+            contended_batch(threads, iters, Arc::new(McsLock::new()), |l, cnt| {
+                let n = reactive_native::mcs::McsNode::new();
+                l.lock(&n);
+                let v = cnt.load(Ordering::Relaxed);
+                cnt.store(v + 1, Ordering::Relaxed);
+                l.unlock(&n);
+            })
+        })
+    });
+
+    g.bench_function("reactive", |b| {
+        b.iter(|| {
+            contended_batch(threads, iters, Arc::new(ReactiveLock::new()), |l, cnt| {
+                let h = l.acquire();
+                let v = cnt.load(Ordering::Relaxed);
+                cnt.store(v + 1, Ordering::Relaxed);
+                l.release(h);
+            })
+        })
+    });
+
+    g.bench_function("parking_lot", |b| {
+        b.iter(|| {
+            contended_batch(
+                threads,
+                iters,
+                Arc::new(parking_lot::Mutex::new(())),
+                |l, cnt| {
+                    let _g = l.lock();
+                    let v = cnt.load(Ordering::Relaxed);
+                    cnt.store(v + 1, Ordering::Relaxed);
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, uncontended, contended);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! # reactive-native — the reactive algorithms on real hardware
+//!
+//! The same algorithms as `reactive-core`, implemented on
+//! `std::sync::atomic` and OS threads, so the library is directly usable
+//! (parking_lot-style adaptive mutexes exist; *protocol-switching* locks
+//! like this one are the paper's contribution and are rarely
+//! implemented):
+//!
+//! * [`tts::TtsLock`] — test-and-test-and-set with randomized
+//!   exponential backoff.
+//! * [`mcs::McsLock`] — the MCS queue lock (waiters spin on their own
+//!   cache line; FIFO).
+//! * [`reactive::ReactiveLock`] / [`reactive::ReactiveMutex`] — the
+//!   reactive lock: TTS under low contention, MCS queue under high
+//!   contention, switching at run time with the paper's
+//!   never-both-free consensus discipline.
+//! * [`two_phase::TwoPhaseWait`] — spin up to `Lpoll`, then park the
+//!   thread (Chapter 4's two-phase waiting, with `Lpoll ≈ 0.54 × park
+//!   cost` as the §4.5.1 default).
+
+#![deny(missing_docs)]
+
+pub mod mcs;
+pub mod reactive;
+pub mod tts;
+pub mod two_phase;
+
+pub use mcs::McsLock;
+pub use reactive::{ReactiveLock, ReactiveMutex};
+pub use tts::TtsLock;
+pub use two_phase::{Event, TwoPhaseWait};

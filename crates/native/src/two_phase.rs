@@ -1,0 +1,190 @@
+//! Two-phase waiting on real threads (Chapter 4): spin up to `Lpoll`,
+//! then park. [`Event`] is a one-shot flag a waiter can wait on with any
+//! polling limit; `Lpoll = 0.54 × park cost` is the §4.5.1 default for
+//! exponentially distributed waits.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// A two-phase waiting policy: poll for `lpoll`, then park.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPhaseWait {
+    /// Polling-phase budget.
+    pub lpoll: Duration,
+}
+
+impl TwoPhaseWait {
+    /// Explicit polling budget.
+    pub fn new(lpoll: Duration) -> TwoPhaseWait {
+        TwoPhaseWait { lpoll }
+    }
+
+    /// `Lpoll = α × b` where `b` is the measured signaling (park/unpark)
+    /// cost.
+    pub fn with_alpha(alpha: f64, b: Duration) -> TwoPhaseWait {
+        TwoPhaseWait {
+            lpoll: b.mul_f64(alpha.max(0.0)),
+        }
+    }
+
+    /// The §4.5.1 optimum for exponential waits (`α = ln(e-1) ≈ 0.54`).
+    pub fn optimal_exponential(b: Duration) -> TwoPhaseWait {
+        Self::with_alpha(0.5413, b)
+    }
+
+    /// Measure this host's park/unpark round-trip cost `B` (median of
+    /// `rounds` self-unpark pairs — a lower bound on the real
+    /// cross-thread cost, which is what `Lpoll` should scale with).
+    pub fn measure_block_cost(rounds: u32) -> Duration {
+        let mut samples: Vec<Duration> = (0..rounds.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                std::thread::current().unpark();
+                std::thread::park(); // returns immediately: token is set
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+}
+
+impl Default for TwoPhaseWait {
+    fn default() -> Self {
+        // A conservative default in the microsecond range typical of
+        // park/unpark on commodity OSes.
+        TwoPhaseWait {
+            lpoll: Duration::from_micros(5),
+        }
+    }
+}
+
+/// A one-shot event: waiters poll-then-park per [`TwoPhaseWait`];
+/// `set` wakes all parked waiters.
+///
+/// ```
+/// use reactive_native::{Event, TwoPhaseWait};
+/// use std::sync::Arc;
+/// let ev = Arc::new(Event::new());
+/// let ev2 = ev.clone();
+/// let h = std::thread::spawn(move || ev2.wait(TwoPhaseWait::default()));
+/// ev.set();
+/// h.join().unwrap();
+/// assert!(ev.is_set());
+/// ```
+#[derive(Debug, Default)]
+pub struct Event {
+    set: AtomicBool,
+    parked: Mutex<VecDeque<Thread>>,
+}
+
+impl Event {
+    /// Create an unset event.
+    pub fn new() -> Event {
+        Event::default()
+    }
+
+    /// Whether the event has been set.
+    pub fn is_set(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Set the event and wake all parked waiters.
+    pub fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        let waiters = {
+            let mut q = self.parked.lock().expect("event mutex poisoned");
+            std::mem::take(&mut *q)
+        };
+        for t in waiters {
+            t.unpark();
+        }
+    }
+
+    /// Wait until set, polling for `policy.lpoll` before parking.
+    pub fn wait(&self, policy: TwoPhaseWait) {
+        // Phase 1: poll.
+        let deadline = Instant::now() + policy.lpoll;
+        while Instant::now() < deadline {
+            if self.is_set() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        // Phase 2: park. Register before the final check so a racing
+        // `set` either sees us (and unparks) or we see `set`.
+        loop {
+            {
+                let mut q = self.parked.lock().expect("event mutex poisoned");
+                if self.is_set() {
+                    return;
+                }
+                q.push_back(std::thread::current());
+            }
+            std::thread::park();
+            if self.is_set() {
+                return;
+            }
+            // Spurious wakeup: re-register.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn immediate_set_returns_in_polling_phase() {
+        let ev = Event::new();
+        ev.set();
+        let t0 = Instant::now();
+        ev.wait(TwoPhaseWait::new(Duration::from_millis(100)));
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn zero_lpoll_blocks_and_wakes() {
+        let ev = Arc::new(Event::new());
+        let ev2 = ev.clone();
+        let h = std::thread::spawn(move || {
+            ev2.wait(TwoPhaseWait::new(Duration::ZERO));
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        ev.set();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let ev = Arc::new(Event::new());
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let ev = ev.clone();
+                std::thread::spawn(move || {
+                    // Mix polling budgets so some park and some spin.
+                    let lpoll = Duration::from_micros(i * 30);
+                    ev.wait(TwoPhaseWait::new(lpoll));
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        ev.set();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn measured_block_cost_positive() {
+        let b = TwoPhaseWait::measure_block_cost(64);
+        assert!(b > Duration::ZERO);
+        let p = TwoPhaseWait::optimal_exponential(b);
+        assert!(p.lpoll < b);
+    }
+}

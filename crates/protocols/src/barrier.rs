@@ -1,0 +1,154 @@
+//! Barrier synchronization with a pluggable waiting strategy (§4.6).
+//!
+//! A centralized sense-reversing barrier: arrivals increment a counter;
+//! the last arriver resets the counter and flips the global sense. How
+//! the non-last arrivers *wait* for the sense flip is delegated to a
+//! [`WaitStrategy`] — spin, block, or (from `reactive-core`) two-phase
+//! waiting, which is exactly the experiment of Figure 4.13.
+
+use alewife_sim::{Addr, Cpu, Machine, WaitQueueId};
+
+use crate::waiting::WaitStrategy;
+
+/// A centralized sense-reversing barrier for a fixed set of
+/// participants. Per-participant local sense is kept by the caller via
+/// [`BarrierCtx`].
+#[derive(Clone, Copy, Debug)]
+pub struct SenseBarrier {
+    count: Addr,
+    sense: Addr,
+    participants: u64,
+    q: WaitQueueId,
+}
+
+/// Per-participant barrier context (the thread-local sense).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BarrierCtx {
+    local_sense: u64,
+}
+
+impl SenseBarrier {
+    /// Create a barrier for `participants` threads; the counter and
+    /// sense words are homed on `home`.
+    pub fn new(m: &Machine, home: usize, participants: u64) -> SenseBarrier {
+        assert!(participants > 0, "barrier needs at least one participant");
+        // Counter and sense on separate lines: the counter is write-hot,
+        // the sense is read-polled by every waiter.
+        let count = m.alloc_on(home, 1);
+        let sense = m.alloc_on(home, 1);
+        SenseBarrier {
+            count,
+            sense,
+            participants,
+            q: m.new_wait_queue(),
+        }
+    }
+
+    /// Enter the barrier; returns when all participants have arrived.
+    /// `wait` decides the waiting mechanism; the measured waiting time
+    /// (cycles between arrival and release) is recorded in the machine's
+    /// `"barrier"` histogram for the waiting-time profiles of Fig 4.8.
+    pub async fn wait<W: WaitStrategy>(&self, cpu: &Cpu, ctx: &mut BarrierCtx, wait: &W) {
+        let new_sense = 1 - ctx.local_sense;
+        ctx.local_sense = new_sense;
+        let arrived = cpu.fetch_and_add(self.count, 1).await;
+        let t0 = cpu.now();
+        if arrived == self.participants - 1 {
+            // Last arriver: reset and release everyone.
+            cpu.write(self.count, 0).await;
+            cpu.write(self.sense, new_sense).await;
+            cpu.signal_all(self.q).await;
+            cpu.record_wait("barrier", 0);
+        } else {
+            wait.wait_word(cpu, self.sense, self.q, move |v| v == new_sense)
+                .await;
+            let t = cpu.now() - t0;
+            cpu.record_wait("barrier", t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waiting::{AlwaysBlock, AlwaysSpin};
+    use alewife_sim::{Config, Machine};
+
+    fn run_barrier<W: WaitStrategy>(w: W, procs: usize, rounds: u64) {
+        let m = Machine::new(Config::default().nodes(procs));
+        let bar = SenseBarrier::new(&m, 0, procs as u64);
+        // Each round, every proc adds its round number to a per-round
+        // accumulator. If the barrier leaks anyone early, a round sees a
+        // partial sum.
+        let acc = m.alloc_on(0, rounds);
+        let check = m.alloc_on(if procs > 1 { 1 } else { 0 }, 1);
+        for p in 0..procs {
+            let cpu = m.cpu(p);
+            let w = w.clone();
+            m.spawn(p, async move {
+                let mut ctx = BarrierCtx::default();
+                for r in 0..rounds {
+                    cpu.work(cpu.rand_below(500)).await;
+                    cpu.fetch_and_add(acc.plus(r), 1).await;
+                    bar.wait(&cpu, &mut ctx, &w).await;
+                    // After the barrier, the accumulator must be complete.
+                    let v = cpu.read(acc.plus(r)).await;
+                    if v != cpu.nodes() as u64 {
+                        cpu.fetch_and_add(check, 1).await; // count violations
+                    }
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0, "barrier deadlock");
+        assert_eq!(m.read_word(check), 0, "barrier released someone early");
+        for r in 0..rounds {
+            assert_eq!(m.read_word(acc.plus(r)), procs as u64);
+        }
+    }
+
+    #[test]
+    fn barrier_spin_4_procs() {
+        run_barrier(AlwaysSpin, 4, 5);
+    }
+
+    #[test]
+    fn barrier_block_4_procs() {
+        run_barrier(AlwaysBlock, 4, 5);
+    }
+
+    #[test]
+    fn barrier_spin_16_procs() {
+        run_barrier(AlwaysSpin, 16, 3);
+    }
+
+    #[test]
+    fn barrier_block_16_procs() {
+        run_barrier(AlwaysBlock, 16, 3);
+    }
+
+    #[test]
+    fn barrier_single_participant() {
+        run_barrier(AlwaysSpin, 1, 10);
+    }
+
+    #[test]
+    fn barrier_records_waiting_times() {
+        let m = Machine::new(Config::default().nodes(4));
+        let bar = SenseBarrier::new(&m, 0, 4);
+        for p in 0..4 {
+            let cpu = m.cpu(p);
+            m.spawn(p, async move {
+                let mut ctx = BarrierCtx::default();
+                // Unbalanced arrival: proc 3 arrives much later.
+                cpu.work(1 + 3_000 * (p == 3) as u64).await;
+                bar.wait(&cpu, &mut ctx, &AlwaysSpin).await;
+            });
+        }
+        m.run();
+        let st = m.stats();
+        let h = st.waits.get("barrier").expect("barrier histogram");
+        assert_eq!(h.count, 4);
+        assert!(h.max >= 2_000, "early arrivers should wait ~3000 cycles");
+    }
+}

@@ -1,0 +1,35 @@
+//! # sync-protocols — passive synchronization algorithms
+//!
+//! The *passive* (fixed-protocol) synchronization algorithms the paper
+//! compares its reactive algorithms against (Chapter 3, §3.1), running on
+//! the [`alewife_sim`] substrate:
+//!
+//! * **Spin locks** — [`spin::TestAndSetLock`] (test&set with randomized
+//!   exponential backoff), [`spin::TtsLock`] (test-and-test-and-set with
+//!   backoff), and [`spin::McsLock`] (the Mellor-Crummey & Scott queue
+//!   lock, in the `fetch&store`-only variant Alewife used).
+//! * **Fetch-and-op** — [`fetch_op::LockFetchOp`] (a counter protected by
+//!   any lock) and [`fetch_op::CombiningTree`] (the Goodman, Vernon &
+//!   Woest software combining tree, §3.1.2 / Appendix C).
+//! * **Message-passing protocols** (§3.6) — [`mp::MpQueueLock`],
+//!   [`mp::MpCounter`], and [`mp::MpCombiningTree`], built on atomic
+//!   active-message handlers.
+//! * **Barriers** — [`barrier::SenseBarrier`], a sense-reversing
+//!   centralized barrier with a pluggable waiting strategy.
+//! * **Producer-consumer structures** — [`pc::JStructure`] and
+//!   [`pc::FutureCell`], full/empty-bit based (§4.6.1).
+//! * **Waiting strategies** — the [`waiting::WaitStrategy`] trait plus
+//!   the always-spin and always-block baselines; the two-phase waiting
+//!   algorithm itself lives in `reactive-core` (it is the contribution).
+
+#![deny(missing_docs)]
+
+pub mod barrier;
+pub mod fetch_op;
+pub mod mp;
+pub mod pc;
+pub mod spin;
+pub mod waiting;
+
+/// Re-exported substrate types used throughout this crate's API.
+pub use alewife_sim::{Addr, Cpu, Machine};

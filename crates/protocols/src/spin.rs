@@ -1,0 +1,450 @@
+//! Passive spin-lock protocols (§3.1.1).
+//!
+//! Three protocols with the contention-dependent tradeoff of Figure 1.1:
+//!
+//! * [`TestAndSetLock`] — polls with `test&set` (every poll is a
+//!   write-intent coherence transaction) plus randomized exponential
+//!   backoff.
+//! * [`TtsLock`] — test-and-test-and-set: waits by *read*-polling a
+//!   cached copy, so no traffic while the lock is held, but a release
+//!   triggers an invalidate-and-refetch storm that serializes at the home
+//!   directory (the reason it does not scale, §3.1.3).
+//! * [`McsLock`] — the Mellor-Crummey & Scott queue lock in the
+//!   `fetch&store`-only variant (Alewife had no `compare&swap`), with the
+//!   usurper race handling of Figure 3.28. Each waiter spins on a flag in
+//!   its own queue node, so a release invalidates exactly one cache.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use alewife_sim::{Addr, Cpu, Machine};
+
+use crate::waiting::spin_wait_until;
+
+/// Lock word value: free.
+pub const FREE: u64 = 0;
+/// Lock word value: held.
+pub const BUSY: u64 = 1;
+
+/// Queue-node status: waiting for a predecessor's signal.
+pub const WAITING: u64 = 0;
+/// Queue-node status: lock granted.
+pub const GO: u64 = 1;
+/// Queue-node status: the queue protocol was invalidated — retry with
+/// the other protocol (used by the reactive lock, §3.7.3).
+pub const INVALID_STATUS: u64 = 2;
+
+/// Tail-pointer encoding: empty queue.
+pub const NIL: u64 = 0;
+/// Tail-pointer encoding: the queue lock is invalid (reactive lock).
+pub const INVALID_PTR: u64 = 1;
+
+/// Encode a queue-node address into a tail/next pointer word.
+pub fn enc(a: Addr) -> u64 {
+    a.0 + 2
+}
+
+/// Decode a tail/next pointer word into a queue-node address.
+///
+/// # Panics
+/// Panics if the word is `NIL` or `INVALID_PTR`.
+pub fn dec(v: u64) -> Addr {
+    assert!(v >= 2, "dec: not a queue-node pointer: {v}");
+    Addr(v - 2)
+}
+
+/// A mutual-exclusion lock protocol on the simulated machine.
+///
+/// `Token` carries per-acquisition state (e.g. the MCS queue node) from
+/// [`Lock::acquire`] to [`Lock::release`].
+pub trait Lock: Clone + 'static {
+    /// Per-acquisition state passed from acquire to release.
+    type Token;
+
+    /// Acquire the lock, waiting as the protocol prescribes.
+    fn acquire(&self, cpu: &Cpu) -> impl std::future::Future<Output = Self::Token>;
+
+    /// Release the lock.
+    fn release(&self, cpu: &Cpu, t: Self::Token) -> impl std::future::Future<Output = ()>;
+}
+
+/// Randomized exponential backoff state (Anderson, §3.1.1).
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    delay: u64,
+    max: u64,
+}
+
+impl Backoff {
+    /// Start with `initial` mean delay, capped at `max`.
+    pub fn new(initial: u64, max: u64) -> Backoff {
+        Backoff {
+            delay: initial.max(1),
+            max: max.max(1),
+        }
+    }
+
+    /// Wait a random interval and double the mean (up to the cap).
+    pub async fn pause(&mut self, cpu: &Cpu) {
+        let d = cpu.rand_below(self.delay) + 1;
+        cpu.work(d).await;
+        self.delay = (self.delay * 2).min(self.max);
+    }
+}
+
+/// Default initial mean backoff delay in cycles.
+pub const INITIAL_DELAY: u64 = 16;
+
+/// Default backoff cap for `max_procs` potential contenders; the paper
+/// sizes the cap "to accommodate the maximum possible number of
+/// contending processors".
+pub fn backoff_cap(max_procs: usize) -> u64 {
+    64 * (max_procs as u64).max(1)
+}
+
+// ---------------------------------------------------------------------
+// test&set lock
+// ---------------------------------------------------------------------
+
+/// Test-and-set spin lock with randomized exponential backoff.
+#[derive(Clone, Debug)]
+pub struct TestAndSetLock {
+    flag: Addr,
+    max_delay: u64,
+}
+
+impl TestAndSetLock {
+    /// Create a lock homed on `home`, with backoff sized for `max_procs`.
+    pub fn new(m: &Machine, home: usize, max_procs: usize) -> TestAndSetLock {
+        TestAndSetLock {
+            flag: m.alloc_on(home, 1),
+            max_delay: backoff_cap(max_procs),
+        }
+    }
+
+    /// The lock word (the protocol's consensus object).
+    pub fn flag(&self) -> Addr {
+        self.flag
+    }
+}
+
+impl Lock for TestAndSetLock {
+    type Token = ();
+
+    async fn acquire(&self, cpu: &Cpu) {
+        let mut b = Backoff::new(INITIAL_DELAY, self.max_delay);
+        loop {
+            if cpu.test_and_set(self.flag).await == FREE {
+                return;
+            }
+            b.pause(cpu).await;
+        }
+    }
+
+    async fn release(&self, cpu: &Cpu, _t: ()) {
+        cpu.write(self.flag, FREE).await;
+    }
+}
+
+// ---------------------------------------------------------------------
+// test-and-test-and-set lock
+// ---------------------------------------------------------------------
+
+/// Test-and-test-and-set spin lock with randomized exponential backoff:
+/// waits by read-polling the (cached) lock word, attempting `test&set`
+/// only when it observes the lock free.
+#[derive(Clone, Debug)]
+pub struct TtsLock {
+    flag: Addr,
+    max_delay: u64,
+}
+
+impl TtsLock {
+    /// Create a lock homed on `home`, with backoff sized for `max_procs`.
+    pub fn new(m: &Machine, home: usize, max_procs: usize) -> TtsLock {
+        TtsLock {
+            flag: m.alloc_on(home, 1),
+            max_delay: backoff_cap(max_procs),
+        }
+    }
+
+    /// Build a TTS lock over an existing lock word (used by the reactive
+    /// lock, whose sub-locks share a line).
+    pub fn over(flag: Addr, max_procs: usize) -> TtsLock {
+        TtsLock {
+            flag,
+            max_delay: backoff_cap(max_procs),
+        }
+    }
+
+    /// The lock word (the protocol's consensus object).
+    pub fn flag(&self) -> Addr {
+        self.flag
+    }
+
+    /// One acquisition attempt loop, also counting failed `test&set`s;
+    /// returns the number of failures (the reactive lock's contention
+    /// estimate, §3.3.1).
+    pub async fn acquire_counting(&self, cpu: &Cpu) -> u64 {
+        let mut b = Backoff::new(INITIAL_DELAY, self.max_delay);
+        let mut failures = 0;
+        loop {
+            // Read-poll the cached copy until the lock looks free.
+            spin_wait_until(cpu, self.flag, |v| v == FREE).await;
+            if cpu.test_and_set(self.flag).await == FREE {
+                return failures;
+            }
+            failures += 1;
+            b.pause(cpu).await;
+        }
+    }
+}
+
+impl Lock for TtsLock {
+    type Token = ();
+
+    async fn acquire(&self, cpu: &Cpu) {
+        self.acquire_counting(cpu).await;
+    }
+
+    async fn release(&self, cpu: &Cpu, _t: ()) {
+        cpu.write(self.flag, FREE).await;
+    }
+}
+
+// ---------------------------------------------------------------------
+// MCS queue lock
+// ---------------------------------------------------------------------
+
+/// The MCS list-based queue lock (Figure 3.1), `fetch&store`-only
+/// variant. Queue nodes are pooled per requesting node so waiters spin
+/// on flags homed at their own processor.
+#[derive(Clone)]
+pub struct McsLock {
+    tail: Addr,
+    pool: Rc<RefCell<Vec<Vec<Addr>>>>,
+}
+
+impl std::fmt::Debug for McsLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McsLock").field("tail", &self.tail).finish()
+    }
+}
+
+/// Queue-node field offsets: `next` pointer then `status` flag.
+const QN_NEXT: u64 = 0;
+const QN_STATUS: u64 = 1;
+
+impl McsLock {
+    /// Create a queue lock whose tail pointer is homed on `home`.
+    pub fn new(m: &Machine, home: usize) -> McsLock {
+        McsLock {
+            tail: m.alloc_on(home, 1),
+            pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
+        }
+    }
+
+    /// The tail pointer word (the protocol's consensus object).
+    pub fn tail(&self) -> Addr {
+        self.tail
+    }
+
+    /// Take a queue node homed at `cpu`'s node from the pool (allocating
+    /// one if none is free).
+    pub fn take_qnode(&self, cpu: &Cpu) -> Addr {
+        let mut pool = self.pool.borrow_mut();
+        match pool[cpu.node()].pop() {
+            Some(a) => a,
+            None => cpu.alloc_on(cpu.node(), 2),
+        }
+    }
+
+    /// Return a queue node to the pool after release.
+    pub fn put_qnode(&self, cpu: &Cpu, q: Addr) {
+        self.pool.borrow_mut()[cpu.node()].push(q);
+    }
+
+    /// The core enqueue step: returns `(qnode, predecessor_word)`.
+    pub async fn enqueue(&self, cpu: &Cpu) -> (Addr, u64) {
+        let q = self.take_qnode(cpu);
+        cpu.write(q.plus(QN_NEXT), NIL).await;
+        let pred = cpu.fetch_and_store(self.tail, enc(q)).await;
+        (q, pred)
+    }
+
+    /// Wait on `q`'s status flag until signalled; returns the status.
+    pub async fn wait_status(&self, cpu: &Cpu, q: Addr) -> u64 {
+        spin_wait_until(cpu, q.plus(QN_STATUS), |v| v != WAITING).await
+    }
+
+    /// Release given the holder's queue node, handling the usurper race
+    /// of the `fetch&store`-only variant (Figure 3.28). Returns the
+    /// queue node to the pool.
+    pub async fn release_qnode(&self, cpu: &Cpu, q: Addr) {
+        let next = cpu.read(q.plus(QN_NEXT)).await;
+        if next == NIL {
+            // No known successor: try to empty the queue.
+            let old_tail = cpu.fetch_and_store(self.tail, NIL).await;
+            if old_tail == enc(q) {
+                self.put_qnode(cpu, q);
+                return; // really had no successor
+            }
+            // Someone was enqueueing: restore the tail and find them.
+            let usurper = cpu.fetch_and_store(self.tail, old_tail).await;
+            let next = spin_wait_until(cpu, q.plus(QN_NEXT), |v| v != NIL).await;
+            if usurper != NIL {
+                // A process enqueued while the queue looked empty; splice
+                // our successor chain behind it.
+                cpu.write(dec(usurper).plus(QN_NEXT), next).await;
+            } else {
+                cpu.write(dec(next).plus(QN_STATUS), GO).await;
+            }
+        } else {
+            cpu.write(dec(next).plus(QN_STATUS), GO).await;
+        }
+        self.put_qnode(cpu, q);
+    }
+}
+
+impl Lock for McsLock {
+    type Token = Addr;
+
+    async fn acquire(&self, cpu: &Cpu) -> Addr {
+        let (q, pred) = self.enqueue(cpu).await;
+        if pred != NIL {
+            cpu.write(q.plus(QN_STATUS), WAITING).await;
+            cpu.write(dec(pred).plus(QN_NEXT), enc(q)).await;
+            self.wait_status(cpu, q).await;
+        }
+        q
+    }
+
+    async fn release(&self, cpu: &Cpu, q: Addr) {
+        self.release_qnode(cpu, q).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::Config;
+    use std::cell::Cell;
+
+    /// Run `procs` processors doing `iters` lock/unlock pairs around a
+    /// non-atomic read-modify-write; returns (final counter, elapsed).
+    fn hammer<L: Lock>(mk: impl Fn(&Machine) -> L, procs: usize, iters: u64) -> (u64, u64) {
+        let m = Machine::new(Config::default().nodes(procs.max(2)));
+        let lock = mk(&m);
+        let shared = m.alloc_on(0, 1);
+        for p in 0..procs {
+            let cpu = m.cpu(p);
+            let lock = lock.clone();
+            m.spawn(p, async move {
+                for _ in 0..iters {
+                    let t = lock.acquire(&cpu).await;
+                    // Non-atomic increment: only safe under mutual
+                    // exclusion, so lost updates expose broken locks.
+                    let v = cpu.read(shared).await;
+                    cpu.work(10).await;
+                    cpu.write(shared, v + 1).await;
+                    lock.release(&cpu, t).await;
+                    cpu.work(cpu.rand_below(100)).await;
+                }
+            });
+        }
+        let t = m.run();
+        assert_eq!(m.live_tasks(), 0, "deadlock: tasks still blocked");
+        (m.read_word(shared), t)
+    }
+
+    #[test]
+    fn test_and_set_mutual_exclusion() {
+        let (v, _) = hammer(|m| TestAndSetLock::new(m, 0, 8), 8, 25);
+        assert_eq!(v, 200);
+    }
+
+    #[test]
+    fn tts_mutual_exclusion() {
+        let (v, _) = hammer(|m| TtsLock::new(m, 0, 8), 8, 25);
+        assert_eq!(v, 200);
+    }
+
+    #[test]
+    fn mcs_mutual_exclusion() {
+        let (v, _) = hammer(|m| McsLock::new(m, 0), 8, 25);
+        assert_eq!(v, 200);
+    }
+
+    #[test]
+    fn mcs_single_proc_repeated() {
+        let (v, _) = hammer(|m| McsLock::new(m, 0), 1, 100);
+        assert_eq!(v, 100);
+    }
+
+    #[test]
+    fn mcs_two_procs_exercises_usurper_race() {
+        // Two contenders maximize the empty-queue race window (§3.5.3).
+        let (v, _) = hammer(|m| McsLock::new(m, 0), 2, 200);
+        assert_eq!(v, 400);
+    }
+
+    #[test]
+    fn mcs_is_fifo_under_load() {
+        // With heavy contention, grants should follow enqueue order.
+        let m = Machine::new(Config::default().nodes(8));
+        let lock = McsLock::new(&m, 0);
+        let order = m.alloc_on(1, 8);
+        let next_slot = m.alloc_on(2, 1);
+        let started = Rc::new(Cell::new(0u32));
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            let lock = lock.clone();
+            let started = started.clone();
+            m.spawn(p, async move {
+                // Stagger arrivals deterministically by node id.
+                cpu.work(500 * p as u64).await;
+                started.set(started.get() + 1);
+                let t = lock.acquire(&cpu).await;
+                cpu.work(2_000).await; // long critical section
+                let slot = cpu.fetch_and_add(next_slot, 1).await;
+                cpu.write(order.plus(slot), p as u64).await;
+                lock.release(&cpu, t).await;
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        let grants: Vec<u64> = (0..8).map(|i| m.read_word(order.plus(i))).collect();
+        // Arrivals are 500 cycles apart; critical sections are 2000, so
+        // all later arrivals queue while 0 holds the lock. FIFO order.
+        assert_eq!(grants, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn tts_cheaper_than_mcs_uncontended() {
+        let (_, t_tts) = hammer(|m| TtsLock::new(m, 0, 1), 1, 200);
+        let (_, t_mcs) = hammer(|m| McsLock::new(m, 0), 1, 200);
+        assert!(
+            t_tts < t_mcs,
+            "TTS ({t_tts}) should beat MCS ({t_mcs}) without contention"
+        );
+    }
+
+    #[test]
+    fn mcs_beats_test_and_set_under_contention() {
+        let (_, t_ts) = hammer(|m| TestAndSetLock::new(m, 0, 16), 16, 20);
+        let (_, t_mcs) = hammer(|m| McsLock::new(m, 0), 16, 20);
+        assert!(
+            t_mcs < t_ts,
+            "MCS ({t_mcs}) should beat test&set ({t_ts}) at 16 procs"
+        );
+    }
+
+    #[test]
+    fn pointer_encoding_round_trips() {
+        for a in [0u64, 1, 5, 1000] {
+            assert_eq!(dec(enc(Addr(a))), Addr(a));
+        }
+        assert_ne!(enc(Addr(0)), NIL);
+        assert_ne!(enc(Addr(0)), INVALID_PTR);
+    }
+}

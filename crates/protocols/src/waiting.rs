@@ -1,0 +1,186 @@
+//! Waiting strategies: how a thread waits for a synchronization
+//! condition (Chapter 4).
+//!
+//! The [`WaitStrategy`] trait abstracts the *waiting mechanism* choice so
+//! the synchronization constructs in this crate ([`crate::barrier`],
+//! [`crate::pc`]) can be run under always-spin, always-block, or the
+//! two-phase algorithm from `reactive-core`. Only the baselines live
+//! here; two-phase waiting is the paper's contribution.
+
+use alewife_sim::{Addr, Cpu, FullEmpty, WaitQueueId};
+
+/// Read-poll `addr` until `pred` holds (polling waiting mechanism).
+///
+/// This is the building block for all spin-style waiting: it charges a
+/// fresh read per invalidation of the watched line, reproducing the
+/// coherence behaviour of spinning on a cached copy.
+pub async fn spin_wait_until(cpu: &Cpu, addr: Addr, pred: impl Fn(u64) -> bool) -> u64 {
+    cpu.poll_until(addr, pred).await
+}
+
+/// How a thread waits on a word-valued condition.
+///
+/// Implementations decide the mix of polling and signaling. The
+/// synchronization object supplies a [`WaitQueueId`] that its *setters*
+/// signal after updating the word, so blocking implementations are safe.
+pub trait WaitStrategy: Clone + 'static {
+    /// Wait until `pred(word)` holds; returns the satisfying value.
+    fn wait_word(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        q: WaitQueueId,
+        pred: impl Fn(u64) -> bool + Clone + 'static,
+    ) -> impl std::future::Future<Output = u64>;
+
+    /// Wait until the word's full/empty bit is set; returns the value.
+    fn wait_full(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        q: WaitQueueId,
+    ) -> impl std::future::Future<Output = u64>;
+}
+
+/// Always poll (spin). Zero fixed cost; waiting cost grows with the
+/// waiting time, and on a multithreaded node it starves ready peers
+/// (non-preemptive scheduling).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysSpin;
+
+impl WaitStrategy for AlwaysSpin {
+    async fn wait_word(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        _q: WaitQueueId,
+        pred: impl Fn(u64) -> bool + Clone + 'static,
+    ) -> u64 {
+        spin_wait_until(cpu, addr, pred).await
+    }
+
+    async fn wait_full(&self, cpu: &Cpu, addr: Addr, _q: WaitQueueId) -> u64 {
+        cpu.poll_until_full(addr).await
+    }
+}
+
+/// Always block (signal). Fixed cost `B` ≈ 465 cycles regardless of the
+/// waiting time; frees the processor for other threads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysBlock;
+
+impl WaitStrategy for AlwaysBlock {
+    async fn wait_word(
+        &self,
+        cpu: &Cpu,
+        addr: Addr,
+        q: WaitQueueId,
+        pred: impl Fn(u64) -> bool + Clone + 'static,
+    ) -> u64 {
+        loop {
+            // The check and the enqueue happen at the same virtual
+            // instant (no await between them), so no wakeup can be lost.
+            let v = cpu.read(addr).await;
+            if pred(v) {
+                return v;
+            }
+            cpu.block_on(q).await;
+        }
+    }
+
+    async fn wait_full(&self, cpu: &Cpu, addr: Addr, q: WaitQueueId) -> u64 {
+        loop {
+            if let FullEmpty::Full(v) = cpu.read_full(addr).await {
+                return v;
+            }
+            cpu.block_on(q).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alewife_sim::{Config, Machine};
+
+    fn producer_consumer<W: WaitStrategy>(w: W, produce_delay: u64) -> (u64, u64) {
+        let m = Machine::new(Config::default().nodes(2));
+        let slot = m.alloc_on(0, 1);
+        let q = m.new_wait_queue();
+        let out = m.alloc_on(1, 1);
+        let c0 = m.cpu(0);
+        let c1 = m.cpu(1);
+        m.spawn(0, async move {
+            let v = w.wait_full(&c0, slot, q).await;
+            c0.write(out, v).await;
+        });
+        m.spawn(1, async move {
+            c1.work(produce_delay).await;
+            c1.write_fill(slot, 7).await;
+            c1.signal_all(q).await;
+        });
+        let t = m.run();
+        assert_eq!(m.live_tasks(), 0);
+        (m.read_word(out), t)
+    }
+
+    #[test]
+    fn spin_sees_value() {
+        assert_eq!(producer_consumer(AlwaysSpin, 1_000).0, 7);
+    }
+
+    #[test]
+    fn block_sees_value() {
+        assert_eq!(producer_consumer(AlwaysBlock, 1_000).0, 7);
+    }
+
+    #[test]
+    fn spin_faster_for_short_waits_block_frees_processor() {
+        // For a short wait, spinning resumes sooner than blocking.
+        let (_, t_spin) = producer_consumer(AlwaysSpin, 100);
+        let (_, t_block) = producer_consumer(AlwaysBlock, 100);
+        assert!(t_spin < t_block, "spin {t_spin} vs block {t_block}");
+    }
+
+    #[test]
+    fn block_immediate_value_no_block() {
+        // If the value is already there, AlwaysBlock never blocks.
+        let m = Machine::new(Config::default().nodes(1));
+        let slot = m.alloc_on(0, 1);
+        m.write_word(slot, 9);
+        m.set_full(slot, true);
+        let q = m.new_wait_queue();
+        let out = m.alloc_on(0, 1);
+        let c = m.cpu(0);
+        m.spawn(0, async move {
+            let v = AlwaysBlock.wait_full(&c, slot, q).await;
+            c.write(out, v).await;
+        });
+        m.run();
+        assert_eq!(m.read_word(out), 9);
+    }
+
+    #[test]
+    fn wait_word_with_predicate() {
+        let m = Machine::new(Config::default().nodes(2));
+        let word = m.alloc_on(0, 1);
+        let q = m.new_wait_queue();
+        let out = m.alloc_on(1, 1);
+        let c0 = m.cpu(0);
+        let c1 = m.cpu(1);
+        m.spawn(0, async move {
+            let v = AlwaysBlock.wait_word(&c0, word, q, |v| v >= 3).await;
+            c0.write(out, v).await;
+        });
+        m.spawn(1, async move {
+            for i in 1..=3u64 {
+                c1.work(500).await;
+                c1.write(word, i).await;
+                c1.signal_all(q).await;
+            }
+        });
+        m.run();
+        assert_eq!(m.read_word(out), 3);
+        assert_eq!(m.live_tasks(), 0);
+    }
+}

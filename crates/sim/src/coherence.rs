@@ -1,0 +1,310 @@
+//! Directory-based cache coherence with LimitLESS-style limited pointers.
+//!
+//! Each line has a home node whose directory serially services coherence
+//! requests (occupancy = `dir_service` cycles plus work). The protocol is
+//! a standard invalidate MSI protocol with the two Alewife-specific
+//! behaviours the paper's results hinge on:
+//!
+//! * invalidations are issued **sequentially** (`inval_issue` apart), so a
+//!   write to a widely-shared line (e.g. a released test-and-test-and-set
+//!   lock) occupies the directory for O(sharers) cycles; and
+//! * once a line's sharer count exceeds the hardware pointer count, the
+//!   directory is **software-extended** and every subsequent operation on
+//!   the line pays a `limitless_trap` penalty, unless the machine is
+//!   configured as a full-map directory (`Dir_NB` in Figure 3.2).
+//!
+//! Values live in a single authoritative word array mutated at directory
+//! service time (or at local exclusive hits); because a processor stalls
+//! on each of its own memory operations and transactions serialize at the
+//! home directory, the resulting value history is linearizable.
+
+use crate::exec::{Completion, Ev};
+use crate::net;
+use crate::state::{Addr, Line, State};
+
+/// State of a line in a node's local cache (absence means invalid).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheState {
+    /// Read-cached; other nodes may also hold copies.
+    Shared,
+    /// Exclusively owned (read/write hits, possibly dirty).
+    Exclusive,
+}
+
+/// Directory entry for one line.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DirEntry {
+    pub owner: Option<usize>,
+    pub sharers: Vec<usize>,
+    pub extended: bool,
+}
+
+/// An atomic read-modify-write applied at the home directory (or at a
+/// local exclusive hit).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RmwOp {
+    Write(u64),
+    TestAndSet,
+    FetchAndStore(u64),
+    CompareAndSwap(u64, u64),
+    FetchAndAdd(u64),
+    /// Store a value and set the full bit; returns the previous full bit.
+    WriteFill(u64),
+    /// If full: return the value, clear the bit (I-structure take).
+    TakeIfFull,
+    /// Clear the full bit (J-structure reset).
+    ResetEmpty,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ReqKind {
+    /// Read for shared access; second result word is the full bit.
+    Read,
+    /// Read-modify-write for exclusive access.
+    Own(RmwOp),
+}
+
+/// A coherence request in flight to a home directory.
+pub(crate) struct CohReq {
+    pub addr: Addr,
+    pub line: Line,
+    pub from: usize,
+    pub kind: ReqKind,
+    pub comp: Completion,
+}
+
+/// Apply an RMW to the authoritative arrays; returns `[primary, aux]`
+/// result words (op-specific).
+fn apply(st: &mut State, addr: Addr, op: RmwOp) -> [u64; 2] {
+    let i = addr.0 as usize;
+    let old = st.mem[i];
+    match op {
+        RmwOp::Write(v) => {
+            st.mem[i] = v;
+            [old, 0]
+        }
+        RmwOp::TestAndSet => {
+            st.mem[i] = 1;
+            [old, 0]
+        }
+        RmwOp::FetchAndStore(v) => {
+            st.mem[i] = v;
+            [old, 0]
+        }
+        RmwOp::CompareAndSwap(expect, new) => {
+            if old == expect {
+                st.mem[i] = new;
+                [1, old]
+            } else {
+                [0, old]
+            }
+        }
+        RmwOp::FetchAndAdd(d) => {
+            st.mem[i] = old.wrapping_add(d);
+            [old, 0]
+        }
+        RmwOp::WriteFill(v) => {
+            let was = st.full_bits[i];
+            st.mem[i] = v;
+            st.full_bits[i] = true;
+            [was as u64, 0]
+        }
+        RmwOp::TakeIfFull => {
+            if st.full_bits[i] {
+                st.full_bits[i] = false;
+                [old, 1]
+            } else {
+                [0, 0]
+            }
+        }
+        RmwOp::ResetEmpty => {
+            st.full_bits[i] = false;
+            [old, 0]
+        }
+    }
+}
+
+/// Issue a read from `node`; fulfills `comp` with `[value, full_bit]`.
+pub(crate) fn issue_read(st: &mut State, node: usize, addr: Addr, comp: Completion) {
+    let line = st.line_of(addr);
+    if st.caches[node].contains_key(&line) {
+        // Local hit: our copy is valid, so the authoritative arrays agree
+        // with it (any remote write would have invalidated us first).
+        let v = st.mem[addr.0 as usize];
+        let f = st.full_bits[addr.0 as usize] as u64;
+        let t = st.now + st.cost.cache_hit;
+        st.schedule(t, Ev::Complete(comp, [v, f]));
+        return;
+    }
+    st.stats.remote_misses += 1;
+    let home = st.home_of(line);
+    let arrive = st.now + net::latency(st, node, home);
+    st.schedule(
+        arrive,
+        Ev::DirArrive(
+            home,
+            CohReq {
+                addr,
+                line,
+                from: node,
+                kind: ReqKind::Read,
+                comp,
+            },
+        ),
+    );
+}
+
+/// Issue a read-modify-write from `node`; fulfills `comp` with the
+/// op-specific result pair.
+pub(crate) fn issue_own(st: &mut State, node: usize, addr: Addr, op: RmwOp, comp: Completion) {
+    let line = st.line_of(addr);
+    if st.caches[node].get(&line) == Some(&CacheState::Exclusive) {
+        // Exclusive hit: mutate in place. No other node can hold a valid
+        // copy, but bump the version anyway so any in-flight watcher
+        // re-checks rather than sleeping on a stale epoch.
+        let res = apply(st, addr, op);
+        let t = st.now + st.cost.cache_hit;
+        st.touch_line(line, t);
+        st.schedule(t, Ev::Complete(comp, res));
+        return;
+    }
+    st.stats.remote_misses += 1;
+    let home = st.home_of(line);
+    let arrive = st.now + net::latency(st, node, home);
+    st.schedule(
+        arrive,
+        Ev::DirArrive(
+            home,
+            CohReq {
+                addr,
+                line,
+                from: node,
+                kind: ReqKind::Own(op),
+                comp,
+            },
+        ),
+    );
+}
+
+/// A coherence request arrived at `node`'s directory queue.
+pub(crate) fn dir_arrive(st: &mut State, node: usize, req: CohReq) {
+    st.dir_q[node].push_back(req);
+    if !st.dir_scheduled[node] {
+        st.dir_scheduled[node] = true;
+        let at = st.now.max(st.dir_busy[node]);
+        st.schedule(at, Ev::DirService(node));
+    }
+}
+
+/// Service the next queued request at `node`'s directory.
+pub(crate) fn dir_service(st: &mut State, node: usize) {
+    st.dir_scheduled[node] = false;
+    let Some(req) = st.dir_q[node].pop_front() else {
+        return;
+    };
+    st.stats.dir_requests += 1;
+    let t0 = st.now;
+    let cost = st.cost.clone();
+    let entry = st.dir.entry(req.line).or_default().clone();
+    let mut busy = cost.dir_service;
+    let mut extended = entry.extended;
+    let mut owner = entry.owner;
+    let mut sharers = entry.sharers.clone();
+
+    let grant_t;
+    let result;
+    match req.kind {
+        ReqKind::Read => {
+            let mut t = t0 + busy;
+            if let Some(o) = owner {
+                if o != req.from {
+                    // Fetch/downgrade the remote owner to shared.
+                    t += cost.owner_fetch + 2 * net::latency(st, node, o);
+                    st.caches[o].insert(req.line, CacheState::Shared);
+                    if !sharers.contains(&o) {
+                        sharers.push(o);
+                    }
+                    owner = None;
+                } else {
+                    // Reading node already owns it (raced with itself);
+                    // just grant.
+                }
+            }
+            if owner != Some(req.from) && !sharers.contains(&req.from) {
+                sharers.push(req.from);
+            }
+            if !st.full_map && sharers.len() > st.hw_ptrs {
+                if !extended {
+                    extended = true;
+                }
+                st.stats.limitless_traps += 1;
+                t += cost.limitless_trap;
+            }
+            let v = st.mem[req.addr.0 as usize];
+            let f = st.full_bits[req.addr.0 as usize] as u64;
+            result = [v, f];
+            grant_t = t;
+            if owner != Some(req.from) {
+                st.caches[req.from].insert(req.line, CacheState::Shared);
+            }
+        }
+        ReqKind::Own(op) => {
+            let mut t = t0 + busy;
+            if extended && !st.full_map {
+                st.stats.limitless_traps += 1;
+                t += cost.limitless_trap;
+            }
+            if let Some(o) = owner {
+                if o != req.from {
+                    // Invalidate the remote exclusive owner.
+                    t += cost.owner_fetch + 2 * net::latency(st, node, o);
+                    st.caches[o].remove(&req.line);
+                    st.stats.invalidations += 1;
+                }
+            }
+            // Sequentially invalidate every other sharer; the grant waits
+            // for the last acknowledgement.
+            sharers.retain(|&s| s != req.from);
+            let mut last_ack = t;
+            for (i, &s) in sharers.iter().enumerate() {
+                let issue_at = t + (i as u64 + 1) * cost.inval_issue;
+                let ack_at = issue_at + 2 * net::latency(st, node, s);
+                last_ack = last_ack.max(ack_at);
+                st.caches[s].remove(&req.line);
+                st.stats.invalidations += 1;
+            }
+            t += sharers.len() as u64 * cost.inval_issue;
+            grant_t = t.max(last_ack);
+            result = apply(st, req.addr, op);
+            owner = Some(req.from);
+            sharers.clear();
+            extended = false;
+            st.caches[req.from].insert(req.line, CacheState::Exclusive);
+            busy = grant_t - t0;
+            let _ = busy;
+            // Wake read-pollers once the line has settled: they will
+            // re-read (missing, since their copies were just invalidated)
+            // and serialize at this directory, reproducing the
+            // invalidate-and-refetch storm of §3.1.1.
+            st.touch_line(req.line, grant_t);
+        }
+    }
+
+    st.dir.insert(
+        req.line,
+        DirEntry {
+            owner,
+            sharers,
+            extended,
+        },
+    );
+    st.dir_busy[node] = grant_t;
+    let reply_at = grant_t + net::latency(st, node, req.from);
+    st.stats.net_msgs += 2;
+    st.schedule(reply_at, Ev::Complete(req.comp, result));
+
+    if !st.dir_q[node].is_empty() {
+        st.dir_scheduled[node] = true;
+        st.schedule(grant_t, Ev::DirService(node));
+    }
+}

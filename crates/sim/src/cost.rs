@@ -1,0 +1,113 @@
+//! The machine cost model, in processor cycles.
+//!
+//! Two presets are provided. [`CostModel::nwo`] mirrors the 33 MHz NWO
+//! simulations the bulk of the thesis uses; [`CostModel::prototype`]
+//! mirrors the 20 MHz 16-node hardware prototype of §3.5.2, on which
+//! communication appears *cheaper in processor cycles* because the
+//! asynchronous network did not slow down with the clock.
+
+/// All tunable costs of the simulated machine, in processor cycles.
+///
+/// The constants are Alewife-flavoured: a remote miss lands in the ~40-55
+/// cycle range the thesis quotes, blocking a thread costs ≈ 465 cycles
+/// (the thesis says "less than 500"), and a context switch costs 14.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cycles for a load/store that hits in the local cache.
+    pub cache_hit: u64,
+    /// Base cycles of one-way network latency (wire + router entry).
+    pub net_base: u64,
+    /// Extra one-way cycles per mesh hop.
+    pub net_per_hop: u64,
+    /// Directory occupancy to service one coherence request.
+    pub dir_service: u64,
+    /// Directory occupancy to issue each (sequential) invalidation.
+    pub inval_issue: u64,
+    /// Extra cycles when the directory must fetch/downgrade a remote owner
+    /// (charged on top of the round trips to the owner).
+    pub owner_fetch: u64,
+    /// Software-trap penalty per directory operation on a line whose
+    /// sharer count exceeded the hardware pointers (LimitLESS, §2.2.1).
+    pub limitless_trap: u64,
+    /// Processor overhead to compose and launch an active message.
+    pub msg_send: u64,
+    /// Base occupancy of an active-message handler at the receiver.
+    pub msg_handler: u64,
+    /// Context switch between loaded hardware contexts (Sparcle: 14).
+    pub ctx_switch: u64,
+    /// Unloading a thread's registers and queueing it (Table 4.1).
+    pub unload: u64,
+    /// Reenabling a blocked thread, paid by the signaller (Table 4.1).
+    pub reenable: u64,
+    /// Reloading a thread's registers when rescheduled (Table 4.1).
+    pub reload: u64,
+    /// One-time cost to place a freshly spawned thread on a processor.
+    pub thread_spawn: u64,
+}
+
+impl CostModel {
+    /// The NWO-simulation-flavoured model used for most experiments.
+    pub fn nwo() -> Self {
+        CostModel {
+            cache_hit: 2,
+            net_base: 6,
+            net_per_hop: 2,
+            dir_service: 6,
+            inval_issue: 4,
+            owner_fetch: 6,
+            limitless_trap: 48,
+            msg_send: 16,
+            msg_handler: 12,
+            ctx_switch: 14,
+            unload: 300,
+            reenable: 100,
+            reload: 65,
+            thread_spawn: 80,
+        }
+    }
+
+    /// The 16-node hardware-prototype-flavoured model of §3.5.2 (20 MHz:
+    /// network latencies shrink when measured in processor cycles).
+    pub fn prototype() -> Self {
+        CostModel {
+            net_base: 4,
+            net_per_hop: 1,
+            ..CostModel::nwo()
+        }
+    }
+
+    /// Total cost of blocking (unload + reenable + reload); the `B` of
+    /// Chapter 4's two-phase waiting analysis.
+    pub fn block_cost(&self) -> u64 {
+        self.unload + self.reenable + self.reload
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::nwo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_cost_is_under_500_cycles() {
+        // The thesis: "the cost of blocking a thread in the current
+        // implementation is less than 500 cycles".
+        let c = CostModel::nwo();
+        assert!(c.block_cost() <= 500);
+        assert!(c.block_cost() >= 400);
+    }
+
+    #[test]
+    fn prototype_has_cheaper_network() {
+        let p = CostModel::prototype();
+        let n = CostModel::nwo();
+        assert!(p.net_base < n.net_base);
+        assert!(p.net_per_hop < n.net_per_hop);
+        assert_eq!(p.ctx_switch, n.ctx_switch);
+    }
+}

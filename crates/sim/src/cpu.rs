@@ -1,0 +1,399 @@
+//! The per-processor handle protocol code uses to interact with the
+//! simulated machine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::coherence::{self, RmwOp};
+use crate::exec::{CompFuture, Completion, Ev, LineChangeFuture};
+use crate::msg::{self, Port};
+use crate::state::{Addr, State};
+use crate::thread::{self, WaitQueueId};
+use crate::FullEmpty;
+
+/// A handle onto one simulated processor.
+///
+/// All memory operations are *blocking* (the processor stalls for the
+/// full round trip), matching Alewife's default behaviour. `Cpu` is
+/// cheaply cloneable; clones refer to the same processor.
+#[derive(Clone)]
+pub struct Cpu {
+    pub(crate) st: Rc<RefCell<State>>,
+    pub(crate) node: usize,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu").field("node", &self.node).finish()
+    }
+}
+
+impl Cpu {
+    /// The node this processor belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Current virtual time in cycles.
+    pub fn now(&self) -> u64 {
+        self.st.borrow().now
+    }
+
+    /// Total number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.st.borrow().nodes_n
+    }
+
+    /// Hardware contexts on this node (Sparcle block multithreading).
+    pub fn contexts(&self) -> usize {
+        self.st.borrow().contexts
+    }
+
+    /// Deterministic random value in `[0, bound)`.
+    pub fn rand_below(&self, bound: u64) -> u64 {
+        self.st.borrow_mut().rand_below(bound)
+    }
+
+    /// Allocate shared memory homed on `node` (no cycles charged; models
+    /// drawing from a pre-allocated pool, e.g. MCS queue nodes).
+    pub fn alloc_on(&self, node: usize, words: u64) -> Addr {
+        self.st.borrow_mut().alloc_on(node, words)
+    }
+
+    /// A handle for issuing operations as a *different* node (e.g. to
+    /// hand to a thread spawned there).
+    pub fn on(&self, node: usize) -> Cpu {
+        assert!(node < self.st.borrow().nodes_n, "Cpu::on: node out of range");
+        Cpu {
+            st: self.st.clone(),
+            node,
+        }
+    }
+
+    /// Create a fresh wait queue (for dynamically created sync objects).
+    pub fn new_wait_queue(&self) -> WaitQueueId {
+        thread::new_wait_queue(&mut self.st.borrow_mut())
+    }
+
+    /// Increment a named statistics counter.
+    pub fn bump(&self, name: &str, n: u64) {
+        self.st.borrow_mut().stats.bump(name, n);
+    }
+
+    /// Record a waiting time into a named histogram.
+    pub fn record_wait(&self, name: &str, t: u64) {
+        self.st.borrow_mut().stats.record_wait(name, t);
+    }
+
+    fn comp_future(&self, c: Completion) -> CompFuture {
+        CompFuture::new(self.st.clone(), c)
+    }
+
+    /// Busy-compute for `cycles` (the processor is occupied).
+    pub async fn work(&self, cycles: u64) {
+        let c = Completion::new();
+        {
+            let mut st = self.st.borrow_mut();
+            let at = st.now + cycles;
+            st.schedule(at, Ev::Complete(c.clone(), [0, 0]));
+        }
+        self.comp_future(c).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Shared memory
+    // ------------------------------------------------------------------
+
+    /// Load a word.
+    pub async fn read(&self, a: Addr) -> u64 {
+        let c = Completion::new();
+        coherence::issue_read(&mut self.st.borrow_mut(), self.node, a, c.clone());
+        self.comp_future(c).await[0]
+    }
+
+    /// Load a word together with its full/empty bit.
+    pub async fn read_full(&self, a: Addr) -> FullEmpty {
+        let c = Completion::new();
+        coherence::issue_read(&mut self.st.borrow_mut(), self.node, a, c.clone());
+        let [v, f] = self.comp_future(c).await;
+        if f != 0 {
+            FullEmpty::Full(v)
+        } else {
+            FullEmpty::Empty
+        }
+    }
+
+    async fn own(&self, a: Addr, op: RmwOp) -> [u64; 2] {
+        let c = Completion::new();
+        coherence::issue_own(&mut self.st.borrow_mut(), self.node, a, op, c.clone());
+        self.comp_future(c).await
+    }
+
+    /// Store a word.
+    pub async fn write(&self, a: Addr, v: u64) {
+        self.own(a, RmwOp::Write(v)).await;
+    }
+
+    /// Atomic `test&set`: set the word to 1, return the previous value.
+    pub async fn test_and_set(&self, a: Addr) -> u64 {
+        self.own(a, RmwOp::TestAndSet).await[0]
+    }
+
+    /// Atomic `fetch&store` (swap); Sparcle's native RMW primitive.
+    pub async fn fetch_and_store(&self, a: Addr, v: u64) -> u64 {
+        self.own(a, RmwOp::FetchAndStore(v)).await[0]
+    }
+
+    /// Atomic compare-and-swap; returns `true` on success.
+    pub async fn compare_and_swap(&self, a: Addr, expect: u64, new: u64) -> bool {
+        self.own(a, RmwOp::CompareAndSwap(expect, new)).await[0] != 0
+    }
+
+    /// Atomic fetch-and-add; returns the previous value.
+    pub async fn fetch_and_add(&self, a: Addr, d: u64) -> u64 {
+        self.own(a, RmwOp::FetchAndAdd(d)).await[0]
+    }
+
+    /// Store a value and set the word's full bit (producer side of a
+    /// J-structure/future). Returns `true` if the word was already full.
+    pub async fn write_fill(&self, a: Addr, v: u64) -> bool {
+        self.own(a, RmwOp::WriteFill(v)).await[0] != 0
+    }
+
+    /// If the word is full, atomically read it and reset it to empty
+    /// (I-structure take).
+    pub async fn take_if_full(&self, a: Addr) -> FullEmpty {
+        let [v, ok] = self.own(a, RmwOp::TakeIfFull).await;
+        if ok != 0 {
+            FullEmpty::Full(v)
+        } else {
+            FullEmpty::Empty
+        }
+    }
+
+    /// Reset a word's full bit.
+    pub async fn reset_empty(&self, a: Addr) {
+        self.own(a, RmwOp::ResetEmpty).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Read-polling
+    // ------------------------------------------------------------------
+
+    /// Read-poll `a` until `pred(value)` holds; returns the value.
+    ///
+    /// Models test-and-test-and-set-style spinning on a cached copy: the
+    /// first poll may miss, subsequent polls hit in the local cache, and
+    /// the waiter re-fetches (serializing at the home directory) each
+    /// time the line is invalidated by a writer.
+    pub async fn poll_until(&self, a: Addr, pred: impl Fn(u64) -> bool) -> u64 {
+        loop {
+            let (line, seen) = {
+                let st = self.st.borrow();
+                let line = st.line_of(a);
+                (line, st.line_ver.get(&line).copied().unwrap_or(0))
+            };
+            let v = self.read(a).await;
+            if pred(v) {
+                return v;
+            }
+            LineChangeFuture {
+                st: self.st.clone(),
+                line,
+                seen,
+            }
+            .await;
+        }
+    }
+
+    /// Read-poll until the word's full bit is set; returns the value.
+    pub async fn poll_until_full(&self, a: Addr) -> u64 {
+        loop {
+            let (line, seen) = {
+                let st = self.st.borrow();
+                let line = st.line_of(a);
+                (line, st.line_ver.get(&line).copied().unwrap_or(0))
+            };
+            if let FullEmpty::Full(v) = self.read_full(a).await {
+                return v;
+            }
+            LineChangeFuture {
+                st: self.st.clone(),
+                line,
+                seen,
+            }
+            .await;
+        }
+    }
+
+    /// Read-poll `a` until `pred(value)` holds or `deadline` passes.
+    /// Returns `Some(value)` on success, `None` on timeout — the polling
+    /// phase of a two-phase waiting algorithm.
+    pub async fn poll_until_deadline(
+        &self,
+        a: Addr,
+        pred: impl Fn(u64) -> bool,
+        deadline: u64,
+    ) -> Option<u64> {
+        loop {
+            let (line, seen) = {
+                let st = self.st.borrow();
+                let line = st.line_of(a);
+                (line, st.line_ver.get(&line).copied().unwrap_or(0))
+            };
+            let v = self.read(a).await;
+            if pred(v) {
+                return Some(v);
+            }
+            if self.now() >= deadline {
+                return None;
+            }
+            let changed = crate::exec::ChangeOrDeadlineFuture {
+                st: self.st.clone(),
+                line,
+                seen,
+                deadline,
+                timer_armed: false,
+            }
+            .await;
+            if !changed && self.now() >= deadline {
+                // One last check: the final write may have landed exactly
+                // at the deadline.
+                let v = self.read(a).await;
+                if pred(v) {
+                    return Some(v);
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Read-poll until the word's full bit is set or `deadline` passes.
+    pub async fn poll_until_full_deadline(&self, a: Addr, deadline: u64) -> Option<u64> {
+        loop {
+            let (line, seen) = {
+                let st = self.st.borrow();
+                let line = st.line_of(a);
+                (line, st.line_ver.get(&line).copied().unwrap_or(0))
+            };
+            if let FullEmpty::Full(v) = self.read_full(a).await {
+                return Some(v);
+            }
+            if self.now() >= deadline {
+                return None;
+            }
+            let changed = crate::exec::ChangeOrDeadlineFuture {
+                st: self.st.clone(),
+                line,
+                seen,
+                deadline,
+                timer_armed: false,
+            }
+            .await;
+            if !changed && self.now() >= deadline {
+                if let FullEmpty::Full(v) = self.read_full(a).await {
+                    return Some(v);
+                }
+                return None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Active messages
+    // ------------------------------------------------------------------
+
+    /// Fire-and-forget active message (costs `msg_send` on this CPU).
+    pub async fn send(&self, dest: usize, port: Port, args: [u64; 4]) {
+        let cost = {
+            let mut st = self.st.borrow_mut();
+            msg::issue_send(&mut st, self.node, dest, port, args);
+            st.cost.msg_send
+        };
+        self.work(cost).await;
+    }
+
+    /// Remote procedure call: send a message and wait for some handler to
+    /// reply (possibly much later — e.g. a queued lock grant).
+    pub async fn rpc(&self, dest: usize, port: Port, args: [u64; 4]) -> u64 {
+        let c = Completion::new();
+        msg::issue_rpc(
+            &mut self.st.borrow_mut(),
+            self.node,
+            dest,
+            port,
+            args,
+            c.clone(),
+        );
+        self.comp_future(c).await[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Thread runtime
+    // ------------------------------------------------------------------
+
+    /// Block the current thread on `q` (signaling waiting mechanism).
+    /// Pays the unload cost now and the reload cost when rescheduled;
+    /// the signaller pays the reenable cost. Total ≈ `B` (Table 4.1).
+    pub async fn block_on(&self, q: WaitQueueId) {
+        let c = thread::begin_block(&mut self.st.borrow_mut(), self.node, q);
+        self.comp_future(c).await;
+    }
+
+    /// Wake one thread blocked on `q`, paying the reenable cost if a
+    /// thread was actually woken. Returns whether one was woken.
+    pub async fn signal_one(&self, q: WaitQueueId) -> bool {
+        let woke = thread::signal_one(&mut self.st.borrow_mut(), q);
+        if woke {
+            let reenable = self.st.borrow().cost.reenable;
+            self.work(reenable).await;
+        }
+        woke
+    }
+
+    /// Wake every thread blocked on `q` *at the time of the call*;
+    /// returns how many were woken. (Snapshotting the count first keeps
+    /// a signaller from chasing a waiter that re-blocks because its
+    /// condition is still unsatisfied.)
+    pub async fn signal_all(&self, q: WaitQueueId) -> usize {
+        let n = self.queue_len(q);
+        for _ in 0..n {
+            self.signal_one(q).await;
+        }
+        n
+    }
+
+    /// Number of threads currently blocked on `q`.
+    pub fn queue_len(&self, q: WaitQueueId) -> usize {
+        thread::queue_len(&self.st.borrow(), q)
+    }
+
+    /// Switch to the next ready thread on this node, if any (polling
+    /// waiting mechanism on a multithreaded processor: switch-spinning).
+    /// Returns `true` if a switch happened.
+    pub async fn yield_now(&self) -> bool {
+        let c = thread::begin_yield(&mut self.st.borrow_mut(), self.node);
+        match c {
+            Some(c) => {
+                self.comp_future(c).await;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of other threads ready to run on this node.
+    pub fn ready_peers(&self) -> usize {
+        thread::ready_count(&self.st.borrow(), self.node)
+    }
+
+    /// Spawn a new scheduler-managed thread on `node` (dynamic thread
+    /// creation, e.g. future-spawning runtimes). Returns its task id.
+    pub fn spawn(
+        &self,
+        node: usize,
+        fut: impl std::future::Future<Output = ()> + 'static,
+    ) -> crate::exec::TaskId {
+        thread::spawn_thread(&mut self.st.borrow_mut(), node, Box::pin(fut))
+    }
+}

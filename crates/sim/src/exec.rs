@@ -1,0 +1,296 @@
+//! The deterministic event-driven executor.
+//!
+//! Simulated processors are ordinary Rust `async` tasks driven by a
+//! single-threaded executor. Time never advances while a task is running;
+//! every awaited operation (memory access, compute delay, message RPC,
+//! scheduler interaction) registers a [`Completion`] that an event fires
+//! at a computed future instant. Events are totally ordered by
+//! `(time, sequence)`, so simulations are exactly reproducible.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::coherence::CohReq;
+use crate::msg::ActiveMsg;
+use crate::state::State;
+
+/// Identifier of a simulated task (a processor's thread of control).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+pub(crate) type BoxFut = Pin<Box<dyn Future<Output = ()>>>;
+
+/// A one-shot, two-word completion used to resume a task at a computed
+/// virtual time. Cheap to clone (shared cell).
+#[derive(Clone)]
+pub(crate) struct Completion {
+    inner: Rc<CompletionInner>,
+}
+
+struct CompletionInner {
+    done: Cell<bool>,
+    val: Cell<[u64; 2]>,
+    waiter: Cell<Option<TaskId>>,
+}
+
+impl Completion {
+    pub fn new() -> Completion {
+        Completion {
+            inner: Rc::new(CompletionInner {
+                done: Cell::new(false),
+                val: Cell::new([0, 0]),
+                waiter: Cell::new(None),
+            }),
+        }
+    }
+
+    pub fn fulfill(&self, v: [u64; 2]) -> Option<TaskId> {
+        debug_assert!(!self.inner.done.get(), "completion fulfilled twice");
+        self.inner.val.set(v);
+        self.inner.done.set(true);
+        self.inner.waiter.take()
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.inner.done.get()
+    }
+
+    pub fn value(&self) -> [u64; 2] {
+        self.inner.val.get()
+    }
+
+    fn set_waiter(&self, t: TaskId) {
+        self.inner.waiter.set(Some(t));
+    }
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("done", &self.inner.done.get())
+            .finish()
+    }
+}
+
+/// Future resolving when a [`Completion`] is fulfilled.
+pub(crate) struct CompFuture {
+    st: Rc<RefCell<State>>,
+    c: Completion,
+}
+
+impl CompFuture {
+    pub fn new(st: Rc<RefCell<State>>, c: Completion) -> CompFuture {
+        CompFuture { st, c }
+    }
+}
+
+impl Future for CompFuture {
+    type Output = [u64; 2];
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<[u64; 2]> {
+        if self.c.is_done() {
+            Poll::Ready(self.c.value())
+        } else {
+            let cur = self
+                .st
+                .borrow()
+                .current_task
+                .expect("sim future polled outside the sim executor");
+            self.c.set_waiter(cur);
+            Poll::Pending
+        }
+    }
+}
+
+/// Future resolving when a line's version changes past `seen`.
+/// Used to implement efficient read-polling (§3.1.1) without simulating
+/// every 2-cycle cache-hit poll as its own event.
+pub(crate) struct LineChangeFuture {
+    pub st: Rc<RefCell<State>>,
+    pub line: u64,
+    pub seen: u64,
+}
+
+impl Future for LineChangeFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.st.borrow_mut();
+        let ver = st.line_ver.get(&self.line).copied().unwrap_or(0);
+        if ver != self.seen {
+            Poll::Ready(())
+        } else {
+            let cur = st
+                .current_task
+                .expect("sim future polled outside the sim executor");
+            st.watchers.entry(self.line).or_default().push(cur);
+            Poll::Pending
+        }
+    }
+}
+
+/// Future resolving when a line's version changes past `seen` *or* a
+/// deadline passes — the primitive beneath bounded polling phases
+/// (two-phase waiting, Chapter 4). Resolves to `true` if the line
+/// changed before the deadline.
+pub(crate) struct ChangeOrDeadlineFuture {
+    pub st: Rc<RefCell<State>>,
+    pub line: u64,
+    pub seen: u64,
+    pub deadline: u64,
+    pub timer_armed: bool,
+}
+
+impl Future for ChangeOrDeadlineFuture {
+    type Output = bool;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<bool> {
+        let mut st = self.st.borrow_mut();
+        let ver = st.line_ver.get(&self.line).copied().unwrap_or(0);
+        if ver != self.seen {
+            return Poll::Ready(true);
+        }
+        if st.now >= self.deadline {
+            return Poll::Ready(false);
+        }
+        let cur = st
+            .current_task
+            .expect("sim future polled outside the sim executor");
+        st.watchers.entry(self.line).or_default().push(cur);
+        if !self.timer_armed {
+            let deadline = self.deadline;
+            st.schedule(deadline, Ev::Wake(cur));
+            drop(st);
+            self.timer_armed = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// A simulation event.
+pub(crate) enum Ev {
+    /// Poll the task (it will re-check whatever it is waiting on).
+    Wake(TaskId),
+    /// Fulfill a completion with a value and poll its waiter.
+    Complete(Completion, [u64; 2]),
+    /// A coherence request arrives at `node`'s directory input queue.
+    DirArrive(usize, CohReq),
+    /// The directory at `node` is free to service its next request.
+    DirService(usize),
+    /// An active message arrives at `node`'s handler input queue.
+    MsgArrive(usize, ActiveMsg),
+    /// The handler engine at `node` is free to run its next handler.
+    MsgService(usize),
+    /// The thread scheduler at `node` should start its next ready thread
+    /// if the processor is idle.
+    Dispatch(usize),
+}
+
+pub(crate) struct EventEntry {
+    pub time: u64,
+    pub seq: u64,
+    pub ev: Ev,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first.
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for EventEntry {}
+
+/// Poll one task to completion-or-pending. Takes the future out of the
+/// slot so the task may freely re-borrow the state while running.
+pub(crate) fn poll_task(st_rc: &Rc<RefCell<State>>, tid: TaskId) {
+    let fut = {
+        let mut st = st_rc.borrow_mut();
+        match st.tasks.get_mut(tid.0).and_then(|s| s.as_mut()) {
+            Some(slot) => match slot.fut.take() {
+                Some(f) => f,
+                None => return, // already running further up the stack
+            },
+            None => return, // task already finished; stale wake
+        }
+    };
+    let mut fut = fut;
+    st_rc.borrow_mut().current_task = Some(tid);
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    let res = fut.as_mut().poll(&mut cx);
+    {
+        let mut st = st_rc.borrow_mut();
+        st.current_task = None;
+        match res {
+            Poll::Pending => {
+                if let Some(slot) = st.tasks.get_mut(tid.0).and_then(|s| s.as_mut()) {
+                    slot.fut = Some(fut);
+                }
+            }
+            Poll::Ready(()) => {
+                let slot = st.tasks[tid.0].take();
+                st.free_tasks.push(tid.0);
+                st.live_tasks -= 1;
+                if let Some(slot) = slot {
+                    if let Some(thr) = slot.thread {
+                        crate::thread::thread_exited(&mut st, thr.node);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Create a raw (scheduler-independent) task and schedule its first poll.
+pub(crate) fn spawn_raw(
+    st: &mut State,
+    fut: impl Future<Output = ()> + 'static,
+    start_at: u64,
+) -> TaskId {
+    let slot = TaskSlotInit {
+        fut: Box::pin(fut),
+    };
+    let id = insert_task(st, slot.fut, None);
+    st.schedule(start_at, Ev::Wake(id));
+    id
+}
+
+pub(crate) struct TaskSlotInit {
+    pub fut: BoxFut,
+}
+
+pub(crate) fn insert_task(
+    st: &mut State,
+    fut: BoxFut,
+    thread: Option<crate::state::ThreadInfo>,
+) -> TaskId {
+    let slot = crate::state::TaskSlot {
+        fut: Some(fut),
+        thread,
+    };
+    st.live_tasks += 1;
+    if let Some(i) = st.free_tasks.pop() {
+        st.tasks[i] = Some(slot);
+        TaskId(i)
+    } else {
+        st.tasks.push(Some(slot));
+        TaskId(st.tasks.len() - 1)
+    }
+}

@@ -1,0 +1,491 @@
+//! The public machine facade: configuration, allocation, task spawning,
+//! and the event loop.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::rc::Rc;
+
+use crate::cost::CostModel;
+use crate::cpu::Cpu;
+use crate::exec::{self, Ev, TaskId};
+use crate::msg::{HandlerCtx, Port};
+use crate::state::{Addr, State};
+use crate::stats::Stats;
+use crate::thread::{self, WaitQueueId};
+use crate::{coherence, msg};
+
+/// Machine configuration. Construct with [`Config::default`] and chain
+/// the builder-style setters.
+///
+/// ```
+/// use alewife_sim::{Config, CostModel};
+/// let cfg = Config::default().nodes(16).cost(CostModel::prototype());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub(crate) nodes: usize,
+    pub(crate) contexts: usize,
+    pub(crate) cost: CostModel,
+    pub(crate) line_words: u64,
+    pub(crate) hw_ptrs: usize,
+    pub(crate) full_map: bool,
+    pub(crate) seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            nodes: 1,
+            contexts: 1,
+            cost: CostModel::nwo(),
+            line_words: 4,
+            hw_ptrs: 5,
+            full_map: false,
+            seed: 0xA1EF_17E5,
+        }
+    }
+}
+
+impl Config {
+    /// Number of processing nodes.
+    pub fn nodes(mut self, n: usize) -> Self {
+        assert!(n > 0, "a machine needs at least one node");
+        self.nodes = n;
+        self
+    }
+
+    /// Hardware contexts per node (Sparcle block multithreading).
+    pub fn contexts(mut self, n: usize) -> Self {
+        assert!(n > 0, "a node needs at least one context");
+        self.contexts = n;
+        self
+    }
+
+    /// Cycle cost model.
+    pub fn cost(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Words per cache line (default 4).
+    pub fn line_words(mut self, w: u64) -> Self {
+        assert!(w > 0);
+        self.line_words = w;
+        self
+    }
+
+    /// Hardware directory pointers before LimitLESS extension (default 5).
+    pub fn hw_ptrs(mut self, n: usize) -> Self {
+        self.hw_ptrs = n;
+        self
+    }
+
+    /// Model a full-map directory (`Dir_NB`): no LimitLESS traps.
+    pub fn full_map(mut self, b: bool) -> Self {
+        self.full_map = b;
+        self
+    }
+
+    /// Seed for the deterministic random stream.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// A simulated multiprocessor. See the crate docs for an example.
+pub struct Machine {
+    st: Rc<RefCell<State>>,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    pub fn new(cfg: Config) -> Machine {
+        Machine {
+            st: Rc::new(RefCell::new(State::new(
+                cfg.nodes,
+                cfg.contexts,
+                cfg.cost,
+                cfg.line_words,
+                cfg.hw_ptrs,
+                cfg.full_map,
+                cfg.seed,
+            ))),
+        }
+    }
+
+    /// Handle for issuing operations as node `node`.
+    pub fn cpu(&self, node: usize) -> Cpu {
+        assert!(node < self.st.borrow().nodes_n, "cpu: node out of range");
+        Cpu {
+            st: self.st.clone(),
+            node,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.st.borrow().nodes_n
+    }
+
+    /// Allocate `words` words of shared memory homed on `node`
+    /// (line-aligned; never false-shares with other allocations).
+    pub fn alloc_on(&self, node: usize, words: u64) -> Addr {
+        self.st.borrow_mut().alloc_on(node, words)
+    }
+
+    /// Allocate a single word homed on `node`.
+    pub fn alloc_var(&self, node: usize) -> Addr {
+        self.alloc_on(node, 1)
+    }
+
+    /// Read a word directly (no cycles charged; for setup/inspection).
+    pub fn read_word(&self, a: Addr) -> u64 {
+        self.st.borrow().mem[a.0 as usize]
+    }
+
+    /// Write a word directly (no cycles charged; for setup only — do not
+    /// call while the simulation is running).
+    pub fn write_word(&self, a: Addr, v: u64) {
+        self.st.borrow_mut().mem[a.0 as usize] = v;
+    }
+
+    /// Set a word's full/empty bit directly (setup only).
+    pub fn set_full(&self, a: Addr, full: bool) {
+        self.st.borrow_mut().full_bits[a.0 as usize] = full;
+    }
+
+    /// Spawn a scheduler-managed thread on `node`.
+    pub fn spawn(&self, node: usize, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        assert!(node < self.st.borrow().nodes_n, "spawn: node out of range");
+        thread::spawn_thread(&mut self.st.borrow_mut(), node, Box::pin(fut))
+    }
+
+    /// Spawn a raw task that bypasses the thread scheduler (for drivers
+    /// and helpers that should not occupy a simulated processor).
+    pub fn spawn_task(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let mut st = self.st.borrow_mut();
+        let now = st.now;
+        exec::spawn_raw(&mut st, fut, now)
+    }
+
+    /// Create a wait queue for blocking threads.
+    pub fn new_wait_queue(&self) -> WaitQueueId {
+        thread::new_wait_queue(&mut self.st.borrow_mut())
+    }
+
+    /// Register an active-message handler for `(node, port)`.
+    pub fn register_handler(
+        &self,
+        node: usize,
+        port: Port,
+        f: impl FnMut(&mut HandlerCtx<'_>, [u64; 4]) + 'static,
+    ) {
+        self.st
+            .borrow_mut()
+            .handlers
+            .insert((node, port.0), Some(Box::new(f)));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.st.borrow().now
+    }
+
+    /// Number of live (unfinished) tasks — nonzero after [`Machine::run`]
+    /// indicates deadlock (tasks waiting on conditions that never fire).
+    pub fn live_tasks(&self) -> usize {
+        self.st.borrow().live_tasks
+    }
+
+    /// Snapshot of machine statistics.
+    pub fn stats(&self) -> Stats {
+        self.st.borrow().stats.clone()
+    }
+
+    /// Run until no events remain; returns the final virtual time.
+    pub fn run(&self) -> u64 {
+        self.run_until(u64::MAX)
+    }
+
+    /// Run until no events remain or virtual time would exceed `limit`;
+    /// returns the time reached.
+    pub fn run_until(&self, limit: u64) -> u64 {
+        loop {
+            let ev = {
+                let mut st = self.st.borrow_mut();
+                match st.events.peek() {
+                    Some(e) if e.time <= limit => {
+                        let e = st.events.pop().expect("peeked event vanished");
+                        st.now = e.time;
+                        e.ev
+                    }
+                    _ => break,
+                }
+            };
+            self.handle(ev);
+        }
+        self.st.borrow().now
+    }
+
+    fn handle(&self, ev: Ev) {
+        match ev {
+            Ev::Wake(tid) => exec::poll_task(&self.st, tid),
+            Ev::Complete(c, v) => {
+                if let Some(tid) = c.fulfill(v) {
+                    exec::poll_task(&self.st, tid);
+                }
+            }
+            Ev::DirArrive(n, req) => coherence::dir_arrive(&mut self.st.borrow_mut(), n, req),
+            Ev::DirService(n) => coherence::dir_service(&mut self.st.borrow_mut(), n),
+            Ev::MsgArrive(n, m) => msg::msg_arrive(&mut self.st.borrow_mut(), n, m),
+            Ev::MsgService(n) => msg::msg_service(&mut self.st.borrow_mut(), n),
+            Ev::Dispatch(n) => thread::dispatch(&mut self.st.borrow_mut(), n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_processor_counter() {
+        let m = Machine::new(Config::default());
+        let a = m.alloc_var(0);
+        let cpu = m.cpu(0);
+        m.spawn(0, async move {
+            for _ in 0..100 {
+                cpu.fetch_and_add(a, 1).await;
+            }
+        });
+        m.run();
+        assert_eq!(m.read_word(a), 100);
+        assert_eq!(m.live_tasks(), 0);
+    }
+
+    #[test]
+    fn concurrent_fetch_and_add_is_atomic() {
+        let m = Machine::new(Config::default().nodes(8));
+        let a = m.alloc_on(0, 1);
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            m.spawn(p, async move {
+                for _ in 0..50 {
+                    cpu.fetch_and_add(a, 1).await;
+                    cpu.work(cpu.rand_below(40)).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.read_word(a), 400);
+    }
+
+    #[test]
+    fn test_and_set_grants_exactly_one_winner() {
+        let m = Machine::new(Config::default().nodes(16));
+        let flag = m.alloc_on(0, 1);
+        let winners = m.alloc_on(0, 2).plus(1); // separate line not needed; distinct word
+        let winners = {
+            // Keep winners on its own line to avoid interference.
+            let _ = winners;
+            m.alloc_on(1, 1)
+        };
+        for p in 0..16 {
+            let cpu = m.cpu(p);
+            m.spawn(p, async move {
+                if cpu.test_and_set(flag).await == 0 {
+                    cpu.fetch_and_add(winners, 1).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.read_word(winners), 1);
+    }
+
+    #[test]
+    fn read_polling_wakes_on_write() {
+        let m = Machine::new(Config::default().nodes(2));
+        let flag = m.alloc_on(0, 1);
+        let seen = m.alloc_on(1, 1);
+        let c0 = m.cpu(0);
+        let c1 = m.cpu(1);
+        m.spawn(1, async move {
+            let v = c1.poll_until(flag, |v| v != 0).await;
+            c1.write(seen, v).await;
+        });
+        m.spawn(0, async move {
+            c0.work(5_000).await;
+            c0.write(flag, 42).await;
+        });
+        m.run();
+        assert_eq!(m.read_word(seen), 42);
+        assert_eq!(m.live_tasks(), 0);
+    }
+
+    #[test]
+    fn remote_miss_costs_more_than_hit() {
+        // One read from far away vs. a re-read (hit).
+        let m = Machine::new(Config::default().nodes(64));
+        let a = m.alloc_on(0, 1);
+        let cpu = m.cpu(63);
+        let times = m.alloc_on(1, 2);
+        m.spawn(63, async move {
+            let t0 = cpu.now();
+            cpu.read(a).await;
+            let t1 = cpu.now();
+            cpu.read(a).await;
+            let t2 = cpu.now();
+            cpu.write(times, t1 - t0).await;
+            cpu.write(times.plus(1), t2 - t1).await;
+        });
+        m.run();
+        let miss = m.read_word(times);
+        let hit = m.read_word(times.plus(1));
+        assert!(miss >= 30, "remote miss only {miss} cycles");
+        assert!(hit <= 4, "cache hit took {hit} cycles");
+    }
+
+    #[test]
+    fn blocking_and_signalling_threads() {
+        let m = Machine::new(Config::default().nodes(2));
+        let q = m.new_wait_queue();
+        let done = m.alloc_on(0, 1);
+        let c0 = m.cpu(0);
+        let c1 = m.cpu(1);
+        m.spawn(0, async move {
+            c0.block_on(q).await;
+            c0.write(done, 1).await;
+        });
+        m.spawn(1, async move {
+            c1.work(2_000).await;
+            assert!(c1.signal_one(q).await);
+        });
+        let elapsed = m.run();
+        assert_eq!(m.read_word(done), 1);
+        assert_eq!(m.live_tasks(), 0);
+        // Block + signal + reload should land past the signal time.
+        assert!(elapsed >= 2_000);
+    }
+
+    #[test]
+    fn two_threads_share_one_processor_nonpreemptively() {
+        let m = Machine::new(Config::default().nodes(1).contexts(2));
+        let a = m.alloc_on(0, 2);
+        let c0 = m.cpu(0);
+        let c1 = m.cpu(0);
+        m.spawn(0, async move {
+            c0.work(100).await;
+            c0.write(a, c0.now()).await;
+            c0.yield_now().await;
+            c0.work(100).await;
+        });
+        m.spawn(0, async move {
+            c1.write(a.plus(1), c1.now()).await;
+        });
+        m.run();
+        let first = m.read_word(a);
+        let second = m.read_word(a.plus(1));
+        // Thread 2 only ran after thread 1 yielded.
+        assert!(second > first, "t2 at {second} should follow t1 at {first}");
+        assert_eq!(m.live_tasks(), 0);
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let m = Machine::new(Config::default().nodes(4));
+        m.register_handler(2, Port(7), |ctx, args| {
+            let tok = ctx.token();
+            ctx.reply_to(tok, args[0] * 2);
+        });
+        let out = m.alloc_on(0, 1);
+        let cpu = m.cpu(0);
+        m.spawn(0, async move {
+            let r = cpu.rpc(2, Port(7), [21, 0, 0, 0]).await;
+            cpu.write(out, r).await;
+        });
+        m.run();
+        assert_eq!(m.read_word(out), 42);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let m = Machine::new(Config::default().nodes(8).seed(99));
+            let a = m.alloc_on(0, 1);
+            for p in 0..8 {
+                let cpu = m.cpu(p);
+                m.spawn(p, async move {
+                    for _ in 0..20 {
+                        cpu.fetch_and_add(a, 1).await;
+                        cpu.work(cpu.rand_below(100)).await;
+                    }
+                });
+            }
+            let t = m.run();
+            (t, m.stats().net_msgs)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn limitless_traps_fire_beyond_hw_pointers() {
+        let m = Machine::new(Config::default().nodes(16).hw_ptrs(5));
+        let a = m.alloc_on(0, 1);
+        for p in 0..16 {
+            let cpu = m.cpu(p);
+            m.spawn(p, async move {
+                cpu.read(a).await;
+            });
+        }
+        m.run();
+        assert!(m.stats().limitless_traps > 0);
+
+        let m2 = Machine::new(Config::default().nodes(16).hw_ptrs(5).full_map(true));
+        let a2 = m2.alloc_on(0, 1);
+        for p in 0..16 {
+            let cpu = m2.cpu(p);
+            m2.spawn(p, async move {
+                cpu.read(a2).await;
+            });
+        }
+        m2.run();
+        assert_eq!(m2.stats().limitless_traps, 0);
+    }
+
+    #[test]
+    fn invalidation_fan_out_scales_with_sharers() {
+        // Writing a line cached by k readers should take longer as k grows.
+        let time_release = |k: usize| {
+            let m = Machine::new(Config::default().nodes(33));
+            let a = m.alloc_on(0, 1);
+            let ready = m.alloc_on(1, 1);
+            for p in 1..=k {
+                let cpu = m.cpu(p);
+                m.spawn(p, async move {
+                    cpu.read(a).await;
+                    cpu.fetch_and_add(ready, 1).await;
+                    // Keep the copy cached; do nothing else.
+                });
+            }
+            let cpu = m.cpu(32);
+            let out = m.alloc_on(2, 1);
+            let kk = k as u64;
+            m.spawn(32, async move {
+                cpu.poll_until(ready, move |v| v == kk).await;
+                let t0 = cpu.now();
+                cpu.write(a, 1).await;
+                let t1 = cpu.now();
+                cpu.write(out, t1 - t0).await;
+            });
+            m.run();
+            m.read_word(out)
+        };
+        let t2 = time_release(2);
+        let t16 = time_release(16);
+        assert!(
+            t16 > t2 + 20,
+            "16-sharer inval ({t16}) not costlier than 2-sharer ({t2})"
+        );
+    }
+}

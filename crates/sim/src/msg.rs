@@ -1,0 +1,232 @@
+//! Active messages (§3.6): atomic handlers at the destination node.
+//!
+//! A handler is an arbitrary closure registered for a `(node, port)`
+//! pair. Handlers run *atomically* with respect to other handlers on the
+//! same node (the per-node handler engine services one message at a
+//! time), exactly the property message-passing protocols exploit to get
+//! atomicity without locks. Handlers may capture their own state (the
+//! simulator is single-threaded), send further messages, and reply to
+//! RPCs — including *deferred* replies, which is how a message-passing
+//! lock manager grants a queued lock long after the request arrived.
+
+use crate::exec::{Completion, Ev};
+use crate::net;
+use crate::state::State;
+
+/// A message port number; handlers are registered per `(node, Port)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Port(pub u32);
+
+/// Opaque token identifying a pending RPC awaiting a reply.
+///
+/// The raw value is exposed so handlers can store tokens (e.g. in a queue
+/// of lock waiters) and reply later via [`HandlerCtx::reply_to`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReplyToken(pub u64);
+
+/// Placeholder address type for node-private memory. Handlers normally
+/// capture their state directly; this exists for symmetry with the paper
+/// text and is currently a plain index newtype.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrivAddr(pub usize);
+
+pub(crate) struct ActiveMsg {
+    pub port: u32,
+    pub from: usize,
+    pub args: [u64; 4],
+    /// 0 when the message is not an RPC.
+    pub token: u64,
+}
+
+pub(crate) type HandlerFn = Box<dyn FnMut(&mut HandlerCtx<'_>, [u64; 4])>;
+
+/// Execution context passed to an active-message handler.
+///
+/// All side effects are stamped at the handler's completion time, keeping
+/// the handler logically atomic.
+pub struct HandlerCtx<'a> {
+    pub(crate) st: &'a mut State,
+    pub(crate) node: usize,
+    pub(crate) from: usize,
+    pub(crate) token: u64,
+    pub(crate) t_end: u64,
+}
+
+impl HandlerCtx<'_> {
+    /// Node the handler runs on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Node that sent the message.
+    pub fn sender(&self) -> usize {
+        self.from
+    }
+
+    /// Virtual time at which the handler's effects become visible.
+    pub fn now(&self) -> u64 {
+        self.t_end
+    }
+
+    /// The RPC token of this message, if the sender used
+    /// [`crate::Cpu::rpc`]; `ReplyToken(0)` otherwise.
+    pub fn token(&self) -> ReplyToken {
+        ReplyToken(self.token)
+    }
+
+    /// Extend this handler's occupancy by `cycles` (models handler work).
+    pub fn consume(&mut self, cycles: u64) {
+        self.t_end += cycles;
+    }
+
+    /// Fire-and-forget message to another node's handler.
+    pub fn send(&mut self, dest: usize, port: Port, args: [u64; 4]) {
+        self.send_with_token(dest, port, args, ReplyToken(0));
+    }
+
+    /// Send a message carrying an RPC token (e.g. forwarding a request up
+    /// a combining tree so a later handler can reply to the originator).
+    pub fn send_with_token(&mut self, dest: usize, port: Port, args: [u64; 4], tok: ReplyToken) {
+        let at = self.t_end + net::latency(self.st, self.node, dest);
+        self.st.stats.net_msgs += 1;
+        let msg = ActiveMsg {
+            port: port.0,
+            from: self.node,
+            args,
+            token: tok.0,
+        };
+        self.st.schedule(at, Ev::MsgArrive(dest, msg));
+    }
+
+    /// Send a message to this node's own handler engine after `delay`
+    /// cycles (used e.g. for combining windows).
+    pub fn send_self_delayed(&mut self, port: Port, args: [u64; 4], delay: u64) {
+        let at = self.t_end + delay;
+        let msg = ActiveMsg {
+            port: port.0,
+            from: self.node,
+            args,
+            token: 0,
+        };
+        self.st.schedule(at, Ev::MsgArrive(self.node, msg));
+    }
+
+    /// Complete the RPC identified by `tok` with `value`. The reply
+    /// travels from this node to the original requester.
+    ///
+    /// # Panics
+    /// Panics if the token is unknown (already replied or never issued).
+    pub fn reply_to(&mut self, tok: ReplyToken, value: u64) {
+        let (comp, requester) = self
+            .st
+            .rpc_pending
+            .remove(&tok.0)
+            .expect("reply_to: unknown RPC token");
+        let at = self.t_end + net::latency(self.st, self.node, requester);
+        self.st.stats.net_msgs += 1;
+        self.st.schedule(at, Ev::Complete(comp, [value, 0]));
+    }
+
+    /// Increment a named statistics counter.
+    pub fn bump(&mut self, name: &str, n: u64) {
+        self.st.stats.bump(name, n);
+    }
+
+    /// Deterministic random value in `[0, bound)`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.st.rand_below(bound)
+    }
+}
+
+/// An active message arrived at `node`; queue it for the handler engine.
+pub(crate) fn msg_arrive(st: &mut State, node: usize, msg: ActiveMsg) {
+    st.stats.active_msgs += 1;
+    st.msg_q[node].push_back(msg);
+    if !st.msg_scheduled[node] {
+        st.msg_scheduled[node] = true;
+        let at = st.now.max(st.msg_busy[node]);
+        st.schedule(at, Ev::MsgService(node));
+    }
+}
+
+/// Run the next queued handler at `node`.
+pub(crate) fn msg_service(st: &mut State, node: usize) {
+    st.msg_scheduled[node] = false;
+    let Some(msg) = st.msg_q[node].pop_front() else {
+        return;
+    };
+    let key = (node, msg.port);
+    let mut handler = match st.handlers.get_mut(&key).and_then(|h| h.take()) {
+        Some(h) => h,
+        None => panic!(
+            "no handler registered for node {} port {}",
+            node, msg.port
+        ),
+    };
+    let t_end = st.now + st.cost.msg_handler;
+    let mut ctx = HandlerCtx {
+        st,
+        node,
+        from: msg.from,
+        token: msg.token,
+        t_end,
+    };
+    handler(&mut ctx, msg.args);
+    let t_end = ctx.t_end;
+    // Re-install the handler (it was taken to avoid aliasing).
+    if let Some(slot) = st.handlers.get_mut(&key) {
+        *slot = Some(handler);
+    }
+    st.msg_busy[node] = t_end;
+    if !st.msg_q[node].is_empty() {
+        st.msg_scheduled[node] = true;
+        st.schedule(t_end, Ev::MsgService(node));
+    }
+}
+
+/// Issue an RPC from a processor: register the pending completion and
+/// launch the request message. Returns the arrival-scheduling time.
+pub(crate) fn issue_rpc(
+    st: &mut State,
+    from: usize,
+    dest: usize,
+    port: Port,
+    args: [u64; 4],
+    comp: Completion,
+) {
+    let token = st.next_rpc_token;
+    st.next_rpc_token += 1;
+    st.rpc_pending.insert(token, (comp, from));
+    let at = st.now + st.cost.msg_send + net::latency(st, from, dest);
+    st.stats.net_msgs += 1;
+    st.schedule(
+        at,
+        Ev::MsgArrive(
+            dest,
+            ActiveMsg {
+                port: port.0,
+                from,
+                args,
+                token,
+            },
+        ),
+    );
+}
+
+/// Fire-and-forget send from a processor.
+pub(crate) fn issue_send(st: &mut State, from: usize, dest: usize, port: Port, args: [u64; 4]) {
+    let at = st.now + st.cost.msg_send + net::latency(st, from, dest);
+    st.stats.net_msgs += 1;
+    st.schedule(
+        at,
+        Ev::MsgArrive(
+            dest,
+            ActiveMsg {
+                port: port.0,
+                from,
+                args,
+                token: 0,
+            },
+        ),
+    );
+}

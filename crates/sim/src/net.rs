@@ -1,0 +1,74 @@
+//! Network latency model: a 2-D mesh with dimension-ordered routing.
+//!
+//! One-way latency between two nodes is `net_base + net_per_hop * hops`
+//! where `hops` is the Manhattan distance on the smallest square mesh
+//! that holds all nodes. Contention is modelled at the endpoints (the
+//! directory and handler engines are serially-occupied resources), which
+//! is where synchronization traffic actually piles up; wire contention is
+//! not modelled.
+
+use crate::state::State;
+
+/// Manhattan distance between `a` and `b` on the mesh.
+pub(crate) fn hops(st: &State, a: usize, b: usize) -> u64 {
+    if a == b {
+        return 0;
+    }
+    let d = st.mesh_dim.max(1);
+    let (ax, ay) = (a % d, a / d);
+    let (bx, by) = (b % d, b / d);
+    (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+}
+
+/// One-way message latency from `a` to `b` in cycles.
+pub(crate) fn latency(st: &State, a: usize, b: usize) -> u64 {
+    if a == b {
+        // Loopback through the network interface.
+        return st.cost.net_base / 2;
+    }
+    st.cost.net_base + st.cost.net_per_hop * hops(st, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::state::State;
+
+    fn mk(nodes: usize) -> State {
+        State::new(nodes, 1, CostModel::nwo(), 4, 5, false, 1)
+    }
+
+    #[test]
+    fn mesh_dimension_is_smallest_square() {
+        assert_eq!(mk(1).mesh_dim, 1);
+        assert_eq!(mk(4).mesh_dim, 2);
+        assert_eq!(mk(16).mesh_dim, 4);
+        assert_eq!(mk(17).mesh_dim, 5);
+        assert_eq!(mk(64).mesh_dim, 8);
+    }
+
+    #[test]
+    fn hops_are_symmetric_and_triangle() {
+        let st = mk(16);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(super::hops(&st, a, b), super::hops(&st, b, a));
+                for c in 0..16 {
+                    assert!(
+                        super::hops(&st, a, c)
+                            <= super::hops(&st, a, b) + super::hops(&st, b, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let st = mk(64);
+        let near = super::latency(&st, 0, 1);
+        let far = super::latency(&st, 0, 63);
+        assert!(far > near);
+        assert!(super::latency(&st, 5, 5) < near);
+    }
+}

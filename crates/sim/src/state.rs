@@ -1,0 +1,206 @@
+//! The master simulation state shared (via `Rc<RefCell<_>>`) between the
+//! executor, the coherence engine, the message engine, and the thread
+//! runtime.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::coherence::{CacheState, CohReq, DirEntry};
+use crate::cost::CostModel;
+use crate::exec::{BoxFut, Completion, Ev, EventEntry, TaskId};
+use crate::msg::{ActiveMsg, HandlerFn};
+use crate::stats::Stats;
+use crate::thread::NodeSched;
+
+/// A word address in simulated globally-shared memory.
+///
+/// Addresses are word-granular; the unit of coherence is the *line*
+/// (`Config::line_words` consecutive words). Use [`Addr::plus`] to address
+/// into an allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The address `words` words past `self`.
+    pub fn plus(self, words: u64) -> Addr {
+        Addr(self.0 + words)
+    }
+}
+
+pub(crate) type Line = u64;
+
+/// Per-thread bookkeeping attached to scheduler-managed tasks.
+#[derive(Debug)]
+pub(crate) struct ThreadInfo {
+    pub node: usize,
+    /// Completion the thread awaits while it is off the processor.
+    pub resume: Option<Completion>,
+    /// Whether the thread's registers are resident in a hardware context.
+    pub loaded: bool,
+}
+
+pub(crate) struct TaskSlot {
+    pub fut: Option<BoxFut>,
+    pub thread: Option<ThreadInfo>,
+}
+
+pub(crate) struct State {
+    // --- configuration ---
+    pub nodes_n: usize,
+    pub contexts: usize,
+    pub cost: CostModel,
+    pub line_words: u64,
+    pub hw_ptrs: usize,
+    pub full_map: bool,
+    pub mesh_dim: usize,
+
+    // --- executor ---
+    pub now: u64,
+    pub seq: u64,
+    pub events: BinaryHeap<EventEntry>,
+    pub tasks: Vec<Option<TaskSlot>>,
+    pub free_tasks: Vec<usize>,
+    pub current_task: Option<TaskId>,
+    pub live_tasks: usize,
+
+    // --- shared memory & coherence ---
+    pub mem: Vec<u64>,
+    pub full_bits: Vec<bool>,
+    pub next_word: u64,
+    pub line_home: Vec<usize>,
+    pub line_ver: HashMap<Line, u64>,
+    pub dir: HashMap<Line, DirEntry>,
+    pub caches: Vec<HashMap<Line, CacheState>>,
+    pub dir_q: Vec<VecDeque<CohReq>>,
+    pub dir_busy: Vec<u64>,
+    pub dir_scheduled: Vec<bool>,
+    pub watchers: HashMap<Line, Vec<TaskId>>,
+
+    // --- active messages ---
+    pub handlers: HashMap<(usize, u32), Option<HandlerFn>>,
+    pub msg_q: Vec<VecDeque<ActiveMsg>>,
+    pub msg_busy: Vec<u64>,
+    pub msg_scheduled: Vec<bool>,
+    pub rpc_pending: HashMap<u64, (Completion, usize)>,
+    pub next_rpc_token: u64,
+
+    // --- thread runtime ---
+    pub scheds: Vec<NodeSched>,
+    pub wait_queues: Vec<VecDeque<TaskId>>,
+
+    // --- misc ---
+    pub rng: u64,
+    pub stats: Stats,
+}
+
+impl State {
+    pub fn new(
+        nodes: usize,
+        contexts: usize,
+        cost: CostModel,
+        line_words: u64,
+        hw_ptrs: usize,
+        full_map: bool,
+        seed: u64,
+    ) -> State {
+        let mesh_dim = (1..).find(|d| d * d >= nodes).unwrap_or(1);
+        State {
+            nodes_n: nodes,
+            contexts,
+            cost,
+            line_words,
+            hw_ptrs,
+            full_map,
+            mesh_dim,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            tasks: Vec::new(),
+            free_tasks: Vec::new(),
+            current_task: None,
+            live_tasks: 0,
+            mem: Vec::new(),
+            full_bits: Vec::new(),
+            next_word: 0,
+            line_home: Vec::new(),
+            line_ver: HashMap::new(),
+            dir: HashMap::new(),
+            caches: vec![HashMap::new(); nodes],
+            dir_q: (0..nodes).map(|_| VecDeque::new()).collect(),
+            dir_busy: vec![0; nodes],
+            dir_scheduled: vec![false; nodes],
+            watchers: HashMap::new(),
+            handlers: HashMap::new(),
+            msg_q: (0..nodes).map(|_| VecDeque::new()).collect(),
+            msg_busy: vec![0; nodes],
+            msg_scheduled: vec![false; nodes],
+            rpc_pending: HashMap::new(),
+            next_rpc_token: 1,
+            scheds: (0..nodes).map(|_| NodeSched::new(contexts)).collect(),
+            wait_queues: Vec::new(),
+            rng: if seed == 0 { 1 } else { seed },
+            stats: Stats::new(),
+        }
+    }
+
+    /// Enqueue `ev` to fire at absolute virtual time `at` (>= now).
+    pub fn schedule(&mut self, at: u64, ev: Ev) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.events.push(EventEntry {
+            time: at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    pub fn line_of(&self, addr: Addr) -> Line {
+        addr.0 / self.line_words
+    }
+
+    pub fn home_of(&self, line: Line) -> usize {
+        self.line_home
+            .get(line as usize)
+            .copied()
+            .unwrap_or((line as usize) % self.nodes_n)
+    }
+
+    /// Allocate `words` words of shared memory whose lines are homed on
+    /// `node`. Always starts on a fresh line so distinct allocations never
+    /// exhibit false sharing with each other.
+    pub fn alloc_on(&mut self, node: usize, words: u64) -> Addr {
+        assert!(node < self.nodes_n, "alloc_on: node out of range");
+        assert!(words > 0, "alloc_on: zero-sized allocation");
+        // Round up to a line boundary.
+        let lw = self.line_words;
+        if self.next_word % lw != 0 {
+            self.next_word += lw - self.next_word % lw;
+        }
+        let base = self.next_word;
+        let lines = words.div_ceil(lw);
+        self.next_word += lines * lw;
+        self.mem.resize(self.next_word as usize, 0);
+        self.full_bits.resize(self.next_word as usize, false);
+        let first_line = base / lw;
+        self.line_home.resize((first_line + lines) as usize, 0);
+        for l in first_line..first_line + lines {
+            self.line_home[l as usize] = node;
+        }
+        Addr(base)
+    }
+
+    /// Bump the line version (invalidation epoch) and wake all watchers.
+    /// Watchers are woken at `wake_at` (e.g. when the invalidation would
+    /// reach them) and re-check whatever condition they were watching.
+    pub fn touch_line(&mut self, line: Line, wake_at: u64) {
+        *self.line_ver.entry(line).or_insert(0) += 1;
+        if let Some(ws) = self.watchers.remove(&line) {
+            for t in ws {
+                self.schedule(wake_at, Ev::Wake(t));
+            }
+        }
+    }
+
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        crate::rng::below(&mut self.rng, bound)
+    }
+}

@@ -1,0 +1,173 @@
+//! Simulation statistics: machine-level counters and waiting-time
+//! histograms used by the Chapter 4 experiments (Figures 4.6-4.11).
+
+use std::collections::BTreeMap;
+
+/// A histogram of waiting times (cycles) with power-of-two buckets plus
+/// exact moments. Keeps up to [`WaitHistogram::MAX_RAW`] raw samples for
+/// percentile/profile plots.
+#[derive(Clone, Debug, Default)]
+pub struct WaitHistogram {
+    /// bucket\[i\] counts samples in `[2^i, 2^(i+1))` (bucket 0 holds 0-1).
+    pub buckets: Vec<u64>,
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Raw samples (capped at [`WaitHistogram::MAX_RAW`]).
+    pub raw: Vec<u64>,
+}
+
+impl WaitHistogram {
+    /// Cap on retained raw samples.
+    pub const MAX_RAW: usize = 200_000;
+
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one waiting time in cycles.
+    pub fn record(&mut self, t: u64) {
+        let b = (64 - t.leading_zeros()).saturating_sub(1) as usize;
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += t;
+        self.max = self.max.max(t);
+        if self.raw.len() < Self::MAX_RAW {
+            self.raw.push(t);
+        }
+    }
+
+    /// Mean waiting time, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `p`-th percentile (0-100) from retained raw samples.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.raw.is_empty() {
+            return 0;
+        }
+        let mut v = self.raw.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+
+    /// Fraction of samples strictly below `t`.
+    pub fn frac_below(&self, t: u64) -> f64 {
+        if self.raw.is_empty() {
+            return 0.0;
+        }
+        let below = self.raw.iter().filter(|&&x| x < t).count();
+        below as f64 / self.raw.len() as f64
+    }
+}
+
+/// Machine-wide statistics, retrievable with `Machine::stats`.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Coherence/network messages (requests + replies).
+    pub net_msgs: u64,
+    /// Cache misses that went to a directory.
+    pub remote_misses: u64,
+    /// Invalidation messages issued by directories.
+    pub invalidations: u64,
+    /// LimitLESS software-extension traps taken by directories.
+    pub limitless_traps: u64,
+    /// Coherence requests serviced by directories.
+    pub dir_requests: u64,
+    /// Active messages delivered.
+    pub active_msgs: u64,
+    /// Named event counters incremented by protocol code.
+    pub counters: BTreeMap<String, u64>,
+    /// Named waiting-time histograms recorded by protocol code.
+    pub waits: BTreeMap<String, WaitHistogram>,
+}
+
+impl Stats {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter.
+    pub fn bump(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Record a waiting time into the named histogram.
+    pub fn record_wait(&mut self, name: &str, t: u64) {
+        self.waits
+            .entry(name.to_string())
+            .or_default()
+            .record(t);
+    }
+
+    /// Read a named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_moments() {
+        let mut h = WaitHistogram::new();
+        for t in [1u64, 2, 3, 4, 10] {
+            h.record(t);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 20);
+        assert_eq!(h.max, 10);
+        assert!((h.mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let mut h = WaitHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        // 0,1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2.
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 1);
+    }
+
+    #[test]
+    fn percentile_and_cdf() {
+        let mut h = WaitHistogram::new();
+        for t in 1..=100u64 {
+            h.record(t);
+        }
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 100);
+        let med = h.percentile(50.0);
+        assert!((45..=55).contains(&med));
+        assert!((h.frac_below(51) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn counters() {
+        let mut s = Stats::new();
+        s.bump("x", 2);
+        s.bump("x", 3);
+        assert_eq!(s.counter("x"), 5);
+        assert_eq!(s.counter("y"), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The per-node thread runtime: non-preemptive scheduling with
+//! Alewife-like costs (§2.2.4, Table 4.1).
+//!
+//! Each node runs at most one thread at a time. Threads leave the
+//! processor only at explicit points: [`crate::Cpu::block_on`] (unload,
+//! ≈300 cycles), [`crate::Cpu::yield_now`] (context switch, 14 cycles),
+//! or exit. A blocked thread sits on a [`WaitQueueId`] until a signaller
+//! pays the reenable cost (≈100 cycles) to move it to its node's ready
+//! queue; it then pays the reload cost (≈65 cycles) when dispatched.
+//! Scheduling is non-preemptive: a spinning thread starves its peers,
+//! exactly the hazard that motivates two-phase waiting (Chapter 4).
+
+use std::collections::VecDeque;
+
+use crate::exec::{Completion, Ev, TaskId};
+use crate::state::State;
+
+/// Identifier of a simulator-level wait queue (a list of blocked
+/// threads attached to a synchronization condition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WaitQueueId(pub(crate) usize);
+
+/// Per-node scheduler state. The hardware-context count lives in the
+/// machine configuration; loaded threads beyond it still work (capacity
+/// is advisory), and blocked threads always unload.
+#[derive(Debug)]
+pub(crate) struct NodeSched {
+    pub running: Option<TaskId>,
+    pub ready: VecDeque<TaskId>,
+}
+
+impl NodeSched {
+    pub fn new(_contexts: usize) -> NodeSched {
+        NodeSched {
+            running: None,
+            ready: VecDeque::new(),
+        }
+    }
+}
+
+/// Spawn a scheduler-managed thread on `node`.
+pub(crate) fn spawn_thread(
+    st: &mut State,
+    node: usize,
+    fut: crate::exec::BoxFut,
+) -> TaskId {
+    let info = crate::state::ThreadInfo {
+        node,
+        resume: None,
+        loaded: false,
+    };
+    let tid = crate::exec::insert_task(st, fut, Some(info));
+    st.scheds[node].ready.push_back(tid);
+    let now = st.now;
+    st.schedule(now, Ev::Dispatch(node));
+    tid
+}
+
+/// If `node` is idle, start its next ready thread (charging a context
+/// switch for loaded threads or a reload for unloaded/new ones).
+pub(crate) fn dispatch(st: &mut State, node: usize) {
+    if st.scheds[node].running.is_some() {
+        return;
+    }
+    let Some(tid) = st.scheds[node].ready.pop_front() else {
+        return;
+    };
+    st.scheds[node].running = Some(tid);
+    let (cost, resume) = {
+        let info = st.tasks[tid.0]
+            .as_mut()
+            .and_then(|s| s.thread.as_mut())
+            .expect("dispatched a non-thread task");
+        let cost = if info.loaded {
+            st.cost.ctx_switch
+        } else {
+            st.cost.reload
+        };
+        info.loaded = true;
+        (cost, info.resume.take())
+    };
+    let at = st.now + cost;
+    match resume {
+        Some(c) => st.schedule(at, Ev::Complete(c, [0, 0])),
+        // First dispatch: the task has never been polled.
+        None => st.schedule(at, Ev::Wake(tid)),
+    }
+}
+
+/// The running thread on `node` finished; free the processor.
+pub(crate) fn thread_exited(st: &mut State, node: usize) {
+    st.scheds[node].running = None;
+    let now = st.now;
+    st.schedule(now, Ev::Dispatch(node));
+}
+
+/// Create a fresh wait queue.
+pub(crate) fn new_wait_queue(st: &mut State) -> WaitQueueId {
+    st.wait_queues.push(VecDeque::new());
+    WaitQueueId(st.wait_queues.len() - 1)
+}
+
+/// Block the current thread on `q`. Returns the completion the caller
+/// must await; all scheduler state transitions happen here, and the
+/// processor is handed off after the unload cost.
+pub(crate) fn begin_block(st: &mut State, node: usize, q: WaitQueueId) -> Completion {
+    let tid = st.current_task.expect("block_on outside a task");
+    debug_assert_eq!(
+        st.scheds[node].running,
+        Some(tid),
+        "block_on by a thread that is not running on its node"
+    );
+    let comp = Completion::new();
+    {
+        let info = st.tasks[tid.0]
+            .as_mut()
+            .and_then(|s| s.thread.as_mut())
+            .expect("block_on by a non-thread task");
+        info.resume = Some(comp.clone());
+        info.loaded = false;
+    }
+    st.wait_queues[q.0].push_back(tid);
+    st.scheds[node].running = None;
+    let at = st.now + st.cost.unload;
+    st.schedule(at, Ev::Dispatch(node));
+    comp
+}
+
+/// Pop one blocked thread from `q` and make it ready. Returns whether a
+/// thread was woken. The *caller* pays the reenable cost separately.
+pub(crate) fn signal_one(st: &mut State, q: WaitQueueId) -> bool {
+    match st.wait_queues[q.0].pop_front() {
+        Some(tid) => {
+            let node = st.tasks[tid.0]
+                .as_ref()
+                .and_then(|s| s.thread.as_ref())
+                .expect("signalled a non-thread task")
+                .node;
+            st.scheds[node].ready.push_back(tid);
+            let now = st.now;
+            st.schedule(now, Ev::Dispatch(node));
+            true
+        }
+        None => false,
+    }
+}
+
+/// Yield the processor to the next ready thread, if any. Returns the
+/// completion to await (`None` when there is nothing to switch to).
+pub(crate) fn begin_yield(st: &mut State, node: usize) -> Option<Completion> {
+    if st.scheds[node].ready.is_empty() {
+        return None;
+    }
+    let tid = st.current_task.expect("yield outside a task");
+    let comp = Completion::new();
+    {
+        let info = st.tasks[tid.0]
+            .as_mut()
+            .and_then(|s| s.thread.as_mut())
+            .expect("yield by a non-thread task");
+        info.resume = Some(comp.clone());
+        // Stays loaded: this is a cheap context switch, not an unload.
+    }
+    st.scheds[node].ready.push_back(tid);
+    st.scheds[node].running = None;
+    let now = st.now;
+    st.schedule(now, Ev::Dispatch(node));
+    Some(comp)
+}
+
+/// Number of threads ready to run on `node` (excluding the running one).
+pub(crate) fn ready_count(st: &State, node: usize) -> usize {
+    st.scheds[node].ready.len()
+}
+
+/// Number of threads blocked on `q`.
+pub(crate) fn queue_len(st: &State, q: WaitQueueId) -> usize {
+    st.wait_queues[q.0].len()
+}

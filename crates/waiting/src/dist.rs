@@ -1,0 +1,178 @@
+//! Waiting-time distributions (§4.4.3).
+//!
+//! The *restricted adversary* of the thesis fixes the waiting-time
+//! distribution family and controls only its parameter: exponential
+//! waits arise from Poisson producer arrivals (producer-consumer
+//! synchronization), uniform waits model barrier arrival skew.
+
+/// A waiting-time distribution over `t ≥ 0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WaitDist {
+    /// Exponential with the given rate λ (mean `1/λ`).
+    Exponential {
+        /// Arrival rate λ > 0.
+        rate: f64,
+    },
+    /// Uniform on `[0, b]`.
+    Uniform {
+        /// Upper bound b > 0.
+        max: f64,
+    },
+}
+
+impl WaitDist {
+    /// Exponential distribution with the given mean.
+    pub fn exponential_with_mean(mean: f64) -> WaitDist {
+        assert!(mean > 0.0, "mean must be positive");
+        WaitDist::Exponential { rate: 1.0 / mean }
+    }
+
+    /// Uniform distribution on `[0, max]`.
+    pub fn uniform(max: f64) -> WaitDist {
+        assert!(max > 0.0, "max must be positive");
+        WaitDist::Uniform { max }
+    }
+
+    /// Probability density at `t`.
+    pub fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        match *self {
+            WaitDist::Exponential { rate } => rate * (-rate * t).exp(),
+            WaitDist::Uniform { max } => {
+                if t <= max {
+                    1.0 / max
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Cumulative distribution `P[T ≤ t]`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        match *self {
+            WaitDist::Exponential { rate } => 1.0 - (-rate * t).exp(),
+            WaitDist::Uniform { max } => (t / max).min(1.0),
+        }
+    }
+
+    /// Mean waiting time.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            WaitDist::Exponential { rate } => 1.0 / rate,
+            WaitDist::Uniform { max } => max / 2.0,
+        }
+    }
+
+    /// Partial expectation `∫_0^x t f(t) dt`.
+    pub fn partial_mean(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        match *self {
+            WaitDist::Exponential { rate } => {
+                // ∫0^x t λ e^{-λt} dt = 1/λ (1 - e^{-λx}) - x e^{-λx}
+                let e = (-rate * x).exp();
+                (1.0 - e) / rate - x * e
+            }
+            WaitDist::Uniform { max } => {
+                let x = x.min(max);
+                x * x / (2.0 * max)
+            }
+        }
+    }
+
+    /// Tail probability `P[T > t]`.
+    pub fn tail(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Inverse-CDF sample from a uniform `u ∈ [0, 1)`.
+    pub fn sample_from_u(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        match *self {
+            WaitDist::Exponential { rate } => -(1.0 - u).ln() / rate,
+            WaitDist::Uniform { max } => u * max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        for d in [
+            WaitDist::exponential_with_mean(100.0),
+            WaitDist::uniform(500.0),
+        ] {
+            let mut sum = 0.0;
+            let dt = 0.05;
+            let mut t = 0.0;
+            while t < 20_000.0 {
+                sum += d.pdf(t) * dt;
+                t += dt;
+            }
+            assert!(close(sum, 1.0, 1e-2), "integral = {sum}");
+        }
+    }
+
+    #[test]
+    fn partial_mean_limits() {
+        let d = WaitDist::exponential_with_mean(10.0);
+        assert!(close(d.partial_mean(1e9), d.mean(), 1e-6));
+        assert_eq!(d.partial_mean(0.0), 0.0);
+        let u = WaitDist::uniform(8.0);
+        assert!(close(u.partial_mean(8.0), 4.0, 1e-12));
+        assert!(close(u.partial_mean(100.0), 4.0, 1e-12));
+        assert!(close(u.partial_mean(4.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn cdf_matches_pdf_numerically() {
+        let d = WaitDist::exponential_with_mean(50.0);
+        let mut acc = 0.0;
+        let dt = 0.01;
+        let mut t = 0.0;
+        while t < 200.0 {
+            acc += d.pdf(t) * dt;
+            t += dt;
+        }
+        assert!(close(acc, d.cdf(200.0), 1e-3));
+    }
+
+    #[test]
+    fn inverse_cdf_round_trips() {
+        for d in [
+            WaitDist::exponential_with_mean(7.0),
+            WaitDist::uniform(42.0),
+        ] {
+            for &u in &[0.01, 0.25, 0.5, 0.9, 0.999] {
+                let t = d.sample_from_u(u);
+                assert!(close(d.cdf(t), u, 1e-9), "cdf(icdf(u)) != u");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = WaitDist::exponential_with_mean(100.0);
+        let n = 200_000;
+        let mut s = 0.0;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            s += d.sample_from_u(u);
+        }
+        assert!(close(s / n as f64, 100.0, 1.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Expected waiting costs of two-phase algorithms (§4.4.2).
+//!
+//! Following Equation 4.1 of the thesis, a two-phase algorithm with
+//! polling limit `Lpoll = α·B` (where `B` is the signaling cost and `β`
+//! the polling efficiency — `β = 1` for plain spinning) has expected
+//! cost
+//!
+//! ```text
+//! E[C_2phase/α] = ∫₀^{αβB} (t/β) f(t) dt + (1+α)·B · P[T > αβB]
+//! ```
+//!
+//! and the optimal off-line algorithm (Equation 4.2) pays
+//!
+//! ```text
+//! E[C_opt] = ∫₀^{βB} (t/β) f(t) dt + B · P[T > βB]
+//! ```
+//!
+//! `E[C_poll]` is the `α → ∞` limit and `E[C_signal]` the `α = 0` case.
+
+use crate::dist::WaitDist;
+
+/// Expected cost of two-phase waiting with `Lpoll = alpha * b` against
+/// waiting times from `d`. `b` is the signaling (blocking) cost; `beta`
+/// is the polling efficiency (1 for spinning, ≈ number of contexts for
+/// switch-spinning).
+pub fn expected_two_phase(d: &WaitDist, alpha: f64, b: f64, beta: f64) -> f64 {
+    assert!(b > 0.0 && beta > 0.0 && alpha >= 0.0);
+    let cutoff = alpha * beta * b;
+    d.partial_mean(cutoff) / beta + (1.0 + alpha) * b * d.tail(cutoff)
+}
+
+/// Expected cost of pure polling (`α → ∞`): the mean waiting time over β.
+pub fn expected_poll(d: &WaitDist, beta: f64) -> f64 {
+    d.mean() / beta
+}
+
+/// Expected cost of pure signaling (`α = 0`): the fixed cost `b`.
+pub fn expected_signal(b: f64) -> f64 {
+    b
+}
+
+/// Expected cost of the optimal off-line algorithm (Equation 4.2).
+pub fn expected_opt(d: &WaitDist, b: f64, beta: f64) -> f64 {
+    let cutoff = beta * b;
+    d.partial_mean(cutoff) / beta + b * d.tail(cutoff)
+}
+
+/// Expected competitive factor of two-phase waiting with parameter
+/// `alpha` against the given distribution: `E[C_2phase] / E[C_opt]`.
+pub fn competitive_factor(d: &WaitDist, alpha: f64, b: f64, beta: f64) -> f64 {
+    expected_two_phase(d, alpha, b, beta) / expected_opt(d, b, beta)
+}
+
+/// Worst-case (over the distribution parameter, i.e. over the restricted
+/// adversary's choices) expected competitive factor of two-phase waiting
+/// with parameter `alpha` and β = 1.
+///
+/// For the exponential family the adversary chooses the rate λ; for the
+/// uniform family the bound `b_max`. Both are swept on a log grid that
+/// brackets the maximizer.
+pub fn worst_case_factor(family: Family, alpha: f64, b: f64) -> f64 {
+    let mut worst: f64 = 1.0;
+    // Sweep the scale parameter from 1e-3·B to 1e3·B on a fine log grid.
+    let steps = 4_000;
+    for i in 0..=steps {
+        let scale = b * 10f64.powf(-3.0 + 6.0 * i as f64 / steps as f64);
+        let d = match family {
+            Family::Exponential => WaitDist::exponential_with_mean(scale),
+            Family::Uniform => WaitDist::uniform(scale),
+        };
+        worst = worst.max(competitive_factor(&d, alpha, b, 1.0));
+    }
+    worst
+}
+
+/// A family of waiting-time distributions (the restricted adversary
+/// picks the parameter within the family).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Exponential waiting times (producer-consumer, mutex §4.4.3).
+    Exponential,
+    /// Uniform waiting times (barriers §4.4.3).
+    Uniform,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: f64 = 465.0;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn alpha_zero_is_signaling() {
+        let d = WaitDist::exponential_with_mean(100.0);
+        assert!(close(expected_two_phase(&d, 0.0, B, 1.0), B, 1e-9));
+    }
+
+    #[test]
+    fn large_alpha_approaches_polling() {
+        let d = WaitDist::exponential_with_mean(100.0);
+        let e = expected_two_phase(&d, 1e6, B, 1.0);
+        assert!(close(e, expected_poll(&d, 1.0), 1e-3));
+    }
+
+    #[test]
+    fn opt_never_exceeds_either_pure_strategy() {
+        for mean in [1.0, 50.0, 465.0, 10_000.0] {
+            let d = WaitDist::exponential_with_mean(mean);
+            let opt = expected_opt(&d, B, 1.0);
+            assert!(opt <= expected_poll(&d, 1.0) + 1e-9);
+            assert!(opt <= expected_signal(B) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_phase_with_alpha_one_is_2_competitive() {
+        // The classic bound: Lpoll = B gives at most 2x the off-line
+        // optimum for ANY distribution (here: sampled families).
+        for f in [Family::Exponential, Family::Uniform] {
+            let w = worst_case_factor(f, 1.0, B);
+            assert!(w <= 2.0 + 1e-6, "alpha=1 factor {w} > 2");
+            assert!(w > 1.2, "alpha=1 factor suspiciously small: {w}");
+        }
+    }
+
+    #[test]
+    fn exponential_closed_form_matches_quadrature() {
+        // Numeric integration of Eq 4.1 against the closed form.
+        let d = WaitDist::exponential_with_mean(300.0);
+        let alpha = 0.54;
+        let cutoff = alpha * B;
+        let dt = 0.01;
+        let mut poll_part = 0.0;
+        let mut t = 0.0;
+        while t < cutoff {
+            poll_part += t * d.pdf(t) * dt;
+            t += dt;
+        }
+        let numeric = poll_part + (1.0 + alpha) * B * d.tail(cutoff);
+        let closed = expected_two_phase(&d, alpha, B, 1.0);
+        assert!(
+            close(numeric, closed, 0.5),
+            "numeric {numeric} vs closed {closed}"
+        );
+    }
+
+    #[test]
+    fn beta_reduces_polling_cost() {
+        // Switch-spinning (β = 4) makes polling cheaper, so the expected
+        // two-phase cost can only drop.
+        let d = WaitDist::exponential_with_mean(400.0);
+        let spin = expected_two_phase(&d, 0.54, B, 1.0);
+        let switch_spin = expected_two_phase(&d, 0.54, B, 4.0);
+        assert!(switch_spin < spin);
+    }
+
+    #[test]
+    fn worst_case_factor_bounded_for_paper_alphas() {
+        // §4.5: α = ln(e-1) gives 1.58 for exponential; α = 0.62 gives
+        // 1.62 for uniform.
+        let w_exp = worst_case_factor(Family::Exponential, (std::f64::consts::E - 1.0).ln(), B);
+        assert!(
+            w_exp <= 1.59 && w_exp >= 1.50,
+            "exponential worst case {w_exp}, expected ≈ 1.58"
+        );
+        let w_uni = worst_case_factor(Family::Uniform, 0.62, B);
+        assert!(
+            w_uni <= 1.63 && w_uni >= 1.55,
+            "uniform worst case {w_uni}, expected ≈ 1.62"
+        );
+    }
+}

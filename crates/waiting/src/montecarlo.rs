@@ -1,0 +1,132 @@
+//! Monte-Carlo simulation of waiting algorithms against sampled waiting
+//! times, corroborating the closed-form analysis of [`crate::expected`].
+
+use crate::dist::WaitDist;
+
+/// A waiting algorithm's decision for a single wait of length `t`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitAlg {
+    /// Poll for the whole wait.
+    AlwaysPoll,
+    /// Signal (block) immediately.
+    AlwaysSignal,
+    /// Poll up to `Lpoll = alpha_milli/1000 * B`, then signal.
+    TwoPhase {
+        /// α in thousandths (integer so the type stays `Eq`/hashable).
+        alpha_milli: u32,
+    },
+}
+
+/// Cost of serving a single wait of `t` cycles with algorithm `alg`,
+/// given signaling cost `b` and polling efficiency `beta`.
+pub fn wait_cost(alg: WaitAlg, t: f64, b: f64, beta: f64) -> f64 {
+    match alg {
+        WaitAlg::AlwaysPoll => t / beta,
+        WaitAlg::AlwaysSignal => b,
+        WaitAlg::TwoPhase { alpha_milli } => {
+            let lpoll = (alpha_milli as f64 / 1000.0) * b;
+            // Polling for `beta * lpoll` cycles costs `lpoll`.
+            if t <= lpoll * beta {
+                t / beta
+            } else {
+                lpoll + b
+            }
+        }
+    }
+}
+
+/// Cost of the optimal off-line algorithm on a wait of `t` cycles.
+pub fn opt_cost(t: f64, b: f64, beta: f64) -> f64 {
+    (t / beta).min(b)
+}
+
+/// Average cost of `alg` over `n` quasi-random samples from `d`
+/// (stratified inverse-CDF sampling for fast convergence).
+pub fn mean_cost(alg: WaitAlg, d: &WaitDist, b: f64, beta: f64, n: usize) -> f64 {
+    let mut s = 0.0;
+    for i in 0..n {
+        let u = (i as f64 + 0.5) / n as f64;
+        s += wait_cost(alg, d.sample_from_u(u), b, beta);
+    }
+    s / n as f64
+}
+
+/// Average off-line-optimal cost over the same samples.
+pub fn mean_opt(d: &WaitDist, b: f64, beta: f64, n: usize) -> f64 {
+    let mut s = 0.0;
+    for i in 0..n {
+        let u = (i as f64 + 0.5) / n as f64;
+        s += opt_cost(d.sample_from_u(u), b, beta);
+    }
+    s / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::{expected_opt, expected_two_phase};
+
+    const B: f64 = 465.0;
+    const N: usize = 100_000;
+
+    #[test]
+    fn monte_carlo_matches_closed_form_exponential() {
+        for mean in [50.0, 250.0, 465.0, 2_000.0] {
+            let d = WaitDist::exponential_with_mean(mean);
+            let mc = mean_cost(WaitAlg::TwoPhase { alpha_milli: 541 }, &d, B, 1.0, N);
+            let cf = expected_two_phase(&d, 0.541, B, 1.0);
+            assert!(
+                (mc - cf).abs() / cf < 0.01,
+                "mean {mean}: MC {mc} vs closed form {cf}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form_uniform() {
+        for max in [100.0, 465.0, 930.0, 5_000.0] {
+            let d = WaitDist::uniform(max);
+            let mc = mean_cost(WaitAlg::TwoPhase { alpha_milli: 620 }, &d, B, 1.0, N);
+            let cf = expected_two_phase(&d, 0.620, B, 1.0);
+            assert!(
+                (mc - cf).abs() / cf < 0.01,
+                "max {max}: MC {mc} vs closed form {cf}"
+            );
+        }
+    }
+
+    #[test]
+    fn opt_matches_closed_form() {
+        let d = WaitDist::exponential_with_mean(465.0);
+        let mc = mean_opt(&d, B, 1.0, N);
+        let cf = expected_opt(&d, B, 1.0);
+        assert!((mc - cf).abs() / cf < 0.01);
+    }
+
+    #[test]
+    fn two_phase_never_worse_than_twice_opt_per_sample() {
+        // Per-wait guarantee of Lpoll = B: cost ≤ 2 * opt for EVERY t.
+        for i in 0..10_000 {
+            let t = i as f64;
+            let tp = wait_cost(WaitAlg::TwoPhase { alpha_milli: 1000 }, t, B, 1.0);
+            let opt = opt_cost(t, B, 1.0);
+            assert!(tp <= 2.0 * opt + 1e-9, "t={t}: {tp} > 2*{opt}");
+        }
+    }
+
+    #[test]
+    fn bad_static_choices_lose() {
+        // Long waits: always-poll is terrible; short waits:
+        // always-signal is terrible. Two-phase is near the better one in
+        // both regimes (robustness, §4.7).
+        let long = WaitDist::exponential_with_mean(20.0 * B);
+        let short = WaitDist::exponential_with_mean(0.05 * B);
+        let tp = WaitAlg::TwoPhase { alpha_milli: 541 };
+        let tp_long = mean_cost(tp, &long, B, 1.0, N);
+        let poll_long = mean_cost(WaitAlg::AlwaysPoll, &long, B, 1.0, N);
+        assert!(tp_long < poll_long / 5.0);
+        let tp_short = mean_cost(tp, &short, B, 1.0, N);
+        let signal_short = mean_cost(WaitAlg::AlwaysSignal, &short, B, 1.0, N);
+        assert!(tp_short < signal_short / 2.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Optimal static choices of `Lpoll` (§4.5).
+//!
+//! Against a *restricted adversary* that can only pick the parameter of
+//! a known distribution family, a static `Lpoll = α·B` can approach the
+//! best possible on-line factor of `e/(e-1) ≈ 1.58` (Karlin et al.):
+//!
+//! * exponential waits: `α* = ln(e-1) ≈ 0.5413`, factor `e/(e-1)`
+//!   (Theorem of §4.5.1 — the static choice matches the randomized
+//!   lower bound exactly);
+//! * uniform waits: `α* ≈ 0.62`, factor ≈ 1.62 (§4.5.2).
+
+use crate::expected::{worst_case_factor, Family};
+
+/// The optimal α for exponentially distributed waiting times:
+/// `ln(e - 1) ≈ 0.5413`.
+pub const EXP_ALPHA_STAR: f64 = 0.541_324_854_612_918_3;
+
+/// The resulting competitive factor: `e/(e-1) ≈ 1.5820`.
+pub const EXP_RHO_STAR: f64 = 1.581_976_706_869_326_3;
+
+/// The optimal α for uniformly distributed waiting times (§4.5.2).
+pub const UNI_ALPHA_STAR: f64 = 0.62;
+
+/// The resulting competitive factor under uniform waits (§4.5.2).
+pub const UNI_RHO_STAR: f64 = 1.62;
+
+/// Numerically find the α minimizing the worst-case expected
+/// competitive factor for a distribution family. Returns `(α*, ρ*)`.
+///
+/// Uses golden-section search over α ∈ [0, 2] on the (unimodal)
+/// worst-case factor; `b` is the signaling cost (the result is scale
+/// free, so any positive value works).
+pub fn optimal_alpha(family: Family, b: f64) -> (f64, f64) {
+    let f = |a: f64| worst_case_factor(family, a, b);
+    let (mut lo, mut hi) = (0.01_f64, 2.0_f64);
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut x1 = hi - phi * (hi - lo);
+    let mut x2 = lo + phi * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..40 {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let a = (lo + hi) / 2.0;
+    (a, f(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_alpha_constant_is_ln_e_minus_1() {
+        assert!((EXP_ALPHA_STAR - (std::f64::consts::E - 1.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_rho_constant_is_e_over_e_minus_1() {
+        let e = std::f64::consts::E;
+        assert!((EXP_RHO_STAR - e / (e - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_recovers_exponential_optimum() {
+        let (a, rho) = optimal_alpha(Family::Exponential, 465.0);
+        assert!(
+            (a - EXP_ALPHA_STAR).abs() < 0.02,
+            "α* = {a}, expected ≈ 0.5413"
+        );
+        assert!(
+            (rho - EXP_RHO_STAR).abs() < 0.01,
+            "ρ* = {rho}, expected ≈ 1.582"
+        );
+    }
+
+    #[test]
+    fn search_recovers_uniform_optimum() {
+        let (a, rho) = optimal_alpha(Family::Uniform, 465.0);
+        assert!((a - UNI_ALPHA_STAR).abs() < 0.05, "α* = {a}, expected ≈ 0.62");
+        assert!((rho - UNI_RHO_STAR).abs() < 0.02, "ρ* = {rho}, expected ≈ 1.62");
+    }
+
+    #[test]
+    fn optimum_beats_alpha_one() {
+        // The tuned static choice should beat the classic Lpoll = B.
+        let b = 465.0;
+        for fam in [Family::Exponential, Family::Uniform] {
+            let (_, rho_star) = optimal_alpha(fam, b);
+            let rho_one = crate::expected::worst_case_factor(fam, 1.0, b);
+            assert!(rho_star < rho_one, "{fam:?}: {rho_star} !< {rho_one}");
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let (a1, r1) = optimal_alpha(Family::Exponential, 100.0);
+        let (a2, r2) = optimal_alpha(Family::Exponential, 1_000.0);
+        assert!((a1 - a2).abs() < 0.02);
+        assert!((r1 - r2).abs() < 0.01);
+    }
+}

@@ -1,0 +1,320 @@
+//! On-line task systems (Chapter 2, §3.4).
+//!
+//! A task system has `n` states, a state-transition cost matrix `D`, and
+//! a task-cost matrix `C`; an on-line algorithm chooses which state
+//! services each request (with lookahead one). Protocol selection maps
+//! onto a task system whose states are protocols and whose tasks are
+//! synchronization requests under given run-time conditions (Fig 3.13).
+//!
+//! This module provides the exact off-line optimum (dynamic
+//! programming), the nearly-oblivious Borodin-Linial-Saks policy that
+//! yields the 3-competitive protocol-switching rule of §3.4.1, and the
+//! worst-case adversary of Figure 3.14.
+
+/// A task system with `n` states and `m` task types.
+#[derive(Clone, Debug)]
+pub struct TaskSystem {
+    /// `d[i][j]`: cost of switching from state `i` to state `j`.
+    pub d: Vec<Vec<f64>>,
+    /// `c[i][t]`: cost of serving task type `t` in state `i`.
+    pub c: Vec<Vec<f64>>,
+}
+
+impl TaskSystem {
+    /// Build a task system; validates matrix shapes and that switching
+    /// costs have zero diagonal.
+    pub fn new(d: Vec<Vec<f64>>, c: Vec<Vec<f64>>) -> TaskSystem {
+        let n = d.len();
+        assert!(n > 0, "task system needs at least one state");
+        assert!(d.iter().all(|r| r.len() == n), "D must be square");
+        assert_eq!(c.len(), n, "C must have one row per state");
+        let m = c[0].len();
+        assert!(c.iter().all(|r| r.len() == m), "C rows must agree");
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0.0, "self-transition must be free");
+        }
+        TaskSystem { d, c }
+    }
+
+    /// The two-protocol system of Figure 3.13: protocol A is optimal
+    /// under low contention, B under high contention; `c_a_high` is A's
+    /// residual cost on a high-contention request and `c_b_low` B's on a
+    /// low-contention one.
+    pub fn two_protocol(d_ab: f64, d_ba: f64, c_a_high: f64, c_b_low: f64) -> TaskSystem {
+        TaskSystem::new(
+            vec![vec![0.0, d_ab], vec![d_ba, 0.0]],
+            // task 0 = low contention, task 1 = high contention
+            vec![vec![0.0, c_a_high], vec![c_b_low, 0.0]],
+        )
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Exact off-line optimal cost for a request sequence (lookahead-one
+    /// dynamic programming over end states), starting in state 0.
+    pub fn offline_opt(&self, reqs: &[usize]) -> f64 {
+        let n = self.states();
+        let mut cost = vec![f64::INFINITY; n];
+        cost[0] = 0.0;
+        for &t in reqs {
+            let mut next = vec![f64::INFINITY; n];
+            for (j, nj) in next.iter_mut().enumerate() {
+                for i in 0..n {
+                    let via = cost[i] + self.d[i][j] + self.c[j][t];
+                    if via < *nj {
+                        *nj = via;
+                    }
+                }
+            }
+            cost = next;
+        }
+        cost.into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Run an on-line policy over the request sequence; returns its
+    /// total cost (tasks + transitions), starting in state 0.
+    pub fn run_online<P: OnlinePolicy>(&self, policy: &mut P, reqs: &[usize]) -> f64 {
+        let mut state = 0usize;
+        let mut total = 0.0;
+        for &t in reqs {
+            // Lookahead one: the policy may switch before serving.
+            let target = policy.choose(self, state, t);
+            if target != state {
+                total += self.d[state][target];
+                state = target;
+            }
+            total += self.c[state][t];
+            policy.served(self, state, t);
+        }
+        total
+    }
+}
+
+/// An on-line policy for a task system.
+pub trait OnlinePolicy {
+    /// Choose the state in which to serve task `t` (lookahead one).
+    fn choose(&mut self, ts: &TaskSystem, state: usize, t: usize) -> usize;
+
+    /// Observe that task `t` was served in `state`.
+    fn served(&mut self, _ts: &TaskSystem, _state: usize, _t: usize) {}
+}
+
+/// Never switch: serve everything in the initial state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeverSwitch;
+
+impl OnlinePolicy for NeverSwitch {
+    fn choose(&mut self, _ts: &TaskSystem, state: usize, _t: usize) -> usize {
+        state
+    }
+}
+
+/// Greedy: switch to the cheapest state for the current task whenever
+/// the residual cost is non-zero (the paper's "switch immediately"
+/// default policy §3.4). Vulnerable to thrashing adversaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysSwitch;
+
+impl OnlinePolicy for AlwaysSwitch {
+    fn choose(&mut self, ts: &TaskSystem, state: usize, t: usize) -> usize {
+        let mut best = state;
+        for j in 0..ts.states() {
+            if ts.c[j][t] < ts.c[best][t] {
+                best = j;
+            }
+        }
+        best
+    }
+}
+
+/// The nearly-oblivious policy of Borodin, Linial & Saks specialized to
+/// two states (§3.4.1): accumulate the residual (task) cost incurred
+/// since entering the current state; switch when it exceeds the
+/// round-trip switching cost `d_ab + d_ba`. This is 3-competitive.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Competitive3 {
+    accumulated: f64,
+}
+
+impl OnlinePolicy for Competitive3 {
+    fn choose(&mut self, ts: &TaskSystem, state: usize, t: usize) -> usize {
+        debug_assert_eq!(ts.states(), 2, "Competitive3 is a two-state policy");
+        let other = 1 - state;
+        let round_trip = ts.d[state][other] + ts.d[other][state];
+        if self.accumulated + ts.c[state][t] > round_trip {
+            self.accumulated = 0.0;
+            other
+        } else {
+            state
+        }
+    }
+
+    fn served(&mut self, ts: &TaskSystem, state: usize, t: usize) {
+        // Residual cost relative to the best state for this task.
+        let best = (0..ts.states()).fold(f64::INFINITY, |m, j| m.min(ts.c[j][t]));
+        self.accumulated += ts.c[state][t] - best;
+    }
+}
+
+/// Hysteresis(x, y) (§3.5.5): switch A→B after `x` *consecutive*
+/// requests that favour B, and B→A after `y` consecutive requests that
+/// favour A. Unlike [`Competitive3`], streak breaks reset the evidence.
+#[derive(Clone, Copy, Debug)]
+pub struct Hysteresis {
+    /// Consecutive high-contention requests required to leave state 0.
+    pub x: u64,
+    /// Consecutive low-contention requests required to leave state 1.
+    pub y: u64,
+    streak: u64,
+}
+
+impl Hysteresis {
+    /// Create a hysteresis policy with thresholds `(x, y)`.
+    pub fn new(x: u64, y: u64) -> Hysteresis {
+        Hysteresis { x, y, streak: 0 }
+    }
+}
+
+impl OnlinePolicy for Hysteresis {
+    fn choose(&mut self, ts: &TaskSystem, state: usize, t: usize) -> usize {
+        debug_assert_eq!(ts.states(), 2);
+        let other = 1 - state;
+        let suboptimal = ts.c[state][t] > ts.c[other][t];
+        if suboptimal {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        let limit = if state == 0 { self.x } else { self.y };
+        if self.streak >= limit {
+            self.streak = 0;
+            other
+        } else {
+            state
+        }
+    }
+}
+
+/// Generate the Figure 3.14 worst case for the two-protocol system: the
+/// adversary flips the contention level exactly when the 3-competitive
+/// policy switches, for `cycles` rounds. Returns the request sequence.
+pub fn worst_case_sequence(ts: &TaskSystem, cycles: usize) -> Vec<usize> {
+    let round_trip = ts.d[0][1] + ts.d[1][0];
+    // In state 0, high-contention tasks (t=1) cost c[0][1] each; the
+    // policy flips after ceil(round_trip / c[0][1]) of them; then the
+    // adversary feeds low-contention tasks, and so on.
+    let per_phase_high = (round_trip / ts.c[0][1]).ceil() as usize + 1;
+    let per_phase_low = (round_trip / ts.c[1][0]).ceil() as usize + 1;
+    let mut reqs = Vec::new();
+    for _ in 0..cycles {
+        reqs.extend(std::iter::repeat(1).take(per_phase_high));
+        reqs.extend(std::iter::repeat(0).take(per_phase_low));
+    }
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_system() -> TaskSystem {
+        // §3.5.5 empirical numbers: TTS→MCS costs ~8000 cycles, MCS→TTS
+        // ~800; TTS under high contention wastes ~150/req, MCS under low
+        // contention ~15/req.
+        TaskSystem::two_protocol(8_000.0, 800.0, 150.0, 15.0)
+    }
+
+    #[test]
+    fn offline_opt_never_switches_on_uniform_load() {
+        let ts = paper_system();
+        let reqs = vec![0; 1000];
+        assert_eq!(ts.offline_opt(&reqs), 0.0);
+    }
+
+    #[test]
+    fn offline_opt_switches_when_worth_it() {
+        let ts = paper_system();
+        // 1000 high-contention requests: staying costs 150k; switching
+        // costs 8000. Opt switches once.
+        let reqs = vec![1; 1000];
+        assert_eq!(ts.offline_opt(&reqs), 8_000.0);
+    }
+
+    #[test]
+    fn online_policies_serve_all_requests() {
+        let ts = paper_system();
+        let reqs: Vec<usize> = (0..500).map(|i| (i / 50) % 2).collect();
+        for cost in [
+            ts.run_online(&mut NeverSwitch, &reqs),
+            ts.run_online(&mut AlwaysSwitch, &reqs),
+            ts.run_online(&mut Competitive3::default(), &reqs),
+            ts.run_online(&mut Hysteresis::new(20, 55), &reqs),
+        ] {
+            assert!(cost.is_finite() && cost >= 0.0);
+        }
+    }
+
+    #[test]
+    fn competitive3_is_3_competitive_on_worst_case() {
+        let ts = paper_system();
+        let reqs = worst_case_sequence(&ts, 10);
+        let online = ts.run_online(&mut Competitive3::default(), &reqs);
+        let opt = ts.offline_opt(&reqs);
+        assert!(opt > 0.0);
+        let ratio = online / opt;
+        assert!(
+            ratio <= 3.0 + 1e-9,
+            "competitive ratio {ratio} exceeds 3 on the worst case"
+        );
+        // And the worst case should actually be bad (close to 3, > 2).
+        assert!(ratio > 2.0, "adversary too weak: ratio {ratio}");
+    }
+
+    #[test]
+    fn always_switch_thrashes_on_alternating_load() {
+        // The adversary alternates every request: AlwaysSwitch pays a
+        // transition per request while Competitive3 stays put mostly.
+        let ts = paper_system();
+        let reqs: Vec<usize> = (0..1000).map(|i| i % 2).collect();
+        let always = ts.run_online(&mut AlwaysSwitch, &reqs);
+        let comp = ts.run_online(&mut Competitive3::default(), &reqs);
+        assert!(
+            always > comp,
+            "always-switch ({always}) should lose to 3-competitive ({comp})"
+        );
+    }
+
+    #[test]
+    fn competitive3_adapts_to_sustained_change() {
+        // A long block of high contention: the policy should switch and
+        // end up near opt (within the 3x bound, and way below staying).
+        let ts = paper_system();
+        let reqs = vec![1usize; 2_000];
+        let comp = ts.run_online(&mut Competitive3::default(), &reqs);
+        let never = ts.run_online(&mut NeverSwitch, &reqs);
+        let opt = ts.offline_opt(&reqs);
+        assert!(comp < never / 10.0, "policy failed to adapt: {comp} vs {never}");
+        assert!(comp <= 3.0 * opt + ts.d[0][1] + 1.0);
+    }
+
+    #[test]
+    fn hysteresis_resists_brief_fluctuations() {
+        // A single high-contention blip must not flip Hysteresis(20, _).
+        let ts = paper_system();
+        let mut reqs = vec![0usize; 100];
+        reqs[50] = 1;
+        let mut pol = Hysteresis::new(20, 55);
+        let cost = ts.run_online(&mut pol, &reqs);
+        // Only the blip's residual cost, no transitions.
+        assert_eq!(cost, 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transition")]
+    fn rejects_nonzero_diagonal() {
+        TaskSystem::new(vec![vec![1.0]], vec![vec![0.0]]);
+    }
+}

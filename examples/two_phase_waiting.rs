@@ -1,0 +1,49 @@
+//! Chapter 4 in one example: the expected-cost theory of two-phase
+//! waiting, the optimal static Lpoll, and a simulated producer-consumer
+//! run that matches the theory's ordering.
+//!
+//! Run with: `cargo run --example two_phase_waiting`
+
+use reactive_sync::apps::alg::WaitAlg;
+use reactive_sync::apps::jacobi::{run_jstructures, JacobiConfig};
+use reactive_sync::sim::CostModel;
+use reactive_sync::waiting::dist::WaitDist;
+use reactive_sync::waiting::expected::{competitive_factor, Family};
+use reactive_sync::waiting::optimal::optimal_alpha;
+
+fn main() {
+    let b = CostModel::nwo().block_cost() as f64;
+
+    // Theory: the optimal static polling limit under exponential waits.
+    let (alpha, rho) = optimal_alpha(Family::Exponential, b);
+    println!("optimal Lpoll = {alpha:.4} x B  (competitive factor {rho:.4})");
+    println!("paper: alpha* = ln(e-1) = 0.5413, rho* = e/(e-1) = 1.5820");
+    println!();
+
+    // The factor across adversary choices for a few Lpoll settings.
+    println!("expected competitive factor vs mean wait (exponential):");
+    for mean_x in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let d = WaitDist::exponential_with_mean(mean_x * b);
+        println!(
+            "  mean {:>5.2}B:  a=0.54 -> {:.3}   a=1.0 -> {:.3}",
+            mean_x,
+            competitive_factor(&d, 0.5413, b, 1.0),
+            competitive_factor(&d, 1.0, b, 1.0),
+        );
+    }
+    println!();
+
+    // Practice: Jacobi's J-structure waits under each waiting algorithm.
+    let lpoll = (0.5413 * b) as u64;
+    println!("Jacobi (J-structures, 8 procs) execution time by waiting algorithm:");
+    for w in [
+        WaitAlg::Spin,
+        WaitAlg::Block,
+        WaitAlg::TwoPhase(lpoll),
+        WaitAlg::TwoPhase(b as u64),
+    ] {
+        let r = run_jstructures(&JacobiConfig::small(8, w));
+        println!("  {:<18} {:>9} cycles", w.label(), r.elapsed);
+    }
+    println!("\n(two-phase should track the better of spin/block)");
+}

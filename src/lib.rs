@@ -1,0 +1,31 @@
+//! # reactive-sync
+//!
+//! A reproduction of *Reactive Synchronization Algorithms for
+//! Multiprocessors* (Beng-Hong Lim, MIT, 1994; ASPLOS '94 with Anant
+//! Agarwal) as a Rust workspace. This facade crate re-exports the member
+//! crates under stable names:
+//!
+//! * [`sim`] — the Alewife/NWO-like deterministic multiprocessor
+//!   simulator the experiments run on.
+//! * [`protocols`] — the passive synchronization protocols the paper
+//!   compares (test-and-set/TTS/MCS locks, lock-based and combining-tree
+//!   fetch-and-op, message-passing protocols, barriers, J-structures).
+//! * [`reactive`] — the paper's contribution: protocol-selection
+//!   algorithms built on consensus objects, the reactive spin lock, the
+//!   reactive fetch-and-op, switching policies, and two-phase waiting.
+//! * [`waiting`] — Chapter 4's competitive analysis of waiting
+//!   algorithms (expected costs, optimal `Lpoll`, task systems).
+//! * [`native`] — the same reactive algorithms on real hardware
+//!   (`std::sync::atomic` + thread parking), usable as a library.
+//! * [`apps`] — miniature parallel applications with the paper's
+//!   synchronization signatures, used by the benchmark harness.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
+//! for the paper-vs-measured record of every table and figure.
+
+pub use alewife_sim as sim;
+pub use reactive_core as reactive;
+pub use reactive_native as native;
+pub use sim_apps as apps;
+pub use sync_protocols as protocols;
+pub use waiting_theory as waiting;
