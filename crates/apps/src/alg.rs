@@ -160,9 +160,7 @@ impl AnyFetchOp {
             FetchOpAlg::Combining => AnyFetchOp::Tree(CombiningTree::new(m, home, procs)),
             FetchOpAlg::Reactive => AnyFetchOp::Reactive(ReactiveFetchOp::new(m, home, procs)),
             FetchOpAlg::MpCentral => AnyFetchOp::MpCentral(MpCounter::new(m, home)),
-            FetchOpAlg::MpCombining => {
-                AnyFetchOp::MpTree(MpCombiningTree::new(m, home, procs))
-            }
+            FetchOpAlg::MpCombining => AnyFetchOp::MpTree(MpCombiningTree::new(m, home, procs)),
         }
     }
 
@@ -230,9 +228,7 @@ impl AnyWait {
             WaitAlg::Block => AnyWait::Block(AlwaysBlock),
             WaitAlg::TwoPhase(l) => AnyWait::TwoPhase(TwoPhase::new(l)),
             WaitAlg::SwitchSpin => AnyWait::SwitchSpin(SwitchSpin),
-            WaitAlg::TwoPhaseSwitchSpin(l) => {
-                AnyWait::TwoPhaseSs(TwoPhaseSwitchSpin { lpoll: l })
-            }
+            WaitAlg::TwoPhaseSwitchSpin(l) => AnyWait::TwoPhaseSs(TwoPhaseSwitchSpin { lpoll: l }),
         }
     }
 }

@@ -211,10 +211,7 @@ pub fn run_futures(cfg: &AqConfig) -> AppResult {
         let w2 = w;
         m.spawn(0, async move {
             let root2 = root;
-            cpu.spawn(
-                0,
-                eval(procs, cpu.clone(), w2, 1, 0, max_depth, root2),
-            );
+            cpu.spawn(0, eval(procs, cpu.clone(), w2, 1, 0, max_depth, root2));
             let v = root2.touch(&cpu, &w2).await;
             cpu.write(result, v).await;
         });
@@ -253,7 +250,11 @@ mod tests {
 
     #[test]
     fn futures_variant_two_phase() {
-        let r = run_futures(&AqConfig::small(4, FetchOpAlg::TtsLock, WaitAlg::TwoPhase(465)));
+        let r = run_futures(&AqConfig::small(
+            4,
+            FetchOpAlg::TtsLock,
+            WaitAlg::TwoPhase(465),
+        ));
         assert!(r.elapsed > 0);
     }
 }

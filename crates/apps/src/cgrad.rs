@@ -59,7 +59,8 @@ pub fn run(cfg: &CgradConfig) -> AppResult {
                 cpu.fetch_and_add(dot, 1).await;
                 bar.wait(&cpu, &mut bctx, &w).await;
                 // Phase 3: vector update.
-                cpu.work(cfg.grain / 2 + cpu.rand_below(cfg.grain / 2)).await;
+                cpu.work(cfg.grain / 2 + cpu.rand_below(cfg.grain / 2))
+                    .await;
                 bar.wait(&cpu, &mut bctx, &w).await;
             }
         });

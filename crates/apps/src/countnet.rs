@@ -78,7 +78,9 @@ pub fn run(cfg: &CountNetConfig) -> AppResult {
     }
     let elapsed = m.run();
     assert_eq!(m.live_tasks(), 0, "countnet deadlock");
-    let counts: Vec<u64> = (0..WIDTH as u64).map(|i| m.read_word(wires.plus(i))).collect();
+    let counts: Vec<u64> = (0..WIDTH as u64)
+        .map(|i| m.read_word(wires.plus(i)))
+        .collect();
     let total: u64 = counts.iter().sum();
     assert_eq!(total, cfg.procs as u64 * cfg.tokens, "tokens lost");
     AppResult {

@@ -66,8 +66,7 @@ pub fn run(cfg: &Mp3dConfig) -> AppResult {
                     cpu.work(80 + cpu.rand_below(120)).await;
                     // Update its destination cell under that cell's lock
                     // (low contention: many cells).
-                    let c = ((p as u64 * 31 + part * 7 + iter * 13)
-                        % cells as u64) as usize;
+                    let c = ((p as u64 * 31 + part * 7 + iter * 13) % cells as u64) as usize;
                     let t = cell_locks[c].acquire(&cpu).await;
                     let v = cpu.read(cell_data.plus(c as u64)).await;
                     cpu.work(20).await;

@@ -161,7 +161,9 @@ pub fn run(cfg: &TspConfig) -> AppResult {
                 // Wait for the slot to fill (bounded, re-checking done).
                 let item = loop {
                     let deadline = cpu.now() + 2_000;
-                    if let Some(v) = cpu.poll_until_full_deadline(slots.plus(i as u64), deadline).await
+                    if let Some(v) = cpu
+                        .poll_until_full_deadline(slots.plus(i as u64), deadline)
+                        .await
                     {
                         break v;
                     }
@@ -179,8 +181,7 @@ pub fn run(cfg: &TspConfig) -> AppResult {
                     }
                     let cost = t.cost + d[t.last][next];
                     // Simple bound: remaining cities each cost ≥ 10.
-                    let remaining =
-                        (n as u32 - (t.visited_mask | 1 << next).count_ones()) as u64;
+                    let remaining = (n as u32 - (t.visited_mask | 1 << next).count_ones()) as u64;
                     if cost + remaining * 10 > best {
                         continue; // pruned
                     }
@@ -248,11 +249,7 @@ mod tests {
     #[test]
     fn held_karp_small_sanity() {
         // Triangle with equal weights: tour cost = 3 edges.
-        let d = vec![
-            vec![0, 10, 10],
-            vec![10, 0, 10],
-            vec![10, 10, 0],
-        ];
+        let d = vec![vec![0, 10, 10], vec![10, 0, 10], vec![10, 10, 0]];
         assert_eq!(held_karp(&d), 30);
     }
 

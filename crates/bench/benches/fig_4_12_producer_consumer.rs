@@ -13,7 +13,10 @@ fn main() {
         ("always-spin", WaitAlg::Spin),
         ("always-block", WaitAlg::Block),
         ("2phase L=B", WaitAlg::TwoPhase(b)),
-        ("2phase L=.54B", WaitAlg::TwoPhase((b as f64 * 0.5413) as u64)),
+        (
+            "2phase L=.54B",
+            WaitAlg::TwoPhase((b as f64 * 0.5413) as u64),
+        ),
     ];
     let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
 
@@ -22,9 +25,7 @@ fn main() {
 
     let vals: Vec<f64> = algs
         .iter()
-        .map(|&(_, w)| {
-            jacobi::run_jstructures(&jacobi::JacobiConfig::small(8, w)).elapsed as f64
-        })
+        .map(|&(_, w)| jacobi::run_jstructures(&jacobi::JacobiConfig::small(8, w)).elapsed as f64)
         .collect();
     table::row_f64("Jacobi (J-structs) P=8", &vals);
 

@@ -12,7 +12,10 @@ fn main() {
         ("always-spin", WaitAlg::Spin),
         ("always-block", WaitAlg::Block),
         ("2phase L=B", WaitAlg::TwoPhase(b)),
-        ("2phase L=.54B", WaitAlg::TwoPhase((b as f64 * 0.5413) as u64)),
+        (
+            "2phase L=.54B",
+            WaitAlg::TwoPhase((b as f64 * 0.5413) as u64),
+        ),
     ];
     let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
 
@@ -28,18 +31,14 @@ fn main() {
     for procs in [4usize, 8, 16] {
         let vals: Vec<f64> = algs
             .iter()
-            .map(|&(_, w)| {
-                countnet::run(&countnet::CountNetConfig::small(procs, w)).elapsed as f64
-            })
+            .map(|&(_, w)| countnet::run(&countnet::CountNetConfig::small(procs, w)).elapsed as f64)
             .collect();
         table::row_f64(&format!("CountNet P={procs}"), &vals);
     }
     for procs in [4usize, 8, 16] {
         let vals: Vec<f64> = algs
             .iter()
-            .map(|&(_, w)| {
-                mutex_app::run(&mutex_app::MutexConfig::small(procs, w)).elapsed as f64
-            })
+            .map(|&(_, w)| mutex_app::run(&mutex_app::MutexConfig::small(procs, w)).elapsed as f64)
             .collect();
         table::row_f64(&format!("Mutex P={procs}"), &vals);
     }

@@ -59,5 +59,7 @@ fn main() {
         worst_case_factor(Family::Exponential, 1.0, B)
     );
     let (a, rho) = optimal_alpha(Family::Exponential, B);
-    println!("optimal static alpha by search: a* = {a:.4}, rho* = {rho:.4} (paper: ln(e-1) = 0.5413)");
+    println!(
+        "optimal static alpha by search: a* = {a:.4}, rho* = {rho:.4} (paper: ln(e-1) = 0.5413)"
+    );
 }

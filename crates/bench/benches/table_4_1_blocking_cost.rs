@@ -7,18 +7,25 @@ use repro_bench::table;
 fn main() {
     let c = CostModel::nwo();
     table::title("Table 4.1: breakdown of the cost of blocking");
-    println!("{:<34}{:>14}{:>14}", "action", "paper(base)", "model(cycles)");
-    println!("{}", "-".repeat(62));
-    println!("{:<34}{:>14}{:>14}", "unloading (regs+enqueue+bookkeep)", 106, c.unload);
-    println!("{:<34}{:>14}{:>14}", "reenabling (lock+ready queue)", 52, c.reenable);
-    println!("{:<34}{:>14}{:>14}", "reloading (regs+state+bookkeep)", 61, c.reload);
+    println!(
+        "{:<34}{:>14}{:>14}",
+        "action", "paper(base)", "model(cycles)"
+    );
     println!("{}", "-".repeat(62));
     println!(
         "{:<34}{:>14}{:>14}",
-        "total B",
-        219,
-        c.block_cost()
+        "unloading (regs+enqueue+bookkeep)", 106, c.unload
     );
+    println!(
+        "{:<34}{:>14}{:>14}",
+        "reenabling (lock+ready queue)", 52, c.reenable
+    );
+    println!(
+        "{:<34}{:>14}{:>14}",
+        "reloading (regs+state+bookkeep)", 61, c.reload
+    );
+    println!("{}", "-".repeat(62));
+    println!("{:<34}{:>14}{:>14}", "total B", 219, c.block_cost());
     println!(
         "\n(paper: 219 base cycles, ~500 measured with cache misses; the model\n\
          charges measured-flavoured costs directly — B = {} cycles; the paper's\n\

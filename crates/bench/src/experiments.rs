@@ -215,12 +215,7 @@ pub fn multi_object(pattern: &Pattern, alg: Option<LockAlg>, acq_per_proc: u64) 
 /// `period_len` = locks acquired per period, `contention_pct` = fraction
 /// acquired in the high phase, `periods` repetitions. Runs on the
 /// 16-node prototype cost model. Returns elapsed cycles.
-pub fn time_varying(
-    alg: LockAlg,
-    period_len: u64,
-    contention_pct: u64,
-    periods: u64,
-) -> u64 {
+pub fn time_varying(alg: LockAlg, period_len: u64, contention_pct: u64, periods: u64) -> u64 {
     let procs = 16usize;
     let m = Machine::new(Config::default().nodes(procs).cost(CostModel::prototype()));
     let lock = AnyLock::make(&m, 0, alg, procs);
@@ -290,7 +285,10 @@ mod tests {
         assert!(lock1 < tree1, "uncontended: lock {lock1} !< tree {tree1}");
         let tree32 = fetchop_overhead(FetchOpAlg::Combining, 32, CostModel::nwo());
         let tts32 = fetchop_overhead(FetchOpAlg::TtsLock, 32, CostModel::nwo());
-        assert!(tree32 < tts32, "contended: tree {tree32} !< TTS-lock {tts32}");
+        assert!(
+            tree32 < tts32,
+            "contended: tree {tree32} !< TTS-lock {tts32}"
+        );
     }
 
     #[test]

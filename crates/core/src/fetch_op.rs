@@ -318,8 +318,7 @@ impl ReactiveFetchOp {
                 if combined < TREE_COMBINE_MIN {
                     let streak = self.low_combine_streak.get() + 1;
                     self.low_combine_streak.set(streak);
-                    if streak > TREE_LOW_STREAK
-                        && self.policy.observe(Mode::Scalable, true, 400.0)
+                    if streak > TREE_LOW_STREAK && self.policy.observe(Mode::Scalable, true, 400.0)
                     {
                         // Switch tree -> queue while we hold the root.
                         cpu.write(self.tree_valid(), 0).await;
@@ -442,7 +441,7 @@ mod tests {
                 }
             });
         }
-        let t = m.run();
+        m.run();
         assert_eq!(m.live_tasks(), 0, "reactive fetch-op deadlock");
         let mut got = seen.borrow().clone();
         got.sort_unstable();

@@ -244,9 +244,7 @@ impl ReactiveLock {
             cpu.write(q.plus(QN_STATUS), WAITING).await;
             cpu.write(dec(pred).plus(QN_NEXT), enc(q)).await;
             self.empty_streak.set(0);
-            let status = cpu
-                .poll_until(q.plus(QN_STATUS), |v| v != WAITING)
-                .await;
+            let status = cpu.poll_until(q.plus(QN_STATUS), |v| v != WAITING).await;
             if status == GO {
                 self.policy.observe(Mode::Scalable, false, 0.0);
                 return Some(ReleaseMode::Queue(q));
@@ -308,9 +306,7 @@ impl ReactiveLock {
                 return;
             }
             let usurper = cpu.fetch_and_store(self.tail(), old_tail).await;
-            let next = cpu
-                .poll_until(q.plus(QN_NEXT), |v| v != NIL)
-                .await;
+            let next = cpu.poll_until(q.plus(QN_NEXT), |v| v != NIL).await;
             if usurper != NIL {
                 cpu.write(dec(usurper).plus(QN_NEXT), next).await;
             } else {
@@ -346,9 +342,7 @@ impl ReactiveLock {
         let tail = cpu.fetch_and_store(self.tail(), INVALID_PTR).await;
         let mut head = head;
         while enc(head) != tail {
-            let next = cpu
-                .poll_until(head.plus(QN_NEXT), |v| v != NIL)
-                .await;
+            let next = cpu.poll_until(head.plus(QN_NEXT), |v| v != NIL).await;
             cpu.write(head.plus(QN_STATUS), INVALID_STATUS).await;
             head = dec(next);
         }

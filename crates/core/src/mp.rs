@@ -61,7 +61,9 @@ pub struct ReactiveMpLock {
 
 impl std::fmt::Debug for ReactiveMpLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReactiveMpLock").field("tts", &self.tts).finish()
+        f.debug_struct("ReactiveMpLock")
+            .field("tts", &self.tts)
+            .finish()
     }
 }
 
@@ -316,7 +318,11 @@ impl ReactiveMpFetchOp {
         let t0 = cpu.now();
         let old = self.central.try_fetch_add(cpu, delta).await.ok()?;
         let rtt = cpu.now() - t0;
-        if rtt > RTT_HIGH && self.policy.observe(Mode::Cheap, true, (rtt - RTT_HIGH) as f64) {
+        if rtt > RTT_HIGH
+            && self
+                .policy
+                .observe(Mode::Cheap, true, (rtt - RTT_HIGH) as f64)
+        {
             // Promote central -> tree. The invalidate RPC serializes in
             // the manager handler (it IS the consensus object, §3.6) and
             // returns the final value; queued ops bounce and retry.

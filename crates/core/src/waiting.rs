@@ -262,7 +262,10 @@ mod tests {
     #[test]
     fn optimal_constructors() {
         let b = 465;
-        assert_eq!(TwoPhase::optimal_exponential(b).lpoll, (0.5413 * 465.0) as u64);
+        assert_eq!(
+            TwoPhase::optimal_exponential(b).lpoll,
+            (0.5413 * 465.0) as u64
+        );
         assert_eq!(TwoPhase::optimal_uniform(b).lpoll, (0.62 * 465.0) as u64);
     }
 

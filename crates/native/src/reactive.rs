@@ -174,7 +174,10 @@ impl ReactiveLock {
                 let _empty = self.queue.lock(&node);
                 self.queue.unlock(&node);
             }
-            HeldKind::Queue { node, switch: false } => self.queue.unlock(&node),
+            HeldKind::Queue {
+                node,
+                switch: false,
+            } => self.queue.unlock(&node),
             HeldKind::Queue { node, switch: true } => {
                 // Queue -> TTS: flip the hint, invalidate the queue,
                 // free the TTS flag. Waiters already queued still get
@@ -187,7 +190,6 @@ impl ReactiveLock {
             }
         }
     }
-
 }
 
 // Safety argument for the queue -> TTS change: entering the critical

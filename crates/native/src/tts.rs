@@ -110,7 +110,10 @@ impl TtsLock {
     /// # Panics
     /// Debug-asserts the lock was held.
     pub fn unlock(&self) {
-        debug_assert!(self.flag.load(Ordering::Relaxed), "unlock of unheld TtsLock");
+        debug_assert!(
+            self.flag.load(Ordering::Relaxed),
+            "unlock of unheld TtsLock"
+        );
         self.flag.store(false, Ordering::Release);
     }
 
@@ -118,7 +121,6 @@ impl TtsLock {
     pub fn is_locked(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
     }
-
 }
 
 #[cfg(test)]

@@ -347,11 +347,7 @@ mod tests {
 
     #[test]
     fn lock_based_tts_correct() {
-        hammer(
-            |m| LockFetchOp::new(m, 0, TtsLock::new(m, 0, 8)),
-            8,
-            20,
-        );
+        hammer(|m| LockFetchOp::new(m, 0, TtsLock::new(m, 0, 8)), 8, 20);
     }
 
     #[test]
@@ -416,22 +412,14 @@ mod tests {
     #[test]
     fn tree_beats_lock_at_high_contention_and_loses_alone() {
         let t_tree_1 = hammer(|m| CombiningTree::new(m, 0, 2), 1, 40);
-        let t_lock_1 = hammer(
-            |m| LockFetchOp::new(m, 0, TtsLock::new(m, 0, 2)),
-            1,
-            40,
-        );
+        let t_lock_1 = hammer(|m| LockFetchOp::new(m, 0, TtsLock::new(m, 0, 2)), 1, 40);
         assert!(
             t_lock_1 < t_tree_1,
             "lock-based ({t_lock_1}) should beat tree ({t_tree_1}) uncontended"
         );
 
         let t_tree_32 = hammer(|m| CombiningTree::new(m, 0, 32), 32, 12);
-        let t_lock_32 = hammer(
-            |m| LockFetchOp::new(m, 0, TtsLock::new(m, 0, 32)),
-            32,
-            12,
-        );
+        let t_lock_32 = hammer(|m| LockFetchOp::new(m, 0, TtsLock::new(m, 0, 32)), 32, 12);
         assert!(
             t_tree_32 < t_lock_32,
             "tree ({t_tree_32}) should beat TTS-lock-based ({t_lock_32}) at 32 procs"

@@ -63,7 +63,10 @@ impl Cpu {
     /// A handle for issuing operations as a *different* node (e.g. to
     /// hand to a thread spawned there).
     pub fn on(&self, node: usize) -> Cpu {
-        assert!(node < self.st.borrow().nodes_n, "Cpu::on: node out of range");
+        assert!(
+            node < self.st.borrow().nodes_n,
+            "Cpu::on: node out of range"
+        );
         Cpu {
             st: self.st.clone(),
             node,

@@ -264,9 +264,7 @@ pub(crate) fn spawn_raw(
     fut: impl Future<Output = ()> + 'static,
     start_at: u64,
 ) -> TaskId {
-    let slot = TaskSlotInit {
-        fut: Box::pin(fut),
-    };
+    let slot = TaskSlotInit { fut: Box::pin(fut) };
     let id = insert_task(st, slot.fut, None);
     st.schedule(start_at, Ev::Wake(id));
     id

@@ -158,10 +158,7 @@ pub(crate) fn msg_service(st: &mut State, node: usize) {
     let key = (node, msg.port);
     let mut handler = match st.handlers.get_mut(&key).and_then(|h| h.take()) {
         Some(h) => h,
-        None => panic!(
-            "no handler registered for node {} port {}",
-            node, msg.port
-        ),
+        None => panic!("no handler registered for node {} port {}", node, msg.port),
     };
     let t_end = st.now + st.cost.msg_handler;
     let mut ctx = HandlerCtx {

@@ -55,8 +55,7 @@ mod tests {
                 assert_eq!(super::hops(&st, a, b), super::hops(&st, b, a));
                 for c in 0..16 {
                     assert!(
-                        super::hops(&st, a, c)
-                            <= super::hops(&st, a, b) + super::hops(&st, b, c)
+                        super::hops(&st, a, c) <= super::hops(&st, a, b) + super::hops(&st, b, c)
                     );
                 }
             }

@@ -107,10 +107,7 @@ impl Stats {
 
     /// Record a waiting time into the named histogram.
     pub fn record_wait(&mut self, name: &str, t: u64) {
-        self.waits
-            .entry(name.to_string())
-            .or_default()
-            .record(t);
+        self.waits.entry(name.to_string()).or_default().record(t);
     }
 
     /// Read a named counter (0 if absent).

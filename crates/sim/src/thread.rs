@@ -39,11 +39,7 @@ impl NodeSched {
 }
 
 /// Spawn a scheduler-managed thread on `node`.
-pub(crate) fn spawn_thread(
-    st: &mut State,
-    node: usize,
-    fut: crate::exec::BoxFut,
-) -> TaskId {
+pub(crate) fn spawn_thread(st: &mut State, node: usize, fut: crate::exec::BoxFut) -> TaskId {
     let info = crate::state::ThreadInfo {
         node,
         resume: None,

@@ -88,8 +88,14 @@ mod tests {
     #[test]
     fn search_recovers_uniform_optimum() {
         let (a, rho) = optimal_alpha(Family::Uniform, 465.0);
-        assert!((a - UNI_ALPHA_STAR).abs() < 0.05, "α* = {a}, expected ≈ 0.62");
-        assert!((rho - UNI_RHO_STAR).abs() < 0.02, "ρ* = {rho}, expected ≈ 1.62");
+        assert!(
+            (a - UNI_ALPHA_STAR).abs() < 0.05,
+            "α* = {a}, expected ≈ 0.62"
+        );
+        assert!(
+            (rho - UNI_RHO_STAR).abs() < 0.02,
+            "ρ* = {rho}, expected ≈ 1.62"
+        );
     }
 
     #[test]

@@ -296,7 +296,10 @@ mod tests {
         let comp = ts.run_online(&mut Competitive3::default(), &reqs);
         let never = ts.run_online(&mut NeverSwitch, &reqs);
         let opt = ts.offline_opt(&reqs);
-        assert!(comp < never / 10.0, "policy failed to adapt: {comp} vs {never}");
+        assert!(
+            comp < never / 10.0,
+            "policy failed to adapt: {comp} vs {never}"
+        );
         assert!(comp <= 3.0 * opt + ts.d[0][1] + 1.0);
     }
 

@@ -53,10 +53,11 @@ fn main() {
     let storm = t1.elapsed();
 
     println!("quiet phase : 200,000 ops in {quiet:?} (single thread)");
+    println!("storm phase : {storm_ops} ops in {storm:?} (4 threads contending)");
     println!(
-        "storm phase : {storm_ops} ops in {storm:?} (4 threads contending)"
+        "protocol switches performed by the lock: {}",
+        table.switches()
     );
-    println!("protocol switches performed by the lock: {}", table.switches());
     // Take the guard once: two `table.lock()` calls in one statement
     // would deadlock (the first guard lives to the statement's end).
     let t = table.lock();

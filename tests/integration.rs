@@ -37,7 +37,9 @@ fn mixed_synchronization_pipeline() {
                 let ticket = tickets.fetch_add(&cpu, 1).await;
                 cpu.work(100 + cpu.rand_below(400)).await;
                 // Publish this round's result (J-structure).
-                stage.write(&cpu, r * cpu.nodes() + cpu.node(), ticket + 1).await;
+                stage
+                    .write(&cpu, r * cpu.nodes() + cpu.node(), ticket + 1)
+                    .await;
                 // Read the left neighbour's result (two-phase waiting).
                 let left = (cpu.node() + cpu.nodes() - 1) % cpu.nodes();
                 let v = stage.read(&cpu, &waiter, r * cpu.nodes() + left).await;

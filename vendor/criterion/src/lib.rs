@@ -1,0 +1,161 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace vendors the slice of `criterion` the native benchmarks use:
+//! [`Criterion`], [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of
+//! criterion's statistical machinery it times `sample_size` batches with
+//! `std::time::Instant` and reports the minimum, mean, and maximum
+//! nanoseconds per iteration — enough for `cargo bench` to run the
+//! targets and print comparable numbers offline.
+
+#![deny(missing_docs)]
+
+use std::hint;
+use std::time::Instant;
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores command-line configuration (stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under the name `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    // Warm-up sample, discarded.
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        times.push(b.ns_per_iter);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{id:<24} min {min:>12.1} ns/iter   mean {mean:>12.1}   max {max:>12.1}");
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count so the measurement
+    /// is long enough to be readable on a coarse clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count taking >= ~1ms, capped so
+        // heavyweight routines (thread spawns) run once per sample.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt.as_micros() >= 1_000 || iters >= 1 << 20 {
+                self.ns_per_iter = dt.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 8;
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub_smoke");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stub of `crossbeam-utils`.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace vendors the tiny slice of `crossbeam-utils` it actually
+//! uses: [`CachePadded`]. The semantics match the real crate (align the
+//! wrapped value to a cache-line boundary so neighbouring data does not
+//! false-share); only the per-architecture alignment table is simplified
+//! to the common 64/128-byte cases.
+
+#![deny(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line.
+///
+/// On modern x86-64 the spatial prefetcher pulls cache lines in pairs,
+/// so 128-byte alignment is used there; other architectures get 64.
+#[cfg_attr(target_arch = "x86_64", repr(align(128)))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(align(64)))]
+#[derive(Clone, Copy, Default, Hash, PartialEq, Eq)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(t: T) -> Self {
+        CachePadded::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_to_cache_line() {
+        let p = CachePadded::new(1u8);
+        let align = core::mem::align_of_val(&p);
+        assert!(align >= 64, "alignment {align} below a cache line");
+        assert_eq!(*p, 1u8);
+    }
+}
