@@ -239,7 +239,7 @@ impl WaitStrategy for AnyWait {
         cpu: &Cpu,
         addr: Addr,
         q: WaitQueueId,
-        pred: impl Fn(u64) -> bool + Clone + 'static,
+        pred: impl Fn(u64) -> bool + Clone + Unpin + 'static,
     ) -> u64 {
         match self {
             AnyWait::Spin(w) => w.wait_word(cpu, addr, q, pred).await,

@@ -53,7 +53,7 @@ impl WaitStrategy for TwoPhase {
         cpu: &Cpu,
         addr: Addr,
         q: WaitQueueId,
-        pred: impl Fn(u64) -> bool + Clone + 'static,
+        pred: impl Fn(u64) -> bool + Clone + Unpin + 'static,
     ) -> u64 {
         // Phase 1: poll. (Spinning costs exactly the elapsed cycles.)
         let deadline = cpu.now() + self.lpoll;
@@ -97,7 +97,7 @@ impl WaitStrategy for SwitchSpin {
         cpu: &Cpu,
         addr: Addr,
         _q: WaitQueueId,
-        pred: impl Fn(u64) -> bool + Clone + 'static,
+        pred: impl Fn(u64) -> bool + Clone + Unpin + 'static,
     ) -> u64 {
         loop {
             let v = cpu.read(addr).await;
@@ -144,7 +144,7 @@ impl WaitStrategy for TwoPhaseSwitchSpin {
         cpu: &Cpu,
         addr: Addr,
         q: WaitQueueId,
-        pred: impl Fn(u64) -> bool + Clone + 'static,
+        pred: impl Fn(u64) -> bool + Clone + Unpin + 'static,
     ) -> u64 {
         let beta = cpu.contexts().max(1) as u64;
         let deadline = cpu.now() + self.lpoll * beta;

@@ -14,7 +14,7 @@ use alewife_sim::{Addr, Cpu, FullEmpty, WaitQueueId};
 /// This is the building block for all spin-style waiting: it charges a
 /// fresh read per invalidation of the watched line, reproducing the
 /// coherence behaviour of spinning on a cached copy.
-pub async fn spin_wait_until(cpu: &Cpu, addr: Addr, pred: impl Fn(u64) -> bool) -> u64 {
+pub async fn spin_wait_until(cpu: &Cpu, addr: Addr, pred: impl Fn(u64) -> bool + Unpin) -> u64 {
     cpu.poll_until(addr, pred).await
 }
 
@@ -30,7 +30,7 @@ pub trait WaitStrategy: Clone + 'static {
         cpu: &Cpu,
         addr: Addr,
         q: WaitQueueId,
-        pred: impl Fn(u64) -> bool + Clone + 'static,
+        pred: impl Fn(u64) -> bool + Clone + Unpin + 'static,
     ) -> impl std::future::Future<Output = u64>;
 
     /// Wait until the word's full/empty bit is set; returns the value.
@@ -54,7 +54,7 @@ impl WaitStrategy for AlwaysSpin {
         cpu: &Cpu,
         addr: Addr,
         _q: WaitQueueId,
-        pred: impl Fn(u64) -> bool + Clone + 'static,
+        pred: impl Fn(u64) -> bool + Clone + Unpin + 'static,
     ) -> u64 {
         spin_wait_until(cpu, addr, pred).await
     }
@@ -75,7 +75,7 @@ impl WaitStrategy for AlwaysBlock {
         cpu: &Cpu,
         addr: Addr,
         q: WaitQueueId,
-        pred: impl Fn(u64) -> bool + Clone + 'static,
+        pred: impl Fn(u64) -> bool + Clone + Unpin + 'static,
     ) -> u64 {
         loop {
             // The check and the enqueue happen at the same virtual

@@ -20,7 +20,7 @@
 
 use crate::exec::{Completion, Ev};
 use crate::net;
-use crate::state::{Addr, Line, State};
+use crate::state::{Addr, LineId, State};
 
 /// State of a line in a node's local cache (absence means invalid).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,12 +31,26 @@ pub enum CacheState {
     Exclusive,
 }
 
-/// Directory entry for one line.
-#[derive(Clone, Debug, Default)]
+/// Sentinel for "no exclusive owner" in a directory entry.
+pub(crate) const NO_OWNER: u32 = u32::MAX;
+
+/// Directory entry for one line (compact: node ids are `u32`, owner is
+/// a sentinel-coded field — the entry is shuffled on every request).
+#[derive(Clone, Debug)]
 pub(crate) struct DirEntry {
-    pub owner: Option<usize>,
-    pub sharers: Vec<usize>,
+    pub owner: u32,
+    pub sharers: Vec<u32>,
     pub extended: bool,
+}
+
+impl Default for DirEntry {
+    fn default() -> Self {
+        DirEntry {
+            owner: NO_OWNER,
+            sharers: Vec::new(),
+            extended: false,
+        }
+    }
 }
 
 /// An atomic read-modify-write applied at the home directory (or at a
@@ -64,11 +78,12 @@ pub(crate) enum ReqKind {
     Own(RmwOp),
 }
 
-/// A coherence request in flight to a home directory.
+/// A coherence request in flight to a home directory (kept compact:
+/// it crosses the in-flight slab twice per miss).
 pub(crate) struct CohReq {
     pub addr: Addr,
-    pub line: Line,
-    pub from: usize,
+    pub line: LineId,
+    pub from: u32,
     pub kind: ReqKind,
     pub comp: Completion,
 }
@@ -127,161 +142,169 @@ fn apply(st: &mut State, addr: Addr, op: RmwOp) -> [u64; 2] {
 /// Issue a read from `node`; fulfills `comp` with `[value, full_bit]`.
 pub(crate) fn issue_read(st: &mut State, node: usize, addr: Addr, comp: Completion) {
     let line = st.line_of(addr);
-    if st.caches[node].contains_key(&line) {
+    if st.cache[st.cache_slot(node, line)].is_some() {
         // Local hit: our copy is valid, so the authoritative arrays agree
         // with it (any remote write would have invalidated us first).
         let v = st.mem[addr.0 as usize];
         let f = st.full_bits[addr.0 as usize] as u64;
         let t = st.now + st.cost.cache_hit;
-        st.schedule(t, Ev::Complete(comp, [v, f]));
+        st.schedule_complete(t, comp, [v, f]);
         return;
     }
     st.stats.remote_misses += 1;
     let home = st.home_of(line);
     let arrive = st.now + net::latency(st, node, home);
-    st.schedule(
-        arrive,
-        Ev::DirArrive(
-            home,
-            CohReq {
-                addr,
-                line,
-                from: node,
-                kind: ReqKind::Read,
-                comp,
-            },
-        ),
-    );
+    let idx = st.put_coh(CohReq {
+        addr,
+        line,
+        from: node as u32,
+        kind: ReqKind::Read,
+        comp,
+    });
+    st.schedule(arrive, Ev::DirArrive(home as u32, idx));
 }
 
 /// Issue a read-modify-write from `node`; fulfills `comp` with the
 /// op-specific result pair.
 pub(crate) fn issue_own(st: &mut State, node: usize, addr: Addr, op: RmwOp, comp: Completion) {
     let line = st.line_of(addr);
-    if st.caches[node].get(&line) == Some(&CacheState::Exclusive) {
+    if st.cache[st.cache_slot(node, line)] == Some(CacheState::Exclusive) {
         // Exclusive hit: mutate in place. No other node can hold a valid
         // copy, but bump the version anyway so any in-flight watcher
         // re-checks rather than sleeping on a stale epoch.
         let res = apply(st, addr, op);
         let t = st.now + st.cost.cache_hit;
         st.touch_line(line, t);
-        st.schedule(t, Ev::Complete(comp, res));
+        st.schedule_complete(t, comp, res);
         return;
     }
     st.stats.remote_misses += 1;
     let home = st.home_of(line);
     let arrive = st.now + net::latency(st, node, home);
-    st.schedule(
-        arrive,
-        Ev::DirArrive(
-            home,
-            CohReq {
-                addr,
-                line,
-                from: node,
-                kind: ReqKind::Own(op),
-                comp,
-            },
-        ),
-    );
+    let idx = st.put_coh(CohReq {
+        addr,
+        line,
+        from: node as u32,
+        kind: ReqKind::Own(op),
+        comp,
+    });
+    st.schedule(arrive, Ev::DirArrive(home as u32, idx));
 }
 
-/// A coherence request arrived at `node`'s directory queue.
-pub(crate) fn dir_arrive(st: &mut State, node: usize, req: CohReq) {
-    st.dir_q[node].push_back(req);
-    if !st.dir_scheduled[node] {
-        st.dir_scheduled[node] = true;
-        let at = st.now.max(st.dir_busy[node]);
-        st.schedule(at, Ev::DirService(node));
+/// The in-flight request `coh_slab[idx]` arrived at `node`'s
+/// directory queue.
+pub(crate) fn dir_arrive(st: &mut State, node: usize, idx: u32) {
+    let d = &mut st.dirs[node];
+    d.q.push_back(idx);
+    if !d.scheduled {
+        d.scheduled = true;
+        let at = st.now.max(d.busy);
+        st.schedule(at, Ev::DirService(node as u32));
     }
 }
 
 /// Service the next queued request at `node`'s directory.
 pub(crate) fn dir_service(st: &mut State, node: usize) {
-    st.dir_scheduled[node] = false;
-    let Some(req) = st.dir_q[node].pop_front() else {
+    st.dirs[node].scheduled = false;
+    let Some(idx) = st.dirs[node].q.pop_front() else {
         return;
     };
+    let req = st.take_coh(idx);
+    let from = req.from as usize;
     st.stats.dir_requests += 1;
     let t0 = st.now;
-    let cost = st.cost.clone();
-    let entry = st.dir.entry(req.line).or_default().clone();
-    let mut busy = cost.dir_service;
-    let mut extended = entry.extended;
-    let mut owner = entry.owner;
-    let mut sharers = entry.sharers.clone();
+    let li = req.line.idx();
+    // Take the entry's fields out of the arena (the sharer list by
+    // value, so its capacity survives the round trip); the directory is
+    // serially occupied, so nothing else reads the entry meanwhile.
+    let mut extended = st.dir[li].extended;
+    let mut owner = st.dir[li].owner;
+    let mut sharers = std::mem::take(&mut st.dir[li].sharers);
+    debug_assert!(from != NO_OWNER as usize);
+    let from32 = req.from;
 
     let grant_t;
     let result;
     match req.kind {
         ReqKind::Read => {
-            let mut t = t0 + busy;
-            if let Some(o) = owner {
-                if o != req.from {
+            let mut t = t0 + st.cost.dir_service;
+            if owner != NO_OWNER {
+                let o = owner as usize;
+                if o != from {
                     // Fetch/downgrade the remote owner to shared.
-                    t += cost.owner_fetch + 2 * net::latency(st, node, o);
-                    st.caches[o].insert(req.line, CacheState::Shared);
-                    if !sharers.contains(&o) {
-                        sharers.push(o);
+                    t += st.cost.owner_fetch + 2 * net::latency(st, node, o);
+                    let slot = st.cache_slot(o, req.line);
+                    // Sharer-list membership is mirrored by the cache
+                    // table (`Shared` ⟺ on the list), so the duplicate
+                    // check is O(1) instead of a list scan.
+                    if st.cache[slot] != Some(CacheState::Shared) {
+                        sharers.push(owner);
                     }
-                    owner = None;
+                    st.cache[slot] = Some(CacheState::Shared);
+                    owner = NO_OWNER;
                 } else {
                     // Reading node already owns it (raced with itself);
                     // just grant.
                 }
             }
-            if owner != Some(req.from) && !sharers.contains(&req.from) {
-                sharers.push(req.from);
+            if owner != from32 {
+                let slot = st.cache_slot(from, req.line);
+                if st.cache[slot] != Some(CacheState::Shared) {
+                    sharers.push(from32);
+                }
             }
             if !st.full_map && sharers.len() > st.hw_ptrs {
                 if !extended {
                     extended = true;
                 }
                 st.stats.limitless_traps += 1;
-                t += cost.limitless_trap;
+                t += st.cost.limitless_trap;
             }
             let v = st.mem[req.addr.0 as usize];
             let f = st.full_bits[req.addr.0 as usize] as u64;
             result = [v, f];
             grant_t = t;
-            if owner != Some(req.from) {
-                st.caches[req.from].insert(req.line, CacheState::Shared);
+            if owner != from32 {
+                let slot = st.cache_slot(from, req.line);
+                st.cache[slot] = Some(CacheState::Shared);
             }
         }
         ReqKind::Own(op) => {
-            let mut t = t0 + busy;
+            let mut t = t0 + st.cost.dir_service;
             if extended && !st.full_map {
                 st.stats.limitless_traps += 1;
-                t += cost.limitless_trap;
+                t += st.cost.limitless_trap;
             }
-            if let Some(o) = owner {
-                if o != req.from {
+            if owner != NO_OWNER {
+                let o = owner as usize;
+                if o != from {
                     // Invalidate the remote exclusive owner.
-                    t += cost.owner_fetch + 2 * net::latency(st, node, o);
-                    st.caches[o].remove(&req.line);
+                    t += st.cost.owner_fetch + 2 * net::latency(st, node, o);
+                    let slot = st.cache_slot(o, req.line);
+                    st.cache[slot] = None;
                     st.stats.invalidations += 1;
                 }
             }
             // Sequentially invalidate every other sharer; the grant waits
             // for the last acknowledgement.
-            sharers.retain(|&s| s != req.from);
+            sharers.retain(|&s| s != from32);
             let mut last_ack = t;
             for (i, &s) in sharers.iter().enumerate() {
-                let issue_at = t + (i as u64 + 1) * cost.inval_issue;
-                let ack_at = issue_at + 2 * net::latency(st, node, s);
+                let issue_at = t + (i as u64 + 1) * st.cost.inval_issue;
+                let ack_at = issue_at + 2 * net::latency(st, node, s as usize);
                 last_ack = last_ack.max(ack_at);
-                st.caches[s].remove(&req.line);
+                let slot = st.cache_slot(s as usize, req.line);
+                st.cache[slot] = None;
                 st.stats.invalidations += 1;
             }
-            t += sharers.len() as u64 * cost.inval_issue;
+            t += sharers.len() as u64 * st.cost.inval_issue;
             grant_t = t.max(last_ack);
             result = apply(st, req.addr, op);
-            owner = Some(req.from);
+            owner = from32;
             sharers.clear();
             extended = false;
-            st.caches[req.from].insert(req.line, CacheState::Exclusive);
-            busy = grant_t - t0;
-            let _ = busy;
+            let slot = st.cache_slot(from, req.line);
+            st.cache[slot] = Some(CacheState::Exclusive);
             // Wake read-pollers once the line has settled: they will
             // re-read (missing, since their copies were just invalidated)
             // and serialize at this directory, reproducing the
@@ -290,21 +313,20 @@ pub(crate) fn dir_service(st: &mut State, node: usize) {
         }
     }
 
-    st.dir.insert(
-        req.line,
-        DirEntry {
-            owner,
-            sharers,
-            extended,
-        },
-    );
-    st.dir_busy[node] = grant_t;
-    let reply_at = grant_t + net::latency(st, node, req.from);
+    let entry = &mut st.dir[li];
+    entry.owner = owner;
+    entry.sharers = sharers;
+    entry.extended = extended;
+    let reply_at = grant_t + net::latency(st, node, from);
     st.stats.net_msgs += 2;
-    st.schedule(reply_at, Ev::Complete(req.comp, result));
-
-    if !st.dir_q[node].is_empty() {
-        st.dir_scheduled[node] = true;
-        st.schedule(grant_t, Ev::DirService(node));
+    let d = &mut st.dirs[node];
+    d.busy = grant_t;
+    let more = !d.q.is_empty();
+    if more {
+        d.scheduled = true;
+    }
+    st.schedule_complete(reply_at, req.comp, result);
+    if more {
+        st.schedule(grant_t, Ev::DirService(node as u32));
     }
 }

@@ -2,10 +2,11 @@
 //! simulated machine.
 
 use std::cell::RefCell;
+use std::future::Future;
 use std::rc::Rc;
 
 use crate::coherence::{self, RmwOp};
-use crate::exec::{CompFuture, Completion, Ev, LineChangeFuture};
+use crate::exec::{CompFuture, Completion, MapFut};
 use crate::msg::{self, Port};
 use crate::state::{Addr, State};
 use crate::thread::{self, WaitQueueId};
@@ -88,95 +89,115 @@ impl Cpu {
         self.st.borrow_mut().stats.record_wait(name, t);
     }
 
-    fn comp_future(&self, c: Completion) -> CompFuture {
-        CompFuture::new(self.st.clone(), c)
+    /// Build the await-side future for `c`; must be called with the
+    /// issuing task current (inside its poll).
+    fn comp_future_in(st: &crate::state::State, c: Completion) -> CompFuture {
+        let tid = st
+            .current_task
+            .expect("sim operation issued outside the sim executor");
+        CompFuture::new(tid, c)
     }
 
     /// Busy-compute for `cycles` (the processor is occupied).
-    pub async fn work(&self, cycles: u64) {
-        let c = Completion::new();
-        {
+    ///
+    /// Like every memory/compute primitive on `Cpu`, this issues the
+    /// operation immediately and returns a one-frame future — there is
+    /// no intermediate async-fn state machine on the hot path.
+    pub fn work(&self, cycles: u64) -> impl Future<Output = ()> {
+        let fut = {
             let mut st = self.st.borrow_mut();
+            let c = st.new_completion();
             let at = st.now + cycles;
-            st.schedule(at, Ev::Complete(c.clone(), [0, 0]));
-        }
-        self.comp_future(c).await;
+            st.schedule_complete(at, c.clone(), [0, 0]);
+            Self::comp_future_in(&st, c)
+        };
+        MapFut::new(fut, |_| ())
     }
 
     // ------------------------------------------------------------------
     // Shared memory
     // ------------------------------------------------------------------
 
+    #[inline]
+    fn read_fut(&self, a: Addr) -> CompFuture {
+        let mut st = self.st.borrow_mut();
+        let c = st.new_completion();
+        coherence::issue_read(&mut st, self.node, a, c.clone());
+        Self::comp_future_in(&st, c)
+    }
+
+    #[inline]
+    fn own_fut(&self, a: Addr, op: RmwOp) -> CompFuture {
+        let mut st = self.st.borrow_mut();
+        let c = st.new_completion();
+        coherence::issue_own(&mut st, self.node, a, op, c.clone());
+        Self::comp_future_in(&st, c)
+    }
+
     /// Load a word.
-    pub async fn read(&self, a: Addr) -> u64 {
-        let c = Completion::new();
-        coherence::issue_read(&mut self.st.borrow_mut(), self.node, a, c.clone());
-        self.comp_future(c).await[0]
+    pub fn read(&self, a: Addr) -> impl Future<Output = u64> {
+        MapFut::new(self.read_fut(a), |v| v[0])
     }
 
     /// Load a word together with its full/empty bit.
-    pub async fn read_full(&self, a: Addr) -> FullEmpty {
-        let c = Completion::new();
-        coherence::issue_read(&mut self.st.borrow_mut(), self.node, a, c.clone());
-        let [v, f] = self.comp_future(c).await;
-        if f != 0 {
-            FullEmpty::Full(v)
-        } else {
-            FullEmpty::Empty
-        }
-    }
-
-    async fn own(&self, a: Addr, op: RmwOp) -> [u64; 2] {
-        let c = Completion::new();
-        coherence::issue_own(&mut self.st.borrow_mut(), self.node, a, op, c.clone());
-        self.comp_future(c).await
+    pub fn read_full(&self, a: Addr) -> impl Future<Output = FullEmpty> {
+        MapFut::new(self.read_fut(a), |[v, f]| {
+            if f != 0 {
+                FullEmpty::Full(v)
+            } else {
+                FullEmpty::Empty
+            }
+        })
     }
 
     /// Store a word.
-    pub async fn write(&self, a: Addr, v: u64) {
-        self.own(a, RmwOp::Write(v)).await;
+    pub fn write(&self, a: Addr, v: u64) -> impl Future<Output = ()> {
+        MapFut::new(self.own_fut(a, RmwOp::Write(v)), |_| ())
     }
 
     /// Atomic `test&set`: set the word to 1, return the previous value.
-    pub async fn test_and_set(&self, a: Addr) -> u64 {
-        self.own(a, RmwOp::TestAndSet).await[0]
+    pub fn test_and_set(&self, a: Addr) -> impl Future<Output = u64> {
+        MapFut::new(self.own_fut(a, RmwOp::TestAndSet), |v| v[0])
     }
 
     /// Atomic `fetch&store` (swap); Sparcle's native RMW primitive.
-    pub async fn fetch_and_store(&self, a: Addr, v: u64) -> u64 {
-        self.own(a, RmwOp::FetchAndStore(v)).await[0]
+    pub fn fetch_and_store(&self, a: Addr, v: u64) -> impl Future<Output = u64> {
+        MapFut::new(self.own_fut(a, RmwOp::FetchAndStore(v)), |v| v[0])
     }
 
     /// Atomic compare-and-swap; returns `true` on success.
-    pub async fn compare_and_swap(&self, a: Addr, expect: u64, new: u64) -> bool {
-        self.own(a, RmwOp::CompareAndSwap(expect, new)).await[0] != 0
+    pub fn compare_and_swap(&self, a: Addr, expect: u64, new: u64) -> impl Future<Output = bool> {
+        MapFut::new(self.own_fut(a, RmwOp::CompareAndSwap(expect, new)), |v| {
+            v[0] != 0
+        })
     }
 
     /// Atomic fetch-and-add; returns the previous value.
-    pub async fn fetch_and_add(&self, a: Addr, d: u64) -> u64 {
-        self.own(a, RmwOp::FetchAndAdd(d)).await[0]
+    pub fn fetch_and_add(&self, a: Addr, d: u64) -> impl Future<Output = u64> {
+        MapFut::new(self.own_fut(a, RmwOp::FetchAndAdd(d)), |v| v[0])
     }
 
     /// Store a value and set the word's full bit (producer side of a
     /// J-structure/future). Returns `true` if the word was already full.
-    pub async fn write_fill(&self, a: Addr, v: u64) -> bool {
-        self.own(a, RmwOp::WriteFill(v)).await[0] != 0
+    pub fn write_fill(&self, a: Addr, v: u64) -> impl Future<Output = bool> {
+        MapFut::new(self.own_fut(a, RmwOp::WriteFill(v)), |v| v[0] != 0)
     }
 
     /// If the word is full, atomically read it and reset it to empty
     /// (I-structure take).
-    pub async fn take_if_full(&self, a: Addr) -> FullEmpty {
-        let [v, ok] = self.own(a, RmwOp::TakeIfFull).await;
-        if ok != 0 {
-            FullEmpty::Full(v)
-        } else {
-            FullEmpty::Empty
-        }
+    pub fn take_if_full(&self, a: Addr) -> impl Future<Output = FullEmpty> {
+        MapFut::new(self.own_fut(a, RmwOp::TakeIfFull), |[v, ok]| {
+            if ok != 0 {
+                FullEmpty::Full(v)
+            } else {
+                FullEmpty::Empty
+            }
+        })
     }
 
     /// Reset a word's full bit.
-    pub async fn reset_empty(&self, a: Addr) {
-        self.own(a, RmwOp::ResetEmpty).await;
+    pub fn reset_empty(&self, a: Addr) -> impl Future<Output = ()> {
+        MapFut::new(self.own_fut(a, RmwOp::ResetEmpty), |_| ())
     }
 
     // ------------------------------------------------------------------
@@ -188,117 +209,62 @@ impl Cpu {
     /// Models test-and-test-and-set-style spinning on a cached copy: the
     /// first poll may miss, subsequent polls hit in the local cache, and
     /// the waiter re-fetches (serializing at the home directory) each
-    /// time the line is invalidated by a writer.
-    pub async fn poll_until(&self, a: Addr, pred: impl Fn(u64) -> bool) -> u64 {
-        loop {
-            let (line, seen) = {
-                let st = self.st.borrow();
-                let line = st.line_of(a);
-                (line, st.line_ver.get(&line).copied().unwrap_or(0))
-            };
-            let v = self.read(a).await;
-            if pred(v) {
-                return v;
-            }
-            LineChangeFuture {
-                st: self.st.clone(),
-                line,
-                seen,
-            }
-            .await;
+    /// time the line is invalidated by a writer. Implemented as one
+    /// hand-rolled future (see [`SpinRead`]) so each spin re-check costs
+    /// a single state borrow and no nested state machines.
+    pub fn poll_until<'a>(
+        &'a self,
+        a: Addr,
+        pred: impl Fn(u64) -> bool + Unpin + 'a,
+    ) -> impl Future<Output = u64> + 'a {
+        SpinRead {
+            cpu: self,
+            a,
+            accept: move |[v, _f]: [u64; 2]| if pred(v) { Some(v) } else { None },
+            state: SpinSt::Start,
         }
     }
 
     /// Read-poll until the word's full bit is set; returns the value.
-    pub async fn poll_until_full(&self, a: Addr) -> u64 {
-        loop {
-            let (line, seen) = {
-                let st = self.st.borrow();
-                let line = st.line_of(a);
-                (line, st.line_ver.get(&line).copied().unwrap_or(0))
-            };
-            if let FullEmpty::Full(v) = self.read_full(a).await {
-                return v;
-            }
-            LineChangeFuture {
-                st: self.st.clone(),
-                line,
-                seen,
-            }
-            .await;
+    pub fn poll_until_full(&self, a: Addr) -> impl Future<Output = u64> + '_ {
+        SpinRead {
+            cpu: self,
+            a,
+            accept: |[v, f]: [u64; 2]| if f != 0 { Some(v) } else { None },
+            state: SpinSt::Start,
         }
     }
 
     /// Read-poll `a` until `pred(value)` holds or `deadline` passes.
     /// Returns `Some(value)` on success, `None` on timeout — the polling
     /// phase of a two-phase waiting algorithm.
-    pub async fn poll_until_deadline(
-        &self,
+    pub fn poll_until_deadline<'a>(
+        &'a self,
         a: Addr,
-        pred: impl Fn(u64) -> bool,
+        pred: impl Fn(u64) -> bool + Unpin + 'a,
         deadline: u64,
-    ) -> Option<u64> {
-        loop {
-            let (line, seen) = {
-                let st = self.st.borrow();
-                let line = st.line_of(a);
-                (line, st.line_ver.get(&line).copied().unwrap_or(0))
-            };
-            let v = self.read(a).await;
-            if pred(v) {
-                return Some(v);
-            }
-            if self.now() >= deadline {
-                return None;
-            }
-            let changed = crate::exec::ChangeOrDeadlineFuture {
-                st: self.st.clone(),
-                line,
-                seen,
-                deadline,
-                timer_armed: false,
-            }
-            .await;
-            if !changed && self.now() >= deadline {
-                // One last check: the final write may have landed exactly
-                // at the deadline.
-                let v = self.read(a).await;
-                if pred(v) {
-                    return Some(v);
-                }
-                return None;
-            }
+    ) -> impl Future<Output = Option<u64>> + 'a {
+        SpinReadDeadline {
+            cpu: self,
+            a,
+            accept: move |[v, _f]: [u64; 2]| if pred(v) { Some(v) } else { None },
+            deadline,
+            state: SpinDeadlineSt::Start,
         }
     }
 
     /// Read-poll until the word's full bit is set or `deadline` passes.
-    pub async fn poll_until_full_deadline(&self, a: Addr, deadline: u64) -> Option<u64> {
-        loop {
-            let (line, seen) = {
-                let st = self.st.borrow();
-                let line = st.line_of(a);
-                (line, st.line_ver.get(&line).copied().unwrap_or(0))
-            };
-            if let FullEmpty::Full(v) = self.read_full(a).await {
-                return Some(v);
-            }
-            if self.now() >= deadline {
-                return None;
-            }
-            let changed = crate::exec::ChangeOrDeadlineFuture {
-                st: self.st.clone(),
-                line,
-                seen,
-                deadline,
-                timer_armed: false,
-            }
-            .await;
-            if !changed && self.now() >= deadline {
-                if let FullEmpty::Full(v) = self.read_full(a).await {
-                    return Some(v);
-                }
-                return None;
-            }
+    pub fn poll_until_full_deadline(
+        &self,
+        a: Addr,
+        deadline: u64,
+    ) -> impl Future<Output = Option<u64>> + '_ {
+        SpinReadDeadline {
+            cpu: self,
+            a,
+            accept: |[v, f]: [u64; 2]| if f != 0 { Some(v) } else { None },
+            deadline,
+            state: SpinDeadlineSt::Start,
         }
     }
 
@@ -318,17 +284,14 @@ impl Cpu {
 
     /// Remote procedure call: send a message and wait for some handler to
     /// reply (possibly much later — e.g. a queued lock grant).
-    pub async fn rpc(&self, dest: usize, port: Port, args: [u64; 4]) -> u64 {
-        let c = Completion::new();
-        msg::issue_rpc(
-            &mut self.st.borrow_mut(),
-            self.node,
-            dest,
-            port,
-            args,
-            c.clone(),
-        );
-        self.comp_future(c).await[0]
+    pub fn rpc(&self, dest: usize, port: Port, args: [u64; 4]) -> impl Future<Output = u64> {
+        let fut = {
+            let mut st = self.st.borrow_mut();
+            let c = st.new_completion();
+            msg::issue_rpc(&mut st, self.node, dest, port, args, c.clone());
+            Self::comp_future_in(&st, c)
+        };
+        MapFut::new(fut, |v| v[0])
     }
 
     // ------------------------------------------------------------------
@@ -339,8 +302,12 @@ impl Cpu {
     /// Pays the unload cost now and the reload cost when rescheduled;
     /// the signaller pays the reenable cost. Total ≈ `B` (Table 4.1).
     pub async fn block_on(&self, q: WaitQueueId) {
-        let c = thread::begin_block(&mut self.st.borrow_mut(), self.node, q);
-        self.comp_future(c).await;
+        let fut = {
+            let mut st = self.st.borrow_mut();
+            let c = thread::begin_block(&mut st, self.node, q);
+            Self::comp_future_in(&st, c)
+        };
+        fut.await;
     }
 
     /// Wake one thread blocked on `q`, paying the reenable cost if a
@@ -375,10 +342,13 @@ impl Cpu {
     /// waiting mechanism on a multithreaded processor: switch-spinning).
     /// Returns `true` if a switch happened.
     pub async fn yield_now(&self) -> bool {
-        let c = thread::begin_yield(&mut self.st.borrow_mut(), self.node);
-        match c {
-            Some(c) => {
-                self.comp_future(c).await;
+        let fut = {
+            let mut st = self.st.borrow_mut();
+            thread::begin_yield(&mut st, self.node).map(|c| Self::comp_future_in(&st, c))
+        };
+        match fut {
+            Some(fut) => {
+                fut.await;
                 true
             }
             None => false,
@@ -398,5 +368,223 @@ impl Cpu {
         fut: impl std::future::Future<Output = ()> + 'static,
     ) -> crate::exec::TaskId {
         thread::spawn_thread(&mut self.st.borrow_mut(), node, Box::pin(fut))
+    }
+}
+
+/// State of a [`SpinRead`] spin loop.
+enum SpinSt {
+    /// Next poll issues the read (and snapshots the line version).
+    Start,
+    /// A read is in flight.
+    Read {
+        c: Completion,
+        tid: crate::exec::TaskId,
+        line: crate::state::LineId,
+        seen: u64,
+    },
+    /// Registered as a line watcher, waiting for an invalidation.
+    Watch {
+        line: crate::state::LineId,
+        seen: u64,
+    },
+}
+
+/// The fused read-polling future behind [`Cpu::poll_until`] and
+/// [`Cpu::poll_until_full`]: issue read → (miss or hit) → test
+/// predicate → watch line → re-read on invalidation. Event and watcher
+/// registration order is identical to the naive
+/// `loop { read().await; LineChangeFuture.await }`, but each transition
+/// runs under a single state borrow with no nested async-fn frames.
+struct SpinRead<'a, A: Fn([u64; 2]) -> Option<u64>> {
+    cpu: &'a Cpu,
+    a: Addr,
+    accept: A,
+    state: SpinSt,
+}
+
+impl<A: Fn([u64; 2]) -> Option<u64> + Unpin> Future for SpinRead<'_, A> {
+    type Output = u64;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<u64> {
+        use std::task::Poll;
+        let this = self.get_mut();
+        loop {
+            match &this.state {
+                SpinSt::Start => {
+                    let mut st = this.cpu.st.borrow_mut();
+                    let line = st.line_of(this.a);
+                    let seen = st.line_ver[line.idx()];
+                    let c = st.new_completion();
+                    coherence::issue_read(&mut st, this.cpu.node, this.a, c.clone());
+                    let tid = st
+                        .current_task
+                        .expect("sim operation issued outside the sim executor");
+                    this.state = SpinSt::Read { c, tid, line, seen };
+                }
+                SpinSt::Read { c, tid, line, seen } => {
+                    if !c.is_done() {
+                        c.set_waiter(*tid);
+                        return Poll::Pending;
+                    }
+                    if let Some(v) = (this.accept)(c.value()) {
+                        return Poll::Ready(v);
+                    }
+                    let (line, seen, tid) = (*line, *seen, *tid);
+                    let mut st = this.cpu.st.borrow_mut();
+                    if st.line_ver[line.idx()] != seen {
+                        // Invalidated while we examined the value:
+                        // re-read immediately.
+                        drop(st);
+                        this.state = SpinSt::Start;
+                        continue;
+                    }
+                    st.watchers[line.idx()].push(tid);
+                    drop(st);
+                    this.state = SpinSt::Watch { line, seen };
+                    return Poll::Pending;
+                }
+                SpinSt::Watch { line, seen } => {
+                    let (line, seen) = (*line, *seen);
+                    let mut st = this.cpu.st.borrow_mut();
+                    if st.line_ver[line.idx()] != seen {
+                        drop(st);
+                        this.state = SpinSt::Start;
+                        continue;
+                    }
+                    // Stale wake: re-register and keep waiting.
+                    let cur = st
+                        .current_task
+                        .expect("sim future polled outside the sim executor");
+                    st.watchers[line.idx()].push(cur);
+                    return Poll::Pending;
+                }
+            }
+        }
+    }
+}
+
+/// State of a [`SpinReadDeadline`] bounded spin loop.
+enum SpinDeadlineSt {
+    Start,
+    Read {
+        c: Completion,
+        tid: crate::exec::TaskId,
+        line: crate::state::LineId,
+        seen: u64,
+    },
+    /// Watching the line with a deadline wake armed for this round.
+    Watch {
+        line: crate::state::LineId,
+        seen: u64,
+    },
+    /// Deadline hit; one final read races the last write.
+    FinalRead {
+        c: Completion,
+        tid: crate::exec::TaskId,
+    },
+}
+
+/// The fused future behind [`Cpu::poll_until_deadline`] and
+/// [`Cpu::poll_until_full_deadline`] — the polling phase of two-phase
+/// waiting. Schedule order (read issues, watcher registrations, one
+/// deadline wake armed per re-check round) is identical to the naive
+/// async-fn loop it replaces.
+struct SpinReadDeadline<'a, A: Fn([u64; 2]) -> Option<u64>> {
+    cpu: &'a Cpu,
+    a: Addr,
+    accept: A,
+    deadline: u64,
+    state: SpinDeadlineSt,
+}
+
+impl<A: Fn([u64; 2]) -> Option<u64> + Unpin> Future for SpinReadDeadline<'_, A> {
+    type Output = Option<u64>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Option<u64>> {
+        use std::task::Poll;
+        let this = self.get_mut();
+        loop {
+            match &this.state {
+                SpinDeadlineSt::Start => {
+                    let mut st = this.cpu.st.borrow_mut();
+                    let line = st.line_of(this.a);
+                    let seen = st.line_ver[line.idx()];
+                    let c = st.new_completion();
+                    coherence::issue_read(&mut st, this.cpu.node, this.a, c.clone());
+                    let tid = st
+                        .current_task
+                        .expect("sim operation issued outside the sim executor");
+                    this.state = SpinDeadlineSt::Read { c, tid, line, seen };
+                }
+                SpinDeadlineSt::Read { c, tid, line, seen } => {
+                    if !c.is_done() {
+                        c.set_waiter(*tid);
+                        return Poll::Pending;
+                    }
+                    if let Some(v) = (this.accept)(c.value()) {
+                        return Poll::Ready(Some(v));
+                    }
+                    let (line, seen, tid) = (*line, *seen, *tid);
+                    let mut st = this.cpu.st.borrow_mut();
+                    if st.now >= this.deadline {
+                        return Poll::Ready(None);
+                    }
+                    if st.line_ver[line.idx()] != seen {
+                        // Changed while we examined the value: re-read.
+                        drop(st);
+                        this.state = SpinDeadlineSt::Start;
+                        continue;
+                    }
+                    // Watch the line and arm this round's deadline wake
+                    // (registration first, then the timer — the order the
+                    // unfused loop scheduled them in).
+                    st.watchers[line.idx()].push(tid);
+                    let deadline = this.deadline;
+                    st.schedule(deadline, crate::exec::Ev::Wake(tid));
+                    drop(st);
+                    this.state = SpinDeadlineSt::Watch { line, seen };
+                    return Poll::Pending;
+                }
+                SpinDeadlineSt::Watch { line, seen } => {
+                    let (line, seen) = (*line, *seen);
+                    let mut st = this.cpu.st.borrow_mut();
+                    if st.line_ver[line.idx()] != seen {
+                        drop(st);
+                        this.state = SpinDeadlineSt::Start;
+                        continue;
+                    }
+                    if st.now >= this.deadline {
+                        // Deadline passed: issue the final racing read.
+                        let c = st.new_completion();
+                        coherence::issue_read(&mut st, this.cpu.node, this.a, c.clone());
+                        let tid = st
+                            .current_task
+                            .expect("sim operation issued outside the sim executor");
+                        drop(st);
+                        this.state = SpinDeadlineSt::FinalRead { c, tid };
+                        continue;
+                    }
+                    // Stale wake: re-register; the timer stays armed.
+                    let cur = st
+                        .current_task
+                        .expect("sim future polled outside the sim executor");
+                    st.watchers[line.idx()].push(cur);
+                    return Poll::Pending;
+                }
+                SpinDeadlineSt::FinalRead { c, tid } => {
+                    if !c.is_done() {
+                        c.set_waiter(*tid);
+                        return Poll::Pending;
+                    }
+                    return Poll::Ready((this.accept)(c.value()));
+                }
+            }
+        }
     }
 }

@@ -7,15 +7,13 @@
 //! at a computed future instant. Events are totally ordered by
 //! `(time, sequence)`, so simulations are exactly reproducible.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use crate::coherence::CohReq;
-use crate::msg::ActiveMsg;
 use crate::state::State;
 
 /// Identifier of a simulated task (a processor's thread of control).
@@ -48,9 +46,16 @@ impl Completion {
         }
     }
 
-    pub fn fulfill(&self, v: [u64; 2]) -> Option<TaskId> {
-        debug_assert!(!self.inner.done.get(), "completion fulfilled twice");
+    /// Stash the result value ahead of time (e.g. when the completion
+    /// event is scheduled). Invisible until [`Completion::finish`] sets
+    /// the done flag.
+    pub fn set_value(&self, v: [u64; 2]) {
         self.inner.val.set(v);
+    }
+
+    /// Mark done and take the waiter to poll, if any.
+    pub fn finish(&self) -> Option<TaskId> {
+        debug_assert!(!self.inner.done.get(), "completion fulfilled twice");
         self.inner.done.set(true);
         self.inner.waiter.take()
     }
@@ -59,11 +64,23 @@ impl Completion {
         self.inner.done.get()
     }
 
+    /// Whether this handle is the only one left (safe to recycle).
+    pub fn is_unique(&self) -> bool {
+        Rc::strong_count(&self.inner) == 1
+    }
+
+    /// Clear the completion for reuse from the pool.
+    pub fn reset(&self) {
+        self.inner.done.set(false);
+        self.inner.val.set([0, 0]);
+        self.inner.waiter.set(None);
+    }
+
     pub fn value(&self) -> [u64; 2] {
         self.inner.val.get()
     }
 
-    fn set_waiter(&self, t: TaskId) {
+    pub(crate) fn set_waiter(&self, t: TaskId) {
         self.inner.waiter.set(Some(t));
     }
 }
@@ -76,15 +93,43 @@ impl std::fmt::Debug for Completion {
     }
 }
 
-/// Future resolving when a [`Completion`] is fulfilled.
+/// Maps a [`CompFuture`]'s `[u64; 2]` result through a zero-size
+/// closure — the await-side of every memory/compute operation, one
+/// poll frame deep (no intermediate async-fn state machines).
+pub(crate) struct MapFut<T, F: Fn([u64; 2]) -> T> {
+    fut: CompFuture,
+    map: F,
+}
+
+impl<T, F: Fn([u64; 2]) -> T> MapFut<T, F> {
+    pub fn new(fut: CompFuture, map: F) -> Self {
+        MapFut { fut, map }
+    }
+}
+
+impl<T, F: Fn([u64; 2]) -> T + Unpin> Future for MapFut<T, F> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.fut).poll(cx) {
+            Poll::Ready(v) => Poll::Ready((this.map)(v)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Future resolving when a [`Completion`] is fulfilled. Carries the
+/// awaiting task's id (captured at issue time, when the task is the
+/// current one) so polling never has to re-borrow the state.
 pub(crate) struct CompFuture {
-    st: Rc<RefCell<State>>,
+    tid: TaskId,
     c: Completion,
 }
 
 impl CompFuture {
-    pub fn new(st: Rc<RefCell<State>>, c: Completion) -> CompFuture {
-        CompFuture { st, c }
+    pub fn new(tid: TaskId, c: Completion) -> CompFuture {
+        CompFuture { tid, c }
     }
 }
 
@@ -95,99 +140,34 @@ impl Future for CompFuture {
         if self.c.is_done() {
             Poll::Ready(self.c.value())
         } else {
-            let cur = self
-                .st
-                .borrow()
-                .current_task
-                .expect("sim future polled outside the sim executor");
-            self.c.set_waiter(cur);
+            self.c.set_waiter(self.tid);
             Poll::Pending
         }
     }
 }
 
-/// Future resolving when a line's version changes past `seen`.
-/// Used to implement efficient read-polling (§3.1.1) without simulating
-/// every 2-cycle cache-hit poll as its own event.
-pub(crate) struct LineChangeFuture {
-    pub st: Rc<RefCell<State>>,
-    pub line: u64,
-    pub seen: u64,
-}
-
-impl Future for LineChangeFuture {
-    type Output = ();
-
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        let mut st = self.st.borrow_mut();
-        let ver = st.line_ver.get(&self.line).copied().unwrap_or(0);
-        if ver != self.seen {
-            Poll::Ready(())
-        } else {
-            let cur = st
-                .current_task
-                .expect("sim future polled outside the sim executor");
-            st.watchers.entry(self.line).or_default().push(cur);
-            Poll::Pending
-        }
-    }
-}
-
-/// Future resolving when a line's version changes past `seen` *or* a
-/// deadline passes — the primitive beneath bounded polling phases
-/// (two-phase waiting, Chapter 4). Resolves to `true` if the line
-/// changed before the deadline.
-pub(crate) struct ChangeOrDeadlineFuture {
-    pub st: Rc<RefCell<State>>,
-    pub line: u64,
-    pub seen: u64,
-    pub deadline: u64,
-    pub timer_armed: bool,
-}
-
-impl Future for ChangeOrDeadlineFuture {
-    type Output = bool;
-
-    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<bool> {
-        let mut st = self.st.borrow_mut();
-        let ver = st.line_ver.get(&self.line).copied().unwrap_or(0);
-        if ver != self.seen {
-            return Poll::Ready(true);
-        }
-        if st.now >= self.deadline {
-            return Poll::Ready(false);
-        }
-        let cur = st
-            .current_task
-            .expect("sim future polled outside the sim executor");
-        st.watchers.entry(self.line).or_default().push(cur);
-        if !self.timer_armed {
-            let deadline = self.deadline;
-            st.schedule(deadline, Ev::Wake(cur));
-            drop(st);
-            self.timer_armed = true;
-        }
-        Poll::Pending
-    }
-}
-
-/// A simulation event.
+/// A simulation event. Kept small (16 bytes): bulky payloads live in
+/// the state's in-flight slabs ([`crate::state::State::coh_slab`],
+/// [`crate::state::State::msg_slab`]) and events carry their index;
+/// completion events stash their value in the completion up front.
 pub(crate) enum Ev {
     /// Poll the task (it will re-check whatever it is waiting on).
     Wake(TaskId),
-    /// Fulfill a completion with a value and poll its waiter.
-    Complete(Completion, [u64; 2]),
-    /// A coherence request arrives at `node`'s directory input queue.
-    DirArrive(usize, CohReq),
+    /// Finish a completion (value already stashed) and poll its waiter.
+    Complete(Completion),
+    /// The coherence request `coh_slab[idx]` arrives at node `n`'s
+    /// directory input queue (`DirArrive(n, idx)`).
+    DirArrive(u32, u32),
     /// The directory at `node` is free to service its next request.
-    DirService(usize),
-    /// An active message arrives at `node`'s handler input queue.
-    MsgArrive(usize, ActiveMsg),
+    DirService(u32),
+    /// The active message `msg_slab[idx]` arrives at node `n`'s
+    /// handler input queue (`MsgArrive(n, idx)`).
+    MsgArrive(u32, u32),
     /// The handler engine at `node` is free to run its next handler.
-    MsgService(usize),
+    MsgService(u32),
     /// The thread scheduler at `node` should start its next ready thread
     /// if the processor is idle.
-    Dispatch(usize),
+    Dispatch(u32),
 }
 
 pub(crate) struct EventEntry {
@@ -217,41 +197,61 @@ impl PartialEq for EventEntry {
 
 impl Eq for EventEntry {}
 
-/// Poll one task to completion-or-pending. Takes the future out of the
-/// slot so the task may freely re-borrow the state while running.
-pub(crate) fn poll_task(st_rc: &Rc<RefCell<State>>, tid: TaskId) {
-    let fut = {
-        let mut st = st_rc.borrow_mut();
-        match st.tasks.get_mut(tid.0).and_then(|s| s.as_mut()) {
-            Some(slot) => match slot.fut.take() {
-                Some(f) => f,
-                None => return, // already running further up the stack
-            },
-            None => return, // task already finished; stale wake
-        }
-    };
-    let mut fut = fut;
-    st_rc.borrow_mut().current_task = Some(tid);
+/// A polled future together with its poll result, awaiting end-of-poll
+/// bookkeeping.
+pub(crate) type PolledFut = (BoxFut, Poll<()>);
+/// Alias clarifying the deferred-recycle completion slot.
+pub(crate) type SpentCompletion = Completion;
+
+/// First half of a task poll, run under the event loop's borrow: take
+/// the future out of its slot (so the task may freely re-borrow the
+/// state while running) and mark the task current. Returns `None` for
+/// stale wakes (task finished, or already running further up the
+/// stack).
+#[inline]
+pub(crate) fn begin_poll(st: &mut State, tid: TaskId) -> Option<BoxFut> {
+    let f = st.futs.get_mut(tid.0)?.take()?;
+    st.current_task = Some(tid);
+    Some(f)
+}
+
+/// Drive one poll of a task future (no state borrow held).
+#[inline]
+pub(crate) fn poll_once(fut: &mut BoxFut) -> Poll<()> {
     let waker = Waker::noop();
     let mut cx = Context::from_waker(waker);
-    let res = fut.as_mut().poll(&mut cx);
-    {
-        let mut st = st_rc.borrow_mut();
-        st.current_task = None;
-        match res {
-            Poll::Pending => {
-                if let Some(slot) = st.tasks.get_mut(tid.0).and_then(|s| s.as_mut()) {
-                    slot.fut = Some(fut);
-                }
+    fut.as_mut().poll(&mut cx)
+}
+
+/// Second half of a task poll: restore or retire the future and recycle
+/// the completion that triggered the poll (by now the awaiting future
+/// has dropped its handle). Runs under the caller's borrow so it can
+/// share one with the next event pop.
+pub(crate) fn end_poll(
+    st: &mut State,
+    tid: TaskId,
+    fut: BoxFut,
+    res: Poll<()>,
+    spent: Option<Completion>,
+) {
+    st.current_task = None;
+    if let Some(c) = spent {
+        st.recycle_completion(c);
+    }
+    match res {
+        Poll::Pending => {
+            if st.tasks.get(tid.0).is_some_and(|s| s.is_some()) {
+                st.futs[tid.0] = Some(fut);
             }
-            Poll::Ready(()) => {
-                let slot = st.tasks[tid.0].take();
-                st.free_tasks.push(tid.0);
-                st.live_tasks -= 1;
-                if let Some(slot) = slot {
-                    if let Some(thr) = slot.thread {
-                        crate::thread::thread_exited(&mut st, thr.node);
-                    }
+        }
+        Poll::Ready(()) => {
+            drop(fut);
+            let slot = st.tasks[tid.0].take();
+            st.free_tasks.push(tid.0);
+            st.live_tasks -= 1;
+            if let Some(slot) = slot {
+                if let Some(thr) = slot.thread {
+                    crate::thread::thread_exited(st, thr.node);
                 }
             }
         }
@@ -279,16 +279,15 @@ pub(crate) fn insert_task(
     fut: BoxFut,
     thread: Option<crate::state::ThreadInfo>,
 ) -> TaskId {
-    let slot = crate::state::TaskSlot {
-        fut: Some(fut),
-        thread,
-    };
+    let slot = crate::state::TaskSlot { thread };
     st.live_tasks += 1;
     if let Some(i) = st.free_tasks.pop() {
         st.tasks[i] = Some(slot);
+        st.futs[i] = Some(fut);
         TaskId(i)
     } else {
         st.tasks.push(Some(slot));
+        st.futs.push(Some(fut));
         TaskId(st.tasks.len() - 1)
     }
 }

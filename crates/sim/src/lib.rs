@@ -63,6 +63,7 @@ mod exec;
 mod machine;
 mod msg;
 mod net;
+mod queue;
 mod rng;
 mod state;
 pub mod stats;

@@ -181,10 +181,14 @@ impl Machine {
         port: Port,
         f: impl FnMut(&mut HandlerCtx<'_>, [u64; 4]) + 'static,
     ) {
-        self.st
-            .borrow_mut()
-            .handlers
-            .insert((node, port.0), Some(Box::new(f)));
+        let mut st = self.st.borrow_mut();
+        assert!(node < st.nodes_n, "register_handler: node out of range");
+        let table = &mut st.handlers[node];
+        let slot = port.0 as usize;
+        if table.len() <= slot {
+            table.resize_with(slot + 1, || None);
+        }
+        table[slot] = Some(Box::new(f));
     }
 
     /// Current virtual time.
@@ -211,37 +215,63 @@ impl Machine {
     /// Run until no events remain or virtual time would exceed `limit`;
     /// returns the time reached.
     pub fn run_until(&self, limit: u64) -> u64 {
+        // Processed-event count accumulates locally and is flushed to
+        // `stats.sim_events` on exit (nothing reads it mid-run).
+        let mut popped = 0u64;
+        // A finished poll's bookkeeping is deferred into the next
+        // iteration's borrow, so each task event costs one borrow.
+        let mut finished: Option<(TaskId, exec::PolledFut, Option<exec::SpentCompletion>)> = None;
         loop {
-            let ev = {
+            // Engine events (directory, message, dispatch) take `&mut
+            // State` directly, so consecutive runs of them — the common
+            // case under contention — drain beneath a single borrow.
+            // Only an actual task poll needs the `Rc` released, because
+            // the polled future re-borrows the state.
+            let poll_next = {
                 let mut st = self.st.borrow_mut();
-                match st.events.peek() {
-                    Some(e) if e.time <= limit => {
-                        let e = st.events.pop().expect("peeked event vanished");
-                        st.now = e.time;
-                        e.ev
+                if let Some((tid, (fut, res), spent)) = finished.take() {
+                    exec::end_poll(&mut st, tid, fut, res, spent);
+                }
+                loop {
+                    let Some(e) = st.events.pop_at_most(limit) else {
+                        break None;
+                    };
+                    st.now = e.time;
+                    popped += 1;
+                    match e.ev {
+                        Ev::Wake(tid) => {
+                            if let Some(fut) = exec::begin_poll(&mut st, tid) {
+                                break Some((tid, fut, None));
+                            }
+                        }
+                        Ev::Complete(c) => match c.finish() {
+                            Some(tid) => match exec::begin_poll(&mut st, tid) {
+                                // The poll's closing borrow recycles `c`.
+                                Some(fut) => break Some((tid, fut, Some(c))),
+                                None => st.recycle_completion(c),
+                            },
+                            None => st.recycle_completion(c),
+                        },
+                        Ev::DirArrive(n, idx) => coherence::dir_arrive(&mut st, n as usize, idx),
+                        Ev::DirService(n) => coherence::dir_service(&mut st, n as usize),
+                        Ev::MsgArrive(n, idx) => msg::msg_arrive(&mut st, n as usize, idx),
+                        Ev::MsgService(n) => msg::msg_service(&mut st, n as usize),
+                        Ev::Dispatch(n) => thread::dispatch(&mut st, n as usize),
                     }
-                    _ => break,
                 }
             };
-            self.handle(ev);
+            let Some((tid, mut fut, spent)) = poll_next else {
+                break;
+            };
+            let res = exec::poll_once(&mut fut);
+            finished = Some((tid, (fut, res), spent));
         }
-        self.st.borrow().now
-    }
-
-    fn handle(&self, ev: Ev) {
-        match ev {
-            Ev::Wake(tid) => exec::poll_task(&self.st, tid),
-            Ev::Complete(c, v) => {
-                if let Some(tid) = c.fulfill(v) {
-                    exec::poll_task(&self.st, tid);
-                }
-            }
-            Ev::DirArrive(n, req) => coherence::dir_arrive(&mut self.st.borrow_mut(), n, req),
-            Ev::DirService(n) => coherence::dir_service(&mut self.st.borrow_mut(), n),
-            Ev::MsgArrive(n, m) => msg::msg_arrive(&mut self.st.borrow_mut(), n, m),
-            Ev::MsgService(n) => msg::msg_service(&mut self.st.borrow_mut(), n),
-            Ev::Dispatch(n) => thread::dispatch(&mut self.st.borrow_mut(), n),
+        let mut st = self.st.borrow_mut();
+        if let Some((tid, (fut, res), spent)) = finished.take() {
+            exec::end_poll(&mut st, tid, fut, res, spent);
         }
+        st.stats.sim_events += popped;
+        st.now
     }
 }
 
@@ -406,6 +436,30 @@ mod tests {
         });
         m.run();
         assert_eq!(m.read_word(out), 42);
+    }
+
+    #[test]
+    fn bounded_run_then_more_scheduling() {
+        // A bounded run that stops short of a far-future event must not
+        // advance the event queue's window past the limit: scheduling
+        // new work afterwards (at a now <= limit) has to stay legal and
+        // keep total event order intact.
+        let m = Machine::new(Config::default().nodes(2));
+        let cpu = m.cpu(0);
+        m.spawn(0, async move {
+            cpu.work(10_000).await;
+        });
+        let reached = m.run_until(500);
+        assert!(reached <= 500);
+        let flag = m.alloc_on(1, 1);
+        let c1 = m.cpu(1);
+        m.spawn(1, async move {
+            c1.work(5).await;
+            c1.write(flag, 1).await;
+        });
+        m.run();
+        assert_eq!(m.read_word(flag), 1);
+        assert_eq!(m.live_tasks(), 0);
     }
 
     #[test]

@@ -89,26 +89,26 @@ impl HandlerCtx<'_> {
     pub fn send_with_token(&mut self, dest: usize, port: Port, args: [u64; 4], tok: ReplyToken) {
         let at = self.t_end + net::latency(self.st, self.node, dest);
         self.st.stats.net_msgs += 1;
-        let msg = ActiveMsg {
+        let idx = self.st.put_msg(ActiveMsg {
             port: port.0,
             from: self.node,
             args,
             token: tok.0,
-        };
-        self.st.schedule(at, Ev::MsgArrive(dest, msg));
+        });
+        self.st.schedule(at, Ev::MsgArrive(dest as u32, idx));
     }
 
     /// Send a message to this node's own handler engine after `delay`
     /// cycles (used e.g. for combining windows).
     pub fn send_self_delayed(&mut self, port: Port, args: [u64; 4], delay: u64) {
         let at = self.t_end + delay;
-        let msg = ActiveMsg {
+        let idx = self.st.put_msg(ActiveMsg {
             port: port.0,
             from: self.node,
             args,
             token: 0,
-        };
-        self.st.schedule(at, Ev::MsgArrive(self.node, msg));
+        });
+        self.st.schedule(at, Ev::MsgArrive(self.node as u32, idx));
     }
 
     /// Complete the RPC identified by `tok` with `value`. The reply
@@ -124,7 +124,7 @@ impl HandlerCtx<'_> {
             .expect("reply_to: unknown RPC token");
         let at = self.t_end + net::latency(self.st, self.node, requester);
         self.st.stats.net_msgs += 1;
-        self.st.schedule(at, Ev::Complete(comp, [value, 0]));
+        self.st.schedule_complete(at, comp, [value, 0]);
     }
 
     /// Increment a named statistics counter.
@@ -138,25 +138,30 @@ impl HandlerCtx<'_> {
     }
 }
 
-/// An active message arrived at `node`; queue it for the handler engine.
-pub(crate) fn msg_arrive(st: &mut State, node: usize, msg: ActiveMsg) {
+/// The in-flight message `msg_slab[idx]` arrived at `node`; queue it
+/// for the handler engine.
+pub(crate) fn msg_arrive(st: &mut State, node: usize, idx: u32) {
     st.stats.active_msgs += 1;
-    st.msg_q[node].push_back(msg);
-    if !st.msg_scheduled[node] {
-        st.msg_scheduled[node] = true;
-        let at = st.now.max(st.msg_busy[node]);
-        st.schedule(at, Ev::MsgService(node));
+    let e = &mut st.msgs[node];
+    e.q.push_back(idx);
+    if !e.scheduled {
+        e.scheduled = true;
+        let at = st.now.max(e.busy);
+        st.schedule(at, Ev::MsgService(node as u32));
     }
 }
 
 /// Run the next queued handler at `node`.
 pub(crate) fn msg_service(st: &mut State, node: usize) {
-    st.msg_scheduled[node] = false;
-    let Some(msg) = st.msg_q[node].pop_front() else {
+    st.msgs[node].scheduled = false;
+    let Some(idx) = st.msgs[node].q.pop_front() else {
         return;
     };
-    let key = (node, msg.port);
-    let mut handler = match st.handlers.get_mut(&key).and_then(|h| h.take()) {
+    let msg = st.take_msg(idx);
+    let mut handler = match st.handlers[node]
+        .get_mut(msg.port as usize)
+        .and_then(|h| h.take())
+    {
         Some(h) => h,
         None => panic!("no handler registered for node {} port {}", node, msg.port),
     };
@@ -171,13 +176,13 @@ pub(crate) fn msg_service(st: &mut State, node: usize) {
     handler(&mut ctx, msg.args);
     let t_end = ctx.t_end;
     // Re-install the handler (it was taken to avoid aliasing).
-    if let Some(slot) = st.handlers.get_mut(&key) {
+    if let Some(slot) = st.handlers[node].get_mut(msg.port as usize) {
         *slot = Some(handler);
     }
-    st.msg_busy[node] = t_end;
-    if !st.msg_q[node].is_empty() {
-        st.msg_scheduled[node] = true;
-        st.schedule(t_end, Ev::MsgService(node));
+    st.msgs[node].busy = t_end;
+    if !st.msgs[node].q.is_empty() {
+        st.msgs[node].scheduled = true;
+        st.schedule(t_end, Ev::MsgService(node as u32));
     }
 }
 
@@ -196,34 +201,24 @@ pub(crate) fn issue_rpc(
     st.rpc_pending.insert(token, (comp, from));
     let at = st.now + st.cost.msg_send + net::latency(st, from, dest);
     st.stats.net_msgs += 1;
-    st.schedule(
-        at,
-        Ev::MsgArrive(
-            dest,
-            ActiveMsg {
-                port: port.0,
-                from,
-                args,
-                token,
-            },
-        ),
-    );
+    let idx = st.put_msg(ActiveMsg {
+        port: port.0,
+        from,
+        args,
+        token,
+    });
+    st.schedule(at, Ev::MsgArrive(dest as u32, idx));
 }
 
 /// Fire-and-forget send from a processor.
 pub(crate) fn issue_send(st: &mut State, from: usize, dest: usize, port: Port, args: [u64; 4]) {
     let at = st.now + st.cost.msg_send + net::latency(st, from, dest);
     st.stats.net_msgs += 1;
-    st.schedule(
-        at,
-        Ev::MsgArrive(
-            dest,
-            ActiveMsg {
-                port: port.0,
-                from,
-                args,
-                token: 0,
-            },
-        ),
-    );
+    let idx = st.put_msg(ActiveMsg {
+        port: port.0,
+        from,
+        args,
+        token: 0,
+    });
+    st.schedule(at, Ev::MsgArrive(dest as u32, idx));
 }

@@ -9,14 +9,15 @@
 
 use crate::state::State;
 
-/// Manhattan distance between `a` and `b` on the mesh.
+/// Manhattan distance between `a` and `b` on the mesh (coordinates are
+/// precomputed in `State::coords`; no division on this path).
+#[inline]
 pub(crate) fn hops(st: &State, a: usize, b: usize) -> u64 {
     if a == b {
         return 0;
     }
-    let d = st.mesh_dim.max(1);
-    let (ax, ay) = (a % d, a / d);
-    let (bx, by) = (b % d, b / d);
+    let (ax, ay) = st.coords[a];
+    let (bx, by) = st.coords[b];
     (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
 }
 

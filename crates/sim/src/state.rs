@@ -1,13 +1,20 @@
 //! The master simulation state shared (via `Rc<RefCell<_>>`) between the
 //! executor, the coherence engine, the message engine, and the thread
 //! runtime.
+//!
+//! Hot-path layout: everything keyed by cache line is stored in dense
+//! `Vec` arenas indexed by [`LineId`] (lines are interned at allocation
+//! time, so ids are contiguous from 0), and the event queue is a
+//! bucketed calendar queue ([`crate::queue::EventQueue`]). No `HashMap`
+//! sits on the per-event or per-memory-op path.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use crate::coherence::{CacheState, CohReq, DirEntry};
 use crate::cost::CostModel;
 use crate::exec::{BoxFut, Completion, Ev, EventEntry, TaskId};
 use crate::msg::{ActiveMsg, HandlerFn};
+use crate::queue::EventQueue;
 use crate::stats::Stats;
 use crate::thread::NodeSched;
 
@@ -26,7 +33,18 @@ impl Addr {
     }
 }
 
-pub(crate) type Line = u64;
+/// Dense identifier of a cache line. Allocation hands out lines
+/// contiguously from 0, so a `LineId` indexes the per-line arenas
+/// (`line_ver`, `dir`, `watchers`, each node's cache map) directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct LineId(pub u32);
+
+impl LineId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Per-thread bookkeeping attached to scheduler-managed tasks.
 #[derive(Debug)]
@@ -38,10 +56,26 @@ pub(crate) struct ThreadInfo {
     pub loaded: bool,
 }
 
+/// Task table entry: the pollable future lives in the parallel
+/// `State::futs` vector so the per-event poll touches only that row.
 pub(crate) struct TaskSlot {
-    pub fut: Option<BoxFut>,
     pub thread: Option<ThreadInfo>,
 }
+
+/// One node's serially-occupied engine (directory or message handler):
+/// its input queue, the time it is busy until, and whether a service
+/// event is pending. One struct per node keeps all three on the same
+/// cache line.
+#[derive(Default)]
+pub(crate) struct Engine {
+    pub q: VecDeque<u32>,
+    pub busy: u64,
+    pub scheduled: bool,
+}
+
+/// Cap on pooled [`Completion`] allocations (see
+/// [`State::recycle_completion`]).
+const COMP_POOL_CAP: usize = 256;
 
 pub(crate) struct State {
     // --- configuration ---
@@ -49,37 +83,58 @@ pub(crate) struct State {
     pub contexts: usize,
     pub cost: CostModel,
     pub line_words: u64,
+    /// `log2(line_words)` when it is a power of two (the common case),
+    /// letting [`State::line_of`] shift instead of divide.
+    pub line_shift: Option<u32>,
     pub hw_ptrs: usize,
     pub full_map: bool,
+    /// Mesh side length (coordinates are precomputed in `coords`; kept
+    /// for inspection and tests).
+    #[allow(dead_code)]
     pub mesh_dim: usize,
+    /// Per-node mesh coordinates, precomputed so the network-latency
+    /// hot path never divides.
+    pub coords: Vec<(u16, u16)>,
 
     // --- executor ---
     pub now: u64,
     pub seq: u64,
-    pub events: BinaryHeap<EventEntry>,
+    pub events: EventQueue,
     pub tasks: Vec<Option<TaskSlot>>,
+    /// `futs[tid]` is the task's future, taken out while it runs.
+    pub futs: Vec<Option<BoxFut>>,
     pub free_tasks: Vec<usize>,
     pub current_task: Option<TaskId>,
     pub live_tasks: usize,
+    /// Recycled one-shot completions (cuts per-operation `Rc` churn).
+    pub comp_pool: Vec<Completion>,
+    /// In-flight coherence requests; `Ev::DirArrive` carries an index
+    /// here so events stay 16 bytes.
+    pub coh_slab: Vec<Option<CohReq>>,
+    pub coh_free: Vec<u32>,
+    /// In-flight active messages; `Ev::MsgArrive` carries an index here.
+    pub msg_slab: Vec<Option<ActiveMsg>>,
+    pub msg_free: Vec<u32>,
 
-    // --- shared memory & coherence ---
+    // --- shared memory & coherence (dense per-line arenas) ---
     pub mem: Vec<u64>,
     pub full_bits: Vec<bool>,
     pub next_word: u64,
     pub line_home: Vec<usize>,
-    pub line_ver: HashMap<Line, u64>,
-    pub dir: HashMap<Line, DirEntry>,
-    pub caches: Vec<HashMap<Line, CacheState>>,
-    pub dir_q: Vec<VecDeque<CohReq>>,
-    pub dir_busy: Vec<u64>,
-    pub dir_scheduled: Vec<bool>,
-    pub watchers: HashMap<Line, Vec<TaskId>>,
+    pub line_ver: Vec<u64>,
+    pub dir: Vec<DirEntry>,
+    /// Flattened cache-state table, line-major: line `l` on node `n`
+    /// is `cache[l * nodes_n + n]`, so one line's states across all
+    /// nodes share a cache line — a directory's sequential-invalidation
+    /// sweep is a contiguous scan.
+    pub cache: Vec<Option<CacheState>>,
+    pub dirs: Vec<Engine>,
+    pub watchers: Vec<Vec<TaskId>>,
 
     // --- active messages ---
-    pub handlers: HashMap<(usize, u32), Option<HandlerFn>>,
-    pub msg_q: Vec<VecDeque<ActiveMsg>>,
-    pub msg_busy: Vec<u64>,
-    pub msg_scheduled: Vec<bool>,
+    /// `handlers[node][port]` — flat per-node dispatch table.
+    pub handlers: Vec<Vec<Option<HandlerFn>>>,
+    pub msgs: Vec<Engine>,
     pub rpc_pending: HashMap<u64, (Completion, usize)>,
     pub next_rpc_token: u64,
 
@@ -108,31 +163,39 @@ impl State {
             contexts,
             cost,
             line_words,
+            line_shift: line_words
+                .is_power_of_two()
+                .then(|| line_words.trailing_zeros()),
             hw_ptrs,
             full_map,
             mesh_dim,
+            coords: (0..nodes)
+                .map(|n| ((n % mesh_dim) as u16, (n / mesh_dim) as u16))
+                .collect(),
             now: 0,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             tasks: Vec::new(),
+            futs: Vec::new(),
             free_tasks: Vec::new(),
             current_task: None,
             live_tasks: 0,
+            comp_pool: Vec::new(),
+            coh_slab: Vec::new(),
+            coh_free: Vec::new(),
+            msg_slab: Vec::new(),
+            msg_free: Vec::new(),
             mem: Vec::new(),
             full_bits: Vec::new(),
             next_word: 0,
             line_home: Vec::new(),
-            line_ver: HashMap::new(),
-            dir: HashMap::new(),
-            caches: vec![HashMap::new(); nodes],
-            dir_q: (0..nodes).map(|_| VecDeque::new()).collect(),
-            dir_busy: vec![0; nodes],
-            dir_scheduled: vec![false; nodes],
-            watchers: HashMap::new(),
-            handlers: HashMap::new(),
-            msg_q: (0..nodes).map(|_| VecDeque::new()).collect(),
-            msg_busy: vec![0; nodes],
-            msg_scheduled: vec![false; nodes],
+            line_ver: Vec::new(),
+            dir: Vec::new(),
+            cache: Vec::new(),
+            dirs: (0..nodes).map(|_| Engine::default()).collect(),
+            watchers: Vec::new(),
+            handlers: (0..nodes).map(|_| Vec::new()).collect(),
+            msgs: (0..nodes).map(|_| Engine::default()).collect(),
             rpc_pending: HashMap::new(),
             next_rpc_token: 1,
             scheds: (0..nodes).map(|_| NodeSched::new(contexts)).collect(),
@@ -143,6 +206,7 @@ impl State {
     }
 
     /// Enqueue `ev` to fire at absolute virtual time `at` (>= now).
+    #[inline]
     pub fn schedule(&mut self, at: u64, ev: Ev) {
         let at = at.max(self.now);
         self.seq += 1;
@@ -153,20 +217,104 @@ impl State {
         });
     }
 
-    pub fn line_of(&self, addr: Addr) -> Line {
-        addr.0 / self.line_words
+    /// Schedule a completion event: the result value is stashed in the
+    /// completion now; the event merely sets the done flag at `at` and
+    /// polls the waiter.
+    #[inline]
+    pub fn schedule_complete(&mut self, at: u64, c: Completion, v: [u64; 2]) {
+        c.set_value(v);
+        self.schedule(at, Ev::Complete(c));
     }
 
-    pub fn home_of(&self, line: Line) -> usize {
+    /// Park an in-flight coherence request; the returned index rides in
+    /// the `DirArrive` event.
+    #[inline]
+    pub fn put_coh(&mut self, req: CohReq) -> u32 {
+        match self.coh_free.pop() {
+            Some(i) => {
+                self.coh_slab[i as usize] = Some(req);
+                i
+            }
+            None => {
+                self.coh_slab.push(Some(req));
+                (self.coh_slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Reclaim an in-flight coherence request.
+    pub fn take_coh(&mut self, idx: u32) -> CohReq {
+        let req = self.coh_slab[idx as usize]
+            .take()
+            .expect("coherence slab index taken twice");
+        self.coh_free.push(idx);
+        req
+    }
+
+    /// Park an in-flight active message (see [`State::put_coh`]).
+    pub fn put_msg(&mut self, msg: ActiveMsg) -> u32 {
+        match self.msg_free.pop() {
+            Some(i) => {
+                self.msg_slab[i as usize] = Some(msg);
+                i
+            }
+            None => {
+                self.msg_slab.push(Some(msg));
+                (self.msg_slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Reclaim an in-flight active message.
+    pub fn take_msg(&mut self, idx: u32) -> ActiveMsg {
+        let msg = self.msg_slab[idx as usize]
+            .take()
+            .expect("message slab index taken twice");
+        self.msg_free.push(idx);
+        msg
+    }
+
+    /// Pop a pooled completion (or allocate one). Pair with
+    /// [`State::recycle_completion`] at the completion's single-owner
+    /// point to avoid a fresh `Rc` per operation.
+    pub fn new_completion(&mut self) -> Completion {
+        match self.comp_pool.pop() {
+            Some(c) => {
+                c.reset();
+                c
+            }
+            None => Completion::new(),
+        }
+    }
+
+    /// Return a completion to the pool if nothing else still holds it.
+    pub fn recycle_completion(&mut self, c: Completion) {
+        if c.is_unique() && self.comp_pool.len() < COMP_POOL_CAP {
+            self.comp_pool.push(c);
+        }
+    }
+
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> LineId {
+        let l = match self.line_shift {
+            Some(s) => addr.0 >> s,
+            None => addr.0 / self.line_words,
+        };
+        LineId(l as u32)
+    }
+
+    pub fn home_of(&self, line: LineId) -> usize {
         self.line_home
-            .get(line as usize)
+            .get(line.idx())
             .copied()
-            .unwrap_or((line as usize) % self.nodes_n)
+            .unwrap_or(line.idx() % self.nodes_n)
     }
 
     /// Allocate `words` words of shared memory whose lines are homed on
     /// `node`. Always starts on a fresh line so distinct allocations never
-    /// exhibit false sharing with each other.
+    /// exhibit false sharing with each other. Interns the new lines:
+    /// every per-line arena is grown to cover them.
+    #[cold]
     pub fn alloc_on(&mut self, node: usize, words: u64) -> Addr {
         assert!(node < self.nodes_n, "alloc_on: node out of range");
         assert!(words > 0, "alloc_on: zero-sized allocation");
@@ -181,23 +329,42 @@ impl State {
         self.mem.resize(self.next_word as usize, 0);
         self.full_bits.resize(self.next_word as usize, false);
         let first_line = base / lw;
-        self.line_home.resize((first_line + lines) as usize, 0);
+        let lines_total = (first_line + lines) as usize;
+        self.line_home.resize(lines_total, 0);
         for l in first_line..first_line + lines {
             self.line_home[l as usize] = node;
         }
+        self.line_ver.resize(lines_total, 0);
+        self.dir.resize_with(lines_total, DirEntry::default);
+        self.watchers.resize_with(lines_total, Vec::new);
+        self.cache.resize(lines_total * self.nodes_n, None);
         Addr(base)
     }
 
     /// Bump the line version (invalidation epoch) and wake all watchers.
     /// Watchers are woken at `wake_at` (e.g. when the invalidation would
     /// reach them) and re-check whatever condition they were watching.
-    pub fn touch_line(&mut self, line: Line, wake_at: u64) {
-        *self.line_ver.entry(line).or_insert(0) += 1;
-        if let Some(ws) = self.watchers.remove(&line) {
-            for t in ws {
-                self.schedule(wake_at, Ev::Wake(t));
-            }
+    pub fn touch_line(&mut self, line: LineId, wake_at: u64) {
+        self.line_ver[line.idx()] += 1;
+        if !self.watchers[line.idx()].is_empty() {
+            // Take the list out to appease the borrow checker, then put
+            // the drained Vec back so its capacity is reused. The whole
+            // burst lands at one instant, so the queue appends it to a
+            // single bucket in one go.
+            let mut ws = std::mem::take(&mut self.watchers[line.idx()]);
+            let at = wake_at.max(self.now);
+            let base = self.seq;
+            self.seq += ws.len() as u64;
+            self.events.push_wakes(at, base, &ws);
+            ws.clear();
+            self.watchers[line.idx()] = ws;
         }
+    }
+
+    /// Cache-state slot for (`node`, `line`) in the flattened table.
+    #[inline]
+    pub fn cache_slot(&self, node: usize, line: LineId) -> usize {
+        line.idx() * self.nodes_n + node
     }
 
     pub fn rand_below(&mut self, bound: u64) -> u64 {

@@ -1,6 +1,7 @@
 //! Simulation statistics: machine-level counters and waiting-time
 //! histograms used by the Chapter 4 experiments (Figures 4.6-4.11).
 
+use std::cell::{Ref, RefCell};
 use std::collections::BTreeMap;
 
 /// A histogram of waiting times (cycles) with power-of-two buckets plus
@@ -18,11 +19,19 @@ pub struct WaitHistogram {
     pub max: u64,
     /// Raw samples (capped at [`WaitHistogram::MAX_RAW`]).
     pub raw: Vec<u64>,
+    /// Lazily maintained sorted copy of `raw` for percentile queries;
+    /// rebuilt only when `raw` has grown since the last query instead
+    /// of clone-and-sort on every call.
+    sorted: RefCell<Vec<u64>>,
 }
 
 impl WaitHistogram {
     /// Cap on retained raw samples.
     pub const MAX_RAW: usize = 200_000;
+
+    /// Reserve step for `raw` (chunked so long runs do not pay a
+    /// doubling reallocation storm on the record path).
+    const RAW_CHUNK: usize = 4_096;
 
     /// Create an empty histogram.
     pub fn new() -> Self {
@@ -40,6 +49,11 @@ impl WaitHistogram {
         self.sum += t;
         self.max = self.max.max(t);
         if self.raw.len() < Self::MAX_RAW {
+            if self.raw.len() == self.raw.capacity() {
+                // Pre-reserve growth toward the cap in fixed chunks.
+                let grow = Self::RAW_CHUNK.min(Self::MAX_RAW - self.raw.len());
+                self.raw.reserve_exact(grow);
+            }
             self.raw.push(t);
         }
     }
@@ -53,24 +67,38 @@ impl WaitHistogram {
         }
     }
 
+    /// Sorted view of the retained samples, rebuilt only when stale
+    /// (`raw` only ever grows, so a length mismatch is the dirty flag).
+    fn sorted(&self) -> Ref<'_, Vec<u64>> {
+        {
+            let mut s = self.sorted.borrow_mut();
+            if s.len() != self.raw.len() {
+                s.clear();
+                s.extend_from_slice(&self.raw);
+                s.sort_unstable();
+            }
+        }
+        self.sorted.borrow()
+    }
+
     /// `p`-th percentile (0-100) from retained raw samples.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.raw.is_empty() {
+        let v = self.sorted();
+        if v.is_empty() {
             return 0;
         }
-        let mut v = self.raw.clone();
-        v.sort_unstable();
         let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
         v[idx.min(v.len() - 1)]
     }
 
     /// Fraction of samples strictly below `t`.
     pub fn frac_below(&self, t: u64) -> f64 {
-        if self.raw.is_empty() {
+        let v = self.sorted();
+        if v.is_empty() {
             return 0.0;
         }
-        let below = self.raw.iter().filter(|&&x| x < t).count();
-        below as f64 / self.raw.len() as f64
+        let below = v.partition_point(|&x| x < t);
+        below as f64 / v.len() as f64
     }
 }
 
@@ -89,6 +117,9 @@ pub struct Stats {
     pub dir_requests: u64,
     /// Active messages delivered.
     pub active_msgs: u64,
+    /// Events processed by the executor (the simulator's unit of work;
+    /// `sim_throughput` divides this by wall time for events/sec).
+    pub sim_events: u64,
     /// Named event counters incremented by protocol code.
     pub counters: BTreeMap<String, u64>,
     /// Named waiting-time histograms recorded by protocol code.

@@ -48,7 +48,7 @@ pub(crate) fn spawn_thread(st: &mut State, node: usize, fut: crate::exec::BoxFut
     let tid = crate::exec::insert_task(st, fut, Some(info));
     st.scheds[node].ready.push_back(tid);
     let now = st.now;
-    st.schedule(now, Ev::Dispatch(node));
+    st.schedule(now, Ev::Dispatch(node as u32));
     tid
 }
 
@@ -77,7 +77,7 @@ pub(crate) fn dispatch(st: &mut State, node: usize) {
     };
     let at = st.now + cost;
     match resume {
-        Some(c) => st.schedule(at, Ev::Complete(c, [0, 0])),
+        Some(c) => st.schedule_complete(at, c, [0, 0]),
         // First dispatch: the task has never been polled.
         None => st.schedule(at, Ev::Wake(tid)),
     }
@@ -87,7 +87,7 @@ pub(crate) fn dispatch(st: &mut State, node: usize) {
 pub(crate) fn thread_exited(st: &mut State, node: usize) {
     st.scheds[node].running = None;
     let now = st.now;
-    st.schedule(now, Ev::Dispatch(node));
+    st.schedule(now, Ev::Dispatch(node as u32));
 }
 
 /// Create a fresh wait queue.
@@ -106,7 +106,7 @@ pub(crate) fn begin_block(st: &mut State, node: usize, q: WaitQueueId) -> Comple
         Some(tid),
         "block_on by a thread that is not running on its node"
     );
-    let comp = Completion::new();
+    let comp = st.new_completion();
     {
         let info = st.tasks[tid.0]
             .as_mut()
@@ -118,7 +118,7 @@ pub(crate) fn begin_block(st: &mut State, node: usize, q: WaitQueueId) -> Comple
     st.wait_queues[q.0].push_back(tid);
     st.scheds[node].running = None;
     let at = st.now + st.cost.unload;
-    st.schedule(at, Ev::Dispatch(node));
+    st.schedule(at, Ev::Dispatch(node as u32));
     comp
 }
 
@@ -134,7 +134,7 @@ pub(crate) fn signal_one(st: &mut State, q: WaitQueueId) -> bool {
                 .node;
             st.scheds[node].ready.push_back(tid);
             let now = st.now;
-            st.schedule(now, Ev::Dispatch(node));
+            st.schedule(now, Ev::Dispatch(node as u32));
             true
         }
         None => false,
@@ -148,7 +148,7 @@ pub(crate) fn begin_yield(st: &mut State, node: usize) -> Option<Completion> {
         return None;
     }
     let tid = st.current_task.expect("yield outside a task");
-    let comp = Completion::new();
+    let comp = st.new_completion();
     {
         let info = st.tasks[tid.0]
             .as_mut()
@@ -160,7 +160,7 @@ pub(crate) fn begin_yield(st: &mut State, node: usize) -> Option<Completion> {
     st.scheds[node].ready.push_back(tid);
     st.scheds[node].running = None;
     let now = st.now;
-    st.schedule(now, Ev::Dispatch(node));
+    st.schedule(now, Ev::Dispatch(node as u32));
     Some(comp)
 }
 

@@ -1,0 +1,147 @@
+//! Determinism golden test: a fixed contended-lock workload must produce
+//! bit-identical results run-to-run *and* match digests captured before
+//! the arena/calendar-queue refactor of the simulator hot paths. Any
+//! silent change to event ordering, cost accounting, or the RNG stream
+//! shows up here as a digest mismatch.
+//!
+//! The workload deliberately exercises every subsystem the refactor
+//! touches: directory coherence (test&set + fetch&add + sequential
+//! invalidations of poll_until watchers), the line-version watcher
+//! machinery, active-message RPC, and the thread runtime
+//! (block/signal/yield across multiple contexts).
+
+use alewife_sim::{Config, FullEmpty, Machine, Port};
+
+/// FNV-1a over a stream of u64s.
+fn fnv(acc: u64, x: u64) -> u64 {
+    let mut h = acc;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run the fixed workload on one machine shape; digest the observable
+/// outcome (final time, memory results, and every machine counter).
+fn run_digest(nodes: usize, contexts: usize) -> u64 {
+    let m = Machine::new(
+        Config::default()
+            .nodes(nodes)
+            .contexts(contexts)
+            .seed(0x5EED_60_1D),
+    );
+    let lock = m.alloc_on(0, 1);
+    let counter = m.alloc_on(1 % nodes, 1);
+    let slot = m.alloc_on(nodes / 2, 1);
+    let q = m.new_wait_queue();
+
+    // RPC echo handler on the last node.
+    m.register_handler(nodes - 1, Port(9), |ctx, args| {
+        ctx.consume(5);
+        let tok = ctx.token();
+        ctx.reply_to(tok, args[0].wrapping_mul(3) + 1);
+    });
+
+    // Contended TTS-style lock plus RPC traffic on every node.
+    for p in 0..nodes {
+        let cpu = m.cpu(p);
+        m.spawn(p, async move {
+            for i in 0..10u64 {
+                loop {
+                    if cpu.test_and_set(lock).await == 0 {
+                        break;
+                    }
+                    cpu.poll_until(lock, |v| v == 0).await;
+                }
+                cpu.fetch_and_add(counter, 1).await;
+                cpu.work(cpu.rand_below(60)).await;
+                cpu.write(lock, 0).await;
+                if i % 3 == 0 {
+                    let r = cpu.rpc(cpu.nodes() - 1, Port(9), [i, 0, 0, 0]).await;
+                    cpu.bump("rpc_sum", r);
+                }
+                cpu.work(cpu.rand_below(40)).await;
+                cpu.record_wait("iter", i * 7 + p as u64);
+            }
+        });
+    }
+
+    // A producer/consumer pair exercising full/empty bits and the
+    // blocking thread runtime (second context on node 0).
+    let c0 = m.cpu(0);
+    m.spawn(0, async move {
+        c0.block_on(q).await;
+        loop {
+            if let FullEmpty::Full(v) = c0.take_if_full(slot).await {
+                c0.bump("took", v);
+                break;
+            }
+            c0.yield_now().await;
+            c0.work(25).await;
+        }
+    });
+    let c1 = m.cpu(nodes - 1);
+    m.spawn(nodes - 1, async move {
+        c1.work(500).await;
+        c1.write_fill(slot, 77).await;
+        c1.signal_one(q).await;
+    });
+
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "golden workload deadlocked");
+    assert_eq!(m.read_word(counter), nodes as u64 * 10);
+
+    let st = m.stats();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in [
+        elapsed,
+        m.read_word(counter),
+        m.read_word(lock),
+        st.net_msgs,
+        st.remote_misses,
+        st.invalidations,
+        st.limitless_traps,
+        st.dir_requests,
+        st.active_msgs,
+        st.sim_events,
+    ] {
+        h = fnv(h, x);
+    }
+    for (name, v) in &st.counters {
+        h = fnv(h, name.len() as u64);
+        h = fnv(h, *v);
+    }
+    for (name, w) in &st.waits {
+        h = fnv(h, name.len() as u64);
+        h = fnv(h, w.count);
+        h = fnv(h, w.sum);
+        h = fnv(h, w.max);
+    }
+    h
+}
+
+/// Golden digests captured from the pre-refactor simulator (HashMap
+/// line tables + BinaryHeap event queue). The hot-path refactor must
+/// reproduce them bit-exactly.
+const GOLDEN_4X2: u64 = 0x2EBB_46DA_D3C4_624F;
+const GOLDEN_16X1: u64 = 0xEA08_32AE_447B_E995;
+
+#[test]
+fn digest_is_stable_across_runs_and_matches_golden_4x2() {
+    let a = run_digest(4, 2);
+    let b = run_digest(4, 2);
+    assert_eq!(a, b, "same configuration, different digests");
+    assert_eq!(
+        a, GOLDEN_4X2,
+        "4-node/2-context digest drifted: got {a:#018x}"
+    );
+}
+
+#[test]
+fn digest_is_stable_across_runs_and_matches_golden_16x1() {
+    let a = run_digest(16, 1);
+    let b = run_digest(16, 1);
+    assert_eq!(a, b, "same configuration, different digests");
+    assert_eq!(a, GOLDEN_16X1, "16-node digest drifted: got {a:#018x}");
+}

@@ -1,0 +1,188 @@
+//! Event-loop throughput by layer: times each simulator subsystem in
+//! isolation (pure executor, cached reads, deep await chains, watcher
+//! ping-pong, contended fetch&add) so a profiler — or a quick eyeball —
+//! can attribute per-event cost. Pass `--lock` to run the 64-node
+//! contended reactive-lock storm instead (the `sim_throughput`
+//! headline workload) under a profiler.
+//!
+//! ```sh
+//! cargo run --release --example profile_hotpath
+//! cargo run --release --example profile_hotpath -- --lock
+//! ```
+use std::time::Instant;
+
+use reactive_sync::sim::{Config, Machine};
+
+fn time(label: &str, mk: impl Fn() -> Machine) {
+    let m = mk();
+    let t0 = Instant::now();
+    m.run();
+    let dt = t0.elapsed().as_secs_f64();
+    let ev = m.stats().sim_events;
+    println!(
+        "{label:<32} {ev:>10} events  {:>8.3} Mev/s",
+        ev as f64 / dt / 1e6
+    );
+}
+
+fn lock_workload() {
+    use reactive_sync::apps::alg::{AnyLock, LockAlg};
+    use reactive_sync::sim::CostModel;
+    let m = Machine::new(
+        Config::default()
+            .nodes(64)
+            .cost(CostModel::nwo())
+            .seed(0xBEEF + 64),
+    );
+    let lock = AnyLock::make(&m, 0, LockAlg::Reactive, 64);
+    for p in 0..64 {
+        let cpu = m.cpu(p);
+        let lock = lock.clone();
+        m.spawn(p, async move {
+            for _ in 0..8_000u64 {
+                let t = lock.acquire(&cpu).await;
+                cpu.work(5).await;
+                lock.release(&cpu, t).await;
+                cpu.work(cpu.rand_below(1)).await;
+            }
+        });
+    }
+    let t0 = Instant::now();
+    m.run();
+    let dt = t0.elapsed().as_secs_f64();
+    let st = m.stats();
+    let ev = st.sim_events;
+    println!(
+        "{:<32} {ev:>10} events  {:>8.3} Mev/s",
+        "reactive lock 64",
+        ev as f64 / dt / 1e6
+    );
+    println!(
+        "  dir_requests={} remote_misses={} invals={} net_msgs={} active_msgs={}",
+        st.dir_requests, st.remote_misses, st.invalidations, st.net_msgs, st.active_msgs
+    );
+}
+
+async fn deep8(cpu: &reactive_sync::sim::Cpu, n: u64) {
+    async fn d1(cpu: &reactive_sync::sim::Cpu) {
+        cpu.work(3).await
+    }
+    async fn d2(cpu: &reactive_sync::sim::Cpu) {
+        d1(cpu).await
+    }
+    async fn d3(cpu: &reactive_sync::sim::Cpu) {
+        d2(cpu).await
+    }
+    async fn d4(cpu: &reactive_sync::sim::Cpu) {
+        d3(cpu).await
+    }
+    async fn d5(cpu: &reactive_sync::sim::Cpu) {
+        d4(cpu).await
+    }
+    async fn d6(cpu: &reactive_sync::sim::Cpu) {
+        d5(cpu).await
+    }
+    async fn d7(cpu: &reactive_sync::sim::Cpu) {
+        d6(cpu).await
+    }
+    for _ in 0..n {
+        d7(cpu).await;
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--lock") {
+        lock_workload();
+        return;
+    }
+    // Layer 1: pure executor — one task, work() events only.
+    time("work-only 1 task", || {
+        let m = Machine::new(Config::default().nodes(1));
+        let cpu = m.cpu(0);
+        m.spawn(0, async move {
+            for _ in 0..1_000_000u64 {
+                cpu.work(3).await;
+            }
+        });
+        m
+    });
+    // Layer 2: 64 tasks interleaved work().
+    time("work-only 64 tasks", || {
+        let m = Machine::new(Config::default().nodes(64));
+        for p in 0..64 {
+            let cpu = m.cpu(p);
+            m.spawn(p, async move {
+                for _ in 0..20_000u64 {
+                    cpu.work(3).await;
+                }
+            });
+        }
+        m
+    });
+    // Layer 3: cache-hit reads.
+    time("cached reads 64 tasks", || {
+        let m = Machine::new(Config::default().nodes(64));
+        let mut addrs = Vec::new();
+        for p in 0..64 {
+            addrs.push(m.alloc_on(p, 1));
+        }
+        for p in 0..64 {
+            let cpu = m.cpu(p);
+            let a = addrs[p];
+            m.spawn(p, async move {
+                for _ in 0..20_000u64 {
+                    cpu.read(a).await;
+                }
+            });
+        }
+        m
+    });
+    // Layer 3b: deep async chain (8 nested awaits per event).
+    time("deep-chain work 64 tasks", || {
+        let m = Machine::new(Config::default().nodes(64));
+        for p in 0..64 {
+            let cpu = m.cpu(p);
+            m.spawn(p, async move {
+                deep8(&cpu, 20_000).await;
+            });
+        }
+        m
+    });
+    // Layer 3c: watcher ping-pong (poll_until + invalidation wakes).
+    time("pingpong 32 pairs", || {
+        let m = Machine::new(Config::default().nodes(64));
+        for pair in 0..32usize {
+            let a = m.alloc_on(2 * pair, 1);
+            let b = m.alloc_on(2 * pair + 1, 1);
+            let c0 = m.cpu(2 * pair);
+            let c1 = m.cpu(2 * pair + 1);
+            m.spawn(2 * pair, async move {
+                for i in 1..=10_000u64 {
+                    c0.write(a, i).await;
+                    c0.poll_until(b, move |v| v >= i).await;
+                }
+            });
+            m.spawn(2 * pair + 1, async move {
+                for i in 1..=10_000u64 {
+                    c1.poll_until(a, move |v| v >= i).await;
+                    c1.write(b, i).await;
+                }
+            });
+        }
+        m
+    });
+    // Layer 4: contended fetch_and_add (directory path).
+    time("contended faa 64 tasks", || {
+        let m = Machine::new(Config::default().nodes(64));
+        let a = m.alloc_on(0, 1);
+        for p in 0..64 {
+            let cpu = m.cpu(p);
+            m.spawn(p, async move {
+                for _ in 0..5_000u64 {
+                    cpu.fetch_and_add(a, 1).await;
+                }
+            });
+        }
+        m
+    });
+}
