@@ -1,9 +1,11 @@
 //! Runtime-selectable algorithm wrappers used by the applications and
 //! the benchmark harness to sweep synchronization algorithms.
 
+use std::rc::Rc;
+
 use alewife_sim::{Addr, Cpu, Machine, WaitQueueId};
 use reactive_core::lock::{ReactiveLock, ReleaseMode};
-use reactive_core::policy::Policy;
+use reactive_core::policy::{Competitive3, Hysteresis, Instrument};
 use reactive_core::waiting::{SwitchSpin, TwoPhase, TwoPhaseSwitchSpin};
 use reactive_core::ReactiveFetchOp;
 use sync_protocols::fetch_op::{CombiningTree, FetchOp, LockFetchOp};
@@ -59,23 +61,39 @@ pub enum AnyToken {
 impl AnyLock {
     /// Construct a lock homed on `home` for up to `procs` contenders.
     pub fn make(m: &Machine, home: usize, alg: LockAlg, procs: usize) -> AnyLock {
+        AnyLock::make_instrumented(m, home, alg, procs, None)
+    }
+
+    /// Construct a lock, additionally attaching a switch-event sink to
+    /// the reactive variants (the passive algorithms never switch, so
+    /// the sink is unused for them).
+    pub fn make_instrumented(
+        m: &Machine,
+        home: usize,
+        alg: LockAlg,
+        procs: usize,
+        sink: Option<Rc<dyn Instrument>>,
+    ) -> AnyLock {
+        let reactive_builder = || {
+            let b = ReactiveLock::builder(m, home).max_procs(procs);
+            match sink.clone() {
+                Some(s) => b.instrument(s),
+                None => b,
+            }
+        };
         match alg {
             LockAlg::TestAndSet => AnyLock::Ts(TestAndSetLock::new(m, home, procs)),
             LockAlg::Tts => AnyLock::Tts(TtsLock::new(m, home, procs)),
             LockAlg::Mcs => AnyLock::Mcs(McsLock::new(m, home)),
-            LockAlg::Reactive => AnyLock::Reactive(ReactiveLock::new(m, home, procs)),
-            LockAlg::ReactiveCompetitive => AnyLock::Reactive(ReactiveLock::with_policy(
-                m,
-                home,
-                procs,
-                Policy::competitive3(reactive_core::lock::SWITCH_ROUND_TRIP),
-            )),
-            LockAlg::ReactiveHysteresis(x, y) => AnyLock::Reactive(ReactiveLock::with_policy(
-                m,
-                home,
-                procs,
-                Policy::hysteresis(x, y),
-            )),
+            LockAlg::Reactive => AnyLock::Reactive(reactive_builder().build()),
+            LockAlg::ReactiveCompetitive => AnyLock::Reactive(
+                reactive_builder()
+                    .policy(Competitive3::new(reactive_core::lock::SWITCH_ROUND_TRIP))
+                    .build(),
+            ),
+            LockAlg::ReactiveHysteresis(x, y) => {
+                AnyLock::Reactive(reactive_builder().policy(Hysteresis::new(x, y)).build())
+            }
             LockAlg::MpQueue => AnyLock::Mp(MpQueueLock::new(m, home)),
         }
     }

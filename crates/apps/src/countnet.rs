@@ -36,7 +36,7 @@ impl CountNetConfig {
     }
 }
 
-/// Width of the bitonic network (4 wires, 6 balancers: Bitonic[4]).
+/// Width of the bitonic network (4 wires, 6 balancers: Bitonic\[4\]).
 pub const WIDTH: usize = 4;
 
 /// Balancer wiring of Bitonic[4]: (layer, wire_a, wire_b) triples.

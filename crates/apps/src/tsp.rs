@@ -49,6 +49,8 @@ struct Tour {
     cost: u64,
 }
 
+// Index loops fill both triangles of the symmetric matrix at once.
+#[allow(clippy::needless_range_loop)]
 fn dist_matrix(cities: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut s = seed | 1;
     let mut next = move || {

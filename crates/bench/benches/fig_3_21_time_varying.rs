@@ -1,8 +1,13 @@
 //! Figure 3.21: the time-varying contention test — elapsed times
 //! normalized to the MCS queue lock, across period lengths and
-//! contention percentages (default always-switch policy).
+//! contention percentages (default always-switch policy). The reactive
+//! row also reports its protocol-change count per data point, read from
+//! the shared API's [`SwitchLog`] instrumentation.
 
-use repro_bench::experiments::time_varying;
+use std::rc::Rc;
+
+use reactive_core::policy::{Instrument, SwitchLog};
+use repro_bench::experiments::{time_varying, time_varying_with};
 use repro_bench::table;
 use sim_apps::alg::LockAlg;
 
@@ -28,7 +33,6 @@ pub fn run_with(reactive: LockAlg, label: &str) {
         for (lab, alg) in [
             ("test&set (backoff)", LockAlg::TestAndSet),
             ("MCS queue", LockAlg::Mcs),
-            (label, reactive),
         ] {
             let vals: Vec<f64> = lengths
                 .iter()
@@ -37,5 +41,23 @@ pub fn run_with(reactive: LockAlg, label: &str) {
                 .collect();
             table::row_ratio(lab, &vals);
         }
+        // The reactive algorithm runs instrumented: one SwitchLog per
+        // data point, so the switch counts line up with the ratios.
+        let mut ratios = Vec::new();
+        let mut switches = Vec::new();
+        for (&l, &m) in lengths.iter().zip(&mcs) {
+            let log = Rc::new(SwitchLog::new());
+            let t = time_varying_with(
+                reactive,
+                l,
+                pct,
+                periods,
+                Some(log.clone() as Rc<dyn Instrument>),
+            );
+            ratios.push(t as f64 / m);
+            switches.push(log.count() as u64);
+        }
+        table::row_ratio(label, &ratios);
+        table::row_u64("  switches (from API)", &switches);
     }
 }

@@ -1,7 +1,10 @@
 //! Shared experiment runners for the paper's tables and figures.
 
+use std::rc::Rc;
+
 use alewife_sim::{Config, CostModel, Machine};
 use reactive_core::mp::{ReactiveMpFetchOp, ReactiveMpLock};
+use reactive_core::policy::Instrument;
 use sim_apps::alg::{AnyFetchOp, AnyLock, FetchOpAlg, LockAlg};
 use sync_protocols::barrier::{BarrierCtx, SenseBarrier};
 use sync_protocols::waiting::AlwaysSpin;
@@ -216,9 +219,22 @@ pub fn multi_object(pattern: &Pattern, alg: Option<LockAlg>, acq_per_proc: u64) 
 /// acquired in the high phase, `periods` repetitions. Runs on the
 /// 16-node prototype cost model. Returns elapsed cycles.
 pub fn time_varying(alg: LockAlg, period_len: u64, contention_pct: u64, periods: u64) -> u64 {
+    time_varying_with(alg, period_len, contention_pct, periods, None)
+}
+
+/// [`time_varying`] with a switch-event sink attached to the lock, so
+/// figure reproductions read protocol-change counts from the reactive
+/// API instead of poking object internals.
+pub fn time_varying_with(
+    alg: LockAlg,
+    period_len: u64,
+    contention_pct: u64,
+    periods: u64,
+    sink: Option<Rc<dyn Instrument>>,
+) -> u64 {
     let procs = 16usize;
     let m = Machine::new(Config::default().nodes(procs).cost(CostModel::prototype()));
-    let lock = AnyLock::make(&m, 0, alg, procs);
+    let lock = AnyLock::make_instrumented(&m, 0, alg, procs, sink);
     let bar = SenseBarrier::new(&m, 0, procs as u64);
     let high_total = period_len * contention_pct / 100;
     let high_each = (high_total / procs as u64).max(1);

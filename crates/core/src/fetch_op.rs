@@ -2,12 +2,12 @@
 //!
 //! Chooses among three protocols at run time:
 //!
-//! 1. a counter protected by a **test-and-test-and-set lock** (lowest
-//!    latency, worst scaling),
-//! 2. a counter protected by an **MCS queue lock** (fair, moderate
-//!    scaling), and
-//! 3. a **software combining tree** (high throughput under contention,
-//!    high fixed cost).
+//! 1. [`PROTO_TTS`] — a counter protected by a **test-and-test-and-set
+//!    lock** (lowest latency, worst scaling),
+//! 2. [`PROTO_QUEUE`] — a counter protected by an **MCS queue lock**
+//!    (fair, moderate scaling), and
+//! 3. [`PROTO_TREE`] — a **software combining tree** (high throughput
+//!    under contention, high fixed cost).
 //!
 //! The consensus objects are the two lock words and the tree root (a
 //! one-word lock guarding the `tree_valid` flag and the counter). The
@@ -20,10 +20,15 @@
 //! Monitoring (§3.3.2): failed `test&set`s (TTS → queue), empty-queue
 //! streaks (queue → TTS), queue waiting time (queue → tree, the queue is
 //! FIFO so waiting time estimates contention), and the combining rate
-//! observed at the root (tree → queue). The paper's optimization of
-//! keeping the fetch-and-op value "in a common location so updates are
-//! not necessary" is used: all three protocols mutate the same counter
-//! word.
+//! observed at the root (tree → queue). The monitor only *proposes* a
+//! better protocol through an [`Observation`]; the configured [`Policy`]
+//! decides, and may direct a change to **any** of the three slots — the
+//! switch machinery below handles all six ordered protocol pairs, which
+//! is what lets a 3-protocol object express e.g. "switch from the
+//! queue-counter straight to the combining tree". The paper's
+//! optimization of keeping the fetch-and-op value "in a common location
+//! so updates are not necessary" is used: all three protocols mutate the
+//! same counter word.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -34,11 +39,18 @@ use sync_protocols::spin::{
     dec, enc, Backoff, FREE, GO, INITIAL_DELAY, INVALID_PTR, INVALID_STATUS, NIL, WAITING,
 };
 
-use crate::policy::{Mode, Policy};
+use crate::policy::{Always, Instrument, Observation, Policy, ProtocolId, ProtocolInfo, Selector};
 
-const MODE_TTS: u64 = 0;
-const MODE_QUEUE: u64 = 1;
-const MODE_TREE: u64 = 2;
+/// Slot of the TTS-lock-protected counter.
+pub const PROTO_TTS: ProtocolId = ProtocolId(0);
+/// Slot of the queue-lock-protected counter.
+pub const PROTO_QUEUE: ProtocolId = ProtocolId(1);
+/// Slot of the software combining tree.
+pub const PROTO_TREE: ProtocolId = ProtocolId(2);
+
+const MODE_TTS: u64 = PROTO_TTS.0 as u64;
+const MODE_QUEUE: u64 = PROTO_QUEUE.0 as u64;
+const MODE_TREE: u64 = PROTO_TREE.0 as u64;
 
 const QN_NEXT: u64 = 0;
 const QN_STATUS: u64 = 1;
@@ -54,6 +66,87 @@ pub const TREE_COMBINE_MIN: usize = 2;
 /// Consecutive low-combining root visits before leaving the tree.
 pub const TREE_LOW_STREAK: u64 = 4;
 
+/// Builder for [`ReactiveFetchOp`].
+pub struct ReactiveFetchOpBuilder<'m> {
+    m: &'m Machine,
+    home: usize,
+    max_procs: usize,
+    policy: Box<dyn Policy>,
+    sink: Option<Rc<dyn Instrument>>,
+}
+
+impl<'m> ReactiveFetchOpBuilder<'m> {
+    /// Size the combining tree and backoff bounds for up to `n`
+    /// requesters (default: the machine's node count).
+    pub fn max_procs(mut self, n: usize) -> Self {
+        self.max_procs = n;
+        self
+    }
+
+    /// Use the given switching policy (default: [`Always`]).
+    pub fn policy(mut self, p: impl Policy + 'static) -> Self {
+        self.policy = Box::new(p);
+        self
+    }
+
+    /// Use an already-boxed policy (for `dyn Policy` plumbing).
+    pub fn boxed_policy(mut self, p: Box<dyn Policy>) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Report every committed protocol change to `sink`.
+    pub fn instrument(mut self, sink: Rc<dyn Instrument>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Allocate and initialize the object (TTS valid; queue and tree
+    /// invalid).
+    pub fn build(self) -> ReactiveFetchOp {
+        let m = self.m;
+        let locks = m.alloc_on(self.home, 2);
+        let mode = m.alloc_on(self.home, 1);
+        let var = m.alloc_on(self.home, 1);
+        let root = m.alloc_on(self.home, 2);
+        // Initial state: TTS mode.
+        m.write_word(locks, FREE);
+        m.write_word(locks.plus(1), INVALID_PTR);
+        m.write_word(mode, MODE_TTS);
+        m.write_word(root, 0); // root lock free
+        m.write_word(root.plus(1), 0); // tree invalid
+        ReactiveFetchOp {
+            locks,
+            mode,
+            var,
+            root,
+            tree: CombiningTree::new(m, self.home, self.max_procs),
+            sel: Selector::new(
+                [
+                    ProtocolInfo {
+                        id: PROTO_TTS,
+                        name: "tts-counter",
+                    },
+                    ProtocolInfo {
+                        id: PROTO_QUEUE,
+                        name: "queue-counter",
+                    },
+                    ProtocolInfo {
+                        id: PROTO_TREE,
+                        name: "combining-tree",
+                    },
+                ],
+                self.policy,
+                self.sink,
+            ),
+            empty_streak: Rc::new(Cell::new(0)),
+            low_combine_streak: Rc::new(Cell::new(0)),
+            pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
+            max_procs: self.max_procs,
+        }
+    }
+}
+
 /// The reactive fetch-and-op object. Cheap to clone; clones share state.
 #[derive(Clone)]
 pub struct ReactiveFetchOp {
@@ -66,7 +159,7 @@ pub struct ReactiveFetchOp {
     /// `[root_lock, tree_valid]` — the combining tree's consensus.
     root: Addr,
     tree: CombiningTree,
-    policy: Policy,
+    sel: Selector<3>,
     empty_streak: Rc<Cell<u64>>,
     low_combine_streak: Rc<Cell<u64>>,
     pool: Rc<RefCell<Vec<Vec<Addr>>>>,
@@ -82,41 +175,23 @@ impl std::fmt::Debug for ReactiveFetchOp {
 }
 
 impl ReactiveFetchOp {
+    /// Start building a reactive fetch-and-op homed on `home`.
+    pub fn builder(m: &Machine, home: usize) -> ReactiveFetchOpBuilder<'_> {
+        ReactiveFetchOpBuilder {
+            m,
+            home,
+            max_procs: m.nodes(),
+            policy: Box::new(Always),
+            sink: None,
+        }
+    }
+
     /// Create a reactive fetch-and-op homed on `home`, with a combining
     /// tree sized for `max_procs` and the default always-switch policy.
     pub fn new(m: &Machine, home: usize, max_procs: usize) -> ReactiveFetchOp {
-        ReactiveFetchOp::with_policy(m, home, max_procs, Policy::always())
-    }
-
-    /// Create with an explicit switching policy.
-    pub fn with_policy(
-        m: &Machine,
-        home: usize,
-        max_procs: usize,
-        policy: Policy,
-    ) -> ReactiveFetchOp {
-        let locks = m.alloc_on(home, 2);
-        let mode = m.alloc_on(home, 1);
-        let var = m.alloc_on(home, 1);
-        let root = m.alloc_on(home, 2);
-        // Initial state: TTS mode.
-        m.write_word(locks, FREE);
-        m.write_word(locks.plus(1), INVALID_PTR);
-        m.write_word(mode, MODE_TTS);
-        m.write_word(root, 0); // root lock free
-        m.write_word(root.plus(1), 0); // tree invalid
-        ReactiveFetchOp {
-            locks,
-            mode,
-            var,
-            root,
-            tree: CombiningTree::new(m, home, max_procs),
-            policy,
-            empty_streak: Rc::new(Cell::new(0)),
-            low_combine_streak: Rc::new(Cell::new(0)),
-            pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
-            max_procs,
-        }
+        ReactiveFetchOp::builder(m, home)
+            .max_procs(max_procs)
+            .build()
     }
 
     fn tts(&self) -> Addr {
@@ -142,7 +217,7 @@ impl ReactiveFetchOp {
 
     /// Number of protocol changes performed so far.
     pub fn switches(&self) -> u64 {
-        self.policy.switches()
+        self.sel.switches()
     }
 
     fn take_qnode(&self, cpu: &Cpu) -> Addr {
@@ -200,20 +275,37 @@ impl ReactiveFetchOp {
         let old = cpu.read(self.var).await;
         cpu.write(self.var, old.wrapping_add(delta)).await;
         self.empty_streak.set(0);
-        let suboptimal = failures > TTS_RETRY_LIMIT;
-        if suboptimal && self.policy.observe(Mode::Cheap, true, 150.0) {
-            // Switch TTS -> queue: validate the queue, leave TTS busy.
-            let q = self.take_qnode(cpu);
-            self.acquire_invalid_queue(cpu, q).await;
-            cpu.write(self.mode, MODE_QUEUE).await;
-            cpu.bump("reactive_fop.to_queue", 1);
-            self.release_queue(cpu, q).await;
-            self.put_qnode(cpu, q);
+        let obs = if failures > TTS_RETRY_LIMIT {
+            Observation::suboptimal(PROTO_TTS, PROTO_QUEUE, 150.0)
         } else {
-            if !suboptimal {
-                self.policy.observe(Mode::Cheap, false, 0.0);
+            Observation::optimal(PROTO_TTS)
+        };
+        match self.sel.observe(&obs) {
+            Some(target) if target == PROTO_QUEUE => {
+                // Switch TTS -> queue: validate the queue, leave TTS busy.
+                let q = self.take_qnode(cpu);
+                self.acquire_invalid_queue(cpu, q).await;
+                cpu.write(self.mode, MODE_QUEUE).await;
+                cpu.bump("reactive_fop.to_queue", 1);
+                self.sel.commit(cpu, PROTO_TTS, PROTO_QUEUE);
+                self.release_queue(cpu, q).await;
+                self.put_qnode(cpu, q);
             }
-            cpu.write(self.tts(), FREE).await;
+            Some(target) => {
+                // Switch TTS -> tree directly: validate the root's
+                // consensus object, leave both locks busy/INVALID.
+                debug_assert_eq!(target, PROTO_TREE);
+                self.lock_root(cpu).await;
+                cpu.write(self.tree_valid(), 1).await;
+                self.unlock_root(cpu).await;
+                cpu.write(self.mode, MODE_TREE).await;
+                cpu.bump("reactive_fop.to_tree", 1);
+                self.sel.commit(cpu, PROTO_TTS, PROTO_TREE);
+                self.low_combine_streak.set(0);
+            }
+            None => {
+                cpu.write(self.tts(), FREE).await;
+            }
         }
         Some(old)
     }
@@ -253,41 +345,51 @@ impl ReactiveFetchOp {
         // Monitoring: the queue is FIFO, so waiting time estimates
         // contention (§3.3.2). Long waits favour the combining tree;
         // empty-queue streaks favour TTS.
-        if empty {
+        let obs = if empty {
             let streak = self.empty_streak.get() + 1;
             self.empty_streak.set(streak);
-            if streak > EMPTY_QUEUE_LIMIT && self.policy.observe(Mode::Scalable, true, 15.0) {
+            if streak > EMPTY_QUEUE_LIMIT {
+                Observation::suboptimal(PROTO_QUEUE, PROTO_TTS, 15.0)
+            } else {
+                Observation::optimal(PROTO_QUEUE)
+            }
+        } else {
+            self.empty_streak.set(0);
+            if wait_time > QUEUE_WAIT_LIMIT {
+                Observation::suboptimal(PROTO_QUEUE, PROTO_TREE, wait_time as f64 / 4.0)
+            } else {
+                Observation::optimal(PROTO_QUEUE)
+            }
+        };
+        match self.sel.observe(&obs) {
+            Some(target) if target == PROTO_TTS => {
                 // Switch queue -> TTS.
                 cpu.write(self.mode, MODE_TTS).await;
                 cpu.bump("reactive_fop.to_tts", 1);
+                self.sel.commit(cpu, PROTO_QUEUE, PROTO_TTS);
                 self.invalidate_queue_from(cpu, q).await;
                 self.put_qnode(cpu, q);
                 cpu.write(self.tts(), FREE).await;
-                return Some(old);
             }
-            self.policy.observe(Mode::Scalable, false, 0.0);
-        } else {
-            self.empty_streak.set(0);
-            if wait_time > QUEUE_WAIT_LIMIT
-                && self
-                    .policy
-                    .observe(Mode::Cheap, true, wait_time as f64 / 4.0)
-            {
+            Some(target) => {
                 // Switch queue -> tree: validate the root, invalidate the
                 // queue. TTS stays busy.
+                debug_assert_eq!(target, PROTO_TREE);
                 self.lock_root(cpu).await;
                 cpu.write(self.tree_valid(), 1).await;
                 self.unlock_root(cpu).await;
                 cpu.write(self.mode, MODE_TREE).await;
                 cpu.bump("reactive_fop.to_tree", 1);
+                self.sel.commit(cpu, PROTO_QUEUE, PROTO_TREE);
                 self.low_combine_streak.set(0);
                 self.invalidate_queue_from(cpu, q).await;
                 self.put_qnode(cpu, q);
-                return Some(old);
+            }
+            None => {
+                self.release_queue(cpu, q).await;
+                self.put_qnode(cpu, q);
             }
         }
-        self.release_queue(cpu, q).await;
-        self.put_qnode(cpu, q);
         Some(old)
     }
 
@@ -314,29 +416,48 @@ impl ReactiveFetchOp {
                 // carry? (The paper piggybacks a fetch-and-increment to
                 // measure the combining rate.)
                 let combined = owed.len() + 1;
-                let mut switched = false;
-                if combined < TREE_COMBINE_MIN {
+                let obs = if combined < TREE_COMBINE_MIN {
                     let streak = self.low_combine_streak.get() + 1;
                     self.low_combine_streak.set(streak);
-                    if streak > TREE_LOW_STREAK && self.policy.observe(Mode::Scalable, true, 400.0)
-                    {
-                        // Switch tree -> queue while we hold the root.
-                        cpu.write(self.tree_valid(), 0).await;
-                        switched = true;
+                    if streak > TREE_LOW_STREAK {
+                        Observation::suboptimal(PROTO_TREE, PROTO_QUEUE, 400.0)
+                    } else {
+                        Observation::optimal(PROTO_TREE)
                     }
                 } else {
                     self.low_combine_streak.set(0);
-                    self.policy.observe(Mode::Scalable, false, 0.0);
+                    Observation::optimal(PROTO_TREE)
+                };
+                // Decide while we hold the root so an approved change
+                // can clear `tree_valid` atomically with the update.
+                let target = self.sel.observe(&obs);
+                if target.is_some() {
+                    cpu.write(self.tree_valid(), 0).await;
                 }
                 self.unlock_root(cpu).await;
-                if switched {
-                    let q = self.take_qnode(cpu);
-                    self.acquire_invalid_queue(cpu, q).await;
-                    cpu.write(self.mode, MODE_QUEUE).await;
-                    cpu.bump("reactive_fop.tree_to_queue", 1);
-                    self.empty_streak.set(0);
-                    self.release_queue(cpu, q).await;
-                    self.put_qnode(cpu, q);
+                match target {
+                    Some(t) if t == PROTO_QUEUE => {
+                        // Switch tree -> queue.
+                        let q = self.take_qnode(cpu);
+                        self.acquire_invalid_queue(cpu, q).await;
+                        cpu.write(self.mode, MODE_QUEUE).await;
+                        cpu.bump("reactive_fop.tree_to_queue", 1);
+                        self.sel.commit(cpu, PROTO_TREE, PROTO_QUEUE);
+                        self.empty_streak.set(0);
+                        self.release_queue(cpu, q).await;
+                        self.put_qnode(cpu, q);
+                    }
+                    Some(t) => {
+                        // Switch tree -> TTS directly: the queue is
+                        // already invalid; just free the TTS flag.
+                        debug_assert_eq!(t, PROTO_TTS);
+                        cpu.write(self.mode, MODE_TTS).await;
+                        cpu.bump("reactive_fop.tree_to_tts", 1);
+                        self.sel.commit(cpu, PROTO_TREE, PROTO_TTS);
+                        self.empty_streak.set(0);
+                        cpu.write(self.tts(), FREE).await;
+                    }
+                    None => {}
                 }
                 self.tree.distribute(cpu, &owed, old).await;
                 Some(old)
@@ -422,6 +543,7 @@ impl FetchOp for ReactiveFetchOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Decision, SwitchLog};
     use alewife_sim::{Config, Machine};
 
     /// All returns must form the exact set {0..procs*iters}.
@@ -529,7 +651,8 @@ mod tests {
         // It must have left the tree once contention faded.
         if st.counter("reactive_fop.to_tree") > 0 {
             assert!(
-                st.counter("reactive_fop.tree_to_queue") >= 1,
+                st.counter("reactive_fop.tree_to_queue") + st.counter("reactive_fop.tree_to_tts")
+                    >= 1,
                 "never left the tree; counters: {:?}",
                 st.counters
             );
@@ -555,5 +678,103 @@ mod tests {
             .map(|p| (0..20u64).map(|i| p + i % 3).sum::<u64>())
             .sum();
         assert_eq!(m.read_word(f.var()), expect);
+    }
+
+    /// A policy that replays a fixed script of decisions — used to force
+    /// specific protocol routes regardless of observed contention.
+    struct Scripted {
+        script: Vec<Decision>,
+        at: usize,
+    }
+
+    impl Policy for Scripted {
+        fn decide(&mut self, _obs: &Observation) -> Decision {
+            let d = self.script.get(self.at).copied().unwrap_or(Decision::Stay);
+            self.at += 1;
+            d
+        }
+    }
+
+    /// Regression for the old binary-`Mode` API: a 3-protocol object
+    /// must be able to express "switch from the queue-counter to the
+    /// combining tree" as a first-class (ProtocolId -> ProtocolId)
+    /// transition, visible in the instrumentation stream.
+    #[test]
+    fn three_protocol_switch_queue_to_tree_is_expressible() {
+        let m = Machine::new(Config::default().nodes(8));
+        let log = Rc::new(SwitchLog::new());
+        let f = ReactiveFetchOp::builder(&m, 0)
+            .max_procs(8)
+            .policy(Scripted {
+                // 1st observation: go TTS -> queue; 2nd: queue -> tree.
+                script: vec![
+                    Decision::SwitchTo(PROTO_QUEUE),
+                    Decision::SwitchTo(PROTO_TREE),
+                ],
+                at: 0,
+            })
+            .instrument(log.clone())
+            .build();
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            let f = f.clone();
+            m.spawn(p, async move {
+                for _ in 0..12 {
+                    f.fetch_add(&cpu, 1).await;
+                    cpu.work(cpu.rand_below(50)).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        assert_eq!(m.read_word(f.var()), 96);
+        let evs = log.events();
+        assert_eq!(evs.len(), 2, "expected exactly the scripted switches");
+        assert_eq!((evs[0].from, evs[0].to), (PROTO_TTS, PROTO_QUEUE));
+        assert_eq!(
+            (evs[1].from, evs[1].to),
+            (PROTO_QUEUE, PROTO_TREE),
+            "queue-counter -> combining-tree must be expressible"
+        );
+        assert_eq!(f.switches(), 2);
+    }
+
+    /// The generalized selector also supports routes the old API could
+    /// not name at all: TTS straight to the tree, and tree straight back
+    /// to TTS.
+    #[test]
+    fn direct_tts_tree_round_trip_is_expressible() {
+        let m = Machine::new(Config::default().nodes(8));
+        let log = Rc::new(SwitchLog::new());
+        let f = ReactiveFetchOp::builder(&m, 0)
+            .max_procs(8)
+            .policy(Scripted {
+                script: vec![
+                    Decision::SwitchTo(PROTO_TREE),
+                    Decision::Stay,
+                    Decision::Stay,
+                    Decision::SwitchTo(PROTO_TTS),
+                ],
+                at: 0,
+            })
+            .instrument(log.clone())
+            .build();
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            let f = f.clone();
+            m.spawn(p, async move {
+                for _ in 0..12 {
+                    f.fetch_add(&cpu, 1).await;
+                    cpu.work(cpu.rand_below(50)).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        assert_eq!(m.read_word(f.var()), 96);
+        let evs = log.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].from, evs[0].to), (PROTO_TTS, PROTO_TREE));
+        assert_eq!((evs[1].from, evs[1].to), (PROTO_TREE, PROTO_TTS));
     }
 }

@@ -5,8 +5,13 @@
 //! waiting mechanism at run time* in response to observed conditions,
 //! while staying within a constant factor of the best static choice.
 //!
-//! * [`policy`] — when to switch protocols (§3.4): switch-immediately,
-//!   the 3-competitive cumulative-cost policy, and hysteresis.
+//! * [`policy`] — when to switch protocols (§3.4): re-exports the
+//!   shared [`reactive_api`] surface (the [`Policy`] trait with
+//!   switch-immediately, 3-competitive, and hysteresis impls; protocol
+//!   ids; switch-event instrumentation) plus the simulator-side
+//!   [`policy::Selector`] every reactive object here embeds. All
+//!   reactive objects are constructed through builders
+//!   (`ReactiveLock::builder(&m, 0).policy(..).instrument(..)`).
 //! * [`lock`] — the reactive spin lock (§3.3.1, Figures 3.27-3.29):
 //!   dynamically selects between test-and-test-and-set and the MCS queue
 //!   lock, using the lock words themselves as consensus objects (an
@@ -35,5 +40,8 @@ pub mod waiting;
 
 pub use fetch_op::ReactiveFetchOp;
 pub use lock::ReactiveLock;
-pub use policy::Policy;
+pub use policy::{
+    Always, Competitive3, Decision, Hysteresis, Instrument, Observation, Policy, ProtocolId,
+    SwitchEvent, SwitchLog,
+};
 pub use waiting::TwoPhase;

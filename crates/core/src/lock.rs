@@ -18,22 +18,46 @@
 //!
 //! Contention monitoring (§3.3.1): in TTS mode the number of failed
 //! `test&set` attempts per acquisition estimates contention; in queue
-//! mode a streak of empty-queue acquisitions signals its absence. A
-//! [`Policy`] turns those signals into switch decisions.
+//! mode a streak of empty-queue acquisitions signals its absence. The
+//! monitor turns those signals into [`Observation`]s; the configured
+//! [`Policy`] decides whether to actually switch, and every committed
+//! change is reported to the [`Instrument`] sink as a
+//! [`crate::policy::SwitchEvent`].
+//!
+//! Construction goes through the builder:
+//!
+//! ```
+//! use alewife_sim::{Config, Machine};
+//! use reactive_core::policy::Hysteresis;
+//! use reactive_core::ReactiveLock;
+//!
+//! let m = Machine::new(Config::default().nodes(4));
+//! let lock = ReactiveLock::builder(&m, 0)
+//!     .max_procs(4)
+//!     .policy(Hysteresis::new(4, 4))
+//!     .build();
+//! # drop(lock);
+//! ```
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use alewife_sim::{Addr, Cpu, Machine};
 use sync_protocols::spin::{
-    dec, enc, Backoff, Lock, FREE, GO, INITIAL_DELAY, INVALID_PTR, INVALID_STATUS, NIL, WAITING,
+    dec, enc, Backoff, Lock, BUSY, FREE, GO, INITIAL_DELAY, INVALID_PTR, INVALID_STATUS, NIL,
+    WAITING,
 };
 
-use crate::policy::{Mode, Policy};
+use crate::policy::{Always, Instrument, Observation, Policy, ProtocolId, ProtocolInfo, Selector};
 
-/// Mode word values.
-const MODE_TTS: u64 = 0;
-const MODE_QUEUE: u64 = 1;
+/// Slot of the test-and-test-and-set protocol (cheap, low latency).
+pub const PROTO_TTS: ProtocolId = ProtocolId(0);
+/// Slot of the MCS queue protocol (scalable, fair).
+pub const PROTO_QUEUE: ProtocolId = ProtocolId(1);
+
+/// Mode word values (the mode hint stores the valid protocol's id).
+const MODE_TTS: u64 = PROTO_TTS.0 as u64;
+const MODE_QUEUE: u64 = PROTO_QUEUE.0 as u64;
 
 /// Queue-node field offsets (`next`, `status`).
 const QN_NEXT: u64 = 0;
@@ -73,6 +97,100 @@ pub enum ReleaseMode {
     QueueToTts(Addr),
 }
 
+/// Builder for [`ReactiveLock`]: placement is positional (machine and
+/// home node), everything else — contender sizing, switching policy,
+/// instrumentation — is optional with the paper's defaults.
+pub struct ReactiveLockBuilder<'m> {
+    m: &'m Machine,
+    home: usize,
+    max_procs: usize,
+    policy: Box<dyn Policy>,
+    sink: Option<Rc<dyn Instrument>>,
+    initial: ProtocolId,
+}
+
+impl<'m> ReactiveLockBuilder<'m> {
+    /// Size backoff bounds and the queue-node pool for up to `n`
+    /// contenders (default: the machine's node count).
+    pub fn max_procs(mut self, n: usize) -> Self {
+        self.max_procs = n;
+        self
+    }
+
+    /// Use the given switching policy (default: [`Always`]).
+    pub fn policy(mut self, p: impl Policy + 'static) -> Self {
+        self.policy = Box::new(p);
+        self
+    }
+
+    /// Use an already-boxed policy (for `dyn Policy` plumbing).
+    pub fn boxed_policy(mut self, p: Box<dyn Policy>) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Report every committed protocol change to `sink`.
+    pub fn instrument(mut self, sink: Rc<dyn Instrument>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Start in the given protocol ([`PROTO_TTS`] by default). §3.5
+    /// shows the initial choice matters for short-running applications:
+    /// start scalable when contention is expected from the outset.
+    ///
+    /// # Panics
+    /// If `p` is not one of this lock's two protocol slots.
+    pub fn initial_protocol(mut self, p: ProtocolId) -> Self {
+        assert!(
+            p == PROTO_TTS || p == PROTO_QUEUE,
+            "reactive lock has protocols {PROTO_TTS} and {PROTO_QUEUE}, not {p}"
+        );
+        self.initial = p;
+        self
+    }
+
+    /// Allocate and initialize the lock (the initial protocol's
+    /// sub-lock free, the other pinned busy — never both free).
+    pub fn build(self) -> ReactiveLock {
+        let m = self.m;
+        let locks = m.alloc_on(self.home, 2);
+        let mode = m.alloc_on(self.home, 1);
+        if self.initial == PROTO_QUEUE {
+            // Queue mode: queue valid and empty, TTS pinned busy.
+            m.write_word(locks, BUSY);
+            m.write_word(locks.plus(1), NIL);
+            m.write_word(mode, MODE_QUEUE);
+        } else {
+            // TTS mode: TTS lock free, queue invalid.
+            m.write_word(locks, FREE);
+            m.write_word(locks.plus(1), INVALID_PTR);
+            m.write_word(mode, MODE_TTS);
+        }
+        ReactiveLock {
+            locks,
+            mode,
+            sel: Selector::new(
+                [
+                    ProtocolInfo {
+                        id: PROTO_TTS,
+                        name: "tts",
+                    },
+                    ProtocolInfo {
+                        id: PROTO_QUEUE,
+                        name: "mcs-queue",
+                    },
+                ],
+                self.policy,
+                self.sink,
+            ),
+            empty_streak: Rc::new(Cell::new(0)),
+            pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
+            max_procs: self.max_procs,
+        }
+    }
+}
+
 /// The reactive spin lock. Cheap to clone; clones share the lock.
 #[derive(Clone)]
 pub struct ReactiveLock {
@@ -82,7 +200,7 @@ pub struct ReactiveLock {
     locks: Addr,
     /// Mode hint on its own (mostly-read) line.
     mode: Addr,
-    policy: Policy,
+    sel: Selector<2>,
     empty_streak: Rc<Cell<u64>>,
     pool: Rc<RefCell<Vec<Vec<Addr>>>>,
     max_procs: usize,
@@ -98,28 +216,22 @@ impl std::fmt::Debug for ReactiveLock {
 }
 
 impl ReactiveLock {
+    /// Start building a reactive lock homed on `home`.
+    pub fn builder(m: &Machine, home: usize) -> ReactiveLockBuilder<'_> {
+        ReactiveLockBuilder {
+            m,
+            home,
+            max_procs: m.nodes(),
+            policy: Box::new(Always),
+            sink: None,
+            initial: PROTO_TTS,
+        }
+    }
+
     /// Create a reactive lock homed on `home` with the default
     /// switch-immediately policy, sized for `max_procs` contenders.
     pub fn new(m: &Machine, home: usize, max_procs: usize) -> ReactiveLock {
-        ReactiveLock::with_policy(m, home, max_procs, Policy::always())
-    }
-
-    /// Create a reactive lock with an explicit switching policy.
-    pub fn with_policy(m: &Machine, home: usize, max_procs: usize, policy: Policy) -> ReactiveLock {
-        let locks = m.alloc_on(home, 2);
-        let mode = m.alloc_on(home, 1);
-        // Initial state: TTS mode — TTS lock free, queue invalid.
-        m.write_word(locks, FREE);
-        m.write_word(locks.plus(1), INVALID_PTR);
-        m.write_word(mode, MODE_TTS);
-        ReactiveLock {
-            locks,
-            mode,
-            policy,
-            empty_streak: Rc::new(Cell::new(0)),
-            pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
-            max_procs,
-        }
+        ReactiveLock::builder(m, home).max_procs(max_procs).build()
     }
 
     fn tts(&self) -> Addr {
@@ -132,7 +244,7 @@ impl ReactiveLock {
 
     /// Number of protocol changes performed so far.
     pub fn switches(&self) -> u64 {
-        self.policy.switches()
+        self.sel.switches()
     }
 
     /// Raw word addresses `(tts_flag, queue_tail, mode)` for invariant
@@ -209,15 +321,15 @@ impl ReactiveLock {
     /// Monitor + policy decision after winning the TTS sub-lock.
     fn decide_after_tts(&self, failures: u64) -> ReleaseMode {
         self.empty_streak.set(0);
-        let suboptimal = failures > TTS_RETRY_LIMIT;
-        let residual = TTS_RESIDUAL * (failures as f64 / TTS_RETRY_LIMIT as f64).min(4.0);
-        if suboptimal && self.policy.observe(Mode::Cheap, true, residual) {
-            ReleaseMode::TtsToQueue
+        let obs = if failures > TTS_RETRY_LIMIT {
+            let residual = TTS_RESIDUAL * (failures as f64 / TTS_RETRY_LIMIT as f64).min(4.0);
+            Observation::suboptimal(PROTO_TTS, PROTO_QUEUE, residual)
         } else {
-            if !suboptimal {
-                self.policy.observe(Mode::Cheap, false, 0.0);
-            }
-            ReleaseMode::Tts
+            Observation::optimal(PROTO_TTS)
+        };
+        match self.sel.observe(&obs) {
+            Some(_queue) => ReleaseMode::TtsToQueue,
+            None => ReleaseMode::Tts,
         }
     }
 
@@ -231,12 +343,13 @@ impl ReactiveLock {
             // Empty queue: lock acquired immediately (low contention).
             let streak = self.empty_streak.get() + 1;
             self.empty_streak.set(streak);
-            let suboptimal = streak > EMPTY_QUEUE_LIMIT;
-            if suboptimal && self.policy.observe(Mode::Scalable, true, QUEUE_RESIDUAL) {
+            let obs = if streak > EMPTY_QUEUE_LIMIT {
+                Observation::suboptimal(PROTO_QUEUE, PROTO_TTS, QUEUE_RESIDUAL)
+            } else {
+                Observation::optimal(PROTO_QUEUE)
+            };
+            if self.sel.observe(&obs).is_some() {
                 return Some(ReleaseMode::QueueToTts(q));
-            }
-            if !suboptimal {
-                self.policy.observe(Mode::Scalable, false, 0.0);
             }
             return Some(ReleaseMode::Queue(q));
         }
@@ -246,7 +359,16 @@ impl ReactiveLock {
             self.empty_streak.set(0);
             let status = cpu.poll_until(q.plus(QN_STATUS), |v| v != WAITING).await;
             if status == GO {
-                self.policy.observe(Mode::Scalable, false, 0.0);
+                // Honor the policy even on this optimal path: user
+                // policies may direct a switch on any observation (the
+                // only other slot is TTS, so an approved target is it).
+                if self
+                    .sel
+                    .observe(&Observation::optimal(PROTO_QUEUE))
+                    .is_some()
+                {
+                    return Some(ReleaseMode::QueueToTts(q));
+                }
                 return Some(ReleaseMode::Queue(q));
             }
             // INVALID: the queue protocol was switched away while we
@@ -281,6 +403,7 @@ impl ReactiveLock {
                 self.acquire_invalid_queue(cpu, q).await;
                 cpu.write(self.mode, MODE_QUEUE).await;
                 cpu.bump("reactive_lock.to_queue", 1);
+                self.sel.commit(cpu, PROTO_TTS, PROTO_QUEUE);
                 self.empty_streak.set(0);
                 self.release_queue(cpu, q).await;
                 self.put_qnode(cpu, q);
@@ -290,6 +413,7 @@ impl ReactiveLock {
                 // queue (bouncing any waiters), then free the TTS flag.
                 cpu.write(self.mode, MODE_TTS).await;
                 cpu.bump("reactive_lock.to_tts", 1);
+                self.sel.commit(cpu, PROTO_QUEUE, PROTO_TTS);
                 self.invalidate_queue_from(cpu, q).await;
                 self.put_qnode(cpu, q);
                 cpu.write(self.tts(), FREE).await;
@@ -365,11 +489,16 @@ impl Lock for ReactiveLock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Competitive3, SwitchLog};
     use alewife_sim::{Config, Machine};
 
-    fn hammer(policy: Policy, procs: usize, iters: u64) -> (u64, u64, u64) {
+    fn hammer(
+        lock_of: impl Fn(&Machine) -> ReactiveLock,
+        procs: usize,
+        iters: u64,
+    ) -> (u64, u64, u64) {
         let m = Machine::new(Config::default().nodes(procs.max(2)));
-        let lock = ReactiveLock::with_policy(&m, 0, procs, policy);
+        let lock = lock_of(&m);
         let shared = m.alloc_on(1, 1);
         for p in 0..procs {
             let cpu = m.cpu(p);
@@ -390,15 +519,50 @@ mod tests {
         (m.read_word(shared), t, lock.switches())
     }
 
+    fn always(m: &Machine) -> ReactiveLock {
+        ReactiveLock::builder(m, 0).policy(Always).build()
+    }
+
+    #[test]
+    fn starts_in_queue_mode_when_asked() {
+        let (v, _, _) = hammer(
+            |m| {
+                ReactiveLock::builder(m, 0)
+                    .initial_protocol(PROTO_QUEUE)
+                    .policy(Always)
+                    .build()
+            },
+            8,
+            40,
+        );
+        assert_eq!(v, 320);
+        // Never-both-free must hold from birth in queue mode too.
+        let m = Machine::new(Config::default().nodes(2));
+        let lock = ReactiveLock::builder(&m, 0)
+            .initial_protocol(PROTO_QUEUE)
+            .build();
+        let (tts, tail, mode) = lock.inspect_words();
+        assert_eq!(m.read_word(tts), BUSY);
+        assert_eq!(m.read_word(tail), NIL);
+        assert_eq!(m.read_word(mode), MODE_QUEUE);
+    }
+
+    #[test]
+    #[should_panic(expected = "not P5")]
+    fn rejects_unknown_initial_protocol() {
+        let m = Machine::new(Config::default().nodes(2));
+        let _ = ReactiveLock::builder(&m, 0).initial_protocol(ProtocolId(5));
+    }
+
     #[test]
     fn mutual_exclusion_single_proc() {
-        let (v, _, _) = hammer(Policy::always(), 1, 200);
+        let (v, _, _) = hammer(always, 1, 200);
         assert_eq!(v, 200);
     }
 
     #[test]
     fn mutual_exclusion_under_contention() {
-        let (v, _, switches) = hammer(Policy::always(), 16, 30);
+        let (v, _, switches) = hammer(always, 16, 30);
         assert_eq!(v, 480);
         // Heavy contention from the start: it should have moved to the
         // queue protocol.
@@ -407,7 +571,7 @@ mod tests {
 
     #[test]
     fn mutual_exclusion_two_procs() {
-        let (v, _, _) = hammer(Policy::always(), 2, 150);
+        let (v, _, _) = hammer(always, 2, 150);
         assert_eq!(v, 300);
     }
 
@@ -432,8 +596,37 @@ mod tests {
 
     #[test]
     fn switches_to_queue_under_sustained_contention() {
-        let (_, _, switches) = hammer(Policy::always(), 32, 20);
+        let (_, _, switches) = hammer(always, 32, 20);
         assert!(switches >= 1);
+    }
+
+    #[test]
+    fn switch_events_reach_the_sink() {
+        let log = Rc::new(SwitchLog::new());
+        let sink = log.clone();
+        let (_, _, switches) = hammer(
+            move |m| {
+                ReactiveLock::builder(m, 0)
+                    .max_procs(16)
+                    .instrument(sink.clone())
+                    .build()
+            },
+            16,
+            30,
+        );
+        let evs = log.events();
+        assert_eq!(evs.len() as u64, switches, "sink missed events");
+        assert!(!evs.is_empty());
+        // First change under heavy load is TTS -> queue, with the
+        // monitor's residual attached and a real timestamp.
+        assert_eq!((evs[0].from, evs[0].to), (PROTO_TTS, PROTO_QUEUE));
+        assert!(evs[0].residual > 0.0);
+        let mut last = 0;
+        for e in &evs {
+            assert!(e.time >= last, "events out of order");
+            last = e.time;
+            assert_ne!(e.from, e.to);
+        }
     }
 
     #[test]
@@ -478,8 +671,17 @@ mod tests {
 
     #[test]
     fn competitive_policy_switches_more_conservatively() {
-        let (_, _, sw_always) = hammer(Policy::always(), 16, 25);
-        let (_, _, sw_comp) = hammer(Policy::competitive3(SWITCH_ROUND_TRIP), 16, 25);
+        let (_, _, sw_always) = hammer(always, 16, 25);
+        let (_, _, sw_comp) = hammer(
+            |m| {
+                ReactiveLock::builder(m, 0)
+                    .max_procs(16)
+                    .policy(Competitive3::new(SWITCH_ROUND_TRIP))
+                    .build()
+            },
+            16,
+            25,
+        );
         assert!(
             sw_comp <= sw_always,
             "3-competitive ({sw_comp}) switched more than always ({sw_always})"

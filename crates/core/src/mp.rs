@@ -15,6 +15,11 @@
 //!   message-passing fetch-and-op vs. message-passing combining tree.
 //!   Protocol changes transfer the counter value; the changer performs
 //!   them while holding the currently-valid consensus object.
+//!
+//! Both are built through builders and speak the shared reactive API:
+//! monitors emit [`Observation`]s, the pluggable [`Policy`] decides, and
+//! committed changes are counted and reported to the configured
+//! [`Instrument`] sink.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -23,11 +28,18 @@ use alewife_sim::{Addr, Cpu, Machine};
 use sync_protocols::mp::{MpCombiningTree, MpCounter, MpQueueLock};
 use sync_protocols::spin::{Backoff, FREE, INITIAL_DELAY};
 
-use crate::policy::{Mode, Policy};
+use crate::policy::{Always, Instrument, Observation, Policy, ProtocolId, ProtocolInfo, Selector};
 
-const MODE_TTS: u64 = 0;
-const MODE_MP: u64 = 1;
-const MODE_TREE: u64 = 2;
+/// Slot of the shared-memory TTS protocol (locks and fetch-ops).
+pub const PROTO_TTS: ProtocolId = ProtocolId(0);
+/// Slot of the centralized message-passing protocol.
+pub const PROTO_MP: ProtocolId = ProtocolId(1);
+/// Slot of the message-passing combining tree (fetch-op only).
+pub const PROTO_MP_TREE: ProtocolId = ProtocolId(2);
+
+const MODE_TTS: u64 = PROTO_TTS.0 as u64;
+const MODE_MP: u64 = PROTO_MP.0 as u64;
+const MODE_TREE: u64 = PROTO_MP_TREE.0 as u64;
 
 /// Failed `test&set`s per acquisition signalling high contention.
 const TTS_RETRY_LIMIT: u64 = 4;
@@ -47,6 +59,73 @@ pub enum MpReleaseMode {
     MpToTts,
 }
 
+/// Builder for [`ReactiveMpLock`].
+pub struct ReactiveMpLockBuilder<'m> {
+    m: &'m Machine,
+    home: usize,
+    manager: usize,
+    max_procs: usize,
+    policy: Box<dyn Policy>,
+    sink: Option<Rc<dyn Instrument>>,
+}
+
+impl<'m> ReactiveMpLockBuilder<'m> {
+    /// Size backoff bounds for up to `n` contenders (default: the
+    /// machine's node count).
+    pub fn max_procs(mut self, n: usize) -> Self {
+        self.max_procs = n;
+        self
+    }
+
+    /// Use the given switching policy (default: [`Always`]).
+    pub fn policy(mut self, p: impl Policy + 'static) -> Self {
+        self.policy = Box::new(p);
+        self
+    }
+
+    /// Use an already-boxed policy (for `dyn Policy` plumbing).
+    pub fn boxed_policy(mut self, p: Box<dyn Policy>) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Report every committed protocol change to `sink`.
+    pub fn instrument(mut self, sink: Rc<dyn Instrument>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Allocate and initialize (TTS valid; MP manager invalid).
+    pub fn build(self) -> ReactiveMpLock {
+        let m = self.m;
+        let tts = m.alloc_on(self.home, 1);
+        let mode = m.alloc_on(self.home, 1);
+        m.write_word(tts, FREE);
+        m.write_word(mode, MODE_TTS);
+        ReactiveMpLock {
+            tts,
+            mode,
+            mp: MpQueueLock::with_validity(m, self.manager, false),
+            sel: Selector::new(
+                [
+                    ProtocolInfo {
+                        id: PROTO_TTS,
+                        name: "tts",
+                    },
+                    ProtocolInfo {
+                        id: PROTO_MP,
+                        name: "mp-queue",
+                    },
+                ],
+                self.policy,
+                self.sink,
+            ),
+            empty_streak: Rc::new(Cell::new(0)),
+            max_procs: self.max_procs,
+        }
+    }
+}
+
 /// Reactive spin lock selecting between a shared-memory TTS protocol
 /// and a message-passing queue-lock protocol (§3.6).
 #[derive(Clone)]
@@ -54,7 +133,7 @@ pub struct ReactiveMpLock {
     tts: Addr,
     mode: Addr,
     mp: MpQueueLock,
-    policy: Policy,
+    sel: Selector<2>,
     empty_streak: Rc<Cell<u64>>,
     max_procs: usize,
 }
@@ -68,26 +147,30 @@ impl std::fmt::Debug for ReactiveMpLock {
 }
 
 impl ReactiveMpLock {
+    /// Start building a lock homed on `home` whose MP manager runs on
+    /// `manager`.
+    pub fn builder(m: &Machine, home: usize, manager: usize) -> ReactiveMpLockBuilder<'_> {
+        ReactiveMpLockBuilder {
+            m,
+            home,
+            manager,
+            max_procs: m.nodes(),
+            policy: Box::new(Always),
+            sink: None,
+        }
+    }
+
     /// Create with the TTS protocol initially valid; the MP lock manager
     /// is installed on `manager`.
     pub fn new(m: &Machine, home: usize, manager: usize, max_procs: usize) -> ReactiveMpLock {
-        let tts = m.alloc_on(home, 1);
-        let mode = m.alloc_on(home, 1);
-        m.write_word(tts, FREE);
-        m.write_word(mode, MODE_TTS);
-        ReactiveMpLock {
-            tts,
-            mode,
-            mp: MpQueueLock::with_validity(m, manager, false),
-            policy: Policy::always(),
-            empty_streak: Rc::new(Cell::new(0)),
-            max_procs,
-        }
+        ReactiveMpLock::builder(m, home, manager)
+            .max_procs(max_procs)
+            .build()
     }
 
     /// Number of protocol changes so far.
     pub fn switches(&self) -> u64 {
-        self.policy.switches()
+        self.sel.switches()
     }
 
     /// Acquire; pass the returned token to [`ReactiveMpLock::release`].
@@ -109,14 +192,15 @@ impl ReactiveMpLock {
         loop {
             if cpu.read(self.tts).await == FREE {
                 if cpu.test_and_set(self.tts).await == FREE {
-                    let subopt = failures > TTS_RETRY_LIMIT;
                     self.empty_streak.set(0);
-                    return Some(if subopt && self.policy.observe(Mode::Cheap, true, 150.0) {
+                    let obs = if failures > TTS_RETRY_LIMIT {
+                        Observation::suboptimal(PROTO_TTS, PROTO_MP, 150.0)
+                    } else {
+                        Observation::optimal(PROTO_TTS)
+                    };
+                    return Some(if self.sel.observe(&obs).is_some() {
                         MpReleaseMode::TtsToMp
                     } else {
-                        if !subopt {
-                            self.policy.observe(Mode::Cheap, false, 0.0);
-                        }
                         MpReleaseMode::Tts
                     });
                 }
@@ -135,20 +219,23 @@ impl ReactiveMpLock {
 
     async fn acquire_mp(&self, cpu: &Cpu) -> Option<MpReleaseMode> {
         let qlen = self.mp.try_acquire_with_qlen(cpu).await?;
-        if qlen == 0 {
+        let obs = if qlen == 0 {
             let streak = self.empty_streak.get() + 1;
             self.empty_streak.set(streak);
-            if streak > EMPTY_LIMIT && self.policy.observe(Mode::Scalable, true, 40.0) {
-                return Some(MpReleaseMode::MpToTts);
-            }
-            if streak <= EMPTY_LIMIT {
-                self.policy.observe(Mode::Scalable, false, 0.0);
+            if streak > EMPTY_LIMIT {
+                Observation::suboptimal(PROTO_MP, PROTO_TTS, 40.0)
+            } else {
+                Observation::optimal(PROTO_MP)
             }
         } else {
             self.empty_streak.set(0);
-            self.policy.observe(Mode::Scalable, false, 0.0);
-        }
-        Some(MpReleaseMode::Mp)
+            Observation::optimal(PROTO_MP)
+        };
+        Some(if self.sel.observe(&obs).is_some() {
+            MpReleaseMode::MpToTts
+        } else {
+            MpReleaseMode::Mp
+        })
     }
 
     /// Release, performing any protocol change decided at acquire time.
@@ -165,6 +252,7 @@ impl ReactiveMpLock {
                 self.mp.validate_held_via(cpu).await;
                 cpu.write(self.mode, MODE_MP).await;
                 cpu.bump("reactive_mp_lock.to_mp", 1);
+                self.sel.commit(cpu, PROTO_TTS, PROTO_MP);
                 self.empty_streak.set(0);
                 use sync_protocols::spin::Lock as _;
                 self.mp.release(cpu, ()).await;
@@ -172,9 +260,85 @@ impl ReactiveMpLock {
             MpReleaseMode::MpToTts => {
                 cpu.write(self.mode, MODE_TTS).await;
                 cpu.bump("reactive_mp_lock.to_tts", 1);
+                self.sel.commit(cpu, PROTO_MP, PROTO_TTS);
                 self.mp.invalidate_via(cpu).await;
                 cpu.write(self.tts, FREE).await;
             }
+        }
+    }
+}
+
+/// Builder for [`ReactiveMpFetchOp`].
+pub struct ReactiveMpFetchOpBuilder<'m> {
+    m: &'m Machine,
+    home: usize,
+    manager: usize,
+    max_procs: usize,
+    policy: Box<dyn Policy>,
+    sink: Option<Rc<dyn Instrument>>,
+}
+
+impl<'m> ReactiveMpFetchOpBuilder<'m> {
+    /// Size the MP combining tree for up to `n` requesters (default:
+    /// the machine's node count).
+    pub fn max_procs(mut self, n: usize) -> Self {
+        self.max_procs = n;
+        self
+    }
+
+    /// Use the given switching policy (default: [`Always`]).
+    pub fn policy(mut self, p: impl Policy + 'static) -> Self {
+        self.policy = Box::new(p);
+        self
+    }
+
+    /// Use an already-boxed policy (for `dyn Policy` plumbing).
+    pub fn boxed_policy(mut self, p: Box<dyn Policy>) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Report every committed protocol change to `sink`.
+    pub fn instrument(mut self, sink: Rc<dyn Instrument>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Allocate and initialize (shared-memory TTS valid; MP protocols
+    /// invalid).
+    pub fn build(self) -> ReactiveMpFetchOp {
+        let m = self.m;
+        let tts = m.alloc_on(self.home, 1);
+        let var = m.alloc_on(self.home, 1);
+        let mode = m.alloc_on(self.home, 1);
+        m.write_word(tts, FREE);
+        m.write_word(mode, MODE_TTS);
+        ReactiveMpFetchOp {
+            tts,
+            var,
+            mode,
+            central: MpCounter::with_validity(m, self.manager, false),
+            tree: MpCombiningTree::with_validity(m, self.manager, self.max_procs, false),
+            sel: Selector::new(
+                [
+                    ProtocolInfo {
+                        id: PROTO_TTS,
+                        name: "tts-counter",
+                    },
+                    ProtocolInfo {
+                        id: PROTO_MP,
+                        name: "mp-central",
+                    },
+                    ProtocolInfo {
+                        id: PROTO_MP_TREE,
+                        name: "mp-combining-tree",
+                    },
+                ],
+                self.policy,
+                self.sink,
+            ),
+            calm_streak: Rc::new(Cell::new(0)),
+            max_procs: self.max_procs,
         }
     }
 }
@@ -195,7 +359,7 @@ pub struct ReactiveMpFetchOp {
     mode: Addr,
     central: MpCounter,
     tree: MpCombiningTree,
-    policy: Policy,
+    sel: Selector<3>,
     calm_streak: Rc<Cell<u64>>,
     max_procs: usize,
 }
@@ -214,29 +378,30 @@ const RTT_HIGH: u64 = 700;
 const RTT_LOW: u64 = 260;
 
 impl ReactiveMpFetchOp {
+    /// Start building a fetch-op homed on `home` whose MP handlers run
+    /// on `manager`.
+    pub fn builder(m: &Machine, home: usize, manager: usize) -> ReactiveMpFetchOpBuilder<'_> {
+        ReactiveMpFetchOpBuilder {
+            m,
+            home,
+            manager,
+            max_procs: m.nodes(),
+            policy: Box::new(Always),
+            sink: None,
+        }
+    }
+
     /// Create with the shared-memory TTS protocol initially valid; MP
     /// handlers are installed on `manager`.
     pub fn new(m: &Machine, home: usize, manager: usize, max_procs: usize) -> ReactiveMpFetchOp {
-        let tts = m.alloc_on(home, 1);
-        let var = m.alloc_on(home, 1);
-        let mode = m.alloc_on(home, 1);
-        m.write_word(tts, FREE);
-        m.write_word(mode, MODE_TTS);
-        ReactiveMpFetchOp {
-            tts,
-            var,
-            mode,
-            central: MpCounter::with_validity(m, manager, false),
-            tree: MpCombiningTree::with_validity(m, manager, max_procs, false),
-            policy: Policy::always(),
-            calm_streak: Rc::new(Cell::new(0)),
-            max_procs,
-        }
+        ReactiveMpFetchOp::builder(m, home, manager)
+            .max_procs(max_procs)
+            .build()
     }
 
     /// Number of protocol changes so far.
     pub fn switches(&self) -> u64 {
-        self.policy.switches()
+        self.sel.switches()
     }
 
     /// The final counter value (host-side inspection after a run).
@@ -265,11 +430,8 @@ impl ReactiveMpFetchOp {
                 }
                 _ => {
                     if let Ok(v) = self.tree.try_fetch_add(cpu, delta).await {
-                        // Tree → central demotion is decided by sampled
-                        // round-trips on the central path; the tree has
-                        // no cheap per-op monitor here, so we sample by
-                        // occasionally observing machine calm via the
-                        // policy (handled in try_central after demotion).
+                        // Tree demotion is decided by sampled round
+                        // trips; see `note_tree_op`.
                         self.note_tree_op(cpu).await;
                         return v;
                     }
@@ -299,17 +461,35 @@ impl ReactiveMpFetchOp {
         }
         let old = cpu.read(self.var).await;
         cpu.write(self.var, old.wrapping_add(delta)).await;
-        if failures > TTS_RETRY_LIMIT && self.policy.observe(Mode::Cheap, true, 150.0) {
-            // Switch TTS -> central MP, transferring the value. We hold
-            // the TTS consensus; leave it busy. The validate RPC runs in
-            // the manager's handler, atomically with any queued ops.
-            let v = cpu.read(self.var).await;
-            self.central.validate_via(cpu, v).await;
-            cpu.write(self.mode, MODE_MP).await;
-            cpu.bump("reactive_mp_fop.to_central", 1);
-            self.calm_streak.set(0);
+        let obs = if failures > TTS_RETRY_LIMIT {
+            Observation::suboptimal(PROTO_TTS, PROTO_MP, 150.0)
         } else {
-            cpu.write(self.tts, FREE).await;
+            Observation::optimal(PROTO_TTS)
+        };
+        match self.sel.observe(&obs) {
+            Some(target) => {
+                // We hold the TTS consensus; leave it busy and transfer
+                // the counter value to the target protocol. The validate
+                // RPC runs in the manager's handler, atomically with any
+                // queued ops.
+                let v = cpu.read(self.var).await;
+                if target == PROTO_MP {
+                    self.central.validate_via(cpu, v).await;
+                    cpu.write(self.mode, MODE_MP).await;
+                    cpu.bump("reactive_mp_fop.to_central", 1);
+                    self.sel.commit(cpu, PROTO_TTS, PROTO_MP);
+                    self.calm_streak.set(0);
+                } else {
+                    debug_assert_eq!(target, PROTO_MP_TREE);
+                    self.tree.validate_via(cpu, v).await;
+                    cpu.write(self.mode, MODE_TREE).await;
+                    cpu.bump("reactive_mp_fop.to_tree", 1);
+                    self.sel.commit(cpu, PROTO_TTS, PROTO_MP_TREE);
+                }
+            }
+            None => {
+                cpu.write(self.tts, FREE).await;
+            }
         }
         Some(old)
     }
@@ -318,38 +498,45 @@ impl ReactiveMpFetchOp {
         let t0 = cpu.now();
         let old = self.central.try_fetch_add(cpu, delta).await.ok()?;
         let rtt = cpu.now() - t0;
-        if rtt > RTT_HIGH
-            && self
-                .policy
-                .observe(Mode::Cheap, true, (rtt - RTT_HIGH) as f64)
-        {
-            // Promote central -> tree. The invalidate RPC serializes in
-            // the manager handler (it IS the consensus object, §3.6) and
-            // returns the final value; queued ops bounce and retry.
-            let v = self.central.invalidate_via(cpu).await;
-            self.tree.validate_via(cpu, v).await;
-            cpu.write(self.mode, MODE_TREE).await;
-            cpu.bump("reactive_mp_fop.to_tree", 1);
+        let obs = if rtt > RTT_HIGH {
+            Observation::suboptimal(PROTO_MP, PROTO_MP_TREE, (rtt - RTT_HIGH) as f64)
         } else if rtt < RTT_LOW {
             let streak = self.calm_streak.get() + 1;
             self.calm_streak.set(streak);
-            if streak > EMPTY_LIMIT && self.policy.observe(Mode::Scalable, true, 40.0) {
-                // Demote central -> shared-memory TTS.
-                let v = self.central.invalidate_via(cpu).await;
-                cpu.write(self.var, v).await;
-                cpu.write(self.mode, MODE_TTS).await;
-                cpu.bump("reactive_mp_fop.to_tts", 1);
-                cpu.write(self.tts, FREE).await;
+            if streak > EMPTY_LIMIT {
+                Observation::suboptimal(PROTO_MP, PROTO_TTS, 40.0)
+            } else {
+                Observation::optimal(PROTO_MP)
             }
         } else {
             self.calm_streak.set(0);
+            Observation::optimal(PROTO_MP)
+        };
+        if let Some(target) = self.sel.observe(&obs) {
+            // The invalidate RPC serializes in the manager handler
+            // (it IS the consensus object, §3.6) and returns the
+            // final value; queued ops bounce and retry.
+            let v = self.central.invalidate_via(cpu).await;
+            if target == PROTO_MP_TREE {
+                self.tree.validate_via(cpu, v).await;
+                cpu.write(self.mode, MODE_TREE).await;
+                cpu.bump("reactive_mp_fop.to_tree", 1);
+                self.sel.commit(cpu, PROTO_MP, PROTO_MP_TREE);
+            } else {
+                debug_assert_eq!(target, PROTO_TTS);
+                cpu.write(self.var, v).await;
+                cpu.write(self.mode, MODE_TTS).await;
+                cpu.bump("reactive_mp_fop.to_tts", 1);
+                self.sel.commit(cpu, PROTO_MP, PROTO_TTS);
+                cpu.write(self.tts, FREE).await;
+            }
         }
         Some(old)
     }
 
     /// Tree-mode monitoring: sample the machine every so often by
-    /// demoting to the central protocol when the tree's own round trips
-    /// are fast (little combining → little contention).
+    /// demoting when the tree's own round trips are fast (little
+    /// combining → little contention).
     async fn note_tree_op(&self, cpu: &Cpu) {
         // Sample 1 op in 8 to keep monitoring cheap.
         if cpu.rand_below(8) != 0 {
@@ -359,12 +546,27 @@ impl ReactiveMpFetchOp {
         // A no-op fetch_add(0) probes the tree's latency end to end.
         if self.tree.try_fetch_add(cpu, 0).await.is_ok() {
             let rtt = cpu.now() - t0;
-            if rtt < RTT_HIGH && self.policy.observe(Mode::Scalable, true, 100.0) {
+            let obs = if rtt < RTT_HIGH {
+                Observation::suboptimal(PROTO_MP_TREE, PROTO_MP, 100.0)
+            } else {
+                Observation::optimal(PROTO_MP_TREE)
+            };
+            if let Some(target) = self.sel.observe(&obs) {
                 let v = self.tree.invalidate_via(cpu).await;
-                self.central.validate_via(cpu, v).await;
-                cpu.write(self.mode, MODE_MP).await;
-                cpu.bump("reactive_mp_fop.tree_to_central", 1);
-                self.calm_streak.set(0);
+                if target == PROTO_MP {
+                    self.central.validate_via(cpu, v).await;
+                    cpu.write(self.mode, MODE_MP).await;
+                    cpu.bump("reactive_mp_fop.tree_to_central", 1);
+                    self.sel.commit(cpu, PROTO_MP_TREE, PROTO_MP);
+                    self.calm_streak.set(0);
+                } else {
+                    debug_assert_eq!(target, PROTO_TTS);
+                    cpu.write(self.var, v).await;
+                    cpu.write(self.mode, MODE_TTS).await;
+                    cpu.bump("reactive_mp_fop.tree_to_tts", 1);
+                    self.sel.commit(cpu, PROTO_MP_TREE, PROTO_TTS);
+                    cpu.write(self.tts, FREE).await;
+                }
             }
         }
     }
@@ -373,6 +575,7 @@ impl ReactiveMpFetchOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Hysteresis, SwitchLog};
     use alewife_sim::Config;
     use std::cell::RefCell;
 
@@ -416,6 +619,38 @@ mod tests {
         });
         m.run();
         assert_eq!(lock.switches(), 0);
+    }
+
+    #[test]
+    fn mp_lock_builder_policy_and_sink_are_honored() {
+        let m = Machine::new(Config::default().nodes(8));
+        let log = Rc::new(SwitchLog::new());
+        // A huge hysteresis threshold: the policy must suppress every
+        // switch the Always default would have taken.
+        let lock = ReactiveMpLock::builder(&m, 0, 0)
+            .max_procs(8)
+            .policy(Hysteresis::new(1_000_000, 1_000_000))
+            .instrument(log.clone())
+            .build();
+        let shared = m.alloc_on(1, 1);
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            let lock = lock.clone();
+            m.spawn(p, async move {
+                for _ in 0..20 {
+                    let t = lock.acquire(&cpu).await;
+                    cpu.work(10).await;
+                    cpu.fetch_and_add(shared, 1).await;
+                    lock.release(&cpu, t).await;
+                    cpu.work(cpu.rand_below(60)).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0);
+        assert_eq!(m.read_word(shared), 160);
+        assert_eq!(lock.switches(), 0, "hysteresis(1M) must suppress switches");
+        assert_eq!(log.count(), 0);
     }
 
     #[test]

@@ -1,209 +1,178 @@
-//! Protocol-switching policies (§3.4, §3.5.5).
+//! Protocol-switching policies and the simulator-side selector.
 //!
-//! A reactive algorithm's *monitoring* code produces a stream of
-//! observations ("this acquisition ran under the wrong protocol, wasting
-//! about `residual` cycles"). The policy decides whether to actually
-//! switch, trading adaptation speed against thrash resistance:
-//!
-//! * [`Policy::always`] — switch immediately on a sub-optimality signal
-//!   (the paper's default; tracks contention closely, can thrash).
-//! * [`Policy::competitive3`] — the 3-competitive rule from the
-//!   Borodin-Linial-Saks task-system algorithm (§3.4.1): accumulate the
-//!   residual cost of staying and switch when it exceeds the round-trip
-//!   switching cost. Worst case 3× the off-line optimum.
-//! * [`Policy::hysteresis`] — switch after `x` (resp. `y`) *consecutive*
-//!   sub-optimal acquisitions; streak breaks reset the evidence.
+//! The policy *types* live in [`reactive_api`] and are shared with the
+//! native implementations; this module re-exports them and adds
+//! [`Selector`], the piece every simulator-side reactive object embeds:
+//! a cloneable handle bundling the boxed [`Policy`], the optional
+//! [`Instrument`] sink, and the switch counter, so that monitoring code
+//! in `lock`/`fetch_op`/`mp` only produces [`Observation`]s and performs
+//! the consensus-object machinery for approved switches.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-/// Which protocol a two-protocol reactive object currently runs
-/// (generalizes to "cheap" vs "scalable").
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Mode {
-    /// The low-latency protocol (e.g. test-and-test-and-set).
-    Cheap,
-    /// The contention-tolerant protocol (e.g. MCS queue / combining).
-    Scalable,
+use alewife_sim::Cpu;
+
+pub use reactive_api::{
+    Always, Competitive3, Decision, Hysteresis, Instrument, Observation, Policy, Protocol,
+    ProtocolId, ProtocolInfo, SwitchEvent, SwitchLog, SwitchTally,
+};
+
+struct Inner<const N: usize> {
+    info: [ProtocolInfo; N],
+    policy: RefCell<Box<dyn Policy>>,
+    sink: Option<Rc<dyn Instrument>>,
+    switches: Cell<u64>,
+    /// Residual carried from the approving observation to the commit
+    /// point (decisions are taken at acquire time, the switch machinery
+    /// often runs at release time; both happen inside one holder's
+    /// critical section, so a single cell suffices).
+    pending_residual: Cell<f64>,
 }
 
-#[derive(Clone, Debug)]
-enum Kind {
-    Always,
-    Competitive3 {
-        /// d_AB + d_BA: the round-trip protocol-switching cost.
-        round_trip: f64,
-        accumulated: Cell<f64>,
-    },
-    Hysteresis {
-        /// Consecutive sub-optimal signals needed to leave `Cheap`.
-        x: u64,
-        /// Consecutive sub-optimal signals needed to leave `Scalable`.
-        y: u64,
-        streak: Cell<u64>,
-    },
+/// The protocol selector of an N-way reactive object: policy
+/// consultation, switch counting, and switch-event instrumentation.
+/// Cheap to clone; clones share all state with the object.
+pub struct Selector<const N: usize> {
+    inner: Rc<Inner<N>>,
 }
 
-/// A protocol-switching policy instance. One per reactive object (the
-/// internal counters are object-local); cheap to clone and share among
-/// the tasks using that object.
-#[derive(Clone, Debug)]
-pub struct Policy {
-    kind: Rc<Kind>,
-    switches: Rc<Cell<u64>>,
+impl<const N: usize> Clone for Selector<N> {
+    fn clone(&self) -> Self {
+        Selector {
+            inner: self.inner.clone(),
+        }
+    }
 }
 
-impl Policy {
-    /// Switch as soon as the monitor reports the other protocol would be
-    /// better (§3.4's default policy).
-    pub fn always() -> Policy {
-        Policy::from_kind(Kind::Always)
+impl<const N: usize> std::fmt::Debug for Selector<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Selector")
+            .field("protocols", &self.inner.info)
+            .field("switches", &self.inner.switches.get())
+            .finish()
     }
+}
 
-    /// 3-competitive policy (§3.4.1): switch when the cumulative residual
-    /// cost of the sub-optimal protocol exceeds `round_trip` (the
-    /// empirical §3.5.5 value is ≈ 8000 + 800 = 8800 cycles).
-    pub fn competitive3(round_trip: f64) -> Policy {
-        assert!(round_trip > 0.0, "round-trip cost must be positive");
-        Policy::from_kind(Kind::Competitive3 {
-            round_trip,
-            accumulated: Cell::new(0.0),
-        })
-    }
-
-    /// Hysteresis(x, y) (§3.5.5): leave `Cheap` after `x` consecutive
-    /// sub-optimal acquisitions, leave `Scalable` after `y`.
-    pub fn hysteresis(x: u64, y: u64) -> Policy {
-        assert!(x > 0 && y > 0, "hysteresis thresholds must be positive");
-        Policy::from_kind(Kind::Hysteresis {
-            x,
-            y,
-            streak: Cell::new(0),
-        })
-    }
-
-    fn from_kind(kind: Kind) -> Policy {
-        Policy {
-            kind: Rc::new(kind),
-            switches: Rc::new(Cell::new(0)),
+impl<const N: usize> Selector<N> {
+    /// Create a selector over the given protocol slots.
+    pub fn new(
+        info: [ProtocolInfo; N],
+        policy: Box<dyn Policy>,
+        sink: Option<Rc<dyn Instrument>>,
+    ) -> Selector<N> {
+        for (i, pi) in info.iter().enumerate() {
+            assert_eq!(pi.id.index(), i, "protocol slots must be in id order");
+        }
+        Selector {
+            inner: Rc::new(Inner {
+                info,
+                policy: RefCell::new(policy),
+                sink,
+                switches: Cell::new(0),
+                pending_residual: Cell::new(0.0),
+            }),
         }
     }
 
-    /// Report one acquisition observed in mode `mode`. `suboptimal` is
-    /// the monitor's verdict for this acquisition; `residual` its
-    /// estimate of the cycles wasted relative to the other protocol.
-    /// Returns `true` if the algorithm should switch protocols now.
-    pub fn observe(&self, mode: Mode, suboptimal: bool, residual: f64) -> bool {
-        let switch = match &*self.kind {
-            Kind::Always => suboptimal,
-            Kind::Competitive3 {
-                round_trip,
-                accumulated,
-            } => {
-                if suboptimal {
-                    accumulated.set(accumulated.get() + residual);
-                }
-                // Unlike hysteresis, the cumulative cost persists across
-                // breaks in the streak (§3.4).
-                accumulated.get() > *round_trip
+    /// Feed one acquisition's observation to the policy. Returns the
+    /// switch target if the policy directed a change (always a valid,
+    /// non-current slot), or `None` to stay.
+    pub fn observe(&self, obs: &Observation) -> Option<ProtocolId> {
+        match self.inner.policy.borrow_mut().decide(obs) {
+            Decision::SwitchTo(t) if t != obs.current && t.index() < N => {
+                self.inner.pending_residual.set(obs.residual);
+                Some(t)
             }
-            Kind::Hysteresis { x, y, streak } => {
-                if suboptimal {
-                    streak.set(streak.get() + 1);
-                } else {
-                    streak.set(0);
-                }
-                let limit = match mode {
-                    Mode::Cheap => *x,
-                    Mode::Scalable => *y,
-                };
-                streak.get() >= limit
-            }
-        };
-        if switch {
-            self.reset();
-            self.switches.set(self.switches.get() + 1);
-        }
-        switch
-    }
-
-    /// Clear accumulated evidence (called automatically on a switch).
-    pub fn reset(&self) {
-        match &*self.kind {
-            Kind::Always => {}
-            Kind::Competitive3 { accumulated, .. } => accumulated.set(0.0),
-            Kind::Hysteresis { streak, .. } => streak.set(0),
+            _ => None,
         }
     }
 
-    /// Number of switches this policy has approved.
+    /// Report that the protocol change `from → to` committed (the
+    /// consensus-object machinery completed): bumps the switch counter,
+    /// resets the policy's evidence, and emits a [`SwitchEvent`]
+    /// stamped with the simulated clock.
+    pub fn commit(&self, cpu: &Cpu, from: ProtocolId, to: ProtocolId) {
+        self.inner.switches.set(self.inner.switches.get() + 1);
+        self.inner.policy.borrow_mut().reset();
+        if let Some(sink) = &self.inner.sink {
+            sink.switch_event(SwitchEvent {
+                time: cpu.now(),
+                from,
+                to,
+                residual: self.inner.pending_residual.take(),
+            });
+        }
+    }
+
+    /// Number of protocol changes committed so far.
     pub fn switches(&self) -> u64 {
-        self.switches.get()
+        self.inner.switches.get()
+    }
+
+    /// Identity of the protocol in slot `id`.
+    pub fn protocol(&self, id: ProtocolId) -> ProtocolInfo {
+        self.inner.info[id.index()]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alewife_sim::{Config, Machine};
 
-    #[test]
-    fn always_switches_immediately() {
-        let p = Policy::always();
-        assert!(!p.observe(Mode::Cheap, false, 0.0));
-        assert!(p.observe(Mode::Cheap, true, 100.0));
-        assert_eq!(p.switches(), 1);
+    const A: ProtocolId = ProtocolId(0);
+    const B: ProtocolId = ProtocolId(1);
+
+    fn two() -> [ProtocolInfo; 2] {
+        [
+            ProtocolInfo { id: A, name: "a" },
+            ProtocolInfo { id: B, name: "b" },
+        ]
     }
 
     #[test]
-    fn competitive3_waits_for_cumulative_cost() {
-        let p = Policy::competitive3(1_000.0);
-        for _ in 0..9 {
-            assert!(!p.observe(Mode::Cheap, true, 100.0));
+    fn clones_share_policy_state() {
+        let s = Selector::new(two(), Box::new(Competitive3::new(100.0)), None);
+        let t = s.clone();
+        assert!(s.observe(&Observation::suboptimal(A, B, 60.0)).is_none());
+        assert_eq!(t.observe(&Observation::suboptimal(A, B, 60.0)), Some(B));
+    }
+
+    #[test]
+    fn commit_counts_and_emits() {
+        let log = Rc::new(SwitchLog::new());
+        let s = Selector::new(
+            two(),
+            Box::new(Always),
+            Some(log.clone() as Rc<dyn Instrument>),
+        );
+        let m = Machine::new(Config::default().nodes(2));
+        let cpu = m.cpu(0);
+        assert_eq!(s.observe(&Observation::suboptimal(A, B, 42.0)), Some(B));
+        s.commit(&cpu, A, B);
+        assert_eq!(s.switches(), 1);
+        let evs = log.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!((evs[0].from, evs[0].to), (A, B));
+        assert_eq!(evs[0].residual, 42.0);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_rejected() {
+        struct Wild;
+        impl Policy for Wild {
+            fn decide(&mut self, _obs: &Observation) -> Decision {
+                Decision::SwitchTo(ProtocolId(7))
+            }
         }
-        // 10th observation pushes the total over the round trip.
-        assert!(p.observe(Mode::Cheap, true, 150.0));
-        // Evidence resets after a switch.
-        assert!(!p.observe(Mode::Scalable, true, 100.0));
+        let s = Selector::new(two(), Box::new(Wild), None);
+        assert_eq!(s.observe(&Observation::optimal(A)), None);
     }
 
     #[test]
-    fn competitive3_persists_across_streak_breaks() {
-        let p = Policy::competitive3(1_000.0);
-        for _ in 0..6 {
-            p.observe(Mode::Cheap, true, 100.0);
-            // Optimal acquisitions do NOT reset the accumulator.
-            p.observe(Mode::Cheap, false, 0.0);
-        }
-        assert!(p.observe(Mode::Cheap, true, 500.0));
-    }
-
-    #[test]
-    fn hysteresis_requires_consecutive_evidence() {
-        let p = Policy::hysteresis(3, 5);
-        assert!(!p.observe(Mode::Cheap, true, 1.0));
-        assert!(!p.observe(Mode::Cheap, true, 1.0));
-        // A break resets the streak.
-        assert!(!p.observe(Mode::Cheap, false, 0.0));
-        assert!(!p.observe(Mode::Cheap, true, 1.0));
-        assert!(!p.observe(Mode::Cheap, true, 1.0));
-        assert!(p.observe(Mode::Cheap, true, 1.0));
-    }
-
-    #[test]
-    fn hysteresis_is_direction_sensitive() {
-        let p = Policy::hysteresis(1, 3);
-        assert!(p.observe(Mode::Cheap, true, 1.0));
-        assert!(!p.observe(Mode::Scalable, true, 1.0));
-        assert!(!p.observe(Mode::Scalable, true, 1.0));
-        assert!(p.observe(Mode::Scalable, true, 1.0));
-    }
-
-    #[test]
-    fn clones_share_state() {
-        let p = Policy::competitive3(100.0);
-        let q = p.clone();
-        p.observe(Mode::Cheap, true, 60.0);
-        assert!(q.observe(Mode::Cheap, true, 60.0));
-        assert_eq!(p.switches(), 1);
+    fn protocol_info_lookup() {
+        let s = Selector::new(two(), Box::new(Always), None);
+        assert_eq!(s.protocol(B).name, "b");
     }
 }

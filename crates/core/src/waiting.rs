@@ -7,7 +7,7 @@
 //! it approaches the on-line optimum of `e/(e-1) ≈ 1.58` against a
 //! restricted adversary.
 //!
-//! [`SwitchSpinPhase`] is the multithreaded-processor variant (§4.1):
+//! [`SwitchSpin`] is the multithreaded-processor variant (§4.1):
 //! the polling phase yields to other loaded contexts between polls, so
 //! polling costs `t/β` instead of `t` and `Lpoll` buys a β-times longer
 //! polling phase.

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use reactive_core::lock::{ReactiveLock, ReleaseMode};
-use reactive_core::policy::Policy;
+use reactive_core::policy::{Always, Competitive3, Hysteresis, Policy};
 use reactive_core::ReactiveFetchOp;
 
 use alewife_sim::{Config, Machine};
@@ -25,12 +25,15 @@ proptest! {
         seed in 1u64..u64::MAX,
     ) {
         let m = Machine::new(Config::default().nodes(procs).seed(seed));
-        let policy = match policy_sel {
-            0 => Policy::always(),
-            1 => Policy::competitive3(8_800.0),
-            _ => Policy::hysteresis(4, 8),
+        let policy: Box<dyn Policy> = match policy_sel {
+            0 => Box::new(Always),
+            1 => Box::new(Competitive3::new(8_800.0)),
+            _ => Box::new(Hysteresis::new(4, 8)),
         };
-        let lock = ReactiveLock::with_policy(&m, 0, procs, policy);
+        let lock = ReactiveLock::builder(&m, 0)
+            .max_procs(procs)
+            .boxed_policy(policy)
+            .build();
         let shared = m.alloc_on(1, 1);
         let rounds = 3u64;
         for p in 0..procs {

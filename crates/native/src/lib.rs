@@ -13,7 +13,10 @@
 //! * [`reactive::ReactiveLock`] / [`reactive::ReactiveMutex`] — the
 //!   reactive lock: TTS under low contention, MCS queue under high
 //!   contention, switching at run time with the paper's
-//!   never-both-free consensus discipline.
+//!   never-both-free consensus discipline. Built through
+//!   `ReactiveLock::builder()`, it takes any [`api::Policy`] impl and
+//!   reports protocol changes to an [`api::Instrument`] sink — the same
+//!   traits the simulator-side algorithms use.
 //! * [`two_phase::TwoPhaseWait`] — spin up to `Lpoll`, then park the
 //!   thread (Chapter 4's two-phase waiting, with `Lpoll ≈ 0.54 × park
 //!   cost` as the §4.5.1 default).
@@ -27,5 +30,6 @@ pub mod two_phase;
 
 pub use mcs::McsLock;
 pub use reactive::{ReactiveLock, ReactiveMutex};
+pub use reactive_api as api;
 pub use tts::TtsLock;
 pub use two_phase::{Event, TwoPhaseWait};

@@ -59,7 +59,7 @@ impl McsLock {
         while node.locked.load(Ordering::Acquire) {
             std::hint::spin_loop();
             polls += 1;
-            if polls % 256 == 0 {
+            if polls.is_multiple_of(256) {
                 // Keep progress on oversubscribed hosts.
                 std::thread::yield_now();
             }
@@ -89,7 +89,7 @@ impl McsLock {
                 }
                 std::hint::spin_loop();
                 polls += 1;
-                if polls % 256 == 0 {
+                if polls.is_multiple_of(256) {
                     std::thread::yield_now();
                 }
             }

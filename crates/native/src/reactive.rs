@@ -6,25 +6,63 @@
 //! time** — in queue mode the TTS flag is pinned busy, and in TTS mode
 //! the queue is marked invalid with a sentinel tail so enqueuers bounce.
 //! The mode word is only a dispatch hint.
+//!
+//! The lock speaks the same reactive API as the simulator-side
+//! algorithms in `reactive-core`: contention monitoring produces
+//! [`Observation`]s, the pluggable [`Policy`] (shared trait from
+//! `reactive-api`) decides, and every committed protocol change is
+//! reported to the configured [`Instrument`] sink as a [`SwitchEvent`]
+//! stamped in nanoseconds since lock creation.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use reactive_native::api::{Hysteresis, SwitchLog};
+//! use reactive_native::ReactiveLock;
+//!
+//! let log = Arc::new(SwitchLog::new());
+//! let lock = ReactiveLock::builder()
+//!     .policy(Hysteresis::new(4, 4))
+//!     .instrument(log.clone())
+//!     .build();
+//! let held = lock.acquire();
+//! lock.release(held);
+//! assert_eq!(log.count(), 0);
+//! ```
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use reactive_api::{Always, Instrument, Observation, Policy, ProtocolId, SwitchEvent};
 
 use crate::mcs::{McsLock, McsNode};
 use crate::tts::TtsLock;
 
-const MODE_TTS: u8 = 0;
-const MODE_QUEUE: u8 = 1;
+/// Slot of the TTS protocol.
+pub const PROTO_TTS: ProtocolId = ProtocolId(0);
+/// Slot of the MCS queue protocol.
+pub const PROTO_QUEUE: ProtocolId = ProtocolId(1);
+
+const MODE_TTS: u8 = PROTO_TTS.0;
+const MODE_QUEUE: u8 = PROTO_QUEUE.0;
 
 /// Failed test&set attempts in one acquisition that signal high
 /// contention.
 const TTS_RETRY_LIMIT: u64 = 8;
 /// Consecutive empty-queue acquisitions that signal low contention.
 const EMPTY_QUEUE_LIMIT: u64 = 16;
+/// Residual estimate (ns) for one contended TTS acquisition.
+const TTS_RESIDUAL: f64 = 150.0;
+/// Residual estimate (ns) for one empty-queue acquisition.
+const QUEUE_RESIDUAL: f64 = 15.0;
 
 /// What `release` must do (the paper's release-mode token).
 #[derive(Debug)]
 pub struct Held {
     kind: HeldKind,
+    /// Residual carried from the approving observation to the commit
+    /// point (release), for the switch event.
+    residual: f64,
 }
 
 #[derive(Debug)]
@@ -33,9 +71,78 @@ enum HeldKind {
     Queue { node: Box<McsNode>, switch: bool },
 }
 
+/// Builder for [`ReactiveLock`]: switching policy and instrumentation
+/// are optional with the paper's defaults ([`Always`], no sink).
+#[derive(Default)]
+pub struct ReactiveLockBuilder {
+    policy: Option<Box<dyn Policy + Send>>,
+    sink: Option<Arc<dyn Instrument + Send + Sync>>,
+    start_in_queue: bool,
+}
+
+impl ReactiveLockBuilder {
+    /// Use the given switching policy (default: [`Always`]).
+    pub fn policy(mut self, p: impl Policy + Send + 'static) -> Self {
+        self.policy = Some(Box::new(p));
+        self
+    }
+
+    /// Use an already-boxed policy (for `dyn Policy` plumbing).
+    pub fn boxed_policy(mut self, p: Box<dyn Policy + Send>) -> Self {
+        self.policy = Some(p);
+        self
+    }
+
+    /// Report every committed protocol change to `sink`.
+    pub fn instrument(mut self, sink: Arc<dyn Instrument + Send + Sync>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Start in the given protocol ([`PROTO_TTS`] by default). §3.5
+    /// shows the initial choice matters for short-running applications:
+    /// start scalable when contention is expected from the outset.
+    ///
+    /// # Panics
+    /// If `p` is not one of this lock's two protocol slots.
+    pub fn initial_protocol(mut self, p: ProtocolId) -> Self {
+        assert!(
+            p == PROTO_TTS || p == PROTO_QUEUE,
+            "reactive lock has protocols {PROTO_TTS} and {PROTO_QUEUE}, not {p}"
+        );
+        self.start_in_queue = p == PROTO_QUEUE;
+        self
+    }
+
+    /// Build the lock, unlocked, in the configured initial protocol
+    /// (the other sub-lock starts pinned busy — never both free).
+    pub fn build(self) -> ReactiveLock {
+        let lock = ReactiveLock {
+            mode: AtomicU8::new(if self.start_in_queue {
+                MODE_QUEUE
+            } else {
+                MODE_TTS
+            }),
+            tts: TtsLock::new(),
+            queue: McsLock::new(),
+            queue_valid: AtomicU8::new(u8::from(self.start_in_queue)),
+            empty_streak: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            policy: Mutex::new(self.policy.unwrap_or_else(|| Box::new(Always))),
+            sink: self.sink,
+            epoch: Instant::now(),
+        };
+        if self.start_in_queue {
+            // Queue mode: the TTS flag is pinned busy from birth.
+            let pinned = lock.tts.try_lock();
+            debug_assert!(pinned, "fresh TTS sub-lock must be free to pin");
+        }
+        lock
+    }
+}
+
 /// The reactive lock. Usable directly (acquire/release) or through
 /// [`ReactiveMutex`] for RAII data protection.
-#[derive(Debug)]
 pub struct ReactiveLock {
     mode: AtomicU8,
     tts: TtsLock,
@@ -46,6 +153,21 @@ pub struct ReactiveLock {
     queue_valid: AtomicU8,
     empty_streak: AtomicU64,
     switches: AtomicU64,
+    /// The switching policy. Consulted only by the current lock holder,
+    /// so the mutex is never contended; it exists to make the boxed
+    /// `&mut self` policy shareable across threads.
+    policy: Mutex<Box<dyn Policy + Send>>,
+    sink: Option<Arc<dyn Instrument + Send + Sync>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for ReactiveLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactiveLock")
+            .field("mode", &self.mode.load(Ordering::Relaxed))
+            .field("switches", &self.switches.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl Default for ReactiveLock {
@@ -55,16 +177,15 @@ impl Default for ReactiveLock {
 }
 
 impl ReactiveLock {
-    /// Create in TTS mode (unlocked).
+    /// Start building a reactive lock.
+    pub fn builder() -> ReactiveLockBuilder {
+        ReactiveLockBuilder::default()
+    }
+
+    /// Create in TTS mode (unlocked), with the default
+    /// switch-immediately policy and no instrumentation.
     pub fn new() -> ReactiveLock {
-        ReactiveLock {
-            mode: AtomicU8::new(MODE_TTS),
-            tts: TtsLock::new(),
-            queue: McsLock::new(),
-            queue_valid: AtomicU8::new(0),
-            empty_streak: AtomicU64::new(0),
-            switches: AtomicU64::new(0),
-        }
+        ReactiveLock::builder().build()
     }
 
     /// Number of protocol changes performed.
@@ -72,9 +193,40 @@ impl ReactiveLock {
         self.switches.load(Ordering::Relaxed)
     }
 
-    /// Current protocol (0 = TTS, 1 = queue); diagnostics only.
-    pub fn mode(&self) -> u8 {
-        self.mode.load(Ordering::Relaxed)
+    /// The protocol the dispatch hint currently points at; diagnostics
+    /// only (it may be mid-change).
+    pub fn current_protocol(&self) -> ProtocolId {
+        ProtocolId(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Consult the policy with one acquisition's observation; returns
+    /// whether to switch to the (only) other protocol. Runs while we
+    /// hold the lock, so the policy mutex is uncontended.
+    fn consult(&self, obs: &Observation) -> bool {
+        match self
+            .policy
+            .lock()
+            .expect("policy mutex poisoned")
+            .decide(obs)
+        {
+            reactive_api::Decision::SwitchTo(t) => t != obs.current && t.index() < 2,
+            reactive_api::Decision::Stay => false,
+        }
+    }
+
+    /// Report a committed protocol change: bump the counter, reset the
+    /// policy's evidence, emit the switch event.
+    fn commit(&self, from: ProtocolId, to: ProtocolId, residual: f64) {
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        self.policy.lock().expect("policy mutex poisoned").reset();
+        if let Some(sink) = &self.sink {
+            sink.switch_event(SwitchEvent {
+                time: self.epoch.elapsed().as_nanos() as u64,
+                from,
+                to,
+                residual,
+            });
+        }
     }
 
     /// Acquire; keep the returned [`Held`] and pass it to
@@ -85,8 +237,10 @@ impl ReactiveLock {
             // busy, so success implies the TTS protocol is current.
             if self.tts.try_lock() {
                 self.empty_streak.store(0, Ordering::Relaxed);
+                let switch = self.consult(&Observation::optimal(PROTO_TTS));
                 return Held {
-                    kind: HeldKind::Tts { switch: false },
+                    kind: HeldKind::Tts { switch },
+                    residual: 0.0,
                 };
             }
             if self.mode.load(Ordering::Acquire) == MODE_TTS {
@@ -94,10 +248,18 @@ impl ReactiveLock {
                 // waiting: after a TTS -> queue change the flag is
                 // pinned busy *forever*, so a plain spin would livelock.
                 if let Some(failures) = self.acquire_tts_watching_mode() {
-                    let switch = failures > TTS_RETRY_LIMIT;
                     self.empty_streak.store(0, Ordering::Relaxed);
+                    let obs = if failures > TTS_RETRY_LIMIT {
+                        let residual =
+                            TTS_RESIDUAL * (failures as f64 / TTS_RETRY_LIMIT as f64).min(4.0);
+                        Observation::suboptimal(PROTO_TTS, PROTO_QUEUE, residual)
+                    } else {
+                        Observation::optimal(PROTO_TTS)
+                    };
+                    let switch = self.consult(&obs);
                     return Held {
                         kind: HeldKind::Tts { switch },
+                        residual: obs.residual,
                     };
                 }
                 continue; // mode changed under us: re-dispatch
@@ -111,15 +273,21 @@ impl ReactiveLock {
                 self.queue.unlock(&node);
                 continue;
             }
-            let switch = if empty {
+            let obs = if empty {
                 let s = self.empty_streak.fetch_add(1, Ordering::Relaxed) + 1;
-                s > EMPTY_QUEUE_LIMIT
+                if s > EMPTY_QUEUE_LIMIT {
+                    Observation::suboptimal(PROTO_QUEUE, PROTO_TTS, QUEUE_RESIDUAL)
+                } else {
+                    Observation::optimal(PROTO_QUEUE)
+                }
             } else {
                 self.empty_streak.store(0, Ordering::Relaxed);
-                false
+                Observation::optimal(PROTO_QUEUE)
             };
+            let switch = self.consult(&obs);
             return Held {
                 kind: HeldKind::Queue { node, switch },
+                residual: obs.residual,
             };
         }
     }
@@ -143,7 +311,7 @@ impl ReactiveLock {
             while self.tts.is_locked() {
                 std::hint::spin_loop();
                 polls += 1;
-                if polls % 64 == 0 {
+                if polls.is_multiple_of(64) {
                     if self.mode.load(Ordering::Acquire) != MODE_TTS {
                         return None;
                     }
@@ -158,18 +326,24 @@ impl ReactiveLock {
 
     /// Release, performing any protocol change the acquisition decided.
     pub fn release(&self, held: Held) {
+        let residual = held.residual;
         match held.kind {
             HeldKind::Tts { switch: false } => self.tts.unlock(),
             HeldKind::Tts { switch: true } => {
                 // TTS -> queue: validate the queue, leave TTS pinned
-                // busy, then release through the queue. Our own critical
-                // section is already over, so a racer that dispatches on
-                // the new mode and wins the queue first is harmless: our
-                // node just queues behind it and we pass the grant on.
+                // busy, then release through the queue. Commit *before*
+                // publishing the valid queue: until queue_valid flips,
+                // both sub-locks deny entry (TTS pinned, queue bounces),
+                // so no racer can consult the policy or commit an
+                // opposite change ahead of us — keeping the sink's
+                // events in true commit order. After the stores, a racer
+                // that dispatches on the new mode and wins the queue
+                // first is harmless: our node queues behind it and we
+                // pass the grant on.
+                self.commit(PROTO_TTS, PROTO_QUEUE, residual);
+                self.empty_streak.store(0, Ordering::Relaxed);
                 self.queue_valid.store(1, Ordering::Release);
                 self.mode.store(MODE_QUEUE, Ordering::Release);
-                self.switches.fetch_add(1, Ordering::Relaxed);
-                self.empty_streak.store(0, Ordering::Relaxed);
                 let node = Box::new(McsNode::new());
                 let _empty = self.queue.lock(&node);
                 self.queue.unlock(&node);
@@ -184,7 +358,7 @@ impl ReactiveLock {
                 // FIFO grants; new arrivals bounce on `queue_valid`.
                 self.mode.store(MODE_TTS, Ordering::Release);
                 self.queue_valid.store(0, Ordering::Release);
-                self.switches.fetch_add(1, Ordering::Relaxed);
+                self.commit(PROTO_QUEUE, PROTO_TTS, residual);
                 self.queue.unlock(&node);
                 self.tts.unlock();
             }
@@ -221,10 +395,32 @@ unsafe impl<T: Send> Send for ReactiveMutex<T> {}
 unsafe impl<T: Send> Sync for ReactiveMutex<T> {}
 
 impl<T> ReactiveMutex<T> {
-    /// Wrap `value`.
+    /// Wrap `value` (default lock: [`Always`] policy, no sink).
     pub fn new(value: T) -> ReactiveMutex<T> {
+        ReactiveMutex::with_lock(ReactiveLock::new(), value)
+    }
+
+    /// Wrap `value` behind an explicitly built lock — the hook for
+    /// custom policies and instrumentation:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use reactive_native::api::{Competitive3, SwitchLog};
+    /// use reactive_native::{ReactiveLock, ReactiveMutex};
+    ///
+    /// let log = Arc::new(SwitchLog::new());
+    /// let m = ReactiveMutex::with_lock(
+    ///     ReactiveLock::builder()
+    ///         .policy(Competitive3::new(8_800.0))
+    ///         .instrument(log.clone())
+    ///         .build(),
+    ///     0u64,
+    /// );
+    /// *m.lock() += 1;
+    /// ```
+    pub fn with_lock(lock: ReactiveLock, value: T) -> ReactiveMutex<T> {
         ReactiveMutex {
-            lock: ReactiveLock::new(),
+            lock,
             data: std::cell::UnsafeCell::new(value),
         }
     }
@@ -283,6 +479,7 @@ impl<T> Drop for ReactiveGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use reactive_api::SwitchLog;
     use std::sync::Arc;
 
     #[test]
@@ -300,7 +497,23 @@ mod tests {
             l.release(h);
         }
         assert_eq!(l.switches(), 0);
-        assert_eq!(l.mode(), MODE_TTS);
+        assert_eq!(l.current_protocol(), PROTO_TTS);
+    }
+
+    #[test]
+    fn starts_in_queue_mode_when_asked() {
+        let l = ReactiveLock::builder()
+            .initial_protocol(PROTO_QUEUE)
+            .build();
+        assert_eq!(l.current_protocol(), PROTO_QUEUE);
+        // Usable from birth, and the default Always policy pulls it
+        // down to TTS once the empty-queue streak registers.
+        for _ in 0..100 {
+            let h = l.acquire();
+            l.release(h);
+        }
+        assert_eq!(l.current_protocol(), PROTO_TTS);
+        assert_eq!(l.switches(), 1);
     }
 
     #[test]
@@ -370,6 +583,32 @@ mod tests {
             *m.lock() += 1;
         }
         assert_eq!(*m.lock(), 8 * 4_000 + 15_000);
+    }
+
+    #[test]
+    fn sink_sees_every_switch() {
+        let log = Arc::new(SwitchLog::new());
+        let m = Arc::new(ReactiveMutex::with_lock(
+            ReactiveLock::builder().instrument(log.clone()).build(),
+            0u64,
+        ));
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..4_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(log.count() as u64, m.switches());
+        for ev in log.events() {
+            assert_ne!(ev.from, ev.to);
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl TtsLock {
             while self.flag.load(Ordering::Relaxed) {
                 std::hint::spin_loop();
                 polls += 1;
-                if polls % 256 == 0 {
+                if polls.is_multiple_of(256) {
                     std::thread::yield_now();
                 }
             }

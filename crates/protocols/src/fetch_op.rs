@@ -388,13 +388,10 @@ mod tests {
             let root_ops = root_ops.clone();
             m.spawn(p, async move {
                 for _ in 0..10 {
-                    match tree.climb(&cpu, 1).await {
-                        Ok((total, owed)) => {
-                            *root_ops.borrow_mut() += 1;
-                            let base = cpu.fetch_and_add(tree.var(), total).await;
-                            tree.distribute(&cpu, &owed, base).await;
-                        }
-                        Err(_) => {}
+                    if let Ok((total, owed)) = tree.climb(&cpu, 1).await {
+                        *root_ops.borrow_mut() += 1;
+                        let base = cpu.fetch_and_add(tree.var(), total).await;
+                        tree.distribute(&cpu, &owed, base).await;
                     }
                 }
             });

@@ -210,7 +210,7 @@ impl Cpu {
     /// first poll may miss, subsequent polls hit in the local cache, and
     /// the waiter re-fetches (serializing at the home directory) each
     /// time the line is invalidated by a writer. Implemented as one
-    /// hand-rolled future (see [`SpinRead`]) so each spin re-check costs
+    /// hand-rolled future (see `SpinRead`) so each spin re-check costs
     /// a single state borrow and no nested state machines.
     pub fn poll_until<'a>(
         &'a self,

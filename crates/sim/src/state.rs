@@ -320,7 +320,7 @@ impl State {
         assert!(words > 0, "alloc_on: zero-sized allocation");
         // Round up to a line boundary.
         let lw = self.line_words;
-        if self.next_word % lw != 0 {
+        if !self.next_word.is_multiple_of(lw) {
             self.next_word += lw - self.next_word % lw;
         }
         let base = self.next_word;

@@ -29,7 +29,7 @@ fn run_digest(nodes: usize, contexts: usize) -> u64 {
         Config::default()
             .nodes(nodes)
             .contexts(contexts)
-            .seed(0x5EED_60_1D),
+            .seed(0x5EED_601D),
     );
     let lock = m.alloc_on(0, 1);
     let counter = m.alloc_on(1 % nodes, 1);

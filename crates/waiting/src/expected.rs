@@ -164,12 +164,12 @@ mod tests {
         // 1.62 for uniform.
         let w_exp = worst_case_factor(Family::Exponential, (std::f64::consts::E - 1.0).ln(), B);
         assert!(
-            w_exp <= 1.59 && w_exp >= 1.50,
+            (1.50..=1.59).contains(&w_exp),
             "exponential worst case {w_exp}, expected ≈ 1.58"
         );
         let w_uni = worst_case_factor(Family::Uniform, 0.62, B);
         assert!(
-            w_uni <= 1.63 && w_uni >= 1.55,
+            (1.55..=1.63).contains(&w_uni),
             "uniform worst case {w_uni}, expected ≈ 1.62"
         );
     }

@@ -62,8 +62,8 @@ impl TaskSystem {
         for &t in reqs {
             let mut next = vec![f64::INFINITY; n];
             for (j, nj) in next.iter_mut().enumerate() {
-                for i in 0..n {
-                    let via = cost[i] + self.d[i][j] + self.c[j][t];
+                for (i, ci) in cost.iter().enumerate() {
+                    let via = ci + self.d[i][j] + self.c[j][t];
                     if via < *nj {
                         *nj = via;
                     }
@@ -210,8 +210,8 @@ pub fn worst_case_sequence(ts: &TaskSystem, cycles: usize) -> Vec<usize> {
     let per_phase_low = (round_trip / ts.c[1][0]).ceil() as usize + 1;
     let mut reqs = Vec::new();
     for _ in 0..cycles {
-        reqs.extend(std::iter::repeat(1).take(per_phase_high));
-        reqs.extend(std::iter::repeat(0).take(per_phase_low));
+        reqs.extend(std::iter::repeat_n(1, per_phase_high));
+        reqs.extend(std::iter::repeat_n(0, per_phase_low));
     }
     reqs
 }

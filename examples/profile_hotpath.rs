@@ -126,9 +126,8 @@ fn main() {
         for p in 0..64 {
             addrs.push(m.alloc_on(p, 1));
         }
-        for p in 0..64 {
+        for (p, &a) in addrs.iter().enumerate() {
             let cpu = m.cpu(p);
-            let a = addrs[p];
             m.spawn(p, async move {
                 for _ in 0..20_000u64 {
                     cpu.read(a).await;

@@ -7,6 +7,10 @@
 //!
 //! * [`sim`] — the Alewife/NWO-like deterministic multiprocessor
 //!   simulator the experiments run on.
+//! * [`api`] — the shared reactive protocol-selection API: the
+//!   [`Policy`](api::Policy) and [`Protocol`](api::Protocol) traits,
+//!   [`ProtocolId`](api::ProtocolId)s, and switch-event instrumentation,
+//!   implemented by both the simulator-side and native reactive objects.
 //! * [`protocols`] — the passive synchronization protocols the paper
 //!   compares (test-and-set/TTS/MCS locks, lock-based and combining-tree
 //!   fetch-and-op, message-passing protocols, barriers, J-structures).
@@ -24,6 +28,7 @@
 //! for the paper-vs-measured record of every table and figure.
 
 pub use alewife_sim as sim;
+pub use reactive_api as api;
 pub use reactive_core as reactive;
 pub use reactive_native as native;
 pub use sim_apps as apps;

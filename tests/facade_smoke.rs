@@ -1,12 +1,13 @@
 //! Facade wiring smoke test: every re-export of the `reactive-sync`
-//! facade (`sim`, `protocols`, `reactive`, `waiting`, `native`, `apps`)
-//! must be nameable and usable through its facade path, so a broken
-//! re-export or a cross-crate API drift can never land silently.
+//! facade (`sim`, `api`, `protocols`, `reactive`, `waiting`, `native`,
+//! `apps`) must be nameable and usable through its facade path, so a
+//! broken re-export or a cross-crate API drift can never land silently.
 
+use reactive_sync::api::{Decision, Observation, Policy as PolicyTrait, ProtocolId};
 use reactive_sync::apps::alg::{AnyFetchOp, AnyLock, FetchOpAlg, LockAlg};
 use reactive_sync::native::{McsLock, ReactiveMutex, TtsLock};
 use reactive_sync::protocols::spin::{FREE, INVALID_PTR, NIL};
-use reactive_sync::reactive::{Policy, ReactiveLock};
+use reactive_sync::reactive::{Hysteresis, ReactiveLock};
 use reactive_sync::sim::{Config, CostModel, Machine};
 use reactive_sync::waiting::dist::WaitDist;
 use reactive_sync::waiting::expected::Family;
@@ -27,6 +28,21 @@ fn sim_reexport_is_usable() {
     assert_eq!(m.read_word(a), 42);
 }
 
+/// `api`: the shared policy trait accepts a user-defined impl through
+/// the facade path (the whole point of the open API).
+#[test]
+fn api_reexport_is_usable() {
+    struct Never;
+    impl PolicyTrait for Never {
+        fn decide(&mut self, _obs: &Observation) -> Decision {
+            Decision::Stay
+        }
+    }
+    let mut p: Box<dyn PolicyTrait> = Box::new(Never);
+    let obs = Observation::suboptimal(ProtocolId(0), ProtocolId(1), 99.0);
+    assert_eq!(p.decide(&obs), Decision::Stay);
+}
+
 /// `protocols`: the spin-lock word constants are distinct sentinels
 /// (the reactive lock's consensus discipline depends on this).
 #[test]
@@ -35,13 +51,16 @@ fn protocols_reexport_is_usable() {
     assert_ne!(NIL, INVALID_PTR);
 }
 
-/// `reactive`: a reactive lock with an explicit policy protects a
+/// `reactive`: a reactive lock built with an explicit policy protects a
 /// counter on the simulated machine.
 #[test]
 fn reactive_reexport_is_usable() {
     let procs = 4;
     let m = Machine::new(Config::default().nodes(procs));
-    let lock = ReactiveLock::with_policy(&m, 0, procs, Policy::hysteresis(4, 8));
+    let lock = ReactiveLock::builder(&m, 0)
+        .max_procs(procs)
+        .policy(Hysteresis::new(4, 8))
+        .build();
     let shared = m.alloc_on(1, 1);
     for p in 0..procs {
         let cpu = m.cpu(p);

@@ -113,6 +113,22 @@ impl Strategy for Range<f64> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
 /// Strategy returned by [`any`].
 #[derive(Clone, Copy, Debug)]
 pub struct AnyStrategy<T> {
@@ -164,7 +180,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification accepted by [`vec`].
+    /// Length specification accepted by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         start: usize,
@@ -347,9 +363,9 @@ mod tests {
             xs in prop::collection::vec(0u64..5, 1..20),
             flag in any::<bool>(),
         ) {
-            prop_assert!(n >= 1 && n < 10);
+            prop_assert!((1..10).contains(&n));
             prop_assert!(!xs.is_empty() && xs.len() < 20);
-            prop_assert_eq!(flag || !flag, true);
+            prop_assert_eq!(flag as u8 <= 1, true);
         }
     }
 }
