@@ -1,0 +1,86 @@
+//! All-rows experiment runner: executes every `EXPERIMENTS.md` scenario
+//! in table order, checks its claims, and writes
+//! `BENCH_experiments.json` at the repository root.
+//!
+//! Rows are emitted in `scenario::all()` order — exactly the
+//! `EXPERIMENTS.md` table order — with the scenario name as the stable
+//! row key, so diffs of the JSON across commits line up row-for-row.
+//!
+//! ```sh
+//! cargo bench --bench experiments             # full-scale sweeps
+//! cargo bench --bench experiments -- --quick  # scaled-down variants (CI)
+//! ```
+//!
+//! Exits nonzero if any claim fails, so a CI run of this target is a
+//! second claim gate on top of `tests/scenario_claims.rs`.
+
+use repro_bench::scenario::{self, Scale};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    let mut json = String::from("{\n  \"bench\": \"experiments\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"rows\": [\n"));
+    let scenarios = scenario::all();
+    let total = scenarios.len();
+    let mut failed_rows = 0usize;
+    for (i, sc) in scenarios.iter().enumerate() {
+        let (outcome, results) = sc.report(scale);
+        let pass = results.iter().all(|r| r.pass);
+        if !pass {
+            failed_rows += 1;
+        }
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"figure\": \"{}\", \"status\": \"{}\", \
+             \"headline\": \"{}\",\n     \"claims\": [\n",
+            esc(sc.name),
+            esc(sc.figure),
+            if pass { "pass" } else { "FAIL" },
+            esc(&outcome.headline),
+        ));
+        for (j, r) in results.iter().enumerate() {
+            json.push_str(&format!(
+                "       {{\"claim\": \"{}\", \"pass\": {}, \"detail\": \"{}\"}}{}\n",
+                esc(&r.claim),
+                r.pass,
+                esc(&r.detail),
+                if j + 1 < results.len() { "," } else { "" },
+            ));
+        }
+        json.push_str(&format!(
+            "     ]}}{}\n",
+            if i + 1 < total { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiments.json");
+    std::fs::write(path, json).expect("write BENCH_experiments.json");
+
+    println!("\n{}", "=".repeat(72));
+    println!(
+        "{}/{} rows pass all claims ({} scale); wrote BENCH_experiments.json",
+        total - failed_rows,
+        total,
+        if quick { "quick" } else { "full" },
+    );
+    if failed_rows > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,39 +1,17 @@
 //! Figure 3.14 / §3.4.1: the 3-competitive switching policy on its
-//! worst-case adversary, versus the exact off-line optimum, plus the
-//! thrashing behaviour of always-switch (task-system model).
+//! worst-case adversary versus the exact off-line optimum (task-system
+//! model), plus the thrashing cost of switch-immediately.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use repro_bench::table;
-use waiting_theory::task_system::{
-    worst_case_sequence, AlwaysSwitch, Competitive3, Hysteresis, NeverSwitch, TaskSystem,
-};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    // §3.5.5 empirical parameters: switch costs 8000/800 cycles,
-    // residuals 150 (TTS@high) and 15 (MCS@low) per request.
-    let ts = TaskSystem::two_protocol(8_000.0, 800.0, 150.0, 15.0);
-
-    table::title("Figure 3.14: policies on the worst-case adversary (cost ratio vs opt)");
-    table::header(
-        "cycles",
-        &[
-            "opt".into(),
-            "competitive3".into(),
-            "always".into(),
-            "never".into(),
-            "hyst(20,55)".into(),
-        ],
-    );
-    for cycles in [1usize, 5, 20, 50] {
-        let reqs = worst_case_sequence(&ts, cycles);
-        let opt = ts.offline_opt(&reqs);
-        let comp = ts.run_online(&mut Competitive3::default(), &reqs);
-        let always = ts.run_online(&mut AlwaysSwitch, &reqs);
-        let never = ts.run_online(&mut NeverSwitch, &reqs);
-        let hyst = ts.run_online(&mut Hysteresis::new(20, 55), &reqs);
-        table::row_ratio(
-            &format!("{cycles} adversary cycles"),
-            &[1.0, comp / opt, always / opt, never / opt, hyst / opt],
-        );
+    let (_, results) = by_name("fig_3_14_policy_bound").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
-    println!("\n(3-competitive bound: the competitive3 column must stay <= 3.00)");
 }

@@ -1,43 +1,17 @@
 //! Figure 3.15 (also Figures 1.1 and 3.2): baseline overhead per
-//! operation vs. contending processors, for spin locks (left) and
-//! fetch-and-op (right), including the `Dir_NB` full-map variant.
+//! operation vs. contending processors for spin locks and fetch-and-op,
+//! including the `Dir_NB` full-map variant.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::experiments::{fetchop_overhead, lock_overhead, BASELINE_PROCS};
-use repro_bench::table;
-use sim_apps::alg::{FetchOpAlg, LockAlg};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let procs: Vec<String> = BASELINE_PROCS.iter().map(|p| p.to_string()).collect();
-
-    table::title("Figure 3.15 (left): spin lock overhead (cycles per critical section)");
-    table::header("algorithm \\ procs", &procs);
-    for (label, alg, full_map) in [
-        ("test&set (backoff)", LockAlg::TestAndSet, false),
-        ("test&test&set (backoff)", LockAlg::Tts, false),
-        ("test&test&set Dir_NB", LockAlg::Tts, true),
-        ("MCS queue", LockAlg::Mcs, false),
-        ("reactive", LockAlg::Reactive, false),
-    ] {
-        let vals: Vec<f64> = BASELINE_PROCS
-            .iter()
-            .map(|&p| lock_overhead(alg, p, CostModel::nwo(), full_map))
-            .collect();
-        table::row_f64(label, &vals);
-    }
-
-    table::title("Figure 3.15 (right): fetch-and-op overhead (cycles per op)");
-    table::header("algorithm \\ procs", &procs);
-    for (label, alg) in [
-        ("tts-lock based", FetchOpAlg::TtsLock),
-        ("queue-lock based", FetchOpAlg::QueueLock),
-        ("combining tree", FetchOpAlg::Combining),
-        ("reactive", FetchOpAlg::Reactive),
-    ] {
-        let vals: Vec<f64> = BASELINE_PROCS
-            .iter()
-            .map(|&p| fetchop_overhead(alg, p, CostModel::nwo()))
-            .collect();
-        table::row_f64(label, &vals);
+    let (_, results) = by_name("fig_3_15_baseline").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

@@ -1,26 +1,16 @@
-//! Figure 3.16: spin-lock baseline on the 16-processor Alewife hardware
-//! prototype (20 MHz cost model: network cheaper in processor cycles).
+//! Figure 3.16: spin-lock baseline on the 16-processor Alewife
+//! prototype cost model, with the `Dir_NB` full-map comparison.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::experiments::lock_overhead;
-use repro_bench::table;
-use sim_apps::alg::LockAlg;
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let procs = [1usize, 2, 4, 8, 16];
-    let cols: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
-    table::title("Figure 3.16: spin locks on the 16-node prototype (cycles per CS)");
-    table::header("algorithm \\ procs", &cols);
-    for (label, alg) in [
-        ("test&set (backoff)", LockAlg::TestAndSet),
-        ("test&test&set (backoff)", LockAlg::Tts),
-        ("MCS queue", LockAlg::Mcs),
-        ("reactive", LockAlg::Reactive),
-    ] {
-        let vals: Vec<f64> = procs
-            .iter()
-            .map(|&p| lock_overhead(alg, p, CostModel::prototype(), false))
-            .collect();
-        table::row_f64(label, &vals);
+    let (_, results) = by_name("fig_3_16_hardware").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

@@ -1,30 +1,16 @@
-//! Figures 3.17-3.19: the multiple-lock test over contention patterns
-//! 1-12, normalized to the simulated per-lock-optimal static choice.
+//! Figures 3.17-3.19: the multiple-lock test over the §3.5.3
+//! contention patterns, normalized to the per-lock-optimal static choice.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use repro_bench::experiments::{multi_object, patterns};
-use repro_bench::table;
-use sim_apps::alg::LockAlg;
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    table::title("Figures 3.17-3.19: multiple-lock test (normalized elapsed time)");
-    table::header(
-        "pattern",
-        &[
-            "optimal".into(),
-            "test&set".into(),
-            "MCS".into(),
-            "reactive".into(),
-        ],
-    );
-    let acq = 12; // per-processor acquisitions (scaled down from 16384 total)
-    for p in patterns() {
-        let opt = multi_object(&p, None, acq) as f64;
-        let ts = multi_object(&p, Some(LockAlg::TestAndSet), acq) as f64;
-        let mcs = multi_object(&p, Some(LockAlg::Mcs), acq) as f64;
-        let re = multi_object(&p, Some(LockAlg::Reactive), acq) as f64;
-        table::row_ratio(
-            &format!("pattern {:>2} {:?}", p.id, p.groups),
-            &[1.0, ts / opt, mcs / opt, re / opt],
-        );
+    let (_, results) = by_name("fig_3_17_multi_object").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

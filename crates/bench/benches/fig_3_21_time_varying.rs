@@ -1,63 +1,17 @@
-//! Figure 3.21: the time-varying contention test — elapsed times
-//! normalized to the MCS queue lock, across period lengths and
-//! contention percentages (default always-switch policy). The reactive
-//! row also reports its protocol-change count per data point, read from
-//! the shared API's [`SwitchLog`] instrumentation.
+//! Figure 3.21: the time-varying contention test — reactive lock
+//! cost normalized to MCS across period lengths, with switch counts read
+//! from the shared API's `SwitchLog`.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use std::rc::Rc;
+use repro_bench::scenario::{by_name, Scale};
 
-use reactive_core::policy::{Instrument, SwitchLog};
-use repro_bench::experiments::{time_varying, time_varying_with};
-use repro_bench::table;
-use sim_apps::alg::LockAlg;
-
-#[allow(dead_code)] // this file is also included as a module by figs 3.22/3.23
 fn main() {
-    run_with(LockAlg::Reactive, "reactive (always-switch)");
-}
-
-/// Shared driver used by Figures 3.21-3.23.
-pub fn run_with(reactive: LockAlg, label: &str) {
-    let periods = 4;
-    let lengths = [256u64, 512, 1024, 2048];
-    let cols: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
-    for pct in [10u64, 30, 50, 70, 90] {
-        table::title(&format!(
-            "time-varying contention ({pct}% contention), normalized to MCS [{label}]"
-        ));
-        table::header("algorithm \\ period len", &cols);
-        let mcs: Vec<f64> = lengths
-            .iter()
-            .map(|&l| time_varying(LockAlg::Mcs, l, pct, periods) as f64)
-            .collect();
-        for (lab, alg) in [
-            ("test&set (backoff)", LockAlg::TestAndSet),
-            ("MCS queue", LockAlg::Mcs),
-        ] {
-            let vals: Vec<f64> = lengths
-                .iter()
-                .zip(&mcs)
-                .map(|(&l, &m)| time_varying(alg, l, pct, periods) as f64 / m)
-                .collect();
-            table::row_ratio(lab, &vals);
-        }
-        // The reactive algorithm runs instrumented: one SwitchLog per
-        // data point, so the switch counts line up with the ratios.
-        let mut ratios = Vec::new();
-        let mut switches = Vec::new();
-        for (&l, &m) in lengths.iter().zip(&mcs) {
-            let log = Rc::new(SwitchLog::new());
-            let t = time_varying_with(
-                reactive,
-                l,
-                pct,
-                periods,
-                Some(log.clone() as Rc<dyn Instrument>),
-            );
-            ratios.push(t as f64 / m);
-            switches.push(log.count() as u64);
-        }
-        table::row_ratio(label, &ratios);
-        table::row_u64("  switches (from API)", &switches);
+    let (_, results) = by_name("fig_3_21_time_varying").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

@@ -1,11 +1,17 @@
 //! Figure 3.22: the time-varying contention test under the
-//! 3-competitive protocol-switching policy (§3.4.1).
+//! 3-competitive protocol-switching policy (§3.4.1) versus
+//! switch-immediately.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-#[path = "fig_3_21_time_varying.rs"]
-mod driver;
-
-use sim_apps::alg::LockAlg;
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    driver::run_with(LockAlg::ReactiveCompetitive, "reactive (3-competitive)");
+    let (_, results) = by_name("fig_3_22_competitive").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
 }

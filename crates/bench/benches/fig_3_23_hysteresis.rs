@@ -1,13 +1,16 @@
 //! Figure 3.23: the time-varying contention test under hysteresis
-//! switching policies (§3.5.5): Hysteresis(20,55), (500,4), (4,500).
+//! switching policies (§3.5.5).
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-#[path = "fig_3_21_time_varying.rs"]
-mod driver;
-
-use sim_apps::alg::LockAlg;
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    driver::run_with(LockAlg::ReactiveHysteresis(20, 55), "hysteresis(20,55)");
-    driver::run_with(LockAlg::ReactiveHysteresis(500, 4), "hysteresis(500,4)");
-    driver::run_with(LockAlg::ReactiveHysteresis(4, 500), "hysteresis(4,500)");
+    let (_, results) = by_name("fig_3_23_hysteresis").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
 }

@@ -1,42 +1,16 @@
 //! Figure 3.24: execution times of the fetch-and-op applications
-//! (Gamteb, TSP, AQ) under queue-lock-based, combining-tree, and
-//! reactive fetch-and-op.
+//! under static and reactive protocols.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use repro_bench::table;
-use sim_apps::alg::{FetchOpAlg, WaitAlg};
-use sim_apps::{aq, gamteb, tsp};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let algs = [
-        ("queue-lock", FetchOpAlg::QueueLock),
-        ("combining", FetchOpAlg::Combining),
-        ("reactive", FetchOpAlg::Reactive),
-    ];
-    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
-
-    table::title("Figure 3.24: fetch-and-op application execution times (cycles)");
-    table::header("app / procs", &cols);
-    for procs in [8usize, 16, 32] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, a)| gamteb::run(&gamteb::GamtebConfig::small(procs, a)).elapsed as f64)
-            .collect();
-        table::row_f64(&format!("Gamteb  P={procs}"), &vals);
-    }
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, a)| tsp::run(&tsp::TspConfig::small(procs, a)).elapsed as f64)
-            .collect();
-        table::row_f64(&format!("TSP     P={procs}"), &vals);
-    }
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, a)| {
-                aq::run_queue(&aq::AqConfig::small(procs, a, WaitAlg::Spin)).elapsed as f64
-            })
-            .collect();
-        table::row_f64(&format!("AQ      P={procs}"), &vals);
+    let (_, results) = by_name("fig_3_24_apps_fetchop").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

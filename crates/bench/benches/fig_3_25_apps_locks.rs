@@ -1,47 +1,16 @@
-//! Figure 3.25: execution times of the spin-lock applications (MP3D at
-//! two problem sizes, Cholesky) under test&set, MCS, and reactive locks.
+//! Figure 3.25: execution times of the spin-lock applications (MP3D,
+//! Cholesky) under static and reactive locks.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use repro_bench::table;
-use sim_apps::alg::LockAlg;
-use sim_apps::{cholesky, mp3d};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let algs = [
-        ("test&set", LockAlg::TestAndSet),
-        ("MCS queue", LockAlg::Mcs),
-        ("reactive", LockAlg::Reactive),
-    ];
-    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
-
-    table::title("Figure 3.25: spin-lock application execution times (cycles)");
-    table::header("app / procs", &cols);
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, a)| {
-                let mut cfg = mp3d::Mp3dConfig::small(procs, a);
-                cfg.particles_per_proc = 8;
-                mp3d::run(&cfg).elapsed as f64
-            })
-            .collect();
-        table::row_f64(&format!("MP3D-3k  P={procs}"), &vals);
-    }
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, a)| {
-                let mut cfg = mp3d::Mp3dConfig::small(procs, a);
-                cfg.particles_per_proc = 24;
-                mp3d::run(&cfg).elapsed as f64
-            })
-            .collect();
-        table::row_f64(&format!("MP3D-10k P={procs}"), &vals);
-    }
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, a)| cholesky::run(&cholesky::CholeskyConfig::small(procs, a)).elapsed as f64)
-            .collect();
-        table::row_f64(&format!("Cholesky P={procs}"), &vals);
+    let (_, results) = by_name("fig_3_25_apps_locks").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

@@ -1,53 +1,16 @@
 //! Figure 3.26: shared-memory vs. message-passing protocol baselines,
 //! plus the reactive algorithms that select between them (§3.6).
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::experiments::{
-    fetchop_overhead, lock_overhead, mp_reactive_fetchop_overhead, mp_reactive_lock_overhead,
-    BASELINE_PROCS,
-};
-use repro_bench::table;
-use sim_apps::alg::{FetchOpAlg, LockAlg};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let procs: Vec<String> = BASELINE_PROCS.iter().map(|p| p.to_string()).collect();
-
-    table::title("Figure 3.26 (left): SM vs MP spin locks (cycles per CS)");
-    table::header("algorithm \\ procs", &procs);
-    for (label, alg) in [
-        ("test&test&set (SM)", LockAlg::Tts),
-        ("MCS queue (SM)", LockAlg::Mcs),
-        ("MP queue lock", LockAlg::MpQueue),
-    ] {
-        let vals: Vec<f64> = BASELINE_PROCS
-            .iter()
-            .map(|&p| lock_overhead(alg, p, CostModel::nwo(), false))
-            .collect();
-        table::row_f64(label, &vals);
+    let (_, results) = by_name("fig_3_26_message_passing").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
-    let re: Vec<f64> = BASELINE_PROCS
-        .iter()
-        .map(|&p| mp_reactive_lock_overhead(p))
-        .collect();
-    table::row_f64("reactive (SM<->MP)", &re);
-
-    table::title("Figure 3.26 (right): SM vs MP fetch-and-op (cycles per op)");
-    table::header("algorithm \\ procs", &procs);
-    for (label, alg) in [
-        ("tts-lock based (SM)", FetchOpAlg::TtsLock),
-        ("combining tree (SM)", FetchOpAlg::Combining),
-        ("MP centralized", FetchOpAlg::MpCentral),
-        ("MP combining tree", FetchOpAlg::MpCombining),
-    ] {
-        let vals: Vec<f64> = BASELINE_PROCS
-            .iter()
-            .map(|&p| fetchop_overhead(alg, p, CostModel::nwo()))
-            .collect();
-        table::row_f64(label, &vals);
-    }
-    let re: Vec<f64> = BASELINE_PROCS
-        .iter()
-        .map(|&p| mp_reactive_fetchop_overhead(p))
-        .collect();
-    table::row_f64("reactive (SM<->MP)", &re);
 }

@@ -1,45 +1,16 @@
-//! Figure 4.12 / Table 4.3: execution times of the producer-consumer
-//! benchmarks (Jacobi with J-structures, Fib and AQ with futures) under
-//! each waiting algorithm, normalized to the best static choice.
+//! Figure 4.12 / Table 4.3: the producer-consumer benchmarks (Jacobi
+//! J-structures, Fib and AQ futures) under each waiting algorithm.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::table;
-use sim_apps::alg::{FetchOpAlg, WaitAlg};
-use sim_apps::{aq, fib, jacobi};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let b = CostModel::nwo().block_cost();
-    let algs = [
-        ("always-spin", WaitAlg::Spin),
-        ("always-block", WaitAlg::Block),
-        ("2phase L=B", WaitAlg::TwoPhase(b)),
-        (
-            "2phase L=.54B",
-            WaitAlg::TwoPhase((b as f64 * 0.5413) as u64),
-        ),
-    ];
-    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
-
-    table::title("Fig 4.12 / Table 4.3: producer-consumer benchmarks (cycles)");
-    table::header("benchmark", &cols);
-
-    let vals: Vec<f64> = algs
-        .iter()
-        .map(|&(_, w)| jacobi::run_jstructures(&jacobi::JacobiConfig::small(8, w)).elapsed as f64)
-        .collect();
-    table::row_f64("Jacobi (J-structs) P=8", &vals);
-
-    let vals: Vec<f64> = algs
-        .iter()
-        .map(|&(_, w)| fib::run(&fib::FibConfig::small(8, w)).elapsed as f64)
-        .collect();
-    table::row_f64("Fib (futures) P=8", &vals);
-
-    let vals: Vec<f64> = algs
-        .iter()
-        .map(|&(_, w)| {
-            aq::run_futures(&aq::AqConfig::small(8, FetchOpAlg::TtsLock, w)).elapsed as f64
-        })
-        .collect();
-    table::row_f64("AQ (futures) P=8", &vals);
+    let (_, results) = by_name("fig_4_12_producer_consumer").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
 }

@@ -1,37 +1,16 @@
-//! Figure 4.13 / Table 4.4: execution times of the barrier benchmarks
-//! (CGrad, Jacobi-Bar) under each waiting algorithm.
+//! Figure 4.13 / Table 4.4: the barrier benchmarks (CGrad, Jacobi-Bar)
+//! under each waiting algorithm.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::table;
-use sim_apps::alg::WaitAlg;
-use sim_apps::{cgrad, jacobi};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let b = CostModel::nwo().block_cost();
-    let algs = [
-        ("always-spin", WaitAlg::Spin),
-        ("always-block", WaitAlg::Block),
-        ("2phase L=B", WaitAlg::TwoPhase(b)),
-        ("2phase L=.62B", WaitAlg::TwoPhase((b as f64 * 0.62) as u64)),
-    ];
-    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
-
-    table::title("Fig 4.13 / Table 4.4: barrier benchmarks (cycles)");
-    table::header("benchmark", &cols);
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, w)| cgrad::run(&cgrad::CgradConfig::small(procs, w)).elapsed as f64)
-            .collect();
-        table::row_f64(&format!("CGrad P={procs}"), &vals);
-    }
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, w)| {
-                jacobi::run_barrier(&jacobi::JacobiConfig::small(procs, w)).elapsed as f64
-            })
-            .collect();
-        table::row_f64(&format!("Jacobi-Bar P={procs}"), &vals);
+    let (_, results) = by_name("fig_4_13_barriers").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

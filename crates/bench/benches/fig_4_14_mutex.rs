@@ -1,45 +1,16 @@
-//! Figure 4.14 / Table 4.5: execution times of the mutual-exclusion
-//! benchmarks (FibHeap, CountNet, Mutex) under each waiting algorithm.
+//! Figure 4.14 / Table 4.5: the mutual-exclusion benchmarks (FibHeap,
+//! CountNet, Mutex) under each waiting algorithm.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::table;
-use sim_apps::alg::WaitAlg;
-use sim_apps::{countnet, fibheap, mutex_app};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let b = CostModel::nwo().block_cost();
-    let algs = [
-        ("always-spin", WaitAlg::Spin),
-        ("always-block", WaitAlg::Block),
-        ("2phase L=B", WaitAlg::TwoPhase(b)),
-        (
-            "2phase L=.54B",
-            WaitAlg::TwoPhase((b as f64 * 0.5413) as u64),
-        ),
-    ];
-    let cols: Vec<String> = algs.iter().map(|(l, _)| l.to_string()).collect();
-
-    table::title("Fig 4.14 / Table 4.5: mutual-exclusion benchmarks (cycles)");
-    table::header("benchmark", &cols);
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, w)| fibheap::run(&fibheap::FibHeapConfig::small(procs, w)).elapsed as f64)
-            .collect();
-        table::row_f64(&format!("FibHeap P={procs}"), &vals);
-    }
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, w)| countnet::run(&countnet::CountNetConfig::small(procs, w)).elapsed as f64)
-            .collect();
-        table::row_f64(&format!("CountNet P={procs}"), &vals);
-    }
-    for procs in [4usize, 8, 16] {
-        let vals: Vec<f64> = algs
-            .iter()
-            .map(|&(_, w)| mutex_app::run(&mutex_app::MutexConfig::small(procs, w)).elapsed as f64)
-            .collect();
-        table::row_f64(&format!("Mutex P={procs}"), &vals);
+    let (_, results) = by_name("fig_4_14_mutex").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

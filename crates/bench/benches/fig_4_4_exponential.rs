@@ -1,65 +1,17 @@
 //! Figure 4.4: expected competitive factors of waiting algorithms under
-//! exponentially distributed waiting times, as a function of the mean
-//! wait (the restricted adversary's λ), for several static Lpoll
-//! choices; plus the worst case over λ and the optimal α.
+//! exponentially distributed waiting times; `Lpoll = 0.54·B` is
+//! `e/(e-1) ≈ 1.58`-competitive.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use repro_bench::table;
-use waiting_theory::dist::WaitDist;
-use waiting_theory::expected::{competitive_factor, worst_case_factor, Family};
-use waiting_theory::optimal::optimal_alpha;
-
-const B: f64 = 465.0;
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let scales = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0];
-    let cols: Vec<String> = scales.iter().map(|s| format!("{s}B")).collect();
-
-    table::title("Figure 4.4: E[C]/E[C_opt] under exponential waits (mean wait below)");
-    table::header("algorithm \\ mean", &cols);
-    for (label, alpha) in [
-        ("2phase a=0.54 (opt)", 0.5413),
-        ("2phase a=1.0", 1.0),
-        ("2phase a=0.25", 0.25),
-        ("2phase a=2.0", 2.0),
-    ] {
-        let vals: Vec<f64> = scales
-            .iter()
-            .map(|&s| {
-                let d = WaitDist::exponential_with_mean(s * B);
-                competitive_factor(&d, alpha, B, 1.0)
-            })
-            .collect();
-        table::row_ratio(label, &vals);
+    let (_, results) = by_name("fig_4_4_exponential").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
-    // always-poll / always-signal for reference.
-    let poll: Vec<f64> = scales
-        .iter()
-        .map(|&s| {
-            let d = WaitDist::exponential_with_mean(s * B);
-            (s * B) / waiting_theory::expected::expected_opt(&d, B, 1.0)
-        })
-        .collect();
-    table::row_ratio("always-poll", &poll);
-    let signal: Vec<f64> = scales
-        .iter()
-        .map(|&s| {
-            let d = WaitDist::exponential_with_mean(s * B);
-            B / waiting_theory::expected::expected_opt(&d, B, 1.0)
-        })
-        .collect();
-    table::row_ratio("always-signal", &signal);
-
-    println!();
-    println!(
-        "worst case over the adversary:  a=0.54 -> {:.4} (paper: e/(e-1) = 1.5820)",
-        worst_case_factor(Family::Exponential, 0.5413, B)
-    );
-    println!(
-        "                                a=1.00 -> {:.4} (classic 2-competitive bound)",
-        worst_case_factor(Family::Exponential, 1.0, B)
-    );
-    let (a, rho) = optimal_alpha(Family::Exponential, B);
-    println!(
-        "optimal static alpha by search: a* = {a:.4}, rho* = {rho:.4} (paper: ln(e-1) = 0.5413)"
-    );
 }

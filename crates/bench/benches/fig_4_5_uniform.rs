@@ -1,40 +1,16 @@
 //! Figure 4.5: expected competitive factors under uniformly distributed
-//! waiting times, plus the optimal static α (§4.5.2: α* ≈ 0.62, 1.62-
-//! competitive).
+//! waiting times; `α* ≈ 0.62`, 1.62-competitive.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use repro_bench::table;
-use waiting_theory::dist::WaitDist;
-use waiting_theory::expected::{competitive_factor, worst_case_factor, Family};
-use waiting_theory::optimal::optimal_alpha;
-
-const B: f64 = 465.0;
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let scales = [0.25, 0.5, 1.0, 2.0, 4.0, 10.0];
-    let cols: Vec<String> = scales.iter().map(|s| format!("{s}B")).collect();
-
-    table::title("Figure 4.5: E[C]/E[C_opt] under uniform waits (upper bound below)");
-    table::header("algorithm \\ bound", &cols);
-    for (label, alpha) in [
-        ("2phase a=0.62 (opt)", 0.62),
-        ("2phase a=1.0", 1.0),
-        ("2phase a=0.25", 0.25),
-        ("2phase a=2.0", 2.0),
-    ] {
-        let vals: Vec<f64> = scales
-            .iter()
-            .map(|&s| {
-                let d = WaitDist::uniform(s * B);
-                competitive_factor(&d, alpha, B, 1.0)
-            })
-            .collect();
-        table::row_ratio(label, &vals);
+    let (_, results) = by_name("fig_4_5_uniform").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
-    println!();
-    println!(
-        "worst case over the adversary:  a=0.62 -> {:.4} (paper: 1.62)",
-        worst_case_factor(Family::Uniform, 0.62, B)
-    );
-    let (a, rho) = optimal_alpha(Family::Uniform, B);
-    println!("optimal static alpha by search: a* = {a:.4}, rho* = {rho:.4} (paper: 0.62)");
 }

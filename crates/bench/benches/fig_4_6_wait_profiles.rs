@@ -1,68 +1,16 @@
 //! Figures 4.6-4.11: measured waiting-time profiles per synchronization
-//! type — J-structure readers (Jacobi), futures (Fib, AQ), barriers
-//! (CGrad, Jacobi-Bar), and mutexes (FibHeap, Mutex, CountNet). The
-//! paper reads these to justify the exponential/uniform restricted-
-//! adversary models; `B ≈ 465` marks the spin/block breakeven.
+//! type, justifying the exponential/uniform restricted-adversary models.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::{CostModel, WaitHistogram};
-use repro_bench::table;
-use sim_apps::alg::WaitAlg;
-use sim_apps::{aq, cgrad, countnet, fib, fibheap, jacobi, mutex_app};
-
-fn profile(name: &str, hist_key: &str, stats: &alewife_sim::Stats) {
-    let b = CostModel::nwo().block_cost();
-    let h: &WaitHistogram = match stats.waits.get(hist_key) {
-        Some(h) => h,
-        None => {
-            println!("{name:<22} (no waits recorded)");
-            return;
-        }
-    };
-    println!(
-        "{name:<22}{:>8}{:>10.0}{:>10}{:>10}{:>10}{:>10}{:>9.1}%",
-        h.count,
-        h.mean(),
-        h.percentile(50.0),
-        h.percentile(90.0),
-        h.percentile(99.0),
-        h.max,
-        100.0 * h.frac_below(b),
-    );
-}
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    table::title("Figures 4.6-4.11: waiting-time profiles (cycles; B = 465)");
-    println!(
-        "{:<22}{:>8}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "benchmark", "waits", "mean", "p50", "p90", "p99", "max", "<B"
-    );
-    println!("{}", "-".repeat(90));
-
-    let r = jacobi::run_jstructures(&jacobi::JacobiConfig::small(8, WaitAlg::Spin));
-    profile("Jacobi (J-structs)", "jstruct", &r.stats);
-
-    let r = fib::run(&fib::FibConfig::small(8, WaitAlg::Spin));
-    profile("Fib (futures)", "future", &r.stats);
-
-    let r = aq::run_futures(&aq::AqConfig::small(
-        8,
-        sim_apps::alg::FetchOpAlg::TtsLock,
-        WaitAlg::Spin,
-    ));
-    profile("AQ (futures)", "future", &r.stats);
-
-    let r = cgrad::run(&cgrad::CgradConfig::small(8, WaitAlg::Spin));
-    profile("CGrad (barrier)", "barrier", &r.stats);
-
-    let r = jacobi::run_barrier(&jacobi::JacobiConfig::small(8, WaitAlg::Spin));
-    profile("Jacobi-Bar (barrier)", "barrier", &r.stats);
-
-    let r = fibheap::run(&fibheap::FibHeapConfig::small(8, WaitAlg::Spin));
-    profile("FibHeap (mutex)", "mutex", &r.stats);
-
-    let r = mutex_app::run(&mutex_app::MutexConfig::small(8, WaitAlg::Spin));
-    profile("Mutex (mutex)", "mutex", &r.stats);
-
-    let r = countnet::run(&countnet::CountNetConfig::small(8, WaitAlg::Spin));
-    profile("CountNet (mutex)", "mutex", &r.stats);
+    let (_, results) = by_name("fig_4_6_wait_profiles").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
 }

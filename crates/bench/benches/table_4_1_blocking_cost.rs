@@ -1,36 +1,16 @@
 //! Table 4.1: breakdown of the cost of blocking a thread — the paper's
 //! Alewife measurements next to this simulator's cost model.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::table;
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let c = CostModel::nwo();
-    table::title("Table 4.1: breakdown of the cost of blocking");
-    println!(
-        "{:<34}{:>14}{:>14}",
-        "action", "paper(base)", "model(cycles)"
-    );
-    println!("{}", "-".repeat(62));
-    println!(
-        "{:<34}{:>14}{:>14}",
-        "unloading (regs+enqueue+bookkeep)", 106, c.unload
-    );
-    println!(
-        "{:<34}{:>14}{:>14}",
-        "reenabling (lock+ready queue)", 52, c.reenable
-    );
-    println!(
-        "{:<34}{:>14}{:>14}",
-        "reloading (regs+state+bookkeep)", 61, c.reload
-    );
-    println!("{}", "-".repeat(62));
-    println!("{:<34}{:>14}{:>14}", "total B", 219, c.block_cost());
-    println!(
-        "\n(paper: 219 base cycles, ~500 measured with cache misses; the model\n\
-         charges measured-flavoured costs directly — B = {} cycles; the paper's\n\
-         breakdown of the ~500 measured cycles is ~300 unload / ~100 reenable /\n\
-         ~65 reload, which the model follows)",
-        c.block_cost()
-    );
+    let (_, results) = by_name("table_4_1_blocking_cost").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
 }

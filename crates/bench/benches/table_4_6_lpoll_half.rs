@@ -1,66 +1,16 @@
-//! Table 4.6: sensitivity of two-phase waiting to Lpoll — performance
-//! with Lpoll = 0.5B versus Lpoll = B across the Chapter 4 benchmarks
-//! (the paper's point: the choice barely matters, two-phase is robust).
+//! Table 4.6: sensitivity of two-phase waiting to `Lpoll` — `0.5B`
+//! versus `B` across the Chapter 4 benchmarks.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! encoding this row's "Paper says" column are evaluated against the
+//! full-scale sweep and the measured headline is printed. The same
+//! scenario runs scaled-down in `tests/scenario_claims.rs`.
 
-use alewife_sim::CostModel;
-use repro_bench::table;
-use sim_apps::alg::{FetchOpAlg, WaitAlg};
-use sim_apps::{aq, cgrad, countnet, fib, fibheap, jacobi, mutex_app};
+use repro_bench::scenario::{by_name, Scale};
 
 fn main() {
-    let b = CostModel::nwo().block_cost();
-    let half = WaitAlg::TwoPhase(b / 2);
-    let full = WaitAlg::TwoPhase(b);
-
-    table::title("Table 4.6: two-phase waiting with Lpoll = 0.5B vs Lpoll = B");
-    table::header(
-        "benchmark (P=8)",
-        &["L=0.5B".into(), "L=B".into(), "ratio".into()],
-    );
-
-    let rows: Vec<(&str, u64, u64)> = vec![
-        (
-            "Jacobi (J-structs)",
-            jacobi::run_jstructures(&jacobi::JacobiConfig::small(8, half)).elapsed,
-            jacobi::run_jstructures(&jacobi::JacobiConfig::small(8, full)).elapsed,
-        ),
-        (
-            "Fib (futures)",
-            fib::run(&fib::FibConfig::small(8, half)).elapsed,
-            fib::run(&fib::FibConfig::small(8, full)).elapsed,
-        ),
-        (
-            "AQ (futures)",
-            aq::run_futures(&aq::AqConfig::small(8, FetchOpAlg::TtsLock, half)).elapsed,
-            aq::run_futures(&aq::AqConfig::small(8, FetchOpAlg::TtsLock, full)).elapsed,
-        ),
-        (
-            "CGrad (barrier)",
-            cgrad::run(&cgrad::CgradConfig::small(8, half)).elapsed,
-            cgrad::run(&cgrad::CgradConfig::small(8, full)).elapsed,
-        ),
-        (
-            "Jacobi-Bar (barrier)",
-            jacobi::run_barrier(&jacobi::JacobiConfig::small(8, half)).elapsed,
-            jacobi::run_barrier(&jacobi::JacobiConfig::small(8, full)).elapsed,
-        ),
-        (
-            "FibHeap (mutex)",
-            fibheap::run(&fibheap::FibHeapConfig::small(8, half)).elapsed,
-            fibheap::run(&fibheap::FibHeapConfig::small(8, full)).elapsed,
-        ),
-        (
-            "CountNet (mutex)",
-            countnet::run(&countnet::CountNetConfig::small(8, half)).elapsed,
-            countnet::run(&countnet::CountNetConfig::small(8, full)).elapsed,
-        ),
-        (
-            "Mutex (mutex)",
-            mutex_app::run(&mutex_app::MutexConfig::small(8, half)).elapsed,
-            mutex_app::run(&mutex_app::MutexConfig::small(8, full)).elapsed,
-        ),
-    ];
-    for (name, h, f) in rows {
-        println!("{name:<28}{h:>12}{f:>12}{:>12.3}", h as f64 / f as f64);
+    let (_, results) = by_name("table_4_6_lpoll_half").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
     }
 }

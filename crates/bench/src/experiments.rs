@@ -4,7 +4,7 @@ use std::rc::Rc;
 
 use alewife_sim::{Config, CostModel, Machine};
 use reactive_core::mp::{ReactiveMpFetchOp, ReactiveMpLock};
-use reactive_core::policy::Instrument;
+use reactive_core::policy::{Instrument, SwitchLog};
 use sim_apps::alg::{AnyFetchOp, AnyLock, FetchOpAlg, LockAlg};
 use sync_protocols::barrier::{BarrierCtx, SenseBarrier};
 use sync_protocols::waiting::AlwaysSpin;
@@ -13,7 +13,7 @@ use sync_protocols::waiting::AlwaysSpin;
 pub const BASELINE_PROCS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// Total acquisitions per baseline data point (split across procs).
-const BASELINE_OPS: u64 = 1024;
+pub const BASELINE_OPS: u64 = 1024;
 
 /// Critical-section length in the lock baseline (paper: 100).
 const CS: u64 = 100;
@@ -23,6 +23,18 @@ const THINK_BOUND: u64 = 500;
 /// Average overhead (cycles) added per critical section by `alg` with
 /// `procs` contenders — the baseline test of §3.5.1 / Figure 3.15 left.
 pub fn lock_overhead(alg: LockAlg, procs: usize, cost: CostModel, full_map: bool) -> f64 {
+    lock_overhead_n(alg, procs, cost, full_map, BASELINE_OPS)
+}
+
+/// [`lock_overhead`] with an explicit total-acquisition budget, so the
+/// scenario layer can run scaled-down deterministic variants.
+pub fn lock_overhead_n(
+    alg: LockAlg,
+    procs: usize,
+    cost: CostModel,
+    full_map: bool,
+    total_ops: u64,
+) -> f64 {
     let m = Machine::new(
         Config::default()
             .nodes(procs.max(2))
@@ -30,7 +42,7 @@ pub fn lock_overhead(alg: LockAlg, procs: usize, cost: CostModel, full_map: bool
             .full_map(full_map),
     );
     let lock = AnyLock::make(&m, 0, alg, procs);
-    let iters = (BASELINE_OPS / procs as u64).max(8);
+    let iters = (total_ops / procs as u64).max(8);
     for p in 0..procs {
         let cpu = m.cpu(p);
         let lock = lock.clone();
@@ -55,9 +67,14 @@ pub fn lock_overhead(alg: LockAlg, procs: usize, cost: CostModel, full_map: bool
 
 /// Average overhead per fetch-and-increment (Figure 3.15 right).
 pub fn fetchop_overhead(alg: FetchOpAlg, procs: usize, cost: CostModel) -> f64 {
+    fetchop_overhead_n(alg, procs, cost, BASELINE_OPS)
+}
+
+/// [`fetchop_overhead`] with an explicit total-operation budget.
+pub fn fetchop_overhead_n(alg: FetchOpAlg, procs: usize, cost: CostModel, total_ops: u64) -> f64 {
     let m = Machine::new(Config::default().nodes(procs.max(2)).cost(cost));
     let f = AnyFetchOp::make(&m, 0, alg, procs);
-    let iters = (BASELINE_OPS / procs as u64).max(8);
+    let iters = (total_ops / procs as u64).max(8);
     for p in 0..procs {
         let cpu = m.cpu(p);
         let f = f.clone();
@@ -78,9 +95,14 @@ pub fn fetchop_overhead(alg: FetchOpAlg, procs: usize, cost: CostModel) -> f64 {
 
 /// Reactive shared-memory-vs-message-passing lock baseline (Fig 3.26).
 pub fn mp_reactive_lock_overhead(procs: usize) -> f64 {
+    mp_reactive_lock_overhead_n(procs, BASELINE_OPS)
+}
+
+/// [`mp_reactive_lock_overhead`] with an explicit acquisition budget.
+pub fn mp_reactive_lock_overhead_n(procs: usize, total_ops: u64) -> f64 {
     let m = Machine::new(Config::default().nodes(procs.max(2)));
     let lock = ReactiveMpLock::new(&m, 0, 0, procs);
-    let iters = (BASELINE_OPS / procs as u64).max(8);
+    let iters = (total_ops / procs as u64).max(8);
     for p in 0..procs {
         let cpu = m.cpu(p);
         let lock = lock.clone();
@@ -102,9 +124,14 @@ pub fn mp_reactive_lock_overhead(procs: usize) -> f64 {
 
 /// Reactive shared-memory-vs-message-passing fetch-op baseline.
 pub fn mp_reactive_fetchop_overhead(procs: usize) -> f64 {
+    mp_reactive_fetchop_overhead_n(procs, BASELINE_OPS)
+}
+
+/// [`mp_reactive_fetchop_overhead`] with an explicit operation budget.
+pub fn mp_reactive_fetchop_overhead_n(procs: usize, total_ops: u64) -> f64 {
     let m = Machine::new(Config::default().nodes(procs.max(2)));
     let f = ReactiveMpFetchOp::new(&m, 0, 0, procs);
-    let iters = (BASELINE_OPS / procs as u64).max(8);
+    let iters = (total_ops / procs as u64).max(8);
     for p in 0..procs {
         let cpu = m.cpu(p);
         let f = f.clone();
@@ -269,6 +296,26 @@ pub fn time_varying_with(
     let elapsed = m.run();
     assert_eq!(m.live_tasks(), 0, "time-varying deadlock");
     elapsed
+}
+
+/// [`time_varying_with`] with a fresh [`SwitchLog`] attached: returns
+/// `(elapsed_cycles, protocol_switches)` so scenarios can claim both
+/// the cost and the adaptation behaviour of a reactive variant.
+pub fn time_varying_counted(
+    alg: LockAlg,
+    period_len: u64,
+    contention_pct: u64,
+    periods: u64,
+) -> (u64, u64) {
+    let log = Rc::new(SwitchLog::new());
+    let t = time_varying_with(
+        alg,
+        period_len,
+        contention_pct,
+        periods,
+        Some(log.clone() as Rc<dyn Instrument>),
+    );
+    (t, log.count() as u64)
 }
 
 #[cfg(test)]

@@ -8,4 +8,5 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod scenario;
 pub mod table;

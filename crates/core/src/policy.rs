@@ -56,13 +56,25 @@ impl<const N: usize> std::fmt::Debug for Selector<N> {
 
 impl<const N: usize> Selector<N> {
     /// Create a selector over the given protocol slots.
+    ///
+    /// # Panics
+    /// * If `N == 0` — a reactive object with no protocols cannot serve
+    ///   any request; constructing one is always a builder bug.
+    /// * If the slots are not registered in id order `0..N` — which also
+    ///   rejects registering the same [`ProtocolId`] twice (two slots
+    ///   cannot both hold id `i`).
     pub fn new(
         info: [ProtocolInfo; N],
         policy: Box<dyn Policy>,
         sink: Option<Rc<dyn Instrument>>,
     ) -> Selector<N> {
+        assert!(N > 0, "a reactive object needs at least one protocol");
         for (i, pi) in info.iter().enumerate() {
-            assert_eq!(pi.id.index(), i, "protocol slots must be in id order");
+            assert_eq!(
+                pi.id.index(),
+                i,
+                "protocol slots must be in id order (duplicate or out-of-order registration)"
+            );
         }
         Selector {
             inner: Rc::new(Inner {

@@ -1,0 +1,115 @@
+//! Negative-path tests for the simulator-side reactive builders: the
+//! documented panic behaviour on misconfiguration — duplicate protocol
+//! registration, unknown initial protocol, zero-protocol build, and
+//! invalid policy parameters — is part of the public API contract.
+
+use std::rc::Rc;
+
+use alewife_sim::{Config, Machine};
+use reactive_core::policy::{
+    Always, Competitive3, Hysteresis, Instrument, ProtocolId, ProtocolInfo, Selector, SwitchLog,
+};
+use reactive_core::{ReactiveFetchOp, ReactiveLock};
+
+fn machine() -> Machine {
+    Machine::new(Config::default().nodes(4))
+}
+
+// -- protocol registration ---------------------------------------------
+
+#[test]
+#[should_panic(expected = "duplicate or out-of-order registration")]
+fn selector_rejects_duplicate_protocol_ids() {
+    let _ = Selector::new(
+        [
+            ProtocolInfo {
+                id: ProtocolId(0),
+                name: "a",
+            },
+            ProtocolInfo {
+                id: ProtocolId(0),
+                name: "a-again",
+            },
+        ],
+        Box::new(Always),
+        None,
+    );
+}
+
+#[test]
+#[should_panic(expected = "duplicate or out-of-order registration")]
+fn selector_rejects_out_of_order_slots() {
+    let _ = Selector::new(
+        [
+            ProtocolInfo {
+                id: ProtocolId(1),
+                name: "b",
+            },
+            ProtocolInfo {
+                id: ProtocolId(0),
+                name: "a",
+            },
+        ],
+        Box::new(Always),
+        None,
+    );
+}
+
+#[test]
+#[should_panic(expected = "at least one protocol")]
+fn selector_rejects_zero_protocol_build() {
+    let _ = Selector::<0>::new([], Box::new(Always), None);
+}
+
+// -- initial protocol --------------------------------------------------
+
+#[test]
+#[should_panic(expected = "not P5")]
+fn lock_builder_rejects_unknown_initial_protocol() {
+    let m = machine();
+    let _ = ReactiveLock::builder(&m, 0).initial_protocol(ProtocolId(5));
+}
+
+#[test]
+#[should_panic(expected = "not P2")]
+fn lock_builder_rejects_fetch_op_only_protocol() {
+    // The fetch-op object has a slot 2 (combining tree); the lock does
+    // not — ids are per-object, not global.
+    let m = machine();
+    let _ = ReactiveLock::builder(&m, 0).initial_protocol(ProtocolId(2));
+}
+
+// -- policy parameter validation through the builders ------------------
+
+#[test]
+#[should_panic(expected = "round-trip cost must be positive")]
+fn lock_builder_rejects_nonpositive_competitive_threshold() {
+    let m = machine();
+    let _ = ReactiveLock::builder(&m, 0).policy(Competitive3::new(0.0));
+}
+
+#[test]
+#[should_panic(expected = "hysteresis thresholds must be positive")]
+fn fetch_op_builder_rejects_zero_hysteresis() {
+    let m = machine();
+    let _ = ReactiveFetchOp::builder(&m, 0).policy(Hysteresis::new(0, 4));
+}
+
+// -- the happy path next to the cliffs ---------------------------------
+
+#[test]
+fn valid_builder_configurations_still_build() {
+    let m = machine();
+    let log = Rc::new(SwitchLog::new());
+    let _ = ReactiveLock::builder(&m, 0)
+        .max_procs(4)
+        .policy(Hysteresis::new(4, 4))
+        .instrument(log.clone() as Rc<dyn Instrument>)
+        .initial_protocol(reactive_core::lock::PROTO_QUEUE)
+        .build();
+    let _ = ReactiveFetchOp::builder(&m, 0)
+        .max_procs(4)
+        .policy(Competitive3::new(8_800.0))
+        .build();
+    assert_eq!(log.count(), 0, "building must not emit switch events");
+}

@@ -1,0 +1,52 @@
+//! Negative-path tests for the host-hardware reactive builder: the
+//! documented panic behaviour on misconfiguration mirrors the
+//! simulator-side contract (`reactive-core`'s `builder_negative` suite),
+//! so a policy or protocol-id mistake fails the same way in both worlds.
+
+use std::sync::Arc;
+
+use reactive_native::api::{Competitive3, Hysteresis, ProtocolId, SwitchLog};
+use reactive_native::ReactiveLock;
+
+#[test]
+#[should_panic(expected = "not P5")]
+fn builder_rejects_unknown_initial_protocol() {
+    let _ = ReactiveLock::builder().initial_protocol(ProtocolId(5));
+}
+
+#[test]
+#[should_panic(expected = "not P2")]
+fn builder_rejects_sim_fetch_op_protocol_id() {
+    // Protocol ids are per-object: the native lock has slots {0, 1}
+    // even though the simulator's fetch-op object has a slot 2.
+    let _ = ReactiveLock::builder().initial_protocol(ProtocolId(2));
+}
+
+#[test]
+#[should_panic(expected = "round-trip cost must be positive")]
+fn builder_rejects_nonpositive_competitive_threshold() {
+    let _ = ReactiveLock::builder().policy(Competitive3::new(-1.0));
+}
+
+#[test]
+#[should_panic(expected = "hysteresis thresholds must be positive")]
+fn builder_rejects_zero_hysteresis() {
+    let _ = ReactiveLock::builder().policy(Hysteresis::new(4, 0));
+}
+
+#[test]
+fn valid_builder_configurations_still_build() {
+    let log = Arc::new(SwitchLog::new());
+    let lock = ReactiveLock::builder()
+        .policy(Hysteresis::new(4, 4))
+        .instrument(log.clone())
+        .initial_protocol(reactive_native::reactive::PROTO_QUEUE)
+        .build();
+    let held = lock.acquire();
+    lock.release(held);
+    assert_eq!(
+        log.count(),
+        0,
+        "uncontended acquire/release must not switch"
+    );
+}

@@ -10,7 +10,7 @@
 //! machinery, active-message RPC, and the thread runtime
 //! (block/signal/yield across multiple contexts).
 
-use alewife_sim::{Config, FullEmpty, Machine, Port};
+use alewife_sim::{Config, FullEmpty, Machine, Port, Stats};
 
 /// FNV-1a over a stream of u64s.
 fn fnv(acc: u64, x: u64) -> u64 {
@@ -18,6 +18,35 @@ fn fnv(acc: u64, x: u64) -> u64 {
     for b in x.to_le_bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fold a run's observable outcome — elapsed time plus every machine
+/// counter and wait histogram — into one digest.
+fn digest_stats(elapsed: u64, st: &Stats) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in [
+        elapsed,
+        st.net_msgs,
+        st.remote_misses,
+        st.invalidations,
+        st.limitless_traps,
+        st.dir_requests,
+        st.active_msgs,
+        st.sim_events,
+    ] {
+        h = fnv(h, x);
+    }
+    for (name, v) in &st.counters {
+        h = fnv(h, name.len() as u64);
+        h = fnv(h, *v);
+    }
+    for (name, w) in &st.waits {
+        h = fnv(h, name.len() as u64);
+        h = fnv(h, w.count);
+        h = fnv(h, w.sum);
+        h = fnv(h, w.max);
     }
     h
 }
@@ -144,4 +173,52 @@ fn digest_is_stable_across_runs_and_matches_golden_16x1() {
     let b = run_digest(16, 1);
     assert_eq!(a, b, "same configuration, different digests");
     assert_eq!(a, GOLDEN_16X1, "16-node digest drifted: got {a:#018x}");
+}
+
+// ---------------------------------------------------------------------
+// App-workload golden digests: the scenario layer's figure
+// reproductions run these same sim-apps workloads, so their event
+// streams are pinned bit-exact here like the synthetic suites above.
+// ---------------------------------------------------------------------
+
+/// Gamteb (9 reactive fetch-and-op interaction counters) at 8 procs —
+/// the fetch-op app workload of Figures 3.24 and 4.6.
+fn run_digest_gamteb() -> u64 {
+    use sim_apps::alg::FetchOpAlg;
+    use sim_apps::gamteb;
+    let r = gamteb::run(&gamteb::GamtebConfig::small(8, FetchOpAlg::Reactive));
+    digest_stats(r.elapsed, &r.stats)
+}
+
+/// MP3D (cell locks + collision-count lock, reactive) at 8 procs — the
+/// lock app workload of Figure 3.25.
+fn run_digest_mp3d() -> u64 {
+    use sim_apps::alg::LockAlg;
+    use sim_apps::mp3d;
+    let mut cfg = mp3d::Mp3dConfig::small(8, LockAlg::Reactive);
+    cfg.particles_per_proc = 8;
+    let r = mp3d::run(&cfg);
+    digest_stats(r.elapsed, &r.stats)
+}
+
+/// Golden digests for the app workloads, captured when the scenario
+/// layer was introduced (PR 4). A drift means app event streams — and
+/// therefore every figure reproduction built on them — changed.
+const GOLDEN_GAMTEB_8: u64 = 0xD6A8_2948_28D6_805D;
+const GOLDEN_MP3D_8: u64 = 0xB198_F6C3_0360_E094;
+
+#[test]
+fn app_digest_gamteb_is_stable_and_matches_golden() {
+    let a = run_digest_gamteb();
+    let b = run_digest_gamteb();
+    assert_eq!(a, b, "gamteb digests differ run-to-run");
+    assert_eq!(a, GOLDEN_GAMTEB_8, "gamteb digest drifted: got {a:#018x}");
+}
+
+#[test]
+fn app_digest_mp3d_is_stable_and_matches_golden() {
+    let a = run_digest_mp3d();
+    let b = run_digest_mp3d();
+    assert_eq!(a, b, "mp3d digests differ run-to-run");
+    assert_eq!(a, GOLDEN_MP3D_8, "mp3d digest drifted: got {a:#018x}");
 }

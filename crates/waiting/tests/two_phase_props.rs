@@ -1,0 +1,136 @@
+//! Property tests of the Chapter 4 waiting model.
+//!
+//! * **The 2× robustness bound** (§4.4.1): two-phase waiting with
+//!   `Lpoll = B` costs at most `2 × min(poll, block)` — per wait, for
+//!   *every* waiting time, and therefore in expectation for *arbitrary*
+//!   waiting-time distributions (here: random mixtures of exponential
+//!   and uniform components, which are dense in the distributions the
+//!   restricted adversary can field).
+//! * **The `Lpoll = B/2` rule of thumb** (Table 4.6): the halved polling
+//!   limit is within the paper's stated factor of the optimal static
+//!   choice on both §4.4.3 families — within ~1% of `e/(e-1) ≈ 1.582`
+//!   for exponential waits, within ~12% of `≈ 1.62` for uniform waits —
+//!   for every adversary parameter, not just the tabulated ones.
+
+use proptest::prelude::*;
+use waiting_theory::expected::{expected_opt, expected_poll, expected_two_phase};
+use waiting_theory::montecarlo::{opt_cost, wait_cost, WaitAlg};
+use waiting_theory::{competitive_factor, WaitDist, EXP_RHO_STAR, UNI_RHO_STAR};
+
+/// Turn raw `(family, scale, weight)` draws into a normalized finite
+/// mixture of exponential and uniform components; expectations over the
+/// mixture are the weighted sums of the component expectations
+/// (linearity), so random mixtures stand in for "arbitrary wait
+/// distributions".
+fn components(mix: &[(usize, f64, f64)]) -> Vec<(WaitDist, f64)> {
+    let total: f64 = mix.iter().map(|&(_, _, w)| w).sum();
+    mix.iter()
+        .map(|&(family, scale, w)| {
+            let d = if family == 0 {
+                WaitDist::exponential_with_mean(scale)
+            } else {
+                WaitDist::uniform(scale)
+            };
+            (d, w / total)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Per-wait guarantee, arbitrary waiting time and blocking cost:
+    /// `C_2phase(t) <= 2 * min(t, B) = 2 * C_opt(t)` when `Lpoll = B`.
+    #[test]
+    fn two_phase_at_most_twice_opt_per_wait(
+        t in 0.0f64..1.0e7,
+        b in 1.0f64..100_000.0,
+    ) {
+        let tp = wait_cost(WaitAlg::TwoPhase { alpha_milli: 1000 }, t, b, 1.0);
+        let opt = opt_cost(t, b, 1.0);
+        prop_assert!(
+            tp <= 2.0 * opt + 1e-9,
+            "t = {t}, B = {b}: two-phase {tp} > 2 * opt {opt}"
+        );
+    }
+
+    /// In expectation over an arbitrary mixture distribution:
+    /// `E[C_2phase] <= 2 * min(E[C_poll], B)` — two-phase never loses
+    /// more than 2x to either pure strategy, whatever the adversary's
+    /// distribution.
+    #[test]
+    fn two_phase_at_most_twice_best_pure_in_expectation(
+        mix in proptest::collection::vec((0usize..2, 1.0f64..20_000.0, 0.05f64..1.0), 1..6),
+        b in 50.0f64..5_000.0,
+    ) {
+        let comps = components(&mix);
+        let mut e_tp = 0.0;
+        let mut e_poll = 0.0;
+        let mut e_opt = 0.0;
+        for &(d, w) in &comps {
+            e_tp += w * expected_two_phase(&d, 1.0, b, 1.0);
+            e_poll += w * expected_poll(&d, 1.0);
+            e_opt += w * expected_opt(&d, b, 1.0);
+        }
+        let best_pure = e_poll.min(b);
+        prop_assert!(
+            e_tp <= 2.0 * best_pure + 1e-6,
+            "E[2phase] = {e_tp} > 2 * min(E[poll] = {e_poll}, B = {b})"
+        );
+        // The sharper statement it follows from: 2x the offline optimum.
+        prop_assert!(
+            e_tp <= 2.0 * e_opt + 1e-6,
+            "E[2phase] = {e_tp} > 2 * E[opt] = {e_opt}"
+        );
+    }
+
+    /// `Lpoll = B/2` under exponential waits: within 1.60 of the offline
+    /// optimum for every adversary rate — at most ~1% above the optimal
+    /// static choice's `e/(e-1) ~= 1.582`.
+    #[test]
+    fn lpoll_half_b_near_optimal_exponential(
+        mean_scale in 0.001f64..1_000.0,
+        b in 50.0f64..5_000.0,
+    ) {
+        let d = WaitDist::exponential_with_mean(mean_scale * b);
+        let rho = competitive_factor(&d, 0.5, b, 1.0);
+        prop_assert!(
+            rho <= 1.02 * EXP_RHO_STAR,
+            "exponential mean {mean_scale}B: factor {rho} > 1.02 * {EXP_RHO_STAR}"
+        );
+    }
+
+    /// `Lpoll = B/2` under uniform waits: within 1.81 of the offline
+    /// optimum for every adversary bound — at most ~12% above the
+    /// optimal static choice's ~= 1.62.
+    #[test]
+    fn lpoll_half_b_near_optimal_uniform(
+        max_scale in 0.001f64..1_000.0,
+        b in 50.0f64..5_000.0,
+    ) {
+        let d = WaitDist::uniform(max_scale * b);
+        let rho = competitive_factor(&d, 0.5, b, 1.0);
+        prop_assert!(
+            rho <= 1.12 * UNI_RHO_STAR,
+            "uniform bound {max_scale}B: factor {rho} > 1.12 * {UNI_RHO_STAR}"
+        );
+    }
+}
+
+/// The worst case over the adversary's parameter is actually attained
+/// near the analytical values (sanity that the property bounds above
+/// are tight, not vacuous).
+#[test]
+fn lpoll_half_b_bounds_are_tight() {
+    use waiting_theory::expected::{worst_case_factor, Family};
+    let we = worst_case_factor(Family::Exponential, 0.5, 465.0);
+    assert!(
+        (1.585..=1.60).contains(&we),
+        "exponential worst case for a = 0.5 drifted: {we}"
+    );
+    let wu = worst_case_factor(Family::Uniform, 0.5, 465.0);
+    assert!(
+        (1.75..=1.81).contains(&wu),
+        "uniform worst case for a = 0.5 drifted: {wu}"
+    );
+}
