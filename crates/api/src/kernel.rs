@@ -1,0 +1,841 @@
+//! The **switching kernel** — the consensus-object mode-change engine
+//! shared by every reactive object in both worlds.
+//!
+//! The paper's reactive algorithms (§3.2.5, §3.4) all share one
+//! mechanism: N passive protocols, each guarded by a consensus object
+//! with a valid/invalid state; a monitor that produces [`Observation`]s;
+//! a [`Policy`] that turns observations into [`Decision`]s; and a
+//! mode-change transaction that invalidates the old protocol, validates
+//! the new one, migrates or bounces waiters, and publishes the new
+//! dispatch hint. Before this module existed that state machine was
+//! re-implemented by every reactive object (simulator lock, fetch-op,
+//! message-passing objects, native lock). [`SwitchKernel`] owns it
+//! once:
+//!
+//! * **protocol registration** — slots are registered in id order with a
+//!   name and an exit [`SwitchStyle`];
+//! * **valid/invalid flag transitions** — the kernel tracks the
+//!   authoritative validity state machine and asserts the §3.2.3
+//!   invariant (*at most one protocol valid at any instant*) across
+//!   every transition;
+//! * **policy handling** — [`SwitchKernel::observe`] consults the
+//!   configured policy, filters self/out-of-range targets, and carries
+//!   the approving residual to the commit point;
+//! * **the mode-change transaction** — [`SwitchKernel::switch`]
+//!   sequences the per-world [`SwitchableObject`] hooks (validate,
+//!   publish, invalidate/migrate) in the order the exiting protocol's
+//!   consensus discipline requires;
+//! * **commit bookkeeping** — switch counting, policy evidence reset,
+//!   and [`SwitchEvent`] emission through the configured
+//!   [`Instrument`] sink.
+//!
+//! What stays in each reactive object is exactly the part that cannot
+//! be shared: the physical realization of "make protocol *i* valid /
+//! invalid" (pin a TTS flag busy, poison an MCS queue tail with the
+//! `INVALID` sentinel, RPC a manager's validity flag) and the monitor
+//! that produces observations. Those are supplied to the kernel as
+//! [`SwitchableObject`] hooks.
+//!
+//! # Worlds
+//!
+//! The simulator is single-threaded and shares objects through `Rc`;
+//! host hardware is multi-threaded and shares through `Arc` with `Send`
+//! policies. [`KernelWorld`] abstracts exactly that difference
+//! ([`LocalWorld`] / [`SharedWorld`]), so the kernel's engine — and
+//! therefore its observable `Decision`/`SwitchEvent` behaviour — is the
+//! same type in both worlds. `crates/api/tests/conformance.rs` feeds
+//! identical observation traces to a kernel of each world and asserts
+//! bit-identical outputs.
+//!
+//! # Hook execution
+//!
+//! Hooks are `async` because simulator-side transitions issue simulated
+//! memory operations (`cpu.write(...).await`). Native hooks are plain
+//! atomics and never await; [`drive`] polls such an always-ready future
+//! to completion synchronously.
+
+use std::future::Future;
+use std::pin::pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::{
+    Always, Decision, Instrument, Observation, Policy, ProtocolId, ProtocolInfo, SwitchEvent,
+};
+
+// ---------------------------------------------------------------------
+// Worlds
+// ---------------------------------------------------------------------
+
+/// The sharing/threading regime a [`SwitchKernel`] lives in.
+///
+/// The kernel engine is identical across worlds; only the pointer and
+/// auto-trait plumbing differs — what a boxed policy must implement and
+/// how the instrumentation sink is shared.
+pub trait KernelWorld {
+    /// The boxed policy trait object this world stores (`dyn Policy` on
+    /// the single-threaded simulator, `dyn Policy + Send` on hardware).
+    type Policy: Policy + ?Sized;
+    /// The shared instrumentation sink handle (`Rc<dyn Instrument>` /
+    /// `Arc<dyn Instrument + Send + Sync>`).
+    type Sink: Instrument;
+
+    /// The world's default policy (the paper's switch-immediately
+    /// [`Always`]).
+    fn default_policy() -> Box<Self::Policy>;
+}
+
+/// Single-threaded world: `Rc` sharing, `!Send` policies allowed. The
+/// simulator-side reactive objects live here.
+#[derive(Debug)]
+pub enum LocalWorld {}
+
+impl KernelWorld for LocalWorld {
+    type Policy = dyn Policy;
+    type Sink = Rc<dyn Instrument>;
+
+    fn default_policy() -> Box<dyn Policy> {
+        Box::new(Always)
+    }
+}
+
+/// Multi-threaded world: `Arc` sharing, `Send` policies. The native
+/// (host-atomics) reactive objects live here.
+#[derive(Debug)]
+pub enum SharedWorld {}
+
+impl KernelWorld for SharedWorld {
+    type Policy = dyn Policy + Send;
+    type Sink = Arc<dyn Instrument + Send + Sync>;
+
+    fn default_policy() -> Box<dyn Policy + Send> {
+        Box::new(Always)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Switch styles and the object hook trait
+// ---------------------------------------------------------------------
+
+/// How mode changes *leaving* a protocol slot must sequence the
+/// validity transitions — the three consensus disciplines that appear
+/// in the paper's algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchStyle {
+    /// Holder-based consensus (sub-locks as consensus objects, §3.2.5):
+    /// the switching process already holds the exiting protocol's
+    /// consensus object, so the target is validated first and the
+    /// source invalidated after commit (often implicitly, by leaving
+    /// its consensus object pinned busy). Sequence:
+    /// `validate(to)` → `publish_mode(to)` → commit → `invalidate(from)`.
+    Handoff,
+    /// Value-carrying consensus (manager validity flags, §3.6): the
+    /// exiting protocol holds state (e.g. the fetch-and-op value) that
+    /// must be captured atomically with its invalidation and installed
+    /// into the target. Sequence:
+    /// `state = invalidate(from)` → `validate(to, state)` →
+    /// `publish_mode(to)` → commit.
+    Transfer,
+    /// Real-concurrency exclusion window (the native lock): commit
+    /// bookkeeping — and the kernel's shadow validity flags — run
+    /// first, while both consensus objects still deny entry, so no
+    /// racing process can commit an opposite change ahead of this one,
+    /// the sink's events stay in true commit order, and a racer that
+    /// wins the target the instant `validate` lands finds this
+    /// transaction's bookkeeping already settled.
+    /// Sequence: commit → `validate(to)` → `publish_mode(to)` →
+    /// `invalidate(from)`.
+    CommitFirst,
+}
+
+/// The per-world hooks a reactive object supplies to the kernel: the
+/// physical realization of validity transitions, waiter migration, and
+/// the dispatch hint.
+///
+/// Hooks are `async` so simulator-side implementations can issue
+/// simulated memory operations; native implementations never await and
+/// are driven synchronously with [`drive`].
+///
+/// # Contract
+///
+/// * `validate` / `invalidate` run while the switching process holds
+///   the consensus object the exiting protocol's [`SwitchStyle`]
+///   requires, so they need no additional synchronization.
+/// * `invalidate` is also the **waiter-migration hook**: any process
+///   waiting on the exiting protocol must be bounced (told to retry
+///   through dispatch, §3.2.5's *invalid executions return retry*) or
+///   migrated to the entering protocol before it returns.
+/// * An object whose consensus discipline clears validity atomically
+///   with the *decision* (e.g. under a combining-tree root lock) does
+///   so before calling [`SwitchKernel::switch`] and leaves its
+///   `invalidate` hook a no-op.
+#[allow(async_fn_in_trait)] // hooks are driven in-world; no Send bound wanted
+pub trait SwitchableObject {
+    /// World-specific execution context threaded through to every hook
+    /// (the simulated `Cpu` on the simulator, `()` on host hardware).
+    type Ctx;
+
+    /// Make `to`'s consensus object valid. Under
+    /// [`SwitchStyle::Transfer`], `state` carries the value captured by
+    /// `invalidate(from)`; otherwise it is 0.
+    async fn validate(&self, ctx: &Self::Ctx, to: ProtocolId, from: ProtocolId, state: u64);
+
+    /// Invalidate `from`'s consensus object, bouncing or migrating its
+    /// waiters. Under [`SwitchStyle::Transfer`], returns the captured
+    /// protocol state to install into `to` — or `None` when the
+    /// consensus object arbitrated the change away (it was already
+    /// invalid: a concurrent changer won; see
+    /// [`SwitchKernel::try_switch`]). Under the other styles
+    /// invalidation runs after commit and must succeed (`Some`).
+    async fn invalidate(&self, ctx: &Self::Ctx, from: ProtocolId, to: ProtocolId) -> Option<u64>;
+
+    /// Publish the dispatch hint (the mode word). The hint is only an
+    /// optimization — correctness rests on the consensus objects — so
+    /// this is a plain store/write.
+    async fn publish_mode(&self, ctx: &Self::Ctx, to: ProtocolId);
+
+    /// The clock used to stamp [`SwitchEvent`]s (simulated cycles /
+    /// nanoseconds since object creation).
+    fn now(&self, ctx: &Self::Ctx) -> u64;
+
+    /// Per-pair diagnostics (e.g. named machine counters).
+    fn note_switch(&self, _ctx: &Self::Ctx, _from: ProtocolId, _to: ProtocolId) {}
+
+    /// Clear the monitor evidence for the protocol being entered (empty
+    /// streaks, combining-rate streaks, ...).
+    fn reset_monitor(&self, _to: ProtocolId) {}
+}
+
+/// Drive a hook future that never awaits to completion (the native
+/// world's synchronous execution of the kernel's async transaction).
+///
+/// # Panics
+/// If the future returns `Poll::Pending` — which would mean a
+/// supposedly synchronous hook tried to await.
+pub fn drive<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let waker = Waker::noop();
+    match fut.as_mut().poll(&mut Context::from_waker(waker)) {
+        Poll::Ready(out) => out,
+        Poll::Pending => panic!("kernel hook future awaited in a synchronous world"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The kernel
+// ---------------------------------------------------------------------
+
+/// Mutable engine state, serialized by the holder of the currently
+/// valid consensus object (so the mutex is uncontended by design).
+struct KernelState<W: KernelWorld> {
+    policy: Box<W::Policy>,
+    /// `(target, residual)` carried from the approving observation to
+    /// the commit point (decisions are often taken at acquire time
+    /// while the switch machinery runs at release time). Keyed by the
+    /// approved target so a losing concurrent attempt, or an aborted
+    /// one, cannot donate its residual to an unrelated commit.
+    pending: Option<(ProtocolId, f64)>,
+    /// The authoritative validity flags (§3.2.3: at most one set).
+    valid: Vec<bool>,
+    /// The currently valid protocol (the last committed target).
+    current: ProtocolId,
+}
+
+/// The consensus-object mode-change engine of an N-way reactive object.
+///
+/// Owns protocol registration, the valid/invalid state machine, policy
+/// consultation, the mode-change transaction ordering, switch counting,
+/// and [`SwitchEvent`] emission. Built through
+/// [`SwitchKernel::builder`]; reactive objects embed one per object
+/// (shared via `Rc`/`Arc` clones of the enclosing object).
+pub struct SwitchKernel<W: KernelWorld> {
+    protocols: Vec<ProtocolInfo>,
+    exits: Vec<SwitchStyle>,
+    state: Mutex<KernelState<W>>,
+    switches: AtomicU64,
+    sink: Option<W::Sink>,
+}
+
+impl<W: KernelWorld> std::fmt::Debug for SwitchKernel<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchKernel")
+            .field("protocols", &self.protocols)
+            .field("switches", &self.switches())
+            .finish()
+    }
+}
+
+/// Builder for [`SwitchKernel`]: protocol registration plus the
+/// optional policy, sink, and initial protocol.
+pub struct KernelBuilder<W: KernelWorld> {
+    protocols: Vec<ProtocolInfo>,
+    exits: Vec<SwitchStyle>,
+    policy: Option<Box<W::Policy>>,
+    sink: Option<W::Sink>,
+    initial: ProtocolId,
+}
+
+impl<W: KernelWorld> Default for KernelBuilder<W> {
+    fn default() -> Self {
+        KernelBuilder {
+            protocols: Vec::new(),
+            exits: Vec::new(),
+            policy: None,
+            sink: None,
+            initial: ProtocolId(0),
+        }
+    }
+}
+
+impl<W: KernelWorld> KernelBuilder<W> {
+    /// Register the next protocol slot.
+    ///
+    /// # Panics
+    /// If `id` is not the next slot in id order `0..N` — which also
+    /// rejects registering the same [`ProtocolId`] twice.
+    pub fn register(mut self, id: ProtocolId, name: &'static str, exit: SwitchStyle) -> Self {
+        assert_eq!(
+            id.index(),
+            self.protocols.len(),
+            "protocol slots must be in id order (duplicate or out-of-order registration)"
+        );
+        self.protocols.push(ProtocolInfo { id, name });
+        self.exits.push(exit);
+        self
+    }
+
+    /// Use the given (already-boxed) switching policy (default: the
+    /// world's [`Always`]).
+    pub fn policy(mut self, p: Box<W::Policy>) -> Self {
+        self.policy = Some(p);
+        self
+    }
+
+    /// Report every committed protocol change to `sink`.
+    pub fn sink(mut self, sink: W::Sink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Start with the given protocol valid (slot 0 by default).
+    pub fn initial(mut self, p: ProtocolId) -> Self {
+        self.initial = p;
+        self
+    }
+
+    /// Build the kernel with the initial protocol valid.
+    ///
+    /// # Panics
+    /// * If no protocol was registered — a reactive object with no
+    ///   protocols cannot serve any request.
+    /// * If the initial protocol is not a registered slot.
+    pub fn build(self) -> SwitchKernel<W> {
+        assert!(
+            !self.protocols.is_empty(),
+            "a reactive object needs at least one protocol"
+        );
+        assert!(
+            self.initial.index() < self.protocols.len(),
+            "initial protocol {} is not a registered slot",
+            self.initial
+        );
+        let mut valid = vec![false; self.protocols.len()];
+        valid[self.initial.index()] = true;
+        SwitchKernel {
+            protocols: self.protocols,
+            exits: self.exits,
+            state: Mutex::new(KernelState {
+                policy: self.policy.unwrap_or_else(W::default_policy),
+                pending: None,
+                valid,
+                current: self.initial,
+            }),
+            switches: AtomicU64::new(0),
+            sink: self.sink,
+        }
+    }
+}
+
+impl<W: KernelWorld> SwitchKernel<W> {
+    /// Start building a kernel.
+    pub fn builder() -> KernelBuilder<W> {
+        KernelBuilder::default()
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, KernelState<W>> {
+        self.state.lock().expect("switch kernel poisoned")
+    }
+
+    /// Feed one acquisition's observation to the policy. Returns the
+    /// switch target if the policy directed a change (always a
+    /// registered, non-current slot), or `None` to stay.
+    pub fn observe(&self, obs: &Observation) -> Option<ProtocolId> {
+        let mut st = self.state();
+        match st.policy.decide(obs) {
+            Decision::SwitchTo(t) if t != obs.current && t.index() < self.protocols.len() => {
+                st.pending = Some((t, obs.residual));
+                Some(t)
+            }
+            _ => None,
+        }
+    }
+
+    /// Run the mode-change transaction `from → to` through `obj`'s
+    /// hooks, in the order required by `from`'s registered
+    /// [`SwitchStyle`], with commit bookkeeping (validity flags, switch
+    /// count, policy reset, [`SwitchEvent`] emission) owned here.
+    ///
+    /// For protocols whose discipline gives the switching process
+    /// *exclusive* hold of the consensus object (a held lock, a barrier
+    /// round token), the attempt cannot lose; use this method — a lost
+    /// race then indicates a broken discipline and panics.
+    ///
+    /// # Panics
+    /// If the transaction aborts (see [`SwitchKernel::try_switch`]) or
+    /// `to` is not a registered slot.
+    pub async fn switch<O: SwitchableObject>(
+        &self,
+        obj: &O,
+        ctx: &O::Ctx,
+        from: ProtocolId,
+        to: ProtocolId,
+    ) {
+        assert!(
+            self.try_switch(obj, ctx, from, to).await,
+            "switch {from} -> {to} lost the consensus race under an exclusive discipline"
+        );
+    }
+
+    /// [`SwitchKernel::switch`] for protocols whose consensus object
+    /// *arbitrates* between concurrent change attempts (a manager
+    /// handler, §3.6): returns `false` — with no observable transition
+    /// — when this attempt lost, either because another changer already
+    /// committed (the kernel's `current` has moved on) or because the
+    /// exiting protocol's invalidation found the consensus object
+    /// already claimed (the Transfer-style invalidate hook returned
+    /// `None`). The caller simply abandons its stale decision; the
+    /// winning transaction owns the transition.
+    ///
+    /// # Panics
+    /// If `to` is not a registered slot, or a Handoff/CommitFirst
+    /// invalidate hook returns `None` (those run after commit and must
+    /// succeed).
+    pub async fn try_switch<O: SwitchableObject>(
+        &self,
+        obj: &O,
+        ctx: &O::Ctx,
+        from: ProtocolId,
+        to: ProtocolId,
+    ) -> bool {
+        assert!(
+            to.index() < self.protocols.len(),
+            "switch target {to} is not a registered slot"
+        );
+        // Leaving protocol stops accepting executions: from this point
+        // until `validate` completes, zero protocols are valid (both
+        // consensus objects deny entry — the lock's "never both free").
+        {
+            let mut st = self.state();
+            if st.current != from {
+                // A concurrent changer already moved the object; this
+                // decision is stale. Drop its pending residual so it
+                // cannot be attributed to a later unrelated commit.
+                if matches!(st.pending, Some((t, _)) if t == to) {
+                    st.pending = None;
+                }
+                return false;
+            }
+            st.valid[from.index()] = false;
+        }
+        match self.exits[from.index()] {
+            SwitchStyle::Handoff => {
+                obj.validate(ctx, to, from, 0).await;
+                self.mark_valid(to);
+                obj.publish_mode(ctx, to).await;
+                self.commit(obj.now(ctx), from, to);
+                obj.note_switch(ctx, from, to);
+                obj.reset_monitor(to);
+                let inv = obj.invalidate(ctx, from, to).await;
+                assert!(inv.is_some(), "post-commit invalidation cannot lose");
+            }
+            SwitchStyle::Transfer => {
+                let Some(state) = obj.invalidate(ctx, from, to).await else {
+                    // The consensus object arbitrated the race to a
+                    // concurrent changer mid-flight; that transaction
+                    // (which already cleared `valid[from]` exactly as
+                    // we did) completes the transition. Drop this
+                    // attempt's pending residual.
+                    let mut st = self.state();
+                    if matches!(st.pending, Some((t, _)) if t == to) {
+                        st.pending = None;
+                    }
+                    return false;
+                };
+                obj.validate(ctx, to, from, state).await;
+                self.mark_valid(to);
+                obj.publish_mode(ctx, to).await;
+                self.commit(obj.now(ctx), from, to);
+                obj.note_switch(ctx, from, to);
+                obj.reset_monitor(to);
+            }
+            SwitchStyle::CommitFirst => {
+                self.commit(obj.now(ctx), from, to);
+                obj.note_switch(ctx, from, to);
+                obj.reset_monitor(to);
+                // Shadow state is updated *before* the physical
+                // validation: the instant `validate` lands, a racing
+                // thread may win the target's consensus object and run
+                // a full opposite transaction, and it must observe this
+                // one's flags already settled (otherwise its commit and
+                // our deferred bookkeeping interleave into a spurious
+                // two-valid state).
+                self.mark_valid(to);
+                obj.validate(ctx, to, from, 0).await;
+                obj.publish_mode(ctx, to).await;
+                let inv = obj.invalidate(ctx, from, to).await;
+                assert!(inv.is_some(), "post-commit invalidation cannot lose");
+            }
+        }
+        // No post-transaction snapshot assert here: on real hardware a
+        // racing thread may legitimately begin (and commit) an opposite
+        // change the instant `publish_mode` lands, so the only sound
+        // invariant checks are the per-step ones taken under the state
+        // mutex in `mark_valid`.
+        true
+    }
+
+    /// Mark `to` valid, asserting the §3.2.3 invariant.
+    fn mark_valid(&self, to: ProtocolId) {
+        let mut st = self.state();
+        st.valid[to.index()] = true;
+        let count = st.valid.iter().filter(|&&v| v).count();
+        assert!(
+            count <= 1,
+            "{count} protocols valid after validating {to} (invariant: at most 1)"
+        );
+    }
+
+    /// Commit bookkeeping: advance `current`, bump the switch counter,
+    /// reset the policy's evidence, and emit the [`SwitchEvent`].
+    fn commit(&self, now: u64, from: ProtocolId, to: ProtocolId) {
+        let residual = {
+            let mut st = self.state();
+            st.current = to;
+            st.policy.reset();
+            // Consume the pending residual only if it belongs to this
+            // transition's target (concurrent approvals of *different*
+            // targets must not cross-attribute).
+            match st.pending.take() {
+                Some((t, r)) if t == to => r,
+                _ => 0.0,
+            }
+        };
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink.switch_event(SwitchEvent {
+                time: now,
+                from,
+                to,
+                residual,
+            });
+        }
+    }
+
+    /// Number of protocol changes committed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches.load(Ordering::Relaxed)
+    }
+
+    /// The currently valid protocol (the last committed target, or the
+    /// initial protocol). Diagnostics: mid-transaction it reports the
+    /// transaction's source until commit.
+    pub fn current(&self) -> ProtocolId {
+        self.state().current
+    }
+
+    /// Snapshot of the validity flags — the protocols currently
+    /// accepting executions (at most one; empty mid-transaction).
+    pub fn valid_protocols(&self) -> Vec<ProtocolId> {
+        self.state()
+            .valid
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v)
+            .map(|(i, _)| ProtocolId(i as u8))
+            .collect()
+    }
+
+    /// Identity of the protocol in slot `id`.
+    ///
+    /// # Panics
+    /// If `id` is not a registered slot.
+    pub fn protocol(&self, id: ProtocolId) -> ProtocolInfo {
+        self.protocols[id.index()]
+    }
+
+    /// All registered protocol slots, in id order.
+    pub fn protocols(&self) -> &[ProtocolInfo] {
+        &self.protocols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Competitive3, SwitchLog, SwitchTally};
+    use std::cell::RefCell;
+
+    const A: ProtocolId = ProtocolId(0);
+    const B: ProtocolId = ProtocolId(1);
+
+    /// A hook recorder: every hook call appends a tagged entry.
+    #[derive(Default)]
+    struct Recorder {
+        calls: RefCell<Vec<String>>,
+        clock: std::cell::Cell<u64>,
+    }
+
+    impl SwitchableObject for Recorder {
+        type Ctx = ();
+
+        async fn validate(&self, _ctx: &(), to: ProtocolId, from: ProtocolId, state: u64) {
+            self.calls
+                .borrow_mut()
+                .push(format!("validate {from}->{to} state={state}"));
+        }
+
+        async fn invalidate(&self, _ctx: &(), from: ProtocolId, to: ProtocolId) -> Option<u64> {
+            self.calls
+                .borrow_mut()
+                .push(format!("invalidate {from}->{to}"));
+            Some(42)
+        }
+
+        async fn publish_mode(&self, _ctx: &(), to: ProtocolId) {
+            self.calls.borrow_mut().push(format!("publish {to}"));
+        }
+
+        fn now(&self, _ctx: &()) -> u64 {
+            self.clock.set(self.clock.get() + 1);
+            self.clock.get()
+        }
+
+        fn note_switch(&self, _ctx: &(), from: ProtocolId, to: ProtocolId) {
+            self.calls.borrow_mut().push(format!("note {from}->{to}"));
+        }
+
+        fn reset_monitor(&self, to: ProtocolId) {
+            self.calls.borrow_mut().push(format!("reset {to}"));
+        }
+    }
+
+    fn two(exit_a: SwitchStyle, exit_b: SwitchStyle) -> SwitchKernel<LocalWorld> {
+        SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", exit_a)
+            .register(B, "b", exit_b)
+            .build()
+    }
+
+    #[test]
+    fn handoff_orders_validate_publish_commit_invalidate() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), A, B));
+        assert_eq!(
+            *r.calls.borrow(),
+            vec![
+                "validate P0->P1 state=0",
+                "publish P1",
+                "note P0->P1",
+                "reset P1",
+                "invalidate P0->P1",
+            ]
+        );
+        assert_eq!(k.current(), B);
+        assert_eq!(k.switches(), 1);
+    }
+
+    #[test]
+    fn transfer_captures_state_before_validating() {
+        let k = two(SwitchStyle::Transfer, SwitchStyle::Transfer);
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), A, B));
+        assert_eq!(
+            *r.calls.borrow(),
+            vec![
+                "invalidate P0->P1",
+                "validate P0->P1 state=42",
+                "publish P1",
+                "note P0->P1",
+                "reset P1",
+            ]
+        );
+    }
+
+    #[test]
+    fn commit_first_commits_inside_the_exclusion_window() {
+        let log = Rc::new(SwitchLog::new());
+        let k = SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", SwitchStyle::CommitFirst)
+            .register(B, "b", SwitchStyle::CommitFirst)
+            .sink(log.clone() as Rc<dyn Instrument>)
+            .build();
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), A, B));
+        // The event is emitted before any hook publishes the target.
+        assert_eq!(log.count(), 1);
+        assert_eq!(
+            *r.calls.borrow(),
+            vec![
+                "note P0->P1",
+                "reset P1",
+                "validate P0->P1 state=0",
+                "publish P1",
+                "invalidate P0->P1",
+            ]
+        );
+    }
+
+    #[test]
+    fn observe_validates_targets_and_carries_residual_to_commit() {
+        let log = Rc::new(SwitchLog::new());
+        let k = SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .register(B, "b", SwitchStyle::Handoff)
+            .sink(log.clone() as Rc<dyn Instrument>)
+            .build();
+        assert_eq!(k.observe(&Observation::optimal(A)), None);
+        // Out-of-range and self targets are filtered.
+        assert_eq!(k.observe(&Observation::suboptimal(A, A, 9.0)), None);
+        assert_eq!(
+            k.observe(&Observation::suboptimal(A, B, 123.0)),
+            Some(B),
+            "Always policy approves the monitor's proposal"
+        );
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), A, B));
+        let evs = log.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!((evs[0].from, evs[0].to, evs[0].residual), (A, B, 123.0));
+        assert_eq!(evs[0].time, 1, "stamped with the object's clock");
+    }
+
+    #[test]
+    fn policy_evidence_resets_on_commit() {
+        let k = SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .register(B, "b", SwitchStyle::Handoff)
+            .policy(Box::new(Competitive3::new(100.0)))
+            .build();
+        assert_eq!(k.observe(&Observation::suboptimal(A, B, 60.0)), None);
+        assert_eq!(k.observe(&Observation::suboptimal(A, B, 60.0)), Some(B));
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), A, B));
+        // Accumulated evidence was cleared by the commit.
+        assert_eq!(k.observe(&Observation::suboptimal(B, A, 60.0)), None);
+    }
+
+    #[test]
+    fn tally_counts_match_kernel_counts() {
+        let tally = Rc::new(SwitchTally::new());
+        let k = SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .register(B, "b", SwitchStyle::Handoff)
+            .sink(tally.clone() as Rc<dyn Instrument>)
+            .build();
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), A, B));
+        drive(k.switch(&r, &(), B, A));
+        assert_eq!(k.switches(), 2);
+        assert_eq!(tally.count(), 2);
+    }
+
+    #[test]
+    fn validity_flags_track_transitions() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        assert_eq!(k.valid_protocols(), vec![A]);
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), A, B));
+        assert_eq!(k.valid_protocols(), vec![B]);
+        assert_eq!(k.current(), B);
+    }
+
+    #[test]
+    #[should_panic(expected = "lost the consensus race")]
+    fn switching_from_an_invalid_protocol_panics() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        let r = Recorder::default();
+        drive(k.switch(&r, &(), B, A));
+    }
+
+    #[test]
+    fn try_switch_reports_stale_decisions_without_transitioning() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        let r = Recorder::default();
+        assert!(!drive(k.try_switch(&r, &(), B, A)), "stale source loses");
+        assert!(
+            r.calls.borrow().is_empty(),
+            "no hooks on an aborted attempt"
+        );
+        assert_eq!(k.valid_protocols(), vec![A]);
+        assert_eq!(k.switches(), 0);
+        assert!(drive(k.try_switch(&r, &(), A, B)));
+        assert_eq!(k.switches(), 1);
+    }
+
+    #[test]
+    fn transfer_invalidation_loss_aborts_without_committing() {
+        /// An object whose exiting consensus object was already claimed
+        /// by a concurrent changer: invalidate reports the loss.
+        struct Claimed;
+        impl SwitchableObject for Claimed {
+            type Ctx = ();
+            async fn validate(&self, _c: &(), _t: ProtocolId, _f: ProtocolId, _s: u64) {
+                panic!("loser must not validate");
+            }
+            async fn invalidate(&self, _c: &(), _f: ProtocolId, _t: ProtocolId) -> Option<u64> {
+                None
+            }
+            async fn publish_mode(&self, _c: &(), _t: ProtocolId) {
+                panic!("loser must not publish");
+            }
+            fn now(&self, _c: &()) -> u64 {
+                0
+            }
+        }
+        let k = two(SwitchStyle::Transfer, SwitchStyle::Transfer);
+        assert!(!drive(k.try_switch(&Claimed, &(), A, B)));
+        assert_eq!(k.switches(), 0, "aborted attempts do not commit");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one protocol")]
+    fn zero_protocol_build_panics() {
+        let _ = SwitchKernel::<LocalWorld>::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate or out-of-order registration")]
+    fn duplicate_registration_panics() {
+        let _ = SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .register(A, "a-again", SwitchStyle::Handoff);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered slot")]
+    fn unknown_initial_protocol_panics() {
+        let _ = SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .initial(ProtocolId(7))
+            .build();
+    }
+
+    #[test]
+    fn shared_world_kernel_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SwitchKernel<SharedWorld>>();
+    }
+}

@@ -25,8 +25,24 @@
 //!   every protocol change is reported with time, endpoints, and the
 //!   residual estimate that triggered it, so experiments read switch
 //!   counts from the API instead of poking object internals.
+//! * [`kernel`] — the **switching kernel**: the consensus-object
+//!   mode-change engine ([`SwitchKernel`]) every reactive object in the
+//!   workspace is built on. Protocol registration, the valid/invalid
+//!   state machine, policy handling, waiter-migration ordering, and
+//!   switch-event emission live here once; objects supply only the
+//!   per-world [`SwitchableObject`] hooks.
+//! * [`oracle`] — the §3.2 correctness checkers (C-seriality,
+//!   at-most-one-valid) runnable against any kernel commit log.
 
 #![deny(missing_docs)]
+
+pub mod kernel;
+pub mod oracle;
+
+pub use kernel::{
+    drive, KernelBuilder, KernelWorld, LocalWorld, SharedWorld, SwitchKernel, SwitchStyle,
+    SwitchableObject,
+};
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -341,6 +357,18 @@ pub struct SwitchEvent {
 pub trait Instrument {
     /// Record one committed protocol change.
     fn switch_event(&self, ev: SwitchEvent);
+}
+
+impl<T: Instrument + ?Sized> Instrument for std::rc::Rc<T> {
+    fn switch_event(&self, ev: SwitchEvent) {
+        (**self).switch_event(ev)
+    }
+}
+
+impl<T: Instrument + ?Sized> Instrument for std::sync::Arc<T> {
+    fn switch_event(&self, ev: SwitchEvent) {
+        (**self).switch_event(ev)
+    }
 }
 
 /// An [`Instrument`] that appends every event to a mutex-protected log.

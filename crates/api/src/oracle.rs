@@ -1,0 +1,272 @@
+//! The kernel's cross-object oracle: C-serializability and
+//! single-validity checkers (§3.2, Definitions 1-2).
+//!
+//! These checkers began life next to the naive protocol-manager
+//! reference design (Figures 3.5-3.7, `reactive_core::framework`); they
+//! live here so that **every** kernel-built reactive object — simulator
+//! or native — can be checked against the framework's correctness
+//! conditions from recorded histories:
+//!
+//! * [`check_c_serial`] — Definition 1: at every object, each
+//!   protocol-change operation (`Invalidate`/`Validate`) is totally
+//!   ordered with respect to every other operation on that object.
+//! * [`check_at_most_one_valid`] — the §3.2.3 manager invariant:
+//!   replaying the change operations in serialization order, at most
+//!   one protocol object is ever valid.
+//! * [`switch_events_to_records`] — lowers a [`SwitchEvent`] stream (the
+//!   kernel's commit log) into change-operation records, so both
+//!   checkers run against any instrumented reactive object without
+//!   per-object recording code.
+
+use crate::{ProtocolId, SwitchEvent};
+
+/// Operation kinds at a protocol object (Figure 3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Execute the synchronization protocol.
+    DoProtocol,
+    /// Invalidate the object (first half of a protocol change).
+    Invalidate,
+    /// Update + validate the object (second half of a change).
+    Validate,
+}
+
+/// One recorded operation interval at a protocol object.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Issuing process (node id; 0 when unknown).
+    pub proc_id: usize,
+    /// Protocol object id.
+    pub obj: usize,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Serialization interval start (cycles).
+    pub start: u64,
+    /// Serialization interval end (cycles).
+    pub end: u64,
+    /// For `DoProtocol`: whether the execution found the object valid.
+    pub valid_execution: bool,
+}
+
+/// Check Definition 1 (C-seriality): for each object, no
+/// `Invalidate`/`Validate` interval may overlap any other operation's
+/// interval on the same object.
+pub fn check_c_serial(records: &[OpRecord]) -> Result<(), String> {
+    for (i, a) in records.iter().enumerate() {
+        if a.kind == OpKind::DoProtocol {
+            continue;
+        }
+        for (j, b) in records.iter().enumerate() {
+            if i == j || a.obj != b.obj {
+                continue;
+            }
+            let disjoint = a.end <= b.start || b.end <= a.start;
+            if !disjoint {
+                return Err(format!(
+                    "change op {a:?} overlaps {b:?} on object {}",
+                    a.obj
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the §3.2.3 manager invariant: replaying the change operations
+/// in serialization order, at most one object is ever valid (given
+/// `initial_valid`).
+pub fn check_at_most_one_valid(
+    records: &[OpRecord],
+    objects: usize,
+    initial_valid: usize,
+) -> Result<(), String> {
+    let mut changes: Vec<&OpRecord> = records
+        .iter()
+        .filter(|r| r.kind != OpKind::DoProtocol)
+        .collect();
+    changes.sort_by_key(|r| r.start);
+    let mut valid = vec![false; objects];
+    valid[initial_valid] = true;
+    for c in changes {
+        match c.kind {
+            OpKind::Invalidate => valid[c.obj] = false,
+            OpKind::Validate => {
+                valid[c.obj] = true;
+                let count = valid.iter().filter(|&&v| v).count();
+                if count > 1 {
+                    return Err(format!(
+                        "{count} objects valid after {c:?} (invariant: ≤ 1)"
+                    ));
+                }
+            }
+            OpKind::DoProtocol => unreachable!(),
+        }
+    }
+    Ok(())
+}
+
+/// Lower a committed-switch event stream into change-operation records:
+/// each event becomes an `Invalidate(from)` immediately followed by a
+/// `Validate(to)` at the commit instant (the kernel serializes the
+/// whole transaction under one consensus holder, so the pair is
+/// atomic with respect to every other change).
+///
+/// Because commit instants are points, the intervals are zero-length
+/// and [`check_c_serial`] holds *by construction* for any lowering —
+/// the kernel's serialization is what makes the history C-serial, and
+/// the record format encodes exactly that. The operative check on a
+/// lowered log is therefore [`check_at_most_one_valid`], which catches
+/// inconsistent event chains (e.g. two changes leaving the same
+/// protocol without an intervening change back).
+///
+/// Feed the result to [`check_at_most_one_valid`] with `initial_valid`
+/// set to the object's initial protocol, or use
+/// [`check_switch_history`].
+pub fn switch_events_to_records(events: &[SwitchEvent]) -> Vec<OpRecord> {
+    let mut out = Vec::with_capacity(events.len() * 2);
+    for ev in events {
+        out.push(OpRecord {
+            proc_id: 0,
+            obj: ev.from.index(),
+            kind: OpKind::Invalidate,
+            start: ev.time,
+            end: ev.time,
+            valid_execution: true,
+        });
+        out.push(OpRecord {
+            proc_id: 0,
+            obj: ev.to.index(),
+            kind: OpKind::Validate,
+            start: ev.time,
+            end: ev.time,
+            valid_execution: true,
+        });
+    }
+    out
+}
+
+/// Convenience wrapper: run both checkers against a kernel commit log
+/// (see [`switch_events_to_records`]: for point-interval lowerings the
+/// at-most-one-valid replay is the discriminating check).
+pub fn check_switch_history(
+    events: &[SwitchEvent],
+    protocols: usize,
+    initial: ProtocolId,
+) -> Result<(), String> {
+    let records = switch_events_to_records(events);
+    check_c_serial(&records)?;
+    check_at_most_one_valid(&records, protocols, initial.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_rejects_overlapping_change() {
+        let bad = vec![
+            OpRecord {
+                proc_id: 0,
+                obj: 0,
+                kind: OpKind::DoProtocol,
+                start: 0,
+                end: 100,
+                valid_execution: true,
+            },
+            OpRecord {
+                proc_id: 1,
+                obj: 0,
+                kind: OpKind::Invalidate,
+                start: 50,
+                end: 150,
+                valid_execution: true,
+            },
+        ];
+        assert!(check_c_serial(&bad).is_err());
+    }
+
+    #[test]
+    fn checker_accepts_overlapping_protocol_executions() {
+        // Concurrent DoProtocol executions are explicitly allowed
+        // (that is the whole point of C-serial vs serial, §3.2.5).
+        let ok = vec![
+            OpRecord {
+                proc_id: 0,
+                obj: 0,
+                kind: OpKind::DoProtocol,
+                start: 0,
+                end: 100,
+                valid_execution: true,
+            },
+            OpRecord {
+                proc_id: 1,
+                obj: 0,
+                kind: OpKind::DoProtocol,
+                start: 50,
+                end: 150,
+                valid_execution: true,
+            },
+        ];
+        assert!(check_c_serial(&ok).is_ok());
+    }
+
+    #[test]
+    fn validity_checker_detects_double_valid() {
+        let bad = vec![OpRecord {
+            proc_id: 0,
+            obj: 1,
+            kind: OpKind::Validate,
+            start: 0,
+            end: 10,
+            valid_execution: true,
+        }];
+        // Object 0 was initially valid and never invalidated.
+        assert!(check_at_most_one_valid(&bad, 2, 0).is_err());
+    }
+
+    #[test]
+    fn event_streams_lower_to_well_formed_histories() {
+        let a = ProtocolId(0);
+        let b = ProtocolId(1);
+        let evs = vec![
+            SwitchEvent {
+                time: 10,
+                from: a,
+                to: b,
+                residual: 1.0,
+            },
+            SwitchEvent {
+                time: 20,
+                from: b,
+                to: a,
+                residual: 2.0,
+            },
+        ];
+        let recs = switch_events_to_records(&evs);
+        assert_eq!(recs.len(), 4);
+        assert!(check_switch_history(&evs, 2, a).is_ok());
+    }
+
+    #[test]
+    fn lowered_histories_catch_inconsistent_event_chains() {
+        // A second A -> B change without an intervening change back
+        // means two protocols would have been valid.
+        let a = ProtocolId(0);
+        let b = ProtocolId(1);
+        let evs = vec![
+            SwitchEvent {
+                time: 10,
+                from: a,
+                to: b,
+                residual: 0.0,
+            },
+            SwitchEvent {
+                time: 20,
+                from: a,
+                to: ProtocolId(2),
+                residual: 0.0,
+            },
+        ];
+        assert!(check_switch_history(&evs, 3, a).is_err());
+    }
+}

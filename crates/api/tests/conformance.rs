@@ -1,0 +1,135 @@
+//! Cross-world conformance: the switching kernel is one engine, not
+//! two implementations that happen to agree. Feeding identical
+//! [`Observation`] traces to a [`LocalWorld`] kernel (the simulator's
+//! `Rc`/`!Send` regime) and a [`SharedWorld`] kernel (the native
+//! `Arc`/`Send` regime) must produce **bit-identical** decision and
+//! [`SwitchEvent`] sequences for every shipped policy.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use reactive_api::{
+    drive, Always, Competitive3, Hysteresis, Instrument, KernelWorld, LocalWorld, Observation,
+    Policy, ProtocolId, SharedWorld, SwitchEvent, SwitchKernel, SwitchLog, SwitchStyle,
+    SwitchableObject,
+};
+
+/// A hook-free object with a deterministic clock: transitions carry no
+/// per-world physics here, so the traces compare the *kernel's* part
+/// of the behaviour only.
+#[derive(Default)]
+struct NullObject {
+    clock: Cell<u64>,
+}
+
+impl SwitchableObject for NullObject {
+    type Ctx = ();
+
+    async fn validate(&self, _ctx: &(), _to: ProtocolId, _from: ProtocolId, _state: u64) {}
+
+    async fn invalidate(&self, _ctx: &(), _from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        Some(7)
+    }
+
+    async fn publish_mode(&self, _ctx: &(), _to: ProtocolId) {}
+
+    fn now(&self, _ctx: &()) -> u64 {
+        self.clock.set(self.clock.get() + 10);
+        self.clock.get()
+    }
+}
+
+/// A deterministic observation trace over `n` protocols: a mix of
+/// optimal acquisitions and proposals to every other slot, with
+/// residuals large enough to trip Competitive3 periodically.
+fn trace(n: u8, len: u64) -> Vec<(u8, f64)> {
+    // (proposed_target_offset, residual); offset 0 encodes "optimal".
+    let mut x = 0x9E37_79B9u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % n as u64) as u8, (x >> 8) as f64 % 4_000.0)
+        })
+        .collect()
+}
+
+/// Run a trace through one kernel; returns (decisions, events).
+fn run<W: KernelWorld>(
+    kernel: &SwitchKernel<W>,
+    events: impl Fn() -> Vec<SwitchEvent>,
+    n: u8,
+    steps: &[(u8, f64)],
+) -> (Vec<Option<ProtocolId>>, Vec<SwitchEvent>) {
+    let obj = NullObject::default();
+    let mut cur = ProtocolId(0);
+    let mut decisions = Vec::new();
+    for &(offset, residual) in steps {
+        let obs = if offset == 0 {
+            Observation::optimal(cur)
+        } else {
+            let better = ProtocolId((cur.0 + offset) % n);
+            Observation::suboptimal(cur, better, residual)
+        };
+        let d = kernel.observe(&obs);
+        decisions.push(d);
+        if let Some(t) = d {
+            drive(kernel.switch(&obj, &(), cur, t));
+            cur = t;
+        }
+    }
+    (decisions, events())
+}
+
+fn conformance_with(make_policy: &dyn Fn() -> Box<dyn Policy + Send>, n: u8) {
+    let steps = trace(n, 600);
+
+    let local_log = Rc::new(SwitchLog::new());
+    let mut local = SwitchKernel::<LocalWorld>::builder()
+        .policy(make_policy())
+        .sink(local_log.clone() as Rc<dyn Instrument>);
+    let shared_log = Arc::new(SwitchLog::new());
+    let mut shared = SwitchKernel::<SharedWorld>::builder()
+        .policy(make_policy())
+        .sink(shared_log.clone() as Arc<dyn Instrument + Send + Sync>);
+    for i in 0..n {
+        // Styles differ per world in the real objects; the emitted
+        // decision/event stream must not depend on them.
+        local = local.register(ProtocolId(i), "p", SwitchStyle::Handoff);
+        shared = shared.register(ProtocolId(i), "p", SwitchStyle::CommitFirst);
+    }
+    let local = local.build();
+    let shared = shared.build();
+
+    let (ld, le) = run(&local, || local_log.events(), n, &steps);
+    let (sd, se) = run(&shared, || shared_log.events(), n, &steps);
+
+    assert_eq!(ld, sd, "decision sequences diverged across worlds");
+    assert_eq!(le, se, "switch-event sequences diverged across worlds");
+    assert_eq!(local.switches(), shared.switches());
+    assert_eq!(local.current(), shared.current());
+    assert!(
+        !le.is_empty(),
+        "trace must exercise switching to be a meaningful conformance check"
+    );
+}
+
+#[test]
+fn always_policy_conforms_across_worlds() {
+    conformance_with(&|| Box::new(Always), 2);
+    conformance_with(&|| Box::new(Always), 4);
+}
+
+#[test]
+fn competitive3_conforms_across_worlds() {
+    conformance_with(&|| Box::new(Competitive3::new(8_800.0)), 2);
+    conformance_with(&|| Box::new(Competitive3::new(8_800.0)), 3);
+}
+
+#[test]
+fn hysteresis_conforms_across_worlds() {
+    conformance_with(&|| Box::new(Hysteresis::new(4, 4)), 2);
+    conformance_with(&|| Box::new(Hysteresis::new(2, 5)), 4);
+}

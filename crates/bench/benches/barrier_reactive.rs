@@ -1,0 +1,17 @@
+//! Beyond the paper: the kernel-built reactive barrier vs the static
+//! central and combining-tree arrival protocols across P.
+//!
+//! Reproduced through the scenario layer: the machine-checkable claims
+//! (central/tree crossover, reactive tracks-best, at least one kernel
+//! switch at the contended end) are evaluated against the full-scale
+//! sweep and the measured headline is printed. The same scenario runs
+//! scaled-down in `tests/scenario_claims.rs`.
+
+use repro_bench::scenario::{by_name, Scale};
+
+fn main() {
+    let (_, results) = by_name("barrier_reactive").report(Scale::Full);
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
+}

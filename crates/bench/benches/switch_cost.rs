@@ -1,0 +1,177 @@
+//! `switch_cost`: round-trip protocol-switch cost of the reactive lock
+//! (§3.5.5).
+//!
+//! The paper measures a protocol change TTS → queue at ≈ 8000 cycles
+//! and queue → TTS at ≈ 800 (round trip ≈ 8800) on Alewife — the
+//! `d_AB + d_BA` constant the 3-competitive policy takes. This
+//! bench measures the same quantity on the simulated machine (cycles)
+//! and on host hardware (nanoseconds), by driving a lock with a policy
+//! that switches on every acquisition and subtracting the plain
+//! (non-switching) release cost in the same mode.
+//!
+//! Writes `BENCH_switch.json` at the repository root; `--quick` runs
+//! the scaled-down variant CI uses.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use alewife_sim::{Config, Machine};
+use reactive_core::policy::{Decision, Observation, Policy};
+use reactive_core::ReactiveLock;
+
+/// Always propose the other protocol of a 2-way object.
+#[derive(Clone, Copy)]
+struct FlipFlop;
+
+impl Policy for FlipFlop {
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        Decision::SwitchTo(reactive_core::policy::ProtocolId(1 - obs.current.0))
+    }
+}
+
+/// Never switch (baseline releases).
+#[derive(Clone, Copy)]
+struct Stay;
+
+impl Policy for Stay {
+    fn decide(&mut self, _obs: &Observation) -> Decision {
+        Decision::Stay
+    }
+}
+
+/// Mean release-path cycles per [`ReleaseMode`] bucket under a
+/// `procs`-way contended workload (the paper measures protocol-change
+/// cost under contention: invalidating a populated queue and handing a
+/// line around are the dominant terms). Returns
+/// `[tts_plain, queue_plain, tts_to_queue, queue_to_tts]` means (NaN
+/// for an empty bucket).
+fn sim_release_cycles(
+    procs: usize,
+    iters: u64,
+    policy: impl Policy + Clone + 'static,
+    start_in_queue: bool,
+) -> [f64; 4] {
+    use reactive_core::lock::ReleaseMode;
+    let m = Machine::new(Config::default().nodes(procs));
+    let mut b = ReactiveLock::builder(&m, 0).max_procs(procs).policy(policy);
+    if start_in_queue {
+        b = b.initial_protocol(reactive_core::lock::PROTO_QUEUE);
+    }
+    let lock = b.build();
+    let sums = Rc::new(Cell::new([0u64; 4]));
+    let counts = Rc::new(Cell::new([0u64; 4]));
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let lock = lock.clone();
+        let sums = sums.clone();
+        let counts = counts.clone();
+        m.spawn(p, async move {
+            for _ in 0..iters {
+                let t = lock.acquire(&cpu).await;
+                cpu.work(10).await;
+                let bucket = match t {
+                    ReleaseMode::Tts => 0,
+                    ReleaseMode::Queue(_) => 1,
+                    ReleaseMode::TtsToQueue => 2,
+                    ReleaseMode::QueueToTts(_) => 3,
+                };
+                let t0 = cpu.now();
+                lock.release(&cpu, t).await;
+                let dt = cpu.now() - t0;
+                let mut s = sums.get();
+                let mut c = counts.get();
+                s[bucket] += dt;
+                c[bucket] += 1;
+                sums.set(s);
+                counts.set(c);
+                cpu.work(cpu.rand_below(100)).await;
+            }
+        });
+    }
+    m.run();
+    assert_eq!(m.live_tasks(), 0);
+    let s = sums.get();
+    let c = counts.get();
+    std::array::from_fn(|i| s[i] as f64 / c[i] as f64)
+}
+
+/// Mean native release nanoseconds for a single thread with the given
+/// policy (every release switches under [`FlipFlop`], none under
+/// [`Stay`]).
+fn native_release_ns(iters: u64, flip: bool) -> f64 {
+    let lock = if flip {
+        reactive_native::ReactiveLock::builder()
+            .policy(FlipFlop)
+            .build()
+    } else {
+        reactive_native::ReactiveLock::builder()
+            .policy(Stay)
+            .build()
+    };
+    // Warm up.
+    for _ in 0..64 {
+        let h = lock.acquire();
+        lock.release(h);
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        let h = lock.acquire();
+        lock.release(h);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Per-processor acquisitions on the 16-node simulated machine.
+    let sim_iters: u64 = if quick { 30 } else { 300 };
+    let native_iters: u64 = if quick { 20_000 } else { 400_000 };
+
+    const PROCS: usize = 16;
+    // FlipFlop under contention: every release performs a protocol
+    // change, with populated queues to invalidate and contended lines
+    // to hand around — the regime the paper's §3.5.5 figure measures.
+    let flip = sim_release_cycles(PROCS, sim_iters, FlipFlop, false);
+    // Baselines: plain releases in each mode under the same contention.
+    let tts_base = sim_release_cycles(PROCS, sim_iters, Stay, false)[0];
+    let queue_base = sim_release_cycles(PROCS, sim_iters, Stay, true)[1];
+    let to_queue = (flip[2] - tts_base).max(0.0);
+    let to_tts = (flip[3] - queue_base).max(0.0);
+    let round_trip = to_queue + to_tts;
+
+    let native_flip = native_release_ns(native_iters, true);
+    let native_base = native_release_ns(native_iters, false);
+    // Two switching releases per protocol round trip.
+    let native_round_trip = (2.0 * (native_flip - native_base)).max(0.0);
+
+    println!("switch_cost: reactive-lock protocol-change round trip");
+    println!("  sim TTS -> queue           {to_queue:10.1} cycles (paper ~ 8000)");
+    println!("  sim queue -> TTS           {to_tts:10.1} cycles (paper ~  800)");
+    println!("  sim round trip             {round_trip:10.1} cycles (paper ~ 8800)");
+    println!("  native round trip          {native_round_trip:10.1} ns");
+
+    let json = format!(
+        "{{\n  \"bench\": \"switch_cost\",\n  \"quick\": {quick},\n  \"sim\": {{\n    \
+         \"to_queue_cycles\": {to_queue:.1},\n    \"to_tts_cycles\": {to_tts:.1},\n    \
+         \"round_trip_cycles\": {round_trip:.1},\n    \"paper_round_trip_cycles\": 8800\n  \
+         }},\n  \"native\": {{\n    \"round_trip_ns\": {native_round_trip:.1}\n  }}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_switch.json");
+    std::fs::write(path, json).expect("write BENCH_switch.json");
+
+    // Sanity gate (simulator only — it is deterministic, so this can
+    // be a hard failure): a switching release must cost more than a
+    // plain one. The native number is wall-clock on a shared host and
+    // may legitimately dip into the noise, so it is reported and
+    // warned about but not gated.
+    if native_round_trip <= 0.0 {
+        eprintln!(
+            "switch_cost: WARNING native switching releases measured no dearer than plain \
+             ones (noise, or the native switch path regressed)"
+        );
+    }
+    if round_trip <= 0.0 {
+        eprintln!("switch_cost: simulated round trip collapsed to zero");
+        std::process::exit(1);
+    }
+}

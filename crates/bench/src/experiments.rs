@@ -5,8 +5,9 @@ use std::rc::Rc;
 use alewife_sim::{Config, CostModel, Machine};
 use reactive_core::mp::{ReactiveMpFetchOp, ReactiveMpLock};
 use reactive_core::policy::{Instrument, SwitchLog};
+use reactive_core::ReactiveBarrier;
 use sim_apps::alg::{AnyFetchOp, AnyLock, FetchOpAlg, LockAlg};
-use sync_protocols::barrier::{BarrierCtx, SenseBarrier};
+use sync_protocols::barrier::{BarrierCtx, SenseBarrier, TreeBarrier};
 use sync_protocols::waiting::AlwaysSpin;
 
 /// Processor counts swept by the baseline experiments.
@@ -316,6 +317,69 @@ pub fn time_varying_counted(
         Some(log.clone() as Rc<dyn Instrument>),
     );
     (t, log.count() as u64)
+}
+
+/// Barrier arrival protocols compared by the `barrier_reactive`
+/// scenario (beyond the paper: the kernel-built fifth reactive object).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierAlg {
+    /// Centralized sense-reversing barrier (one counter line).
+    Central,
+    /// Software combining arrival tree (fanout-bounded sharing).
+    Tree,
+    /// The kernel-built [`ReactiveBarrier`] selecting between them.
+    Reactive,
+}
+
+/// Arrival-tree fanout used by the barrier experiments.
+pub const BARRIER_FANOUT: usize = 4;
+
+/// Cycles per barrier round for `procs` participants.
+pub fn barrier_overhead_n(alg: BarrierAlg, procs: usize, rounds: u64) -> f64 {
+    barrier_overhead_counted(alg, procs, rounds).0
+}
+
+/// [`barrier_overhead_n`] plus the reactive barrier's protocol-switch
+/// count (0 for the static protocols).
+pub fn barrier_overhead_counted(alg: BarrierAlg, procs: usize, rounds: u64) -> (f64, u64) {
+    #[derive(Clone)]
+    enum AnyBar {
+        Central(SenseBarrier),
+        Tree(TreeBarrier),
+        Reactive(ReactiveBarrier),
+    }
+    let m = Machine::new(Config::default().nodes(procs));
+    let bar = match alg {
+        BarrierAlg::Central => AnyBar::Central(SenseBarrier::new(&m, 0, procs as u64)),
+        BarrierAlg::Tree => AnyBar::Tree(TreeBarrier::new(&m, 0, procs, BARRIER_FANOUT)),
+        BarrierAlg::Reactive => AnyBar::Reactive(
+            ReactiveBarrier::builder(&m, 0, procs)
+                .fanout(BARRIER_FANOUT)
+                .build(),
+        ),
+    };
+    for p in 0..procs {
+        let cpu = m.cpu(p);
+        let bar = bar.clone();
+        m.spawn(p, async move {
+            let mut ctx = BarrierCtx::default();
+            for _ in 0..rounds {
+                cpu.work(cpu.rand_below(200)).await;
+                match &bar {
+                    AnyBar::Central(b) => b.wait(&cpu, &mut ctx, &AlwaysSpin).await,
+                    AnyBar::Tree(b) => b.wait(&cpu, &mut ctx, &AlwaysSpin).await,
+                    AnyBar::Reactive(b) => b.wait(&cpu, &mut ctx, &AlwaysSpin).await,
+                }
+            }
+        });
+    }
+    let elapsed = m.run();
+    assert_eq!(m.live_tasks(), 0, "barrier experiment deadlock");
+    let switches = match &bar {
+        AnyBar::Reactive(b) => b.switches(),
+        _ => 0,
+    };
+    (elapsed as f64 / rounds as f64, switches)
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ claim_test!(
     fig_4_13_barriers,
     fig_4_14_mutex,
     table_4_6_lpoll_half,
+    barrier_reactive,
 );
 
 /// Every scenario in the registry is covered by a test above (guards
@@ -82,6 +83,7 @@ fn registry_matches_test_list() {
         "fig_4_13_barriers",
         "fig_4_14_mutex",
         "table_4_6_lpoll_half",
+        "barrier_reactive",
     ];
     let names: Vec<&str> = repro_bench::scenario::all()
         .iter()

@@ -39,7 +39,9 @@ use sync_protocols::spin::{
     dec, enc, Backoff, FREE, GO, INITIAL_DELAY, INVALID_PTR, INVALID_STATUS, NIL, WAITING,
 };
 
-use crate::policy::{Always, Instrument, Observation, Policy, ProtocolId, ProtocolInfo, Selector};
+use crate::policy::{
+    Always, Instrument, Observation, Policy, ProtocolId, SimKernel, SwitchStyle, SwitchableObject,
+};
 
 /// Slot of the TTS-lock-protected counter.
 pub const PROTO_TTS: ProtocolId = ProtocolId(0);
@@ -50,7 +52,6 @@ pub const PROTO_TREE: ProtocolId = ProtocolId(2);
 
 const MODE_TTS: u64 = PROTO_TTS.0 as u64;
 const MODE_QUEUE: u64 = PROTO_QUEUE.0 as u64;
-const MODE_TREE: u64 = PROTO_TREE.0 as u64;
 
 const QN_NEXT: u64 = 0;
 const QN_STATUS: u64 = 1;
@@ -115,30 +116,27 @@ impl<'m> ReactiveFetchOpBuilder<'m> {
         m.write_word(mode, MODE_TTS);
         m.write_word(root, 0); // root lock free
         m.write_word(root.plus(1), 0); // tree invalid
+
+        // All three slots are holder-based consensus objects (two lock
+        // words and the root lock guarding `tree_valid`); the tree's
+        // invalidation is performed at decision time under the root
+        // lock, so its invalidate hook is a no-op (see the kernel's
+        // hook contract).
+        let mut kernel = SimKernel::builder()
+            .register(PROTO_TTS, "tts-counter", SwitchStyle::Handoff)
+            .register(PROTO_QUEUE, "queue-counter", SwitchStyle::Handoff)
+            .register(PROTO_TREE, "combining-tree", SwitchStyle::Handoff)
+            .policy(self.policy);
+        if let Some(sink) = self.sink {
+            kernel = kernel.sink(sink);
+        }
         ReactiveFetchOp {
             locks,
             mode,
             var,
             root,
             tree: CombiningTree::new(m, self.home, self.max_procs),
-            sel: Selector::new(
-                [
-                    ProtocolInfo {
-                        id: PROTO_TTS,
-                        name: "tts-counter",
-                    },
-                    ProtocolInfo {
-                        id: PROTO_QUEUE,
-                        name: "queue-counter",
-                    },
-                    ProtocolInfo {
-                        id: PROTO_TREE,
-                        name: "combining-tree",
-                    },
-                ],
-                self.policy,
-                self.sink,
-            ),
+            kernel: Rc::new(kernel.build()),
             empty_streak: Rc::new(Cell::new(0)),
             low_combine_streak: Rc::new(Cell::new(0)),
             pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
@@ -159,7 +157,7 @@ pub struct ReactiveFetchOp {
     /// `[root_lock, tree_valid]` — the combining tree's consensus.
     root: Addr,
     tree: CombiningTree,
-    sel: Selector<3>,
+    kernel: Rc<SimKernel>,
     empty_streak: Rc<Cell<u64>>,
     low_combine_streak: Rc<Cell<u64>>,
     pool: Rc<RefCell<Vec<Vec<Addr>>>>,
@@ -217,7 +215,7 @@ impl ReactiveFetchOp {
 
     /// Number of protocol changes performed so far.
     pub fn switches(&self) -> u64 {
-        self.sel.switches()
+        self.kernel.switches()
     }
 
     fn take_qnode(&self, cpu: &Cpu) -> Addr {
@@ -280,28 +278,33 @@ impl ReactiveFetchOp {
         } else {
             Observation::optimal(PROTO_TTS)
         };
-        match self.sel.observe(&obs) {
+        match self.kernel.observe(&obs) {
             Some(target) if target == PROTO_QUEUE => {
-                // Switch TTS -> queue: validate the queue, leave TTS busy.
+                // Switch TTS -> queue: the kernel validates the queue
+                // and leaves TTS busy; releasing through the new
+                // protocol is ours.
                 let q = self.take_qnode(cpu);
-                self.acquire_invalid_queue(cpu, q).await;
-                cpu.write(self.mode, MODE_QUEUE).await;
-                cpu.bump("reactive_fop.to_queue", 1);
-                self.sel.commit(cpu, PROTO_TTS, PROTO_QUEUE);
+                self.kernel
+                    .switch(
+                        &FopSwitch {
+                            f: self,
+                            q: Some(q),
+                        },
+                        cpu,
+                        PROTO_TTS,
+                        PROTO_QUEUE,
+                    )
+                    .await;
                 self.release_queue(cpu, q).await;
                 self.put_qnode(cpu, q);
             }
             Some(target) => {
-                // Switch TTS -> tree directly: validate the root's
-                // consensus object, leave both locks busy/INVALID.
+                // Switch TTS -> tree directly: the kernel validates the
+                // root's consensus object; both locks stay busy/INVALID.
                 debug_assert_eq!(target, PROTO_TREE);
-                self.lock_root(cpu).await;
-                cpu.write(self.tree_valid(), 1).await;
-                self.unlock_root(cpu).await;
-                cpu.write(self.mode, MODE_TREE).await;
-                cpu.bump("reactive_fop.to_tree", 1);
-                self.sel.commit(cpu, PROTO_TTS, PROTO_TREE);
-                self.low_combine_streak.set(0);
+                self.kernel
+                    .switch(&FopSwitch { f: self, q: None }, cpu, PROTO_TTS, PROTO_TREE)
+                    .await;
             }
             None => {
                 cpu.write(self.tts(), FREE).await;
@@ -361,29 +364,39 @@ impl ReactiveFetchOp {
                 Observation::optimal(PROTO_QUEUE)
             }
         };
-        match self.sel.observe(&obs) {
+        match self.kernel.observe(&obs) {
             Some(target) if target == PROTO_TTS => {
-                // Switch queue -> TTS.
-                cpu.write(self.mode, MODE_TTS).await;
-                cpu.bump("reactive_fop.to_tts", 1);
-                self.sel.commit(cpu, PROTO_QUEUE, PROTO_TTS);
-                self.invalidate_queue_from(cpu, q).await;
-                self.put_qnode(cpu, q);
+                // Switch queue -> TTS: the kernel invalidates the queue
+                // (bouncing waiters); freeing the TTS flag is our
+                // release through the new protocol.
+                self.kernel
+                    .switch(
+                        &FopSwitch {
+                            f: self,
+                            q: Some(q),
+                        },
+                        cpu,
+                        PROTO_QUEUE,
+                        PROTO_TTS,
+                    )
+                    .await;
                 cpu.write(self.tts(), FREE).await;
             }
             Some(target) => {
-                // Switch queue -> tree: validate the root, invalidate the
-                // queue. TTS stays busy.
+                // Switch queue -> tree: validate the root, invalidate
+                // the queue. TTS stays busy.
                 debug_assert_eq!(target, PROTO_TREE);
-                self.lock_root(cpu).await;
-                cpu.write(self.tree_valid(), 1).await;
-                self.unlock_root(cpu).await;
-                cpu.write(self.mode, MODE_TREE).await;
-                cpu.bump("reactive_fop.to_tree", 1);
-                self.sel.commit(cpu, PROTO_QUEUE, PROTO_TREE);
-                self.low_combine_streak.set(0);
-                self.invalidate_queue_from(cpu, q).await;
-                self.put_qnode(cpu, q);
+                self.kernel
+                    .switch(
+                        &FopSwitch {
+                            f: self,
+                            q: Some(q),
+                        },
+                        cpu,
+                        PROTO_QUEUE,
+                        PROTO_TREE,
+                    )
+                    .await;
             }
             None => {
                 self.release_queue(cpu, q).await;
@@ -429,8 +442,11 @@ impl ReactiveFetchOp {
                     Observation::optimal(PROTO_TREE)
                 };
                 // Decide while we hold the root so an approved change
-                // can clear `tree_valid` atomically with the update.
-                let target = self.sel.observe(&obs);
+                // can clear `tree_valid` atomically with the update
+                // (the tree's invalidation happens here, under its
+                // consensus object; the kernel's invalidate hook for
+                // the tree slot is therefore a no-op).
+                let target = self.kernel.observe(&obs);
                 if target.is_some() {
                     cpu.write(self.tree_valid(), 0).await;
                 }
@@ -439,11 +455,17 @@ impl ReactiveFetchOp {
                     Some(t) if t == PROTO_QUEUE => {
                         // Switch tree -> queue.
                         let q = self.take_qnode(cpu);
-                        self.acquire_invalid_queue(cpu, q).await;
-                        cpu.write(self.mode, MODE_QUEUE).await;
-                        cpu.bump("reactive_fop.tree_to_queue", 1);
-                        self.sel.commit(cpu, PROTO_TREE, PROTO_QUEUE);
-                        self.empty_streak.set(0);
+                        self.kernel
+                            .switch(
+                                &FopSwitch {
+                                    f: self,
+                                    q: Some(q),
+                                },
+                                cpu,
+                                PROTO_TREE,
+                                t,
+                            )
+                            .await;
                         self.release_queue(cpu, q).await;
                         self.put_qnode(cpu, q);
                     }
@@ -451,10 +473,9 @@ impl ReactiveFetchOp {
                         // Switch tree -> TTS directly: the queue is
                         // already invalid; just free the TTS flag.
                         debug_assert_eq!(t, PROTO_TTS);
-                        cpu.write(self.mode, MODE_TTS).await;
-                        cpu.bump("reactive_fop.tree_to_tts", 1);
-                        self.sel.commit(cpu, PROTO_TREE, PROTO_TTS);
-                        self.empty_streak.set(0);
+                        self.kernel
+                            .switch(&FopSwitch { f: self, q: None }, cpu, PROTO_TREE, t)
+                            .await;
                         cpu.write(self.tts(), FREE).await;
                     }
                     None => {}
@@ -531,6 +552,81 @@ impl ReactiveFetchOp {
             head = dec(next);
         }
         cpu.write(head.plus(QN_STATUS), INVALID_STATUS).await;
+    }
+}
+
+/// The fetch-op's [`SwitchableObject`] hooks for all six ordered
+/// protocol pairs: `q` carries the queue node involved in the
+/// transition (the node being installed when entering the queue
+/// protocol, the held node when leaving it; `None` for TTS ↔ tree
+/// routes). The pair machinery that used to be six hand-written switch
+/// blocks is now this one hook table — the kernel sequences it.
+struct FopSwitch<'a> {
+    f: &'a ReactiveFetchOp,
+    q: Option<Addr>,
+}
+
+impl SwitchableObject for FopSwitch<'_> {
+    type Ctx = Cpu;
+
+    async fn validate(&self, cpu: &Cpu, to: ProtocolId, _from: ProtocolId, _state: u64) {
+        match to {
+            PROTO_QUEUE => {
+                let q = self.q.expect("entering the queue protocol needs a node");
+                self.f.acquire_invalid_queue(cpu, q).await;
+            }
+            PROTO_TREE => {
+                // Set the root's validity flag under its lock.
+                self.f.lock_root(cpu).await;
+                cpu.write(self.f.tree_valid(), 1).await;
+                self.f.unlock_root(cpu).await;
+            }
+            _ => {
+                // TTS becomes valid when the switcher frees the flag —
+                // its release through the new protocol, after the
+                // transaction.
+            }
+        }
+    }
+
+    async fn invalidate(&self, cpu: &Cpu, from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        if from == PROTO_QUEUE {
+            let q = self
+                .q
+                .expect("leaving the queue protocol needs the held node");
+            self.f.invalidate_queue_from(cpu, q).await;
+            self.f.put_qnode(cpu, q);
+        }
+        // An invalid TTS flag is left BUSY; the tree's `tree_valid` was
+        // cleared at decision time under the root lock. Both are
+        // exclusive holds, so this cannot lose.
+        Some(0)
+    }
+
+    async fn publish_mode(&self, cpu: &Cpu, to: ProtocolId) {
+        cpu.write(self.f.mode, to.0 as u64).await;
+    }
+
+    fn now(&self, cpu: &Cpu) -> u64 {
+        cpu.now()
+    }
+
+    fn note_switch(&self, cpu: &Cpu, from: ProtocolId, to: ProtocolId) {
+        let name = match (from, to) {
+            (_, PROTO_QUEUE) if from == PROTO_TREE => "reactive_fop.tree_to_queue",
+            (_, PROTO_TTS) if from == PROTO_TREE => "reactive_fop.tree_to_tts",
+            (_, PROTO_QUEUE) => "reactive_fop.to_queue",
+            (_, PROTO_TREE) => "reactive_fop.to_tree",
+            _ => "reactive_fop.to_tts",
+        };
+        cpu.bump(name, 1);
+    }
+
+    fn reset_monitor(&self, to: ProtocolId) {
+        match to {
+            PROTO_TREE => self.f.low_combine_streak.set(0),
+            _ => self.f.empty_streak.set(0),
+        }
     }
 }
 

@@ -1,23 +1,32 @@
-//! The protocol-selection framework of §3.2: protocol objects, the
-//! protocol manager, and C-serializability (Definitions 1 and 2).
+//! The protocol-selection framework of §3.2: the naive lock-based
+//! reference design, plus the kernel's cross-object oracle.
 //!
 //! The practical reactive algorithms ([`crate::lock`],
-//! [`crate::fetch_op`]) collapse this layering for performance (§3.2.6).
-//! This module keeps the framework itself executable:
+//! [`crate::fetch_op`]) collapse this layering for performance (§3.2.6)
+//! and run their mode changes through the shared
+//! [`SwitchKernel`](crate::policy::SwitchKernel). This module keeps the
+//! framework itself executable:
 //!
 //! * [`NaiveProtocolObject`] / [`NaiveManager`] implement the lock-based
 //!   reference design of Figures 3.5-3.7 verbatim on the simulator —
 //!   correct for *any* protocol, but with the serialization overheads
 //!   §3.2.4 identifies.
-//! * [`History`] records per-object operation intervals, and
-//!   [`check_c_serial`] verifies Definition 1: at every object, each
-//!   protocol-change operation (`Invalidate`/`Validate`) is totally
-//!   ordered with respect to every other operation. We record the
-//!   *serialization intervals* (the locked sections), whose C-seriality
-//!   witnesses an equivalent legal C-serial history for the full
-//!   request/response history.
-//! * [`check_at_most_one_valid`] verifies the manager invariant of
-//!   §3.2.3: at any time, at most one protocol object is valid.
+//! * [`History`] records per-object operation intervals, and the §3.2
+//!   checkers — re-exported from [`reactive_api::oracle`], where they
+//!   double as the **kernel's cross-object oracle** — verify them:
+//!   [`check_c_serial`] (Definition 1: every protocol-change operation
+//!   is totally ordered with respect to every other operation at its
+//!   object) and [`check_at_most_one_valid`] (§3.2.3: at any time, at
+//!   most one protocol object is valid). We record the *serialization
+//!   intervals* (the locked sections), whose C-seriality witnesses an
+//!   equivalent legal C-serial history for the full request/response
+//!   history.
+//! * [`switch_events_to_records`] lowers any kernel commit log into the
+//!   same record format, so every kernel-built reactive object — the
+//!   sim lock/fetch-op/MP objects, the barrier, the native lock — is
+//!   checked against the framework's correctness conditions in tests
+//!   (`crates/core/tests/kernel_oracle.rs`,
+//!   `crates/native/tests/kernel_oracle.rs`).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -25,33 +34,10 @@ use std::rc::Rc;
 use alewife_sim::{Addr, Cpu, Machine};
 use sync_protocols::spin::{Lock, TtsLock};
 
-/// Operation kinds at a protocol object (Figure 3.5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum OpKind {
-    /// Execute the synchronization protocol.
-    DoProtocol,
-    /// Invalidate the object (first half of a protocol change).
-    Invalidate,
-    /// Update + validate the object (second half of a change).
-    Validate,
-}
-
-/// One recorded operation interval at a protocol object.
-#[derive(Clone, Copy, Debug)]
-pub struct OpRecord {
-    /// Issuing process (node id).
-    pub proc_id: usize,
-    /// Protocol object id.
-    pub obj: usize,
-    /// Operation kind.
-    pub kind: OpKind,
-    /// Serialization interval start (cycles).
-    pub start: u64,
-    /// Serialization interval end (cycles).
-    pub end: u64,
-    /// For `DoProtocol`: whether the execution found the object valid.
-    pub valid_execution: bool,
-}
+pub use reactive_api::oracle::{
+    check_at_most_one_valid, check_c_serial, check_switch_history, switch_events_to_records,
+    OpKind, OpRecord,
+};
 
 /// A shared recorder of operation intervals.
 #[derive(Clone, Debug, Default)]
@@ -74,63 +60,6 @@ impl History {
     pub fn snapshot(&self) -> Vec<OpRecord> {
         self.records.borrow().clone()
     }
-}
-
-/// Check Definition 1 (C-seriality): for each object, no
-/// `Invalidate`/`Validate` interval may overlap any other operation's
-/// interval on the same object.
-pub fn check_c_serial(records: &[OpRecord]) -> Result<(), String> {
-    for (i, a) in records.iter().enumerate() {
-        if a.kind == OpKind::DoProtocol {
-            continue;
-        }
-        for (j, b) in records.iter().enumerate() {
-            if i == j || a.obj != b.obj {
-                continue;
-            }
-            let disjoint = a.end <= b.start || b.end <= a.start;
-            if !disjoint {
-                return Err(format!(
-                    "change op {a:?} overlaps {b:?} on object {}",
-                    a.obj
-                ));
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Check the §3.2.3 manager invariant: replaying the change operations
-/// in serialization order, at most one object is ever valid (given
-/// `initial_valid`).
-pub fn check_at_most_one_valid(
-    records: &[OpRecord],
-    objects: usize,
-    initial_valid: usize,
-) -> Result<(), String> {
-    let mut changes: Vec<&OpRecord> = records
-        .iter()
-        .filter(|r| r.kind != OpKind::DoProtocol)
-        .collect();
-    changes.sort_by_key(|r| r.start);
-    let mut valid = vec![false; objects];
-    valid[initial_valid] = true;
-    for c in changes {
-        match c.kind {
-            OpKind::Invalidate => valid[c.obj] = false,
-            OpKind::Validate => {
-                valid[c.obj] = true;
-                let count = valid.iter().filter(|&&v| v).count();
-                if count > 1 {
-                    return Err(format!(
-                        "{count} objects valid after {c:?} (invariant: ≤ 1)"
-                    ));
-                }
-            }
-            OpKind::DoProtocol => unreachable!(),
-        }
-    }
-    Ok(())
 }
 
 /// The naive lock-based protocol object of Figure 3.7, specialized to a
@@ -370,54 +299,9 @@ mod tests {
         check_at_most_one_valid(&recs, 2, 0).expect("validity invariant broken");
     }
 
-    #[test]
-    fn checker_rejects_overlapping_change() {
-        let bad = vec![
-            OpRecord {
-                proc_id: 0,
-                obj: 0,
-                kind: OpKind::DoProtocol,
-                start: 0,
-                end: 100,
-                valid_execution: true,
-            },
-            OpRecord {
-                proc_id: 1,
-                obj: 0,
-                kind: OpKind::Invalidate,
-                start: 50,
-                end: 150,
-                valid_execution: true,
-            },
-        ];
-        assert!(check_c_serial(&bad).is_err());
-    }
-
-    #[test]
-    fn checker_accepts_overlapping_protocol_executions() {
-        // Concurrent DoProtocol executions are explicitly allowed
-        // (that is the whole point of C-serial vs serial, §3.2.5).
-        let ok = vec![
-            OpRecord {
-                proc_id: 0,
-                obj: 0,
-                kind: OpKind::DoProtocol,
-                start: 0,
-                end: 100,
-                valid_execution: true,
-            },
-            OpRecord {
-                proc_id: 1,
-                obj: 0,
-                kind: OpKind::DoProtocol,
-                start: 50,
-                end: 150,
-                valid_execution: true,
-            },
-        ];
-        assert!(check_c_serial(&ok).is_ok());
-    }
-
+    // The basic accept/reject cases of the checkers are unit-tested
+    // next to their implementation in `reactive_api::oracle`; here we
+    // keep the case that depends on the multi-object framing.
     #[test]
     fn checker_allows_changes_on_different_objects() {
         // H3 of Figure 3.8: a change on x may overlap an op on y.
@@ -440,21 +324,5 @@ mod tests {
             },
         ];
         assert!(check_c_serial(&ok).is_ok());
-    }
-
-    #[test]
-    fn validity_checker_detects_double_valid() {
-        let bad = vec![
-            OpRecord {
-                proc_id: 0,
-                obj: 1,
-                kind: OpKind::Validate,
-                start: 0,
-                end: 10,
-                valid_execution: true,
-            },
-            // Object 0 was initially valid and never invalidated.
-        ];
-        assert!(check_at_most_one_valid(&bad, 2, 0).is_err());
     }
 }

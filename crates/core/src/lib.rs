@@ -9,7 +9,8 @@
 //!   shared [`reactive_api`] surface (the [`Policy`] trait with
 //!   switch-immediately, 3-competitive, and hysteresis impls; protocol
 //!   ids; switch-event instrumentation) plus the simulator-side
-//!   [`policy::Selector`] every reactive object here embeds. All
+//!   [`policy::SimKernel`] — the switching kernel every reactive
+//!   object here embeds and routes its mode changes through. All
 //!   reactive objects are constructed through builders
 //!   (`ReactiveLock::builder(&m, 0).policy(..).instrument(..)`).
 //! * [`lock`] — the reactive spin lock (§3.3.1, Figures 3.27-3.29):
@@ -31,6 +32,7 @@
 
 #![deny(missing_docs)]
 
+pub mod barrier;
 pub mod fetch_op;
 pub mod framework;
 pub mod lock;
@@ -38,6 +40,7 @@ pub mod mp;
 pub mod policy;
 pub mod waiting;
 
+pub use barrier::ReactiveBarrier;
 pub use fetch_op::ReactiveFetchOp;
 pub use lock::ReactiveLock;
 pub use policy::{

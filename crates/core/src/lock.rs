@@ -48,7 +48,9 @@ use sync_protocols::spin::{
     WAITING,
 };
 
-use crate::policy::{Always, Instrument, Observation, Policy, ProtocolId, ProtocolInfo, Selector};
+use crate::policy::{
+    Always, Instrument, Observation, Policy, ProtocolId, SimKernel, SwitchStyle, SwitchableObject,
+};
 
 /// Slot of the test-and-test-and-set protocol (cheap, low latency).
 pub const PROTO_TTS: ProtocolId = ProtocolId(0);
@@ -167,23 +169,21 @@ impl<'m> ReactiveLockBuilder<'m> {
             m.write_word(locks.plus(1), INVALID_PTR);
             m.write_word(mode, MODE_TTS);
         }
+        // Both sub-locks are holder-based consensus objects: mode
+        // changes run under the paper's handoff discipline (validate
+        // the target, publish the hint, leave the source pinned).
+        let mut kernel = SimKernel::builder()
+            .register(PROTO_TTS, "tts", SwitchStyle::Handoff)
+            .register(PROTO_QUEUE, "mcs-queue", SwitchStyle::Handoff)
+            .policy(self.policy)
+            .initial(self.initial);
+        if let Some(sink) = self.sink {
+            kernel = kernel.sink(sink);
+        }
         ReactiveLock {
             locks,
             mode,
-            sel: Selector::new(
-                [
-                    ProtocolInfo {
-                        id: PROTO_TTS,
-                        name: "tts",
-                    },
-                    ProtocolInfo {
-                        id: PROTO_QUEUE,
-                        name: "mcs-queue",
-                    },
-                ],
-                self.policy,
-                self.sink,
-            ),
+            kernel: Rc::new(kernel.build()),
             empty_streak: Rc::new(Cell::new(0)),
             pool: Rc::new(RefCell::new(vec![Vec::new(); m.nodes()])),
             max_procs: self.max_procs,
@@ -200,7 +200,7 @@ pub struct ReactiveLock {
     locks: Addr,
     /// Mode hint on its own (mostly-read) line.
     mode: Addr,
-    sel: Selector<2>,
+    kernel: Rc<SimKernel>,
     empty_streak: Rc<Cell<u64>>,
     pool: Rc<RefCell<Vec<Vec<Addr>>>>,
     max_procs: usize,
@@ -244,7 +244,7 @@ impl ReactiveLock {
 
     /// Number of protocol changes performed so far.
     pub fn switches(&self) -> u64 {
-        self.sel.switches()
+        self.kernel.switches()
     }
 
     /// Raw word addresses `(tts_flag, queue_tail, mode)` for invariant
@@ -327,7 +327,7 @@ impl ReactiveLock {
         } else {
             Observation::optimal(PROTO_TTS)
         };
-        match self.sel.observe(&obs) {
+        match self.kernel.observe(&obs) {
             Some(_queue) => ReleaseMode::TtsToQueue,
             None => ReleaseMode::Tts,
         }
@@ -348,7 +348,7 @@ impl ReactiveLock {
             } else {
                 Observation::optimal(PROTO_QUEUE)
             };
-            if self.sel.observe(&obs).is_some() {
+            if self.kernel.observe(&obs).is_some() {
                 return Some(ReleaseMode::QueueToTts(q));
             }
             return Some(ReleaseMode::Queue(q));
@@ -363,7 +363,7 @@ impl ReactiveLock {
                 // policies may direct a switch on any observation (the
                 // only other slot is TTS, so an approved target is it).
                 if self
-                    .sel
+                    .kernel
                     .observe(&Observation::optimal(PROTO_QUEUE))
                     .is_some()
                 {
@@ -397,25 +397,25 @@ impl ReactiveLock {
                 self.put_qnode(cpu, q);
             }
             ReleaseMode::TtsToQueue => {
-                // `release_tts_to_queue`: make the queue valid (leaving
-                // the TTS flag BUSY), then release via the queue.
+                // `release_tts_to_queue` (Figure 3.29), driven by the
+                // switching kernel: validate the queue (leaving the TTS
+                // flag BUSY), publish the hint, then release via the
+                // queue.
                 let q = self.take_qnode(cpu);
-                self.acquire_invalid_queue(cpu, q).await;
-                cpu.write(self.mode, MODE_QUEUE).await;
-                cpu.bump("reactive_lock.to_queue", 1);
-                self.sel.commit(cpu, PROTO_TTS, PROTO_QUEUE);
-                self.empty_streak.set(0);
+                self.kernel
+                    .switch(&LockSwitch { lock: self, q }, cpu, PROTO_TTS, PROTO_QUEUE)
+                    .await;
                 self.release_queue(cpu, q).await;
                 self.put_qnode(cpu, q);
             }
             ReleaseMode::QueueToTts(q) => {
-                // `release_queue_to_tts`: flip the hint, invalidate the
-                // queue (bouncing any waiters), then free the TTS flag.
-                cpu.write(self.mode, MODE_TTS).await;
-                cpu.bump("reactive_lock.to_tts", 1);
-                self.sel.commit(cpu, PROTO_QUEUE, PROTO_TTS);
-                self.invalidate_queue_from(cpu, q).await;
-                self.put_qnode(cpu, q);
+                // `release_queue_to_tts`: the kernel flips the hint and
+                // invalidates the queue (bouncing any waiters); freeing
+                // the TTS flag is this holder's release through the
+                // now-valid protocol.
+                self.kernel
+                    .switch(&LockSwitch { lock: self, q }, cpu, PROTO_QUEUE, PROTO_TTS)
+                    .await;
                 cpu.write(self.tts(), FREE).await;
             }
         }
@@ -471,6 +471,64 @@ impl ReactiveLock {
             head = dec(next);
         }
         cpu.write(head.plus(QN_STATUS), INVALID_STATUS).await;
+    }
+}
+
+/// The lock's [`SwitchableObject`] hooks: the physical realization of
+/// "make a sub-lock valid / invalid" for the two consensus objects,
+/// bound to the queue node `q` involved in the transition (the node
+/// being installed for TTS → queue, the held node for queue → TTS).
+/// Sequencing, validity bookkeeping, and event emission are the
+/// kernel's.
+struct LockSwitch<'a> {
+    lock: &'a ReactiveLock,
+    q: Addr,
+}
+
+impl SwitchableObject for LockSwitch<'_> {
+    type Ctx = Cpu;
+
+    async fn validate(&self, cpu: &Cpu, to: ProtocolId, _from: ProtocolId, _state: u64) {
+        if to == PROTO_QUEUE {
+            // Install our node as the head of the (invalid) queue,
+            // making the queue protocol valid-and-held.
+            self.lock.acquire_invalid_queue(cpu, self.q).await;
+        }
+        // TTS becomes valid when the switcher frees the flag — that is
+        // its release through the new protocol, after the transaction.
+    }
+
+    async fn invalidate(&self, cpu: &Cpu, from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        if from == PROTO_QUEUE {
+            // Bounce every queued waiter back to dispatch and leave the
+            // INVALID sentinel in the tail.
+            self.lock.invalidate_queue_from(cpu, self.q).await;
+            self.lock.put_qnode(cpu, self.q);
+        }
+        // An invalid TTS flag is simply left BUSY (never written). The
+        // holder-based discipline is exclusive, so this cannot lose.
+        Some(0)
+    }
+
+    async fn publish_mode(&self, cpu: &Cpu, to: ProtocolId) {
+        cpu.write(self.lock.mode, to.0 as u64).await;
+    }
+
+    fn now(&self, cpu: &Cpu) -> u64 {
+        cpu.now()
+    }
+
+    fn note_switch(&self, cpu: &Cpu, _from: ProtocolId, to: ProtocolId) {
+        let name = if to == PROTO_QUEUE {
+            "reactive_lock.to_queue"
+        } else {
+            "reactive_lock.to_tts"
+        };
+        cpu.bump(name, 1);
+    }
+
+    fn reset_monitor(&self, _to: ProtocolId) {
+        self.lock.empty_streak.set(0);
     }
 }
 

@@ -28,7 +28,9 @@ use alewife_sim::{Addr, Cpu, Machine};
 use sync_protocols::mp::{MpCombiningTree, MpCounter, MpQueueLock};
 use sync_protocols::spin::{Backoff, FREE, INITIAL_DELAY};
 
-use crate::policy::{Always, Instrument, Observation, Policy, ProtocolId, ProtocolInfo, Selector};
+use crate::policy::{
+    Always, Instrument, Observation, Policy, ProtocolId, SimKernel, SwitchStyle, SwitchableObject,
+};
 
 /// Slot of the shared-memory TTS protocol (locks and fetch-ops).
 pub const PROTO_TTS: ProtocolId = ProtocolId(0);
@@ -39,7 +41,6 @@ pub const PROTO_MP_TREE: ProtocolId = ProtocolId(2);
 
 const MODE_TTS: u64 = PROTO_TTS.0 as u64;
 const MODE_MP: u64 = PROTO_MP.0 as u64;
-const MODE_TREE: u64 = PROTO_MP_TREE.0 as u64;
 
 /// Failed `test&set`s per acquisition signalling high contention.
 const TTS_RETRY_LIMIT: u64 = 4;
@@ -102,24 +103,21 @@ impl<'m> ReactiveMpLockBuilder<'m> {
         let mode = m.alloc_on(self.home, 1);
         m.write_word(tts, FREE);
         m.write_word(mode, MODE_TTS);
+        // Both consensus objects are holder-based here: the TTS flag is
+        // pinned busy while invalid, and the manager's validity flips
+        // under the lock holder's RPC.
+        let mut kernel = SimKernel::builder()
+            .register(PROTO_TTS, "tts", SwitchStyle::Handoff)
+            .register(PROTO_MP, "mp-queue", SwitchStyle::Handoff)
+            .policy(self.policy);
+        if let Some(sink) = self.sink {
+            kernel = kernel.sink(sink);
+        }
         ReactiveMpLock {
             tts,
             mode,
             mp: MpQueueLock::with_validity(m, self.manager, false),
-            sel: Selector::new(
-                [
-                    ProtocolInfo {
-                        id: PROTO_TTS,
-                        name: "tts",
-                    },
-                    ProtocolInfo {
-                        id: PROTO_MP,
-                        name: "mp-queue",
-                    },
-                ],
-                self.policy,
-                self.sink,
-            ),
+            kernel: Rc::new(kernel.build()),
             empty_streak: Rc::new(Cell::new(0)),
             max_procs: self.max_procs,
         }
@@ -133,7 +131,7 @@ pub struct ReactiveMpLock {
     tts: Addr,
     mode: Addr,
     mp: MpQueueLock,
-    sel: Selector<2>,
+    kernel: Rc<SimKernel>,
     empty_streak: Rc<Cell<u64>>,
     max_procs: usize,
 }
@@ -170,7 +168,7 @@ impl ReactiveMpLock {
 
     /// Number of protocol changes so far.
     pub fn switches(&self) -> u64 {
-        self.sel.switches()
+        self.kernel.switches()
     }
 
     /// Acquire; pass the returned token to [`ReactiveMpLock::release`].
@@ -198,7 +196,7 @@ impl ReactiveMpLock {
                     } else {
                         Observation::optimal(PROTO_TTS)
                     };
-                    return Some(if self.sel.observe(&obs).is_some() {
+                    return Some(if self.kernel.observe(&obs).is_some() {
                         MpReleaseMode::TtsToMp
                     } else {
                         MpReleaseMode::Tts
@@ -231,7 +229,7 @@ impl ReactiveMpLock {
             self.empty_streak.set(0);
             Observation::optimal(PROTO_MP)
         };
-        Some(if self.sel.observe(&obs).is_some() {
+        Some(if self.kernel.observe(&obs).is_some() {
             MpReleaseMode::MpToTts
         } else {
             MpReleaseMode::Mp
@@ -247,24 +245,76 @@ impl ReactiveMpLock {
                 self.mp.release(cpu, ()).await;
             }
             MpReleaseMode::TtsToMp => {
-                // Validate the manager with the lock held by us, flip the
-                // hint, then release through the manager. TTS stays BUSY.
-                self.mp.validate_held_via(cpu).await;
-                cpu.write(self.mode, MODE_MP).await;
-                cpu.bump("reactive_mp_lock.to_mp", 1);
-                self.sel.commit(cpu, PROTO_TTS, PROTO_MP);
-                self.empty_streak.set(0);
+                // The kernel validates the manager with the lock held
+                // by us and flips the hint (TTS stays BUSY); we then
+                // release through the manager.
+                self.kernel
+                    .switch(&MpLockSwitch { lock: self }, cpu, PROTO_TTS, PROTO_MP)
+                    .await;
                 use sync_protocols::spin::Lock as _;
                 self.mp.release(cpu, ()).await;
             }
             MpReleaseMode::MpToTts => {
-                cpu.write(self.mode, MODE_TTS).await;
-                cpu.bump("reactive_mp_lock.to_tts", 1);
-                self.sel.commit(cpu, PROTO_MP, PROTO_TTS);
-                self.mp.invalidate_via(cpu).await;
+                // The kernel flips the hint and invalidates the manager
+                // (queued requesters bounce); freeing the TTS flag is
+                // our release through the new protocol.
+                self.kernel
+                    .switch(&MpLockSwitch { lock: self }, cpu, PROTO_MP, PROTO_TTS)
+                    .await;
                 cpu.write(self.tts, FREE).await;
             }
         }
+    }
+}
+
+/// The MP lock's [`SwitchableObject`] hooks: manager validity RPCs plus
+/// the pinned TTS flag.
+struct MpLockSwitch<'a> {
+    lock: &'a ReactiveMpLock,
+}
+
+impl SwitchableObject for MpLockSwitch<'_> {
+    type Ctx = Cpu;
+
+    async fn validate(&self, cpu: &Cpu, to: ProtocolId, _from: ProtocolId, _state: u64) {
+        if to == PROTO_MP {
+            // The validate RPC runs in the manager's handler, atomically
+            // with any queued requests, while we hold the lock.
+            self.lock.mp.validate_held_via(cpu).await;
+        }
+        // TTS becomes valid when the switcher frees the flag.
+    }
+
+    async fn invalidate(&self, cpu: &Cpu, from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        if from == PROTO_MP {
+            // The invalidate RPC serializes in the manager handler;
+            // queued requesters receive retry replies. The changer
+            // holds the lock, so the attempt is exclusive.
+            self.lock.mp.invalidate_via(cpu).await;
+        }
+        // An invalid TTS flag is left BUSY.
+        Some(0)
+    }
+
+    async fn publish_mode(&self, cpu: &Cpu, to: ProtocolId) {
+        cpu.write(self.lock.mode, to.0 as u64).await;
+    }
+
+    fn now(&self, cpu: &Cpu) -> u64 {
+        cpu.now()
+    }
+
+    fn note_switch(&self, cpu: &Cpu, _from: ProtocolId, to: ProtocolId) {
+        let name = if to == PROTO_MP {
+            "reactive_mp_lock.to_mp"
+        } else {
+            "reactive_mp_lock.to_tts"
+        };
+        cpu.bump(name, 1);
+    }
+
+    fn reset_monitor(&self, _to: ProtocolId) {
+        self.lock.empty_streak.set(0);
     }
 }
 
@@ -313,30 +363,25 @@ impl<'m> ReactiveMpFetchOpBuilder<'m> {
         let mode = m.alloc_on(self.home, 1);
         m.write_word(tts, FREE);
         m.write_word(mode, MODE_TTS);
+        // Every slot here is value-carrying consensus: leaving a
+        // protocol must capture the counter atomically with its
+        // invalidation and install it into the target, so all exits
+        // use the kernel's Transfer discipline.
+        let mut kernel = SimKernel::builder()
+            .register(PROTO_TTS, "tts-counter", SwitchStyle::Transfer)
+            .register(PROTO_MP, "mp-central", SwitchStyle::Transfer)
+            .register(PROTO_MP_TREE, "mp-combining-tree", SwitchStyle::Transfer)
+            .policy(self.policy);
+        if let Some(sink) = self.sink {
+            kernel = kernel.sink(sink);
+        }
         ReactiveMpFetchOp {
             tts,
             var,
             mode,
             central: MpCounter::with_validity(m, self.manager, false),
             tree: MpCombiningTree::with_validity(m, self.manager, self.max_procs, false),
-            sel: Selector::new(
-                [
-                    ProtocolInfo {
-                        id: PROTO_TTS,
-                        name: "tts-counter",
-                    },
-                    ProtocolInfo {
-                        id: PROTO_MP,
-                        name: "mp-central",
-                    },
-                    ProtocolInfo {
-                        id: PROTO_MP_TREE,
-                        name: "mp-combining-tree",
-                    },
-                ],
-                self.policy,
-                self.sink,
-            ),
+            kernel: Rc::new(kernel.build()),
             calm_streak: Rc::new(Cell::new(0)),
             max_procs: self.max_procs,
         }
@@ -359,7 +404,7 @@ pub struct ReactiveMpFetchOp {
     mode: Addr,
     central: MpCounter,
     tree: MpCombiningTree,
-    sel: Selector<3>,
+    kernel: Rc<SimKernel>,
     calm_streak: Rc<Cell<u64>>,
     max_procs: usize,
 }
@@ -401,7 +446,7 @@ impl ReactiveMpFetchOp {
 
     /// Number of protocol changes so far.
     pub fn switches(&self) -> u64 {
-        self.sel.switches()
+        self.kernel.switches()
     }
 
     /// The final counter value (host-side inspection after a run).
@@ -466,26 +511,11 @@ impl ReactiveMpFetchOp {
         } else {
             Observation::optimal(PROTO_TTS)
         };
-        match self.sel.observe(&obs) {
+        match self.kernel.observe(&obs) {
             Some(target) => {
-                // We hold the TTS consensus; leave it busy and transfer
-                // the counter value to the target protocol. The validate
-                // RPC runs in the manager's handler, atomically with any
-                // queued ops.
-                let v = cpu.read(self.var).await;
-                if target == PROTO_MP {
-                    self.central.validate_via(cpu, v).await;
-                    cpu.write(self.mode, MODE_MP).await;
-                    cpu.bump("reactive_mp_fop.to_central", 1);
-                    self.sel.commit(cpu, PROTO_TTS, PROTO_MP);
-                    self.calm_streak.set(0);
-                } else {
-                    debug_assert_eq!(target, PROTO_MP_TREE);
-                    self.tree.validate_via(cpu, v).await;
-                    cpu.write(self.mode, MODE_TREE).await;
-                    cpu.bump("reactive_mp_fop.to_tree", 1);
-                    self.sel.commit(cpu, PROTO_TTS, PROTO_MP_TREE);
-                }
+                self.kernel
+                    .switch(&MpFopSwitch { f: self }, cpu, PROTO_TTS, target)
+                    .await;
             }
             None => {
                 cpu.write(self.tts, FREE).await;
@@ -512,22 +542,16 @@ impl ReactiveMpFetchOp {
             self.calm_streak.set(0);
             Observation::optimal(PROTO_MP)
         };
-        if let Some(target) = self.sel.observe(&obs) {
-            // The invalidate RPC serializes in the manager handler
-            // (it IS the consensus object, §3.6) and returns the
-            // final value; queued ops bounce and retry.
-            let v = self.central.invalidate_via(cpu).await;
-            if target == PROTO_MP_TREE {
-                self.tree.validate_via(cpu, v).await;
-                cpu.write(self.mode, MODE_TREE).await;
-                cpu.bump("reactive_mp_fop.to_tree", 1);
-                self.sel.commit(cpu, PROTO_MP, PROTO_MP_TREE);
-            } else {
-                debug_assert_eq!(target, PROTO_TTS);
-                cpu.write(self.var, v).await;
-                cpu.write(self.mode, MODE_TTS).await;
-                cpu.bump("reactive_mp_fop.to_tts", 1);
-                self.sel.commit(cpu, PROTO_MP, PROTO_TTS);
+        if let Some(target) = self.kernel.observe(&obs) {
+            // Any completed requester may decide a change here, so the
+            // attempt is fallible: the manager handler arbitrates
+            // between concurrent changers, and a loser abandons its
+            // stale decision (the winner owns the transition).
+            let won = self
+                .kernel
+                .try_switch(&MpFopSwitch { f: self }, cpu, PROTO_MP, target)
+                .await;
+            if won && target == PROTO_TTS {
                 cpu.write(self.tts, FREE).await;
             }
         }
@@ -551,23 +575,77 @@ impl ReactiveMpFetchOp {
             } else {
                 Observation::optimal(PROTO_MP_TREE)
             };
-            if let Some(target) = self.sel.observe(&obs) {
-                let v = self.tree.invalidate_via(cpu).await;
-                if target == PROTO_MP {
-                    self.central.validate_via(cpu, v).await;
-                    cpu.write(self.mode, MODE_MP).await;
-                    cpu.bump("reactive_mp_fop.tree_to_central", 1);
-                    self.sel.commit(cpu, PROTO_MP_TREE, PROTO_MP);
-                    self.calm_streak.set(0);
-                } else {
-                    debug_assert_eq!(target, PROTO_TTS);
-                    cpu.write(self.var, v).await;
-                    cpu.write(self.mode, MODE_TTS).await;
-                    cpu.bump("reactive_mp_fop.tree_to_tts", 1);
-                    self.sel.commit(cpu, PROTO_MP_TREE, PROTO_TTS);
+            if let Some(target) = self.kernel.observe(&obs) {
+                // Fallible for the same reason as `try_central`.
+                let won = self
+                    .kernel
+                    .try_switch(&MpFopSwitch { f: self }, cpu, PROTO_MP_TREE, target)
+                    .await;
+                if won && target == PROTO_TTS {
                     cpu.write(self.tts, FREE).await;
                 }
             }
+        }
+    }
+}
+
+/// The MP fetch-op's [`SwitchableObject`] hooks: all three consensus
+/// objects carry the counter value, so `invalidate` captures it and
+/// `validate` installs it (the kernel's Transfer discipline).
+struct MpFopSwitch<'a> {
+    f: &'a ReactiveMpFetchOp,
+}
+
+impl SwitchableObject for MpFopSwitch<'_> {
+    type Ctx = Cpu;
+
+    async fn validate(&self, cpu: &Cpu, to: ProtocolId, _from: ProtocolId, state: u64) {
+        match to {
+            PROTO_MP => self.f.central.validate_via(cpu, state).await,
+            PROTO_MP_TREE => self.f.tree.validate_via(cpu, state).await,
+            _ => cpu.write(self.f.var, state).await,
+        }
+    }
+
+    async fn invalidate(&self, cpu: &Cpu, from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        match from {
+            // Leaving TTS: we hold the flag (and leave it pinned BUSY);
+            // capturing the counter is a plain read under it, and the
+            // hold makes the attempt exclusive.
+            PROTO_TTS => Some(cpu.read(self.f.var).await),
+            // Leaving an MP protocol: unlike the lock, *any* completed
+            // requester may decide a change, so concurrent changers are
+            // possible. The conditional-invalidate RPC arbitrates at
+            // the manager handler (it IS the consensus object, §3.6):
+            // exactly one changer captures the final value; the rest
+            // observe the loss and abandon their stale decisions.
+            PROTO_MP => self.f.central.try_invalidate_via(cpu).await,
+            _ => self.f.tree.try_invalidate_via(cpu).await,
+        }
+    }
+
+    async fn publish_mode(&self, cpu: &Cpu, to: ProtocolId) {
+        cpu.write(self.f.mode, to.0 as u64).await;
+    }
+
+    fn now(&self, cpu: &Cpu) -> u64 {
+        cpu.now()
+    }
+
+    fn note_switch(&self, cpu: &Cpu, from: ProtocolId, to: ProtocolId) {
+        let name = match (from, to) {
+            (PROTO_MP_TREE, PROTO_MP) => "reactive_mp_fop.tree_to_central",
+            (PROTO_MP_TREE, _) => "reactive_mp_fop.tree_to_tts",
+            (_, PROTO_MP) => "reactive_mp_fop.to_central",
+            (_, PROTO_MP_TREE) => "reactive_mp_fop.to_tree",
+            _ => "reactive_mp_fop.to_tts",
+        };
+        cpu.bump(name, 1);
+    }
+
+    fn reset_monitor(&self, to: ProtocolId) {
+        if to == PROTO_MP {
+            self.f.calm_streak.set(0);
         }
     }
 }

@@ -1,190 +1,72 @@
-//! Protocol-switching policies and the simulator-side selector.
+//! Protocol-switching policies and the simulator-side kernel handle.
 //!
 //! The policy *types* live in [`reactive_api`] and are shared with the
-//! native implementations; this module re-exports them and adds
-//! [`Selector`], the piece every simulator-side reactive object embeds:
-//! a cloneable handle bundling the boxed [`Policy`], the optional
-//! [`Instrument`] sink, and the switch counter, so that monitoring code
-//! in `lock`/`fetch_op`/`mp` only produces [`Observation`]s and performs
-//! the consensus-object machinery for approved switches.
-
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
-
-use alewife_sim::Cpu;
+//! native implementations; this module re-exports them together with
+//! the **switching kernel** ([`SwitchKernel`]) — the consensus-object
+//! mode-change engine every reactive object in `lock`/`fetch_op`/`mp`/
+//! `barrier` embeds. [`SimKernel`] is the kernel instantiated for the
+//! simulator's single-threaded world (`Rc` sharing, `!Send` policies
+//! allowed); objects share it through `Rc` clones, feed it
+//! [`Observation`]s, and run every mode change through
+//! [`SwitchKernel::switch`] with their [`SwitchableObject`] hooks.
 
 pub use reactive_api::{
-    Always, Competitive3, Decision, Hysteresis, Instrument, Observation, Policy, Protocol,
-    ProtocolId, ProtocolInfo, SwitchEvent, SwitchLog, SwitchTally,
+    drive, Always, Competitive3, Decision, Hysteresis, Instrument, KernelBuilder, LocalWorld,
+    Observation, Policy, Protocol, ProtocolId, ProtocolInfo, SwitchEvent, SwitchKernel, SwitchLog,
+    SwitchStyle, SwitchTally, SwitchableObject,
 };
 
-struct Inner<const N: usize> {
-    info: [ProtocolInfo; N],
-    policy: RefCell<Box<dyn Policy>>,
-    sink: Option<Rc<dyn Instrument>>,
-    switches: Cell<u64>,
-    /// Residual carried from the approving observation to the commit
-    /// point (decisions are taken at acquire time, the switch machinery
-    /// often runs at release time; both happen inside one holder's
-    /// critical section, so a single cell suffices).
-    pending_residual: Cell<f64>,
-}
-
-/// The protocol selector of an N-way reactive object: policy
-/// consultation, switch counting, and switch-event instrumentation.
-/// Cheap to clone; clones share all state with the object.
-pub struct Selector<const N: usize> {
-    inner: Rc<Inner<N>>,
-}
-
-impl<const N: usize> Clone for Selector<N> {
-    fn clone(&self) -> Self {
-        Selector {
-            inner: self.inner.clone(),
-        }
-    }
-}
-
-impl<const N: usize> std::fmt::Debug for Selector<N> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Selector")
-            .field("protocols", &self.inner.info)
-            .field("switches", &self.inner.switches.get())
-            .finish()
-    }
-}
-
-impl<const N: usize> Selector<N> {
-    /// Create a selector over the given protocol slots.
-    ///
-    /// # Panics
-    /// * If `N == 0` — a reactive object with no protocols cannot serve
-    ///   any request; constructing one is always a builder bug.
-    /// * If the slots are not registered in id order `0..N` — which also
-    ///   rejects registering the same [`ProtocolId`] twice (two slots
-    ///   cannot both hold id `i`).
-    pub fn new(
-        info: [ProtocolInfo; N],
-        policy: Box<dyn Policy>,
-        sink: Option<Rc<dyn Instrument>>,
-    ) -> Selector<N> {
-        assert!(N > 0, "a reactive object needs at least one protocol");
-        for (i, pi) in info.iter().enumerate() {
-            assert_eq!(
-                pi.id.index(),
-                i,
-                "protocol slots must be in id order (duplicate or out-of-order registration)"
-            );
-        }
-        Selector {
-            inner: Rc::new(Inner {
-                info,
-                policy: RefCell::new(policy),
-                sink,
-                switches: Cell::new(0),
-                pending_residual: Cell::new(0.0),
-            }),
-        }
-    }
-
-    /// Feed one acquisition's observation to the policy. Returns the
-    /// switch target if the policy directed a change (always a valid,
-    /// non-current slot), or `None` to stay.
-    pub fn observe(&self, obs: &Observation) -> Option<ProtocolId> {
-        match self.inner.policy.borrow_mut().decide(obs) {
-            Decision::SwitchTo(t) if t != obs.current && t.index() < N => {
-                self.inner.pending_residual.set(obs.residual);
-                Some(t)
-            }
-            _ => None,
-        }
-    }
-
-    /// Report that the protocol change `from → to` committed (the
-    /// consensus-object machinery completed): bumps the switch counter,
-    /// resets the policy's evidence, and emits a [`SwitchEvent`]
-    /// stamped with the simulated clock.
-    pub fn commit(&self, cpu: &Cpu, from: ProtocolId, to: ProtocolId) {
-        self.inner.switches.set(self.inner.switches.get() + 1);
-        self.inner.policy.borrow_mut().reset();
-        if let Some(sink) = &self.inner.sink {
-            sink.switch_event(SwitchEvent {
-                time: cpu.now(),
-                from,
-                to,
-                residual: self.inner.pending_residual.take(),
-            });
-        }
-    }
-
-    /// Number of protocol changes committed so far.
-    pub fn switches(&self) -> u64 {
-        self.inner.switches.get()
-    }
-
-    /// Identity of the protocol in slot `id`.
-    pub fn protocol(&self, id: ProtocolId) -> ProtocolInfo {
-        self.inner.info[id.index()]
-    }
-}
+/// The switching kernel instantiated for the simulator world.
+pub type SimKernel = SwitchKernel<LocalWorld>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alewife_sim::{Config, Machine};
+    use std::rc::Rc;
 
     const A: ProtocolId = ProtocolId(0);
     const B: ProtocolId = ProtocolId(1);
 
-    fn two() -> [ProtocolInfo; 2] {
-        [
-            ProtocolInfo { id: A, name: "a" },
-            ProtocolInfo { id: B, name: "b" },
-        ]
+    fn two() -> SimKernel {
+        SimKernel::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .register(B, "b", SwitchStyle::Handoff)
+            .policy(Box::new(Competitive3::new(100.0)))
+            .build()
     }
 
     #[test]
-    fn clones_share_policy_state() {
-        let s = Selector::new(two(), Box::new(Competitive3::new(100.0)), None);
-        let t = s.clone();
-        assert!(s.observe(&Observation::suboptimal(A, B, 60.0)).is_none());
+    fn kernel_clones_share_policy_state() {
+        let k = Rc::new(two());
+        let t = k.clone();
+        assert!(k.observe(&Observation::suboptimal(A, B, 60.0)).is_none());
         assert_eq!(t.observe(&Observation::suboptimal(A, B, 60.0)), Some(B));
     }
 
     #[test]
-    fn commit_counts_and_emits() {
-        let log = Rc::new(SwitchLog::new());
-        let s = Selector::new(
-            two(),
-            Box::new(Always),
-            Some(log.clone() as Rc<dyn Instrument>),
-        );
-        let m = Machine::new(Config::default().nodes(2));
-        let cpu = m.cpu(0);
-        assert_eq!(s.observe(&Observation::suboptimal(A, B, 42.0)), Some(B));
-        s.commit(&cpu, A, B);
-        assert_eq!(s.switches(), 1);
-        let evs = log.events();
-        assert_eq!(evs.len(), 1);
-        assert_eq!((evs[0].from, evs[0].to), (A, B));
-        assert_eq!(evs[0].residual, 42.0);
-    }
-
-    #[test]
-    fn out_of_range_targets_are_rejected() {
-        struct Wild;
-        impl Policy for Wild {
+    fn sim_policies_need_not_be_send() {
+        // The simulator world accepts `!Send` policies (e.g. one that
+        // shares state with the spawning test through an Rc).
+        use std::cell::Cell;
+        struct Counting(Rc<Cell<u64>>);
+        impl Policy for Counting {
             fn decide(&mut self, _obs: &Observation) -> Decision {
-                Decision::SwitchTo(ProtocolId(7))
+                self.0.set(self.0.get() + 1);
+                Decision::Stay
             }
         }
-        let s = Selector::new(two(), Box::new(Wild), None);
-        assert_eq!(s.observe(&Observation::optimal(A)), None);
+        let n = Rc::new(Cell::new(0));
+        let k = SimKernel::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .policy(Box::new(Counting(n.clone())))
+            .build();
+        assert_eq!(k.observe(&Observation::optimal(A)), None);
+        assert_eq!(n.get(), 1);
     }
 
     #[test]
     fn protocol_info_lookup() {
-        let s = Selector::new(two(), Box::new(Always), None);
-        assert_eq!(s.protocol(B).name, "b");
+        let k = two();
+        assert_eq!(k.protocol(B).name, "b");
     }
 }

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use alewife_sim::{Config, Machine};
 use reactive_core::policy::{
-    Always, Competitive3, Hysteresis, Instrument, ProtocolId, ProtocolInfo, Selector, SwitchLog,
+    Competitive3, Hysteresis, Instrument, ProtocolId, SimKernel, SwitchLog, SwitchStyle,
 };
 use reactive_core::{ReactiveFetchOp, ReactiveLock};
 
@@ -15,50 +15,37 @@ fn machine() -> Machine {
     Machine::new(Config::default().nodes(4))
 }
 
-// -- protocol registration ---------------------------------------------
+// -- protocol registration (now owned by the switching kernel) ---------
 
 #[test]
 #[should_panic(expected = "duplicate or out-of-order registration")]
-fn selector_rejects_duplicate_protocol_ids() {
-    let _ = Selector::new(
-        [
-            ProtocolInfo {
-                id: ProtocolId(0),
-                name: "a",
-            },
-            ProtocolInfo {
-                id: ProtocolId(0),
-                name: "a-again",
-            },
-        ],
-        Box::new(Always),
-        None,
-    );
+fn kernel_rejects_duplicate_protocol_ids() {
+    let _ = SimKernel::builder()
+        .register(ProtocolId(0), "a", SwitchStyle::Handoff)
+        .register(ProtocolId(0), "a-again", SwitchStyle::Handoff);
 }
 
 #[test]
 #[should_panic(expected = "duplicate or out-of-order registration")]
-fn selector_rejects_out_of_order_slots() {
-    let _ = Selector::new(
-        [
-            ProtocolInfo {
-                id: ProtocolId(1),
-                name: "b",
-            },
-            ProtocolInfo {
-                id: ProtocolId(0),
-                name: "a",
-            },
-        ],
-        Box::new(Always),
-        None,
-    );
+fn kernel_rejects_out_of_order_slots() {
+    let _ = SimKernel::builder()
+        .register(ProtocolId(1), "b", SwitchStyle::Handoff)
+        .register(ProtocolId(0), "a", SwitchStyle::Handoff);
 }
 
 #[test]
 #[should_panic(expected = "at least one protocol")]
-fn selector_rejects_zero_protocol_build() {
-    let _ = Selector::<0>::new([], Box::new(Always), None);
+fn kernel_rejects_zero_protocol_build() {
+    let _ = SimKernel::builder().build();
+}
+
+#[test]
+#[should_panic(expected = "not a registered slot")]
+fn kernel_rejects_unregistered_initial_protocol() {
+    let _ = SimKernel::builder()
+        .register(ProtocolId(0), "a", SwitchStyle::Handoff)
+        .initial(ProtocolId(3))
+        .build();
 }
 
 // -- initial protocol --------------------------------------------------

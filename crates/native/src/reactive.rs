@@ -11,7 +11,7 @@
 //! algorithms in `reactive-core`: contention monitoring produces
 //! [`Observation`]s, the pluggable [`Policy`] (shared trait from
 //! `reactive-api`) decides, and every committed protocol change is
-//! reported to the configured [`Instrument`] sink as a [`SwitchEvent`]
+//! reported to the configured [`Instrument`] sink as a [`SwitchEvent`](reactive_api::SwitchEvent)
 //! stamped in nanoseconds since lock creation.
 //!
 //! ```
@@ -30,10 +30,13 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
-use reactive_api::{Always, Instrument, Observation, Policy, ProtocolId, SwitchEvent};
+use reactive_api::{
+    drive, Instrument, Observation, Policy, ProtocolId, SharedWorld, SwitchKernel, SwitchStyle,
+    SwitchableObject,
+};
 
 use crate::mcs::{McsLock, McsNode};
 use crate::tts::TtsLock;
@@ -60,9 +63,6 @@ const QUEUE_RESIDUAL: f64 = 15.0;
 #[derive(Debug)]
 pub struct Held {
     kind: HeldKind,
-    /// Residual carried from the approving observation to the commit
-    /// point (release), for the switch event.
-    residual: f64,
 }
 
 #[derive(Debug)]
@@ -72,7 +72,7 @@ enum HeldKind {
 }
 
 /// Builder for [`ReactiveLock`]: switching policy and instrumentation
-/// are optional with the paper's defaults ([`Always`], no sink).
+/// are optional with the paper's defaults ([`Always`](reactive_api::Always), no sink).
 #[derive(Default)]
 pub struct ReactiveLockBuilder {
     policy: Option<Box<dyn Policy + Send>>,
@@ -81,7 +81,7 @@ pub struct ReactiveLockBuilder {
 }
 
 impl ReactiveLockBuilder {
-    /// Use the given switching policy (default: [`Always`]).
+    /// Use the given switching policy (default: [`Always`](reactive_api::Always)).
     pub fn policy(mut self, p: impl Policy + Send + 'static) -> Self {
         self.policy = Some(Box::new(p));
         self
@@ -117,6 +117,25 @@ impl ReactiveLockBuilder {
     /// Build the lock, unlocked, in the configured initial protocol
     /// (the other sub-lock starts pinned busy — never both free).
     pub fn build(self) -> ReactiveLock {
+        // On real hardware both exits use the kernel's CommitFirst
+        // discipline: the commit bookkeeping runs while both sub-locks
+        // still deny entry, so no racing thread can commit an opposite
+        // change ahead of this one and the sink's events stay in true
+        // commit order.
+        let mut kernel = SwitchKernel::<SharedWorld>::builder()
+            .register(PROTO_TTS, "tts", SwitchStyle::CommitFirst)
+            .register(PROTO_QUEUE, "mcs-queue", SwitchStyle::CommitFirst)
+            .initial(if self.start_in_queue {
+                PROTO_QUEUE
+            } else {
+                PROTO_TTS
+            });
+        if let Some(p) = self.policy {
+            kernel = kernel.policy(p);
+        }
+        if let Some(sink) = self.sink {
+            kernel = kernel.sink(sink);
+        }
         let lock = ReactiveLock {
             mode: AtomicU8::new(if self.start_in_queue {
                 MODE_QUEUE
@@ -127,9 +146,7 @@ impl ReactiveLockBuilder {
             queue: McsLock::new(),
             queue_valid: AtomicU8::new(u8::from(self.start_in_queue)),
             empty_streak: AtomicU64::new(0),
-            switches: AtomicU64::new(0),
-            policy: Mutex::new(self.policy.unwrap_or_else(|| Box::new(Always))),
-            sink: self.sink,
+            kernel: kernel.build(),
             epoch: Instant::now(),
         };
         if self.start_in_queue {
@@ -152,12 +169,10 @@ pub struct ReactiveLock {
     /// receives an eventual grant or observes invalidity and retries.
     queue_valid: AtomicU8,
     empty_streak: AtomicU64,
-    switches: AtomicU64,
-    /// The switching policy. Consulted only by the current lock holder,
-    /// so the mutex is never contended; it exists to make the boxed
-    /// `&mut self` policy shareable across threads.
-    policy: Mutex<Box<dyn Policy + Send>>,
-    sink: Option<Arc<dyn Instrument + Send + Sync>>,
+    /// The switching kernel: policy consultation, validity bookkeeping,
+    /// switch counting, and event emission. Consulted only by the
+    /// current lock holder, so its internal mutex is never contended.
+    kernel: SwitchKernel<SharedWorld>,
     epoch: Instant,
 }
 
@@ -165,8 +180,48 @@ impl std::fmt::Debug for ReactiveLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReactiveLock")
             .field("mode", &self.mode.load(Ordering::Relaxed))
-            .field("switches", &self.switches.load(Ordering::Relaxed))
+            .field("switches", &self.kernel.switches())
             .finish()
+    }
+}
+
+/// The native lock's [`SwitchableObject`] hooks: plain atomic stores on
+/// `queue_valid` and the mode hint. The TTS flag is never written by a
+/// transition — invalid means pinned busy; valid means freed by the
+/// switcher's own release after the transaction.
+struct NativeLockSwitch<'a> {
+    lock: &'a ReactiveLock,
+}
+
+impl SwitchableObject for NativeLockSwitch<'_> {
+    type Ctx = ();
+
+    async fn validate(&self, _ctx: &(), to: ProtocolId, _from: ProtocolId, _state: u64) {
+        if to == PROTO_QUEUE {
+            self.lock.queue_valid.store(1, Ordering::Release);
+        }
+    }
+
+    async fn invalidate(&self, _ctx: &(), from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        if from == PROTO_QUEUE {
+            // New arrivals bounce on `queue_valid`; waiters already
+            // queued still receive FIFO grants and forward them down
+            // the chain until the switcher's own unlock drains it.
+            self.lock.queue_valid.store(0, Ordering::Release);
+        }
+        Some(0)
+    }
+
+    async fn publish_mode(&self, _ctx: &(), to: ProtocolId) {
+        self.lock.mode.store(to.0, Ordering::Release);
+    }
+
+    fn now(&self, _ctx: &()) -> u64 {
+        self.lock.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn reset_monitor(&self, _to: ProtocolId) {
+        self.lock.empty_streak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -190,7 +245,7 @@ impl ReactiveLock {
 
     /// Number of protocol changes performed.
     pub fn switches(&self) -> u64 {
-        self.switches.load(Ordering::Relaxed)
+        self.kernel.switches()
     }
 
     /// The protocol the dispatch hint currently points at; diagnostics
@@ -199,34 +254,13 @@ impl ReactiveLock {
         ProtocolId(self.mode.load(Ordering::Relaxed))
     }
 
-    /// Consult the policy with one acquisition's observation; returns
-    /// whether to switch to the (only) other protocol. Runs while we
-    /// hold the lock, so the policy mutex is uncontended.
+    /// Consult the kernel's policy with one acquisition's observation;
+    /// returns whether to switch to the (only) other protocol. Runs
+    /// while we hold the lock, so the kernel's mutex is uncontended —
+    /// and the approving residual is carried inside the kernel to the
+    /// commit point at release.
     fn consult(&self, obs: &Observation) -> bool {
-        match self
-            .policy
-            .lock()
-            .expect("policy mutex poisoned")
-            .decide(obs)
-        {
-            reactive_api::Decision::SwitchTo(t) => t != obs.current && t.index() < 2,
-            reactive_api::Decision::Stay => false,
-        }
-    }
-
-    /// Report a committed protocol change: bump the counter, reset the
-    /// policy's evidence, emit the switch event.
-    fn commit(&self, from: ProtocolId, to: ProtocolId, residual: f64) {
-        self.switches.fetch_add(1, Ordering::Relaxed);
-        self.policy.lock().expect("policy mutex poisoned").reset();
-        if let Some(sink) = &self.sink {
-            sink.switch_event(SwitchEvent {
-                time: self.epoch.elapsed().as_nanos() as u64,
-                from,
-                to,
-                residual,
-            });
-        }
+        self.kernel.observe(obs).is_some()
     }
 
     /// Acquire; keep the returned [`Held`] and pass it to
@@ -240,7 +274,6 @@ impl ReactiveLock {
                 let switch = self.consult(&Observation::optimal(PROTO_TTS));
                 return Held {
                     kind: HeldKind::Tts { switch },
-                    residual: 0.0,
                 };
             }
             if self.mode.load(Ordering::Acquire) == MODE_TTS {
@@ -259,7 +292,6 @@ impl ReactiveLock {
                     let switch = self.consult(&obs);
                     return Held {
                         kind: HeldKind::Tts { switch },
-                        residual: obs.residual,
                     };
                 }
                 continue; // mode changed under us: re-dispatch
@@ -287,7 +319,6 @@ impl ReactiveLock {
             let switch = self.consult(&obs);
             return Held {
                 kind: HeldKind::Queue { node, switch },
-                residual: obs.residual,
             };
         }
     }
@@ -326,24 +357,25 @@ impl ReactiveLock {
 
     /// Release, performing any protocol change the acquisition decided.
     pub fn release(&self, held: Held) {
-        let residual = held.residual;
         match held.kind {
             HeldKind::Tts { switch: false } => self.tts.unlock(),
             HeldKind::Tts { switch: true } => {
-                // TTS -> queue: validate the queue, leave TTS pinned
-                // busy, then release through the queue. Commit *before*
-                // publishing the valid queue: until queue_valid flips,
-                // both sub-locks deny entry (TTS pinned, queue bounces),
-                // so no racer can consult the policy or commit an
-                // opposite change ahead of us — keeping the sink's
-                // events in true commit order. After the stores, a racer
-                // that dispatches on the new mode and wins the queue
-                // first is harmless: our node queues behind it and we
-                // pass the grant on.
-                self.commit(PROTO_TTS, PROTO_QUEUE, residual);
-                self.empty_streak.store(0, Ordering::Relaxed);
-                self.queue_valid.store(1, Ordering::Release);
-                self.mode.store(MODE_QUEUE, Ordering::Release);
+                // TTS -> queue, driven by the kernel's CommitFirst
+                // sequence: commit, then validate the queue and publish
+                // the hint, leaving TTS pinned busy. Until queue_valid
+                // flips, both sub-locks deny entry (TTS pinned, queue
+                // bounces), so no racer can consult the policy or
+                // commit an opposite change ahead of us — keeping the
+                // sink's events in true commit order. After the stores,
+                // a racer that dispatches on the new mode and wins the
+                // queue first is harmless: our node queues behind it
+                // and we pass the grant on.
+                drive(self.kernel.switch(
+                    &NativeLockSwitch { lock: self },
+                    &(),
+                    PROTO_TTS,
+                    PROTO_QUEUE,
+                ));
                 let node = Box::new(McsNode::new());
                 let _empty = self.queue.lock(&node);
                 self.queue.unlock(&node);
@@ -353,12 +385,17 @@ impl ReactiveLock {
                 switch: false,
             } => self.queue.unlock(&node),
             HeldKind::Queue { node, switch: true } => {
-                // Queue -> TTS: flip the hint, invalidate the queue,
-                // free the TTS flag. Waiters already queued still get
-                // FIFO grants; new arrivals bounce on `queue_valid`.
-                self.mode.store(MODE_TTS, Ordering::Release);
-                self.queue_valid.store(0, Ordering::Release);
-                self.commit(PROTO_QUEUE, PROTO_TTS, residual);
+                // Queue -> TTS: the kernel commits (we still hold both
+                // consensus objects), flips the hint, and invalidates
+                // the queue. Waiters already queued still get FIFO
+                // grants; new arrivals bounce on `queue_valid`. Freeing
+                // the TTS flag is our release through the new protocol.
+                drive(self.kernel.switch(
+                    &NativeLockSwitch { lock: self },
+                    &(),
+                    PROTO_QUEUE,
+                    PROTO_TTS,
+                ));
                 self.queue.unlock(&node);
                 self.tts.unlock();
             }
@@ -395,7 +432,7 @@ unsafe impl<T: Send> Send for ReactiveMutex<T> {}
 unsafe impl<T: Send> Sync for ReactiveMutex<T> {}
 
 impl<T> ReactiveMutex<T> {
-    /// Wrap `value` (default lock: [`Always`] policy, no sink).
+    /// Wrap `value` (default lock: [`Always`](reactive_api::Always) policy, no sink).
     pub fn new(value: T) -> ReactiveMutex<T> {
         ReactiveMutex::with_lock(ReactiveLock::new(), value)
     }

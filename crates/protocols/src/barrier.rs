@@ -1,10 +1,21 @@
 //! Barrier synchronization with a pluggable waiting strategy (§4.6).
 //!
-//! A centralized sense-reversing barrier: arrivals increment a counter;
-//! the last arriver resets the counter and flips the global sense. How
-//! the non-last arrivers *wait* for the sense flip is delegated to a
-//! [`WaitStrategy`] — spin, block, or (from `reactive-core`) two-phase
-//! waiting, which is exactly the experiment of Figure 4.13.
+//! * [`SenseBarrier`] — a centralized sense-reversing barrier: arrivals
+//!   increment one counter; the last arriver resets it and flips the
+//!   global sense. Minimal fixed cost, but every arrival contends on
+//!   the same line.
+//! * [`ArrivalTree`] / [`TreeBarrier`] — a software combining arrival
+//!   tree: arrivals count up at fanout-bounded tree nodes, so at most
+//!   `fanout` processors ever share an arrival line; the root winner
+//!   releases everyone. Higher fixed cost (one level per `log_f P`),
+//!   flat scaling — the barrier-shaped instance of the paper's
+//!   cheap-vs-scalable protocol tradeoff, which
+//!   `reactive_core::barrier::ReactiveBarrier` switches between at run
+//!   time.
+//!
+//! How the non-last arrivers *wait* for the sense flip is delegated to
+//! a [`WaitStrategy`] — spin, block, or (from `reactive-core`)
+//! two-phase waiting, which is exactly the experiment of Figure 4.13.
 
 use alewife_sim::{Addr, Cpu, Machine, WaitQueueId};
 
@@ -25,6 +36,19 @@ pub struct SenseBarrier {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BarrierCtx {
     local_sense: u64,
+}
+
+impl BarrierCtx {
+    /// The participant's current sense (for barrier implementations
+    /// outside this crate, e.g. the reactive barrier).
+    pub fn local_sense(&self) -> u64 {
+        self.local_sense
+    }
+
+    /// Set the participant's sense.
+    pub fn set_local_sense(&mut self, s: u64) {
+        self.local_sense = s;
+    }
 }
 
 impl SenseBarrier {
@@ -64,6 +88,138 @@ impl SenseBarrier {
                 .await;
             let t = cpu.now() - t0;
             cpu.record_wait("barrier", t);
+        }
+    }
+}
+
+/// One completed arrival through an [`ArrivalTree`].
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival {
+    /// Whether this arrival completed the root — i.e. this process is
+    /// the round's last arriver and must release the others.
+    pub winner: bool,
+    /// Cycles spent on the leaf-level counter update — the tree's
+    /// contention signal (at most `fanout` processors share that line).
+    pub leaf_latency: u64,
+}
+
+/// A software combining **arrival tree**: the scalable half of a tree
+/// barrier, separated from release so reactive barriers can interpose
+/// between "everyone arrived" and "release everyone".
+///
+/// Processors are leaves in groups of `fanout`; each tree node is a
+/// counter; the last arriver at a node resets it and climbs. The winner
+/// of the single top node has observed every participant's arrival.
+#[derive(Clone, Debug)]
+pub struct ArrivalTree {
+    /// Per-level node counters with their expected arrival counts.
+    /// `levels[l]` is the list of `(counter, expected)` for level `l`.
+    levels: std::rc::Rc<Vec<Vec<(Addr, u64)>>>,
+    fanout: usize,
+}
+
+impl ArrivalTree {
+    /// Build an arrival tree for participants `0..participants` with
+    /// the given fanout (arrivals sharing one counter line).
+    pub fn new(m: &Machine, participants: usize, fanout: usize) -> ArrivalTree {
+        assert!(participants > 0, "arrival tree needs a participant");
+        assert!(fanout >= 2, "arrival tree fanout must be at least 2");
+        let mut levels = Vec::new();
+        let mut width = participants;
+        while width > 1 {
+            let nodes = width.div_ceil(fanout);
+            let level: Vec<(Addr, u64)> = (0..nodes)
+                .map(|j| {
+                    // Spread counter lines across the machine.
+                    let addr = m.alloc_on(j % m.nodes(), 1);
+                    let expected = (width - j * fanout).min(fanout) as u64;
+                    (addr, expected)
+                })
+                .collect();
+            levels.push(level);
+            width = nodes;
+        }
+        ArrivalTree {
+            levels: std::rc::Rc::new(levels),
+            fanout,
+        }
+    }
+
+    /// Arrive as participant `who`; returns whether this arrival won
+    /// the root (observed every participant) plus the leaf-level
+    /// counter latency for contention monitoring.
+    pub async fn arrive(&self, cpu: &Cpu, who: usize) -> Arrival {
+        let mut idx = who;
+        let mut leaf_latency = 0;
+        for (l, level) in self.levels.iter().enumerate() {
+            let (addr, expected) = level[idx / self.fanout];
+            let t0 = cpu.now();
+            let pos = cpu.fetch_and_add(addr, 1).await;
+            if l == 0 {
+                leaf_latency = cpu.now() - t0;
+            }
+            if pos + 1 < expected {
+                return Arrival {
+                    winner: false,
+                    leaf_latency,
+                };
+            }
+            // Last arriver at this node: reset it for the next round
+            // and climb as the node's representative.
+            cpu.write(addr, 0).await;
+            idx /= self.fanout;
+        }
+        Arrival {
+            winner: true,
+            leaf_latency,
+        }
+    }
+
+    /// Reset every node counter to zero (used when a reactive barrier
+    /// re-validates the tree protocol).
+    pub async fn reset(&self, cpu: &Cpu) {
+        for level in self.levels.iter() {
+            for &(addr, _) in level {
+                cpu.write(addr, 0).await;
+            }
+        }
+    }
+}
+
+/// A combining-tree barrier: [`ArrivalTree`] arrivals, sense-reversing
+/// release. The static "scalable" counterpart of [`SenseBarrier`].
+#[derive(Clone, Debug)]
+pub struct TreeBarrier {
+    tree: ArrivalTree,
+    sense: Addr,
+    q: WaitQueueId,
+}
+
+impl TreeBarrier {
+    /// Create a tree barrier for participants `0..participants` (who
+    /// must call [`TreeBarrier::wait`] with their node as the
+    /// participant id); the sense word is homed on `home`.
+    pub fn new(m: &Machine, home: usize, participants: usize, fanout: usize) -> TreeBarrier {
+        TreeBarrier {
+            tree: ArrivalTree::new(m, participants, fanout),
+            sense: m.alloc_on(home, 1),
+            q: m.new_wait_queue(),
+        }
+    }
+
+    /// Enter the barrier; returns when all participants have arrived.
+    pub async fn wait<W: WaitStrategy>(&self, cpu: &Cpu, ctx: &mut BarrierCtx, wait: &W) {
+        let new_sense = 1 - ctx.local_sense;
+        ctx.local_sense = new_sense;
+        let t0 = cpu.now();
+        if self.tree.arrive(cpu, cpu.node()).await.winner {
+            cpu.write(self.sense, new_sense).await;
+            cpu.signal_all(self.q).await;
+            cpu.record_wait("barrier", 0);
+        } else {
+            wait.wait_word(cpu, self.sense, self.q, move |v| v == new_sense)
+                .await;
+            cpu.record_wait("barrier", cpu.now() - t0);
         }
     }
 }
@@ -130,6 +286,83 @@ mod tests {
     #[test]
     fn barrier_single_participant() {
         run_barrier(AlwaysSpin, 1, 10);
+    }
+
+    fn run_tree_barrier<W: WaitStrategy>(w: W, procs: usize, fanout: usize, rounds: u64) {
+        let m = Machine::new(Config::default().nodes(procs));
+        let bar = TreeBarrier::new(&m, 0, procs, fanout);
+        let acc = m.alloc_on(0, rounds);
+        let check = m.alloc_on(if procs > 1 { 1 } else { 0 }, 1);
+        for p in 0..procs {
+            let cpu = m.cpu(p);
+            let w = w.clone();
+            let bar = bar.clone();
+            m.spawn(p, async move {
+                let mut ctx = BarrierCtx::default();
+                for r in 0..rounds {
+                    cpu.work(cpu.rand_below(500)).await;
+                    cpu.fetch_and_add(acc.plus(r), 1).await;
+                    bar.wait(&cpu, &mut ctx, &w).await;
+                    let v = cpu.read(acc.plus(r)).await;
+                    if v != cpu.nodes() as u64 {
+                        cpu.fetch_and_add(check, 1).await;
+                    }
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.live_tasks(), 0, "tree barrier deadlock");
+        assert_eq!(m.read_word(check), 0, "tree barrier released someone early");
+        for r in 0..rounds {
+            assert_eq!(m.read_word(acc.plus(r)), procs as u64);
+        }
+    }
+
+    #[test]
+    fn tree_barrier_small() {
+        run_tree_barrier(AlwaysSpin, 4, 4, 5);
+    }
+
+    #[test]
+    fn tree_barrier_multi_level() {
+        // 16 participants at fanout 4: two levels.
+        run_tree_barrier(AlwaysSpin, 16, 4, 3);
+    }
+
+    #[test]
+    fn tree_barrier_ragged() {
+        // Non-power-of-fanout participant count exercises the partial
+        // last group at every level.
+        run_tree_barrier(AlwaysSpin, 13, 4, 3);
+    }
+
+    #[test]
+    fn tree_barrier_blocking_waiters() {
+        run_tree_barrier(AlwaysBlock, 8, 2, 3);
+    }
+
+    #[test]
+    fn tree_barrier_single_participant() {
+        run_tree_barrier(AlwaysSpin, 1, 2, 5);
+    }
+
+    #[test]
+    fn arrival_tree_reports_exactly_one_winner_per_round() {
+        let m = Machine::new(Config::default().nodes(8));
+        let tree = ArrivalTree::new(&m, 8, 2);
+        let winners = m.alloc_on(0, 1);
+        for p in 0..8 {
+            let cpu = m.cpu(p);
+            let tree = tree.clone();
+            m.spawn(p, async move {
+                cpu.work(cpu.rand_below(300)).await;
+                if tree.arrive(&cpu, p).await.winner {
+                    cpu.fetch_and_add(winners, 1).await;
+                }
+            });
+        }
+        m.run();
+        assert_eq!(m.read_word(winners), 1, "exactly one root winner");
     }
 
     #[test]

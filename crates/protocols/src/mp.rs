@@ -259,7 +259,15 @@ impl MpCounter {
             let valid_flag = valid_flag.clone();
             m.register_handler(manager, chg, move |ctx, args| {
                 let tok = ctx.token();
-                if args[0] == 0 {
+                if args[0] == 0 || args[0] == 2 {
+                    // arg0 = 2 is the *conditional* invalidate: the
+                    // handler is the consensus object, so concurrent
+                    // changers arbitrate here — a loser (counter
+                    // already invalid) is bounced with MP_RETRY.
+                    if args[0] == 2 && !*valid_flag.borrow() {
+                        ctx.reply_to(tok, MP_RETRY);
+                        return;
+                    }
                     *valid_flag.borrow_mut() = false;
                     ctx.reply_to(tok, *value.borrow());
                 } else {
@@ -282,6 +290,16 @@ impl MpCounter {
     /// final value (protocol change, first half).
     pub async fn invalidate_via(&self, cpu: &Cpu) -> u64 {
         cpu.rpc(self.manager, self.chg, [0, 0, 0, 0]).await
+    }
+
+    /// Conditionally invalidate: wins (and returns the final value)
+    /// only if the counter was still valid — the handler arbitrates
+    /// between concurrent protocol changers. `None` = lost the race.
+    pub async fn try_invalidate_via(&self, cpu: &Cpu) -> Option<u64> {
+        match cpu.rpc(self.manager, self.chg, [2, 0, 0, 0]).await {
+            MP_RETRY => None,
+            v => Some(v),
+        }
     }
 
     /// Atomically validate the counter with `value` (change, 2nd half).
@@ -397,7 +415,13 @@ impl MpCombiningTree {
             let valid_flag = valid_flag.clone();
             m.register_handler(root_node, chg, move |ctx, args| {
                 let tok = ctx.token();
-                if args[0] == 0 {
+                if args[0] == 0 || args[0] == 2 {
+                    // arg0 = 2: conditional invalidate (see MpCounter);
+                    // concurrent changers arbitrate at this handler.
+                    if args[0] == 2 && !*valid_flag.borrow() {
+                        ctx.reply_to(tok, MP_RETRY);
+                        return;
+                    }
                     *valid_flag.borrow_mut() = false;
                     ctx.reply_to(tok, *counter.borrow());
                 } else {
@@ -520,6 +544,16 @@ impl MpCombiningTree {
     /// batches already queued bounce with [`MP_RETRY`].
     pub async fn invalidate_via(&self, cpu: &Cpu) -> u64 {
         cpu.rpc(self.places[1].0, self.chg, [0, 0, 0, 0]).await
+    }
+
+    /// Conditionally invalidate the root: wins (and returns the final
+    /// value) only if the tree was still valid; `None` = a concurrent
+    /// protocol changer got there first (the root handler arbitrates).
+    pub async fn try_invalidate_via(&self, cpu: &Cpu) -> Option<u64> {
+        match cpu.rpc(self.places[1].0, self.chg, [2, 0, 0, 0]).await {
+            MP_RETRY => None,
+            v => Some(v),
+        }
     }
 
     /// Atomically validate the root with `value` (change, second half).
