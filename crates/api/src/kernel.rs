@@ -224,6 +224,24 @@ pub fn drive<F: Future>(fut: F) -> F::Output {
 }
 
 // ---------------------------------------------------------------------
+// Regression mutants (conc-check builds only)
+// ---------------------------------------------------------------------
+
+/// Whether the named regression mutant is active. Compiled only into
+/// `conc-check` mutant builds (`RUSTFLAGS=--cfg conc_check_mutant`);
+/// selected at run time by the `CONC_CHECK_MUTANT` environment
+/// variable, so one mutant build can rediscover each seeded race in a
+/// separate run. The mutants re-introduce the two races the kernel's
+/// invariants fixed when it was extracted (see `try_switch`); the
+/// model checker in `crates/check` must find both.
+#[cfg(conc_check_mutant)]
+fn mutant(name: &str) -> bool {
+    use std::sync::OnceLock;
+    static SELECTED: OnceLock<String> = OnceLock::new();
+    SELECTED.get_or_init(|| std::env::var("CONC_CHECK_MUTANT").unwrap_or_default()) == name
+}
+
+// ---------------------------------------------------------------------
 // The kernel
 // ---------------------------------------------------------------------
 
@@ -436,9 +454,17 @@ impl<W: KernelWorld> SwitchKernel<W> {
         // Leaving protocol stops accepting executions: from this point
         // until `validate` completes, zero protocols are valid (both
         // consensus objects deny entry — the lock's "never both free").
+        // Regression mutant `double_commit`: drop the stale-decision
+        // abort (half of the fix for the MP fetch-op race where two
+        // completed requesters both committed a change, double-freeing
+        // the entering protocol's consensus object).
+        #[cfg(conc_check_mutant)]
+        let stale_abort = !mutant("double_commit");
+        #[cfg(not(conc_check_mutant))]
+        let stale_abort = true;
         {
             let mut st = self.state();
-            if st.current != from {
+            if stale_abort && st.current != from {
                 // A concurrent changer already moved the object; this
                 // decision is stale. Drop its pending residual so it
                 // cannot be attributed to a later unrelated commit.
@@ -461,7 +487,18 @@ impl<W: KernelWorld> SwitchKernel<W> {
                 assert!(inv.is_some(), "post-commit invalidation cannot lose");
             }
             SwitchStyle::Transfer => {
-                let Some(state) = obj.invalidate(ctx, from, to).await else {
+                let inv = obj.invalidate(ctx, from, to).await;
+                // Regression mutant `double_commit`: the other half of
+                // the MP fetch-op fix — treat a lost consensus-object
+                // arbitration as success (the pre-kernel managers
+                // invalidated unconditionally), so both changers commit.
+                #[cfg(conc_check_mutant)]
+                let inv = if inv.is_none() && mutant("double_commit") {
+                    Some(0)
+                } else {
+                    inv
+                };
+                let Some(state) = inv else {
                     // The consensus object arbitrated the race to a
                     // concurrent changer mid-flight; that transaction
                     // (which already cleared `valid[from]` exactly as
@@ -481,6 +518,25 @@ impl<W: KernelWorld> SwitchKernel<W> {
                 obj.reset_monitor(to);
             }
             SwitchStyle::CommitFirst => {
+                // Regression mutant `stale_mode`: revert to the
+                // physical-first ordering the native lock shipped with —
+                // validate/publish before the shadow-state commit. A
+                // racer that wins the freshly valid target then consults
+                // `current` before this transaction's bookkeeping lands
+                // and sees a stale mode (the interleave the CommitFirst
+                // discipline exists to forbid).
+                #[cfg(conc_check_mutant)]
+                if mutant("stale_mode") {
+                    obj.validate(ctx, to, from, 0).await;
+                    obj.publish_mode(ctx, to).await;
+                    self.commit(obj.now(ctx), from, to);
+                    obj.note_switch(ctx, from, to);
+                    obj.reset_monitor(to);
+                    self.mark_valid(to);
+                    let inv = obj.invalidate(ctx, from, to).await;
+                    assert!(inv.is_some(), "post-commit invalidation cannot lose");
+                    return true;
+                }
                 self.commit(obj.now(ctx), from, to);
                 obj.note_switch(ctx, from, to);
                 obj.reset_monitor(to);
@@ -532,6 +588,8 @@ impl<W: KernelWorld> SwitchKernel<W> {
                 _ => 0.0,
             }
         };
+        // order: Relaxed — diagnostic counter; transition ordering is
+        // carried by the state mutex, not this increment.
         self.switches.fetch_add(1, Ordering::Relaxed);
         if let Some(sink) = &self.sink {
             sink.switch_event(SwitchEvent {
@@ -545,6 +603,7 @@ impl<W: KernelWorld> SwitchKernel<W> {
 
     /// Number of protocol changes committed so far.
     pub fn switches(&self) -> u64 {
+        // order: Relaxed — diagnostic snapshot.
         self.switches.load(Ordering::Relaxed)
     }
 

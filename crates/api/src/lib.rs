@@ -419,12 +419,15 @@ impl SwitchTally {
 
     /// Number of events recorded so far.
     pub fn count(&self) -> u64 {
+        // order: Relaxed — diagnostic counter snapshot.
         self.count.load(Ordering::Relaxed)
     }
 }
 
 impl Instrument for SwitchTally {
     fn switch_event(&self, _ev: SwitchEvent) {
+        // order: Relaxed — count only; emission order is carried by the
+        // kernel's commit serialization, not this increment.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 }

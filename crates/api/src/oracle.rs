@@ -105,6 +105,55 @@ pub fn check_at_most_one_valid(
     Ok(())
 }
 
+/// Check that no synchronization operation was lost to a protocol
+/// change: every `DoProtocol` record must have executed against an
+/// object that was valid at its start instant, and must itself report
+/// a valid execution.
+///
+/// A violation is the classic *lost waiter*: a process enqueued under
+/// the old protocol (say a queue lock) executes after the manager has
+/// invalidated that protocol without migrating it, so its operation
+/// runs against a dead object and the process hangs. Under C-seriality
+/// change operations never overlap a `DoProtocol` interval, so the
+/// object's validity is constant across the interval and checking the
+/// start instant suffices; run [`check_c_serial`] first.
+pub fn check_no_lost_waiters(
+    records: &[OpRecord],
+    objects: usize,
+    initial_valid: usize,
+) -> Result<(), String> {
+    let mut changes: Vec<&OpRecord> = records
+        .iter()
+        .filter(|r| r.kind != OpKind::DoProtocol)
+        .collect();
+    changes.sort_by_key(|r| r.start);
+    for r in records.iter().filter(|r| r.kind == OpKind::DoProtocol) {
+        if !r.valid_execution {
+            return Err(format!(
+                "lost waiter: {r:?} reports executing against an \
+                 invalidated protocol object"
+            ));
+        }
+        let mut valid = vec![false; objects];
+        valid[initial_valid] = true;
+        for c in changes.iter().filter(|c| c.end <= r.start) {
+            match c.kind {
+                OpKind::Invalidate => valid[c.obj] = false,
+                OpKind::Validate => valid[c.obj] = true,
+                OpKind::DoProtocol => unreachable!(),
+            }
+        }
+        if !valid[r.obj] {
+            return Err(format!(
+                "lost waiter: {r:?} ran on object {} which was invalid \
+                 at t={}",
+                r.obj, r.start
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Lower a committed-switch event stream into change-operation records:
 /// each event becomes an `Invalidate(from)` immediately followed by a
 /// `Validate(to)` at the commit instant (the kernel serializes the

@@ -1,0 +1,150 @@
+//! Negative-path tests for the §3.2 oracle: hand-corrupted commit
+//! logs and operation histories that MUST be rejected.
+//!
+//! The oracle is itself the last line of defense — the conformance
+//! suite and the model checker both lean on it — so this file
+//! mutation-tests the oracle: each test pairs a well-formed history
+//! (accepted) with a minimally corrupted twin (rejected), and asserts
+//! the rejection message names the culprit. An oracle that cannot see
+//! these corruptions would silently pass broken kernels.
+
+use reactive_api::oracle::{
+    check_at_most_one_valid, check_c_serial, check_no_lost_waiters, check_switch_history, OpKind,
+    OpRecord,
+};
+use reactive_api::{ProtocolId, SwitchEvent};
+
+fn rec(proc_id: usize, obj: usize, kind: OpKind, start: u64, end: u64) -> OpRecord {
+    OpRecord {
+        proc_id,
+        obj,
+        kind,
+        start,
+        end,
+        valid_execution: true,
+    }
+}
+
+fn ev(time: u64, from: u8, to: u8) -> SwitchEvent {
+    SwitchEvent {
+        time,
+        from: ProtocolId(from),
+        to: ProtocolId(to),
+        residual: 0.0,
+    }
+}
+
+/// Corruption 1: a double-valid window. The commit log records two
+/// switches leaving protocol A with no intervening switch back, so
+/// replaying it makes both B and C valid at once.
+#[test]
+fn double_valid_commit_log_is_rejected() {
+    let good = vec![ev(10, 0, 1), ev(20, 1, 0), ev(30, 0, 2)];
+    assert!(check_switch_history(&good, 3, ProtocolId(0)).is_ok());
+
+    // Drop the middle B -> A hop: A is now "left" twice.
+    let bad = vec![ev(10, 0, 1), ev(30, 0, 2)];
+    let err = check_switch_history(&bad, 3, ProtocolId(0)).unwrap_err();
+    assert!(
+        err.contains("2 objects valid"),
+        "rejection must name the double-valid count, got: {err}"
+    );
+}
+
+/// Corruption 1b: the same window expressed as raw operation records —
+/// a Validate with no matching Invalidate of the previously valid
+/// object.
+#[test]
+fn double_valid_record_history_is_rejected() {
+    let good = vec![
+        rec(1, 0, OpKind::Invalidate, 10, 11),
+        rec(1, 1, OpKind::Validate, 12, 13),
+    ];
+    assert!(check_at_most_one_valid(&good, 2, 0).is_ok());
+
+    let bad = vec![rec(1, 1, OpKind::Validate, 12, 13)];
+    let err = check_at_most_one_valid(&bad, 2, 0).unwrap_err();
+    assert!(err.contains("valid after"), "got: {err}");
+}
+
+/// Corruption 2: a lost waiter. A process executes its protocol after
+/// the manager invalidated that object — the waiter was enqueued under
+/// the old protocol and never migrated.
+#[test]
+fn lost_waiter_is_rejected() {
+    // Well-formed: the execution lands on the object that is valid at
+    // its start instant (object 1, validated at t=13).
+    let good = vec![
+        rec(1, 0, OpKind::Invalidate, 10, 11),
+        rec(1, 1, OpKind::Validate, 12, 13),
+        rec(2, 1, OpKind::DoProtocol, 20, 25),
+    ];
+    assert!(check_no_lost_waiters(&good, 2, 0).is_ok());
+
+    // Corrupted: the same execution still targets object 0, which was
+    // invalidated at t=11 — a waiter stranded on the dead protocol.
+    let bad = vec![
+        rec(1, 0, OpKind::Invalidate, 10, 11),
+        rec(1, 1, OpKind::Validate, 12, 13),
+        rec(2, 0, OpKind::DoProtocol, 20, 25),
+    ];
+    let err = check_no_lost_waiters(&bad, 2, 0).unwrap_err();
+    assert!(err.contains("lost waiter"), "got: {err}");
+    assert!(err.contains("invalid"), "got: {err}");
+}
+
+/// Corruption 2b: the execution itself reports it found the object
+/// invalid (`valid_execution: false`) — rejected regardless of the
+/// replayed validity.
+#[test]
+fn self_reported_invalid_execution_is_rejected() {
+    let bad = vec![OpRecord {
+        proc_id: 2,
+        obj: 0,
+        kind: OpKind::DoProtocol,
+        start: 5,
+        end: 6,
+        valid_execution: false,
+    }];
+    let err = check_no_lost_waiters(&bad, 2, 0).unwrap_err();
+    assert!(err.contains("lost waiter"), "got: {err}");
+}
+
+/// Corruption 3: an out-of-order invalidation. The Invalidate of the
+/// old object serializes *after* the Validate of the new one, opening
+/// a window in which both objects are valid.
+#[test]
+fn out_of_order_invalidation_is_rejected() {
+    let good = vec![
+        rec(1, 0, OpKind::Invalidate, 10, 11),
+        rec(1, 1, OpKind::Validate, 12, 13),
+    ];
+    assert!(check_at_most_one_valid(&good, 2, 0).is_ok());
+
+    // Same two operations, invalidation serialized late.
+    let bad = vec![
+        rec(1, 1, OpKind::Validate, 12, 13),
+        rec(1, 0, OpKind::Invalidate, 20, 21),
+    ];
+    let err = check_at_most_one_valid(&bad, 2, 0).unwrap_err();
+    assert!(err.contains("2 objects valid"), "got: {err}");
+}
+
+/// Corruption 3b: the out-of-order change op also overlaps a running
+/// protocol execution — a C-seriality violation on top of the validity
+/// one, caught by the interval checker.
+#[test]
+fn change_overlapping_execution_is_rejected() {
+    let good = vec![
+        rec(2, 0, OpKind::DoProtocol, 0, 9),
+        rec(1, 0, OpKind::Invalidate, 10, 11),
+    ];
+    assert!(check_c_serial(&good).is_ok());
+
+    let bad = vec![
+        rec(2, 0, OpKind::DoProtocol, 0, 15),
+        rec(1, 0, OpKind::Invalidate, 10, 11),
+    ];
+    let err = check_c_serial(&bad).unwrap_err();
+    assert!(err.contains("overlaps"), "got: {err}");
+}

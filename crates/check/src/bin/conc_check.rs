@@ -1,0 +1,208 @@
+//! `conc-check` — run the repo's lock/kernel scenarios under the
+//! bounded interleaving model checker.
+//!
+//! ```sh
+//! cargo run --release -p check --bin conc-check -- --quick
+//! cargo run --release -p check --bin conc-check -- --list
+//! cargo run --release -p check --bin conc-check -- --only reactive_lock
+//! ```
+//!
+//! Mutant rediscovery (CI's regression gate) rebuilds with the seeded
+//! races compiled in and expects the matching scenario to fail:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg conc_check_mutant" CARGO_TARGET_DIR=target/mutant \
+//!   CONC_CHECK_MUTANT=double_commit \
+//!   cargo run --release -p check --bin conc-check -- \
+//!   --quick --expect-race kernel_arbitration
+//! ```
+//!
+//! Counterexamples (replayable schedules) are printed and written to
+//! `--out` (default `target/conc-check/`) for artifact upload.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use check::scenarios::{self, Scenario};
+use reactive_native::model::Config;
+
+struct Opts {
+    quick: bool,
+    preemptions: Option<u8>,
+    only: Vec<String>,
+    expect_race: Option<String>,
+    out: PathBuf,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conc-check [--quick] [--preemptions N] [--only NAME]... \
+         [--expect-race NAME] [--out DIR] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        preemptions: None,
+        only: Vec::new(),
+        expect_race: None,
+        out: PathBuf::from("target/conc-check"),
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--list" => opts.list = true,
+            "--preemptions" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.preemptions = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--only" => opts.only.push(args.next().unwrap_or_else(|| usage())),
+            "--expect-race" => opts.expect_race = Some(args.next().unwrap_or_else(|| usage())),
+            "--out" => opts.out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn config(opts: &Opts) -> Config {
+    let mut cfg = if opts.quick {
+        // The CI budget: every scenario within the 2-preemption bound
+        // (both seeded races are rediscovered at 2).
+        Config {
+            preemptions: 2,
+            max_schedules: 300_000,
+            max_steps: 20_000,
+        }
+    } else {
+        Config {
+            preemptions: 3,
+            max_schedules: 5_000_000,
+            max_steps: 50_000,
+        }
+    };
+    if let Some(p) = opts.preemptions {
+        cfg.preemptions = p;
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if opts.list {
+        for s in scenarios::all() {
+            println!("{:20} {}", s.name, s.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let cfg = config(&opts);
+    if cfg!(conc_check_mutant) {
+        let sel = std::env::var("CONC_CHECK_MUTANT").unwrap_or_default();
+        println!(
+            "mutant build (--cfg conc_check_mutant); CONC_CHECK_MUTANT={}",
+            if sel.is_empty() { "<unset>" } else { &sel }
+        );
+    }
+    println!(
+        "bound: {} preemptions, ≤{} schedules, ≤{} steps/run",
+        cfg.preemptions, cfg.max_schedules, cfg.max_steps
+    );
+
+    if let Some(name) = &opts.expect_race {
+        return expect_race(name, cfg, &opts);
+    }
+
+    let selected: Vec<Scenario> = scenarios::all()
+        .into_iter()
+        .filter(|s| opts.only.is_empty() || opts.only.iter().any(|o| o == s.name))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no scenario matches {:?}", opts.only);
+        return ExitCode::from(2);
+    }
+    let mut failed = 0usize;
+    for s in selected {
+        let t0 = Instant::now();
+        let report = (s.run)(cfg);
+        let dt = t0.elapsed();
+        match &report.failure {
+            None => {
+                let note = if report.truncated {
+                    " [truncated at schedule cap]"
+                } else {
+                    ""
+                };
+                println!(
+                    "PASS {:20} {:>9} schedules {:>10} decisions  {:>6.2?}{note}",
+                    s.name, report.schedules, report.steps, dt
+                );
+            }
+            Some(f) => {
+                failed += 1;
+                println!(
+                    "FAIL {:20} after {} schedules  {:>6.2?}",
+                    s.name, report.schedules, dt
+                );
+                println!("{}", f.render());
+                write_counterexample(&opts.out, s.name, &f.render());
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("conc-check: {failed} scenario(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Mutant mode: the named scenario MUST fail (the checker rediscovers
+/// the seeded race); exit nonzero if it passes.
+fn expect_race(name: &str, cfg: Config, opts: &Opts) -> ExitCode {
+    let Some(s) = scenarios::by_name(name) else {
+        eprintln!("unknown scenario `{name}`");
+        return ExitCode::from(2);
+    };
+    let t0 = Instant::now();
+    let report = (s.run)(cfg);
+    let dt = t0.elapsed();
+    match &report.failure {
+        Some(f) => {
+            println!(
+                "REDISCOVERED {:20} after {} schedules  {:>6.2?}",
+                s.name, report.schedules, dt
+            );
+            println!("{}", f.render());
+            write_counterexample(&opts.out, s.name, &f.render());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "conc-check: expected scenario `{name}` to fail under the seeded mutant, \
+                 but it passed ({} schedules{})",
+                report.schedules,
+                if report.truncated {
+                    ", truncated — raise the schedule cap"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn write_counterexample(out: &std::path::Path, name: &str, rendered: &str) {
+    if std::fs::create_dir_all(out).is_ok() {
+        let path = out.join(format!("{name}.counterexample.txt"));
+        if std::fs::write(&path, rendered).is_ok() {
+            println!("counterexample schedule written to {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `lint` — the repo-invariant lint pass (see `check::lint` for the
+//! rules). Scans the workspace rooted at `--root` (default: the
+//! nearest ancestor of the current directory containing
+//! `EXPERIMENTS.md`, so `cargo run -p check --bin lint` works from
+//! anywhere inside the repo).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("EXPERIMENTS.md").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            _ => {
+                eprintln!("usage: lint [--root DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        find_root(cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("lint: workspace root not found (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+    match check::lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

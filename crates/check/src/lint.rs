@@ -1,0 +1,449 @@
+//! Repo-invariant lint: textual/structural rules that `cargo check`
+//! cannot express, enforced over the workspace's own sources (vendor
+//! stubs and generated artifacts excluded).
+//!
+//! Rules:
+//!
+//! * `ordering` — every atomic memory-ordering use
+//!   (`Ordering::Relaxed` … `Ordering::SeqCst`) carries an adjacent
+//!   `// order:` justification (same line, or in the contiguous
+//!   comment block immediately above), or its file is allowlisted.
+//! * `unsafe` — every `unsafe` keyword carries an adjacent `SAFETY:`
+//!   comment (same placement rule), or its file is allowlisted.
+//! * `hot-path-maps` — the simulator's hot-path modules must stay on
+//!   dense arena/slab structures: no `HashMap`/`BTreeMap`.
+//! * `event-size` — the compile-time 16-byte bound on simulator events
+//!   must stay present in `exec.rs`.
+//! * `experiments-keys` — scenario keys in `EXPERIMENTS.md` tables and
+//!   row names in `BENCH_experiments.json` must agree (md-only keys
+//!   may be allowlisted: benches that write other artifacts).
+//!
+//! The allowlist is `crates/check/lint_allow.txt`: `<rule> <key>` per
+//! line, `#` comments. Keys are workspace-relative paths for the file
+//! rules, scenario keys for `experiments-keys`.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// The patterns this file searches for are spelled split so the lint
+// never matches its own source.
+const ORDERING_PAT: &str = concat!("Order", "ing::");
+const ORDER_COMMENT: &str = concat!("or", "der:");
+const SAFETY_COMMENT: &str = concat!("SAF", "ETY:");
+const UNSAFE_KW: &str = concat!("un", "safe");
+const HASH_MAP: &str = concat!("Hash", "Map");
+const BTREE_MAP: &str = concat!("BTree", "Map");
+
+/// Atomic-ordering variants (`std::cmp::Ordering`'s variants are not
+/// in this list, so comparison code never trips the rule).
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The simulator modules the paper's throughput numbers depend on;
+/// PR 2 moved them to dense structures and this rule keeps them there.
+const HOT_PATH_FILES: [&str; 4] = [
+    "crates/sim/src/queue.rs",
+    "crates/sim/src/state.rs",
+    "crates/sim/src/exec.rs",
+    "crates/sim/src/coherence.rs",
+];
+
+/// One rule violation.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule name (allowlist key space).
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.msg)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.msg
+            )
+        }
+    }
+}
+
+/// Parsed `lint_allow.txt`.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: BTreeSet<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text (`<rule> <key>` lines, `#` comments).
+    pub fn parse(text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let (rule, key) = l.split_once(char::is_whitespace)?;
+                Some((rule.to_string(), key.trim().to_string()))
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    fn allows(&self, rule: &str, key: &str) -> bool {
+        self.entries.contains(&(rule.to_string(), key.to_string()))
+    }
+}
+
+/// Run every rule over the workspace at `root`. Returns the surviving
+/// findings (allowlisted ones are dropped).
+pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
+    let allow = match fs::read_to_string(root.join("crates/check/lint_allow.txt")) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+    let mut findings = Vec::new();
+    for file in rust_sources(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&file)?;
+        let lines: Vec<&str> = text.lines().collect();
+        if !allow.allows("ordering", &rel) {
+            ordering_rule(&rel, &lines, &mut findings);
+        }
+        if !allow.allows(UNSAFE_KW, &rel) {
+            unsafe_rule(&rel, &lines, &mut findings);
+        }
+        if HOT_PATH_FILES.contains(&rel.as_str()) {
+            hot_path_rule(&rel, &lines, &mut findings);
+        }
+        if rel == "crates/sim/src/exec.rs" {
+            event_size_rule(&rel, &text, &mut findings);
+        }
+    }
+    experiments_keys_rule(root, &allow, &mut findings)?;
+    Ok(findings)
+}
+
+/// All workspace-owned `.rs` files (vendor stubs and build output are
+/// not ours to lint).
+fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && name != "vendor" {
+                walk(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Whether the line is comment-only (`//`, `///`, `//!`).
+fn is_comment_line(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Whether line `i` carries `needle` — on the line itself, on an
+/// earlier line of the same (multi-line) statement, or in the
+/// contiguous comment block immediately above the statement.
+fn justified(lines: &[&str], i: usize, needle: &str) -> bool {
+    if lines[i].contains(needle) {
+        return true;
+    }
+    // Walk to the statement head: a predecessor that is blank, a
+    // comment, or ends a statement/block means line `j` starts one.
+    let mut j = i;
+    while j > 0 {
+        let prev = lines[j - 1].trim_end();
+        if prev.is_empty()
+            || is_comment_line(prev)
+            || prev.ends_with(';')
+            || prev.ends_with('{')
+            || prev.ends_with('}')
+        {
+            break;
+        }
+        j -= 1;
+        if lines[j].contains(needle) {
+            return true;
+        }
+    }
+    while j > 0 && is_comment_line(lines[j - 1]) {
+        j -= 1;
+        if lines[j].contains(needle) {
+            return true;
+        }
+    }
+    false
+}
+
+fn ordering_rule(file: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if is_comment_line(line) {
+            continue;
+        }
+        let hit = ATOMIC_ORDERINGS
+            .iter()
+            .any(|v| line.contains(&format!("{ORDERING_PAT}{v}")));
+        if !hit {
+            continue;
+        }
+        if !justified(lines, i, ORDER_COMMENT) {
+            findings.push(Finding {
+                rule: "ordering",
+                file: file.to_string(),
+                line: i + 1,
+                msg: format!(
+                    "atomic ordering without an adjacent `// {ORDER_COMMENT}` justification"
+                ),
+            });
+        }
+    }
+}
+
+fn unsafe_rule(file: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if is_comment_line(line) || !has_word(line, UNSAFE_KW) {
+            continue;
+        }
+        if !justified(lines, i, SAFETY_COMMENT) {
+            findings.push(Finding {
+                rule: UNSAFE_KW,
+                file: file.to_string(),
+                line: i + 1,
+                msg: format!("`{UNSAFE_KW}` without an adjacent `// {SAFETY_COMMENT}` comment"),
+            });
+        }
+    }
+}
+
+/// Word-boundary substring match (so `unsafe_code` in a lint attribute
+/// never counts as the keyword).
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ok_before = start == 0 || !is_word(bytes[start - 1]);
+        let ok_after = end == bytes.len() || !is_word(bytes[end]);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn hot_path_rule(file: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if is_comment_line(line) {
+            continue;
+        }
+        for map in [HASH_MAP, BTREE_MAP] {
+            if has_word(line, map) {
+                findings.push(Finding {
+                    rule: "hot-path-maps",
+                    file: file.to_string(),
+                    line: i + 1,
+                    msg: format!("`{map}` on the simulator hot path (use a dense arena/slab)"),
+                });
+            }
+        }
+    }
+}
+
+fn event_size_rule(file: &str, text: &str, findings: &mut Vec<Finding>) {
+    if !text.contains("size_of::<Ev>() <= 16") {
+        findings.push(Finding {
+            rule: "event-size",
+            file: file.to_string(),
+            line: 0,
+            msg: "compile-time `size_of::<Ev>() <= 16` assert is missing".to_string(),
+        });
+    }
+}
+
+/// Scenario keys from `EXPERIMENTS.md` tables: the first backticked
+/// cell of each table row (`| \`key\` | ...`).
+fn experiment_md_keys(text: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("| `") else {
+            continue;
+        };
+        if let Some((key, _)) = rest.split_once('`') {
+            if !key.is_empty() {
+                keys.insert(key.to_string());
+            }
+        }
+    }
+    keys
+}
+
+/// `"name": "<key>"` values from `BENCH_experiments.json` (hand parse:
+/// the workspace has no JSON dependency, and the format is ours).
+fn experiment_json_keys(text: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let Some(colon) = rest.find(':') else { break };
+        let tail = rest[colon + 1..].trim_start();
+        if let Some(val) = tail.strip_prefix('"') {
+            if let Some((key, _)) = val.split_once('"') {
+                keys.insert(key.to_string());
+            }
+        }
+    }
+    keys
+}
+
+fn experiments_keys_rule(
+    root: &Path,
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let md = fs::read_to_string(root.join("EXPERIMENTS.md"))?;
+    let json = fs::read_to_string(root.join("BENCH_experiments.json"))?;
+    let md_keys = experiment_md_keys(&md);
+    let json_keys = experiment_json_keys(&json);
+    for key in &json_keys {
+        if !md_keys.contains(key) {
+            findings.push(Finding {
+                rule: "experiments-keys",
+                file: "EXPERIMENTS.md".to_string(),
+                line: 0,
+                msg: format!("BENCH_experiments.json row `{key}` has no EXPERIMENTS.md table row"),
+            });
+        }
+    }
+    for key in &md_keys {
+        if !json_keys.contains(key) && !allow.allows("experiments-keys", key) {
+            findings.push(Finding {
+                rule: "experiments-keys",
+                file: "BENCH_experiments.json".to_string(),
+                line: 0,
+                msg: format!(
+                    "EXPERIMENTS.md scenario `{key}` has no BENCH_experiments.json row \
+                     (allowlist it if another artifact carries it)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Synthetic sources are built from the split constants so the lint
+    // never flags its own test fixtures.
+    #[test]
+    fn ordering_requires_adjacent_justification() {
+        let load = format!("x.load({ORDERING_PAT}Relaxed);");
+        let comment = format!("// {ORDER_COMMENT} Relaxed — diagnostic.");
+        let ok = [comment.as_str(), load.as_str()];
+        let bad = [load.as_str()];
+        let far = [comment.as_str(), "", "", load.as_str()];
+        let mut f = Vec::new();
+        ordering_rule("a.rs", &ok, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+        ordering_rule("a.rs", &bad, &mut f);
+        assert_eq!(f.len(), 1);
+        f.clear();
+        ordering_rule("a.rs", &far, &mut f);
+        assert_eq!(f.len(), 1, "a blank line breaks the comment block");
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_ordering() {
+        let cmp = format!("std::cmp::{ORDERING_PAT}Less => {{}}");
+        let lines = [cmp.as_str()];
+        let mut f = Vec::new();
+        ordering_rule("a.rs", &lines, &mut f);
+        assert!(
+            f.is_empty(),
+            "comparison Ordering variants tripped the rule"
+        );
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let safety = format!("// {SAFETY_COMMENT} we hold the lock.");
+        let block = format!("{UNSAFE_KW} {{ *p }}");
+        let attr = format!("#![deny({UNSAFE_KW}_op_in_{UNSAFE_KW}_fn)]");
+        let mut f = Vec::new();
+        unsafe_rule("a.rs", &[safety.as_str(), block.as_str()], &mut f);
+        assert!(f.is_empty(), "{f:?}");
+        unsafe_rule("a.rs", &[block.as_str()], &mut f);
+        assert_eq!(f.len(), 1);
+        f.clear();
+        unsafe_rule("a.rs", &[attr.as_str()], &mut f);
+        assert!(f.is_empty(), "lint attributes are not the keyword");
+    }
+
+    #[test]
+    fn hot_path_rule_flags_maps_outside_comments() {
+        let map = concat!("Hash", "Map");
+        let lines = [
+            format!("use std::collections::{map};"),
+            format!("// a comment may mention {map}"),
+        ];
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let mut f = Vec::new();
+        hot_path_rule("crates/sim/src/state.rs", &refs, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn experiment_key_parsers() {
+        let md = "| `fig_1` | Fig. 1 | x | y | ✓ |\nplain text\n| `tbl_2` | ... |\n";
+        assert_eq!(
+            experiment_md_keys(md).into_iter().collect::<Vec<_>>(),
+            vec!["fig_1".to_string(), "tbl_2".to_string()]
+        );
+        let json = r#"{"rows": [{"name": "fig_1"}, {"name": "tbl_2"}]}"#;
+        assert_eq!(
+            experiment_json_keys(json).into_iter().collect::<Vec<_>>(),
+            vec!["fig_1".to_string(), "tbl_2".to_string()]
+        );
+    }
+
+    #[test]
+    fn allowlist_parses_and_filters() {
+        let a = Allowlist::parse("# comment\nordering crates/x.rs\nexperiments-keys switch_cost\n");
+        assert!(a.allows("ordering", "crates/x.rs"));
+        assert!(a.allows("experiments-keys", "switch_cost"));
+        assert!(!a.allows(UNSAFE_KW, "crates/x.rs"));
+    }
+}

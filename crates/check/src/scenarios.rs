@@ -1,0 +1,417 @@
+//! The model-checked scenarios: each wraps one of the repo's native
+//! synchronization algorithms (or the switching kernel itself) in a
+//! small closed program whose every interleaving the checker explores.
+//!
+//! A scenario must build all shared state *inside* its closure (a
+//! fresh world per schedule) and fail by panicking — an assertion, a
+//! protocol invariant (e.g. `TtsLock`'s unheld-unlock assert), or the
+//! model's own vector-clock race detector via
+//! [`reactive_native::model::RaceCell`].
+//!
+//! Two scenarios exist to rediscover the seeded regression mutants
+//! (`kernel_arbitration` for `double_commit`, `kernel_commit_first`
+//! for `stale_mode`); on an unmutated build they must pass like the
+//! rest.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use reactive_api::{
+    drive, Decision, Observation, Policy, ProtocolId, SharedWorld, SwitchKernel, SwitchStyle,
+    SwitchableObject,
+};
+use reactive_native::mcs::{McsLock, McsNode};
+use reactive_native::model::shim::{AtomicU64, AtomicU8};
+use reactive_native::model::{explore, thread, Config, RaceCell, Report};
+use reactive_native::reactive::{ReactiveLock, PROTO_QUEUE, PROTO_TTS};
+use reactive_native::{Event, TtsLock, TwoPhaseWait};
+
+/// One model-checked scenario.
+pub struct Scenario {
+    /// Stable name (CLI selector and counterexample file stem).
+    pub name: &'static str,
+    /// One-line description for `conc-check --list`.
+    pub about: &'static str,
+    /// Runs the scenario under the given exploration limits.
+    pub run: fn(Config) -> Report,
+}
+
+/// Every scenario, in documentation order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "tts_mutex",
+            about: "test-and-test&set lock provides mutual exclusion (3 threads)",
+            run: tts_mutex,
+        },
+        Scenario {
+            name: "mcs_mutex",
+            about: "MCS queue lock provides mutual exclusion + FIFO handoff (3 threads)",
+            run: mcs_mutex,
+        },
+        Scenario {
+            name: "two_phase_event",
+            about: "two-phase (poll-then-park) event wait never loses a waiter or a write",
+            run: two_phase_event,
+        },
+        Scenario {
+            name: "reactive_lock",
+            about: "kernel-driven reactive lock under a thrashing policy (switch on every release)",
+            run: reactive_lock,
+        },
+        Scenario {
+            name: "kernel_arbitration",
+            about: "concurrent Transfer-style changers arbitrate to exactly one commit",
+            run: kernel_arbitration,
+        },
+        Scenario {
+            name: "kernel_commit_first",
+            about: "CommitFirst bookkeeping is settled before a racer can win the target",
+            run: kernel_commit_first,
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------
+// Protocol scenarios
+// ---------------------------------------------------------------------
+
+fn tts_mutex(cfg: Config) -> Report {
+    explore(
+        "tts_mutex",
+        cfg,
+        Arc::new(|| {
+            let l = Arc::new(TtsLock::new());
+            let c = Arc::new(RaceCell::new("tts payload", 0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let (l, c) = (l.clone(), c.clone());
+                    thread::spawn(move || {
+                        l.lock();
+                        let v = c.get();
+                        c.set(v + 1);
+                        l.unlock();
+                    })
+                })
+                .collect();
+            l.lock();
+            let v = c.get();
+            c.set(v + 1);
+            l.unlock();
+            for h in hs {
+                h.join().unwrap();
+            }
+            l.lock();
+            assert_eq!(c.get(), 3, "an increment was lost");
+            l.unlock();
+        }),
+    )
+}
+
+fn mcs_mutex(cfg: Config) -> Report {
+    explore(
+        "mcs_mutex",
+        cfg,
+        Arc::new(|| {
+            let l = Arc::new(McsLock::new());
+            let c = Arc::new(RaceCell::new("mcs payload", 0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let (l, c) = (l.clone(), c.clone());
+                    thread::spawn(move || {
+                        let node = Box::new(McsNode::new());
+                        l.lock(&node);
+                        let v = c.get();
+                        c.set(v + 1);
+                        l.unlock(&node);
+                    })
+                })
+                .collect();
+            let node = Box::new(McsNode::new());
+            l.lock(&node);
+            let v = c.get();
+            c.set(v + 1);
+            l.unlock(&node);
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.get(), 3, "an increment was lost");
+        }),
+    )
+}
+
+fn two_phase_event(cfg: Config) -> Report {
+    explore(
+        "two_phase_event",
+        cfg,
+        Arc::new(|| {
+            let ev = Arc::new(Event::new());
+            let data = Arc::new(RaceCell::new("event payload", 0u64));
+            // One waiter polls briefly (virtual nanoseconds = granted
+            // ops) and then parks; the other parks immediately. Both
+            // must observe the pre-`set` write.
+            let hs: Vec<_> = [Duration::from_nanos(3), Duration::ZERO]
+                .into_iter()
+                .map(|lpoll| {
+                    let (ev, data) = (ev.clone(), data.clone());
+                    thread::spawn(move || {
+                        ev.wait(TwoPhaseWait::new(lpoll));
+                        assert_eq!(data.get(), 7, "waiter woke before the producer's write");
+                    })
+                })
+                .collect();
+            data.set(7);
+            ev.set();
+            for h in hs {
+                h.join().unwrap();
+            }
+        }),
+    )
+}
+
+/// A policy that asks to leave the current protocol on every
+/// observation — the adversarial maximum of mode-change traffic, so
+/// every release runs a full kernel transaction.
+struct Thrash;
+
+impl Policy for Thrash {
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        Decision::SwitchTo(if obs.current == PROTO_TTS {
+            PROTO_QUEUE
+        } else {
+            PROTO_TTS
+        })
+    }
+}
+
+fn reactive_lock(cfg: Config) -> Report {
+    explore(
+        "reactive_lock",
+        cfg,
+        Arc::new(|| {
+            let l = Arc::new(ReactiveLock::builder().policy(Thrash).build());
+            let c = Arc::new(RaceCell::new("reactive payload", 0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let (l, c) = (l.clone(), c.clone());
+                    thread::spawn(move || {
+                        let held = l.acquire();
+                        let v = c.get();
+                        c.set(v + 1);
+                        l.release(held);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.get(), 2, "an increment was lost across mode changes");
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Kernel scenarios (regression-mutant rediscovery targets)
+// ---------------------------------------------------------------------
+
+const MP: ProtocolId = ProtocolId(0);
+const SM: ProtocolId = ProtocolId(1);
+
+/// Miniature of the message-passing fetch-op's switch machinery: the
+/// exiting protocol's consensus object is a manager validity word
+/// (invalidation = winning a compare-exchange on it), the entering
+/// protocol's is a TTS flag pinned busy until `validate` frees it.
+struct MpFetchOp {
+    kernel: SwitchKernel<SharedWorld>,
+    /// Manager's validity word for the MP protocol (1 = valid).
+    mp_valid: AtomicU64,
+    /// The SM side's consensus lock, pinned busy while invalid.
+    sm: TtsLock,
+    mode: AtomicU8,
+}
+
+impl MpFetchOp {
+    fn new() -> MpFetchOp {
+        let obj = MpFetchOp {
+            kernel: SwitchKernel::<SharedWorld>::builder()
+                .register(MP, "mp", SwitchStyle::Transfer)
+                .register(SM, "sm", SwitchStyle::Handoff)
+                .build(),
+            mp_valid: AtomicU64::new(1),
+            sm: TtsLock::new(),
+            mode: AtomicU8::new(MP.0),
+        };
+        let pinned = obj.sm.try_lock();
+        assert!(pinned, "fresh SM consensus lock must be free to pin");
+        obj
+    }
+}
+
+impl SwitchableObject for MpFetchOp {
+    type Ctx = ();
+
+    async fn validate(&self, _ctx: &(), to: ProtocolId, _from: ProtocolId, _state: u64) {
+        if to == SM {
+            // Exactly like the real fetch-op: making SM valid frees its
+            // pinned consensus lock. Freeing it twice is the
+            // double-commit signature (TtsLock's unheld-unlock assert).
+            self.sm.unlock();
+        }
+    }
+
+    async fn invalidate(&self, _ctx: &(), from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        if from == MP {
+            // The manager's conditional invalidation: the validity word
+            // is the consensus object, so concurrent changers arbitrate
+            // here — exactly one wins the 1 -> 0 transition.
+            // order: AcqRel — the winner's later reads see the state the
+            // word guarded; losers only need the failure itself.
+            self.mp_valid
+                .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)
+                .ok()
+                .map(|_| 0)
+        } else {
+            Some(0)
+        }
+    }
+
+    async fn publish_mode(&self, _ctx: &(), to: ProtocolId) {
+        // order: Release — the hint must not be reordered before the
+        // validity transitions above.
+        self.mode.store(to.0, Ordering::Release);
+    }
+
+    fn now(&self, _ctx: &()) -> u64 {
+        0
+    }
+}
+
+fn kernel_arbitration(cfg: Config) -> Report {
+    explore(
+        "kernel_arbitration",
+        cfg,
+        Arc::new(|| {
+            // Two completed requesters both hold an approved decision to
+            // leave MP for SM (the §3.6 double-commit shape) and race
+            // their transactions. Exactly one may commit; the other
+            // must abort at the consensus object with no side effects.
+            let obj = Arc::new(MpFetchOp::new());
+            let wins = Arc::new(AtomicU64::new(0));
+            let (o2, w2) = (obj.clone(), wins.clone());
+            let h = thread::spawn(move || {
+                if drive(o2.kernel.try_switch(&*o2, &(), MP, SM)) {
+                    // order: Relaxed — joined before reading.
+                    w2.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            if drive(obj.kernel.try_switch(&*obj, &(), MP, SM)) {
+                // order: Relaxed — joined before reading.
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+            h.join().unwrap();
+            // order: Relaxed — the join above orders both increments.
+            assert_eq!(
+                wins.load(Ordering::Relaxed),
+                1,
+                "exactly one concurrent changer may commit"
+            );
+            assert!(
+                obj.sm.try_lock(),
+                "SM consensus lock freed exactly once by the winning validate"
+            );
+            assert_eq!(obj.kernel.switches(), 1);
+        }),
+    )
+}
+
+/// Miniature of the native lock's CommitFirst discipline: `validate`
+/// makes the target's consensus object winnable; the scenario's second
+/// thread pounces on it the instant it lands and runs a full opposite
+/// transaction, which is only sound if this transaction's kernel
+/// bookkeeping is already settled.
+struct CommitFirstObj {
+    kernel: SwitchKernel<SharedWorld>,
+    /// Target consensus object: 1 = winnable by a racer.
+    b_valid: AtomicU64,
+    mode: AtomicU8,
+}
+
+const A: ProtocolId = ProtocolId(0);
+const B: ProtocolId = ProtocolId(1);
+
+impl CommitFirstObj {
+    fn new() -> CommitFirstObj {
+        CommitFirstObj {
+            kernel: SwitchKernel::<SharedWorld>::builder()
+                .register(A, "a", SwitchStyle::CommitFirst)
+                .register(B, "b", SwitchStyle::CommitFirst)
+                .build(),
+            b_valid: AtomicU64::new(0),
+            mode: AtomicU8::new(A.0),
+        }
+    }
+}
+
+impl SwitchableObject for CommitFirstObj {
+    type Ctx = ();
+
+    async fn validate(&self, _ctx: &(), to: ProtocolId, _from: ProtocolId, _state: u64) {
+        if to == B {
+            // order: Release pairs with the racer's Acquire spin — a
+            // winner of the freshly valid consensus object must also
+            // see the kernel bookkeeping committed before this store.
+            self.b_valid.store(1, Ordering::Release);
+        }
+    }
+
+    async fn invalidate(&self, _ctx: &(), from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        if from == B {
+            // order: Relaxed — serialized by holding the consensus
+            // object (the racer owns B when it invalidates it).
+            self.b_valid.store(0, Ordering::Relaxed);
+        }
+        Some(0)
+    }
+
+    async fn publish_mode(&self, _ctx: &(), to: ProtocolId) {
+        // order: Release — hint only; must trail the validity stores.
+        self.mode.store(to.0, Ordering::Release);
+    }
+
+    fn now(&self, _ctx: &()) -> u64 {
+        0
+    }
+}
+
+fn kernel_commit_first(cfg: Config) -> Report {
+    explore(
+        "kernel_commit_first",
+        cfg,
+        Arc::new(|| {
+            let obj = Arc::new(CommitFirstObj::new());
+            let o2 = obj.clone();
+            // The racer: wins B's consensus object the instant it
+            // becomes valid and immediately runs the opposite change.
+            // Holding the consensus object entitles it to the
+            // exclusive-discipline `switch`, which panics if the
+            // kernel's state is stale (the pre-kernel native-lock bug).
+            let h = thread::spawn(move || {
+                // order: Acquire pairs with validate's Release.
+                while o2.b_valid.load(Ordering::Acquire) == 0 {
+                    thread::yield_now();
+                }
+                drive(o2.kernel.switch(&*o2, &(), B, A));
+            });
+            drive(obj.kernel.switch(&*obj, &(), A, B));
+            h.join().unwrap();
+            assert_eq!(obj.kernel.switches(), 2);
+            assert_eq!(obj.kernel.current(), A, "the racer's change committed last");
+        }),
+    )
+}

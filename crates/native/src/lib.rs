@@ -22,9 +22,13 @@
 //!   cost` as the §4.5.1 default).
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod mcs;
+#[cfg(feature = "model")]
+pub mod model;
 pub mod reactive;
+pub mod sync;
 pub mod tts;
 pub mod two_phase;
 

@@ -6,9 +6,10 @@
 //! keeping the lock allocation-free on the hot path.
 
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
+
+use crate::sync::{spin_loop, thread, AtomicBool, AtomicPtr, Ordering, YIELD_MASK};
 
 /// A queue node; allocate one per acquisition (stack is fine: the node
 /// must stay alive until `unlock` returns).
@@ -44,9 +45,15 @@ impl McsLock {
     /// Returns `true` if the queue was empty at enqueue time (the
     /// reactive lock's low-contention monitor).
     pub fn lock(&self, node: &McsNode) -> bool {
+        // order: Relaxed — private initialization of our own node; the
+        // tail swap below publishes it.
         node.next.store(ptr::null_mut(), Ordering::Relaxed);
+        // order: Relaxed — same: not visible until the swap publishes.
         node.locked.store(true, Ordering::Relaxed);
         let me = node as *const McsNode as *mut McsNode;
+        // order: AcqRel — Release publishes our initialized node to the
+        // next enqueuer; Acquire sees the predecessor's initialized
+        // node (pairs with the previous swap's Release half).
         let pred = self.tail.swap(me, Ordering::AcqRel);
         if pred.is_null() {
             return true;
@@ -54,14 +61,18 @@ impl McsLock {
         // SAFETY: `pred` points to a node whose owner is either waiting
         // or in `unlock`, and in both cases keeps it alive until it has
         // signalled us (the MCS protocol's ownership contract).
+        // order: Release publishes our node to the predecessor's
+        // `unlock`, which loads `next` with Acquire.
         unsafe { (*pred).next.store(me, Ordering::Release) };
         let mut polls = 0u32;
+        // order: Acquire pairs with the Release store in the
+        // predecessor's `unlock`, handing us its critical section.
         while node.locked.load(Ordering::Acquire) {
-            std::hint::spin_loop();
+            spin_loop();
             polls += 1;
-            if polls.is_multiple_of(256) {
+            if polls.is_multiple_of(YIELD_MASK) {
                 // Keep progress on oversubscribed hosts.
-                std::thread::yield_now();
+                thread::yield_now();
             }
         }
         false
@@ -70,9 +81,15 @@ impl McsLock {
     /// Release using the node passed to [`McsLock::lock`].
     pub fn unlock(&self, node: &McsNode) {
         let me = node as *const McsNode as *mut McsNode;
+        // order: Acquire pairs with the successor's Release link store,
+        // so we see its initialized node before touching it.
         let mut next = node.next.load(Ordering::Acquire);
         if next.is_null() {
             // No known successor: try to swing the tail back to empty.
+            // order: AcqRel on success — Release publishes our critical
+            // section to the next empty-queue acquirer's Acquire swap;
+            // Acquire on failure so the `next` re-load loop below sees
+            // the racing enqueuer's node.
             if self
                 .tail
                 .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
@@ -83,23 +100,28 @@ impl McsLock {
             // Someone is enqueueing behind us: wait for the link.
             let mut polls = 0u32;
             loop {
+                // order: Acquire — pairs with the enqueuer's Release
+                // link store (its node must be initialized before use).
                 next = node.next.load(Ordering::Acquire);
                 if !next.is_null() {
                     break;
                 }
-                std::hint::spin_loop();
+                spin_loop();
                 polls += 1;
-                if polls.is_multiple_of(256) {
-                    std::thread::yield_now();
+                if polls.is_multiple_of(YIELD_MASK) {
+                    thread::yield_now();
                 }
             }
         }
         // SAFETY: successor is alive and spinning on its `locked` flag.
+        // order: Release pairs with the successor's Acquire spin,
+        // handing over the critical section.
         unsafe { (*next).locked.store(false, Ordering::Release) };
     }
 
     /// Whether the queue is (instantaneously) empty.
     pub fn is_unlocked(&self) -> bool {
+        // order: Relaxed — momentary snapshot, explicitly racy.
         self.tail.load(Ordering::Relaxed).is_null()
     }
 }
@@ -134,7 +156,9 @@ mod tests {
                     for _ in 0..iters {
                         let node = McsNode::new();
                         l.lock(&node);
+                        // order: Relaxed — the lock orders these.
                         let v = c.load(Ordering::Relaxed);
+                        // order: Relaxed — the lock orders these.
                         c.store(v + 1, Ordering::Relaxed);
                         l.unlock(&node);
                     }
@@ -144,6 +168,7 @@ mod tests {
         for h in hs {
             h.join().unwrap();
         }
+        // order: Relaxed — all threads joined; no concurrency left.
         assert_eq!(counter.load(Ordering::Relaxed), threads * iters);
     }
 

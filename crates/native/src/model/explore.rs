@@ -1,0 +1,126 @@
+//! CHESS-style bounded DFS over schedules.
+//!
+//! Each run of a scenario produces a stack of scheduling decisions
+//! (frames); backtracking advances the deepest frame with an untried
+//! alternative whose cumulative *preemption cost* stays within the
+//! bound, truncates everything below it, and replays. Continuing the
+//! running thread, or switching after a voluntary yield / block, is
+//! free; switching away from a thread that could continue costs one
+//! preemption. Musuvathi & Qadeer's iterative-context-bound result is
+//! the soundness story: most concurrency bugs manifest within 2–3
+//! preemptions, so a small bound explores a tiny fraction of the
+//! schedule space yet finds the races that matter. The caveat: a pass
+//! is a proof only up to the bound (and the monitor's
+//! happens-before granularity), not a full proof of the algorithm.
+
+use std::sync::Arc;
+
+use super::rt::{run_schedule, Failure, Frame};
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Preemption bound (CHESS context bound). 2 finds both seeded
+    /// regression races; 3 is the thorough setting.
+    pub preemptions: u8,
+    /// Hard cap on explored schedules (safety net, not a target).
+    pub max_schedules: u64,
+    /// Per-run step cap (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemptions: 2,
+            max_schedules: 500_000,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// Result of exploring one scenario.
+#[derive(Debug)]
+pub struct Report {
+    /// Scenario name.
+    pub name: String,
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Total scheduling decisions across all runs.
+    pub steps: u64,
+    /// First failure found, if any (exploration stops at the first).
+    pub failure: Option<Failure>,
+    /// True when the schedule cap stopped exploration early.
+    pub truncated: bool,
+}
+
+impl Report {
+    /// Whether the scenario passed (no failure within the bound).
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Exhaustively explore `scenario` under `cfg`'s preemption bound.
+///
+/// The scenario closure is executed once per schedule; it must create
+/// all its shared state inside the closure (a fresh world per run) and
+/// confine itself to the model shims for anything the checker should
+/// control.
+pub fn explore(name: &str, cfg: Config, scenario: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut schedules = 0u64;
+    let mut steps = 0u64;
+    loop {
+        let outcome = run_schedule(&scenario, &mut stack, cfg.max_steps);
+        schedules += 1;
+        steps += outcome.steps;
+        if let Some(f) = outcome.failure {
+            let mut f = f;
+            if outcome.diverged {
+                f.message = format!("internal: {}", f.message);
+            }
+            return Report {
+                name: name.to_string(),
+                schedules,
+                steps,
+                failure: Some(f),
+                truncated: false,
+            };
+        }
+        if schedules >= cfg.max_schedules {
+            return Report {
+                name: name.to_string(),
+                schedules,
+                steps,
+                failure: None,
+                truncated: true,
+            };
+        }
+        // Backtrack: advance the deepest frame with an affordable
+        // untried alternative.
+        let advanced = loop {
+            let Some(f) = stack.last_mut() else {
+                break false;
+            };
+            let mut next = f.idx + 1;
+            while next < f.options.len() && f.budget_before + f.costs[next] > cfg.preemptions {
+                next += 1;
+            }
+            if next < f.options.len() {
+                f.idx = next;
+                break true;
+            }
+            stack.pop();
+        };
+        if !advanced {
+            return Report {
+                name: name.to_string(),
+                schedules,
+                steps,
+                failure: None,
+                truncated: false,
+            };
+        }
+    }
+}

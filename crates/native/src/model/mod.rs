@@ -1,0 +1,32 @@
+//! A loom-style bounded model checker for the native protocols.
+//!
+//! Compiled only under `--features model`. The pieces:
+//!
+//! * [`shim`] — drop-in `AtomicBool`/`AtomicU8`/`AtomicU64`/
+//!   `AtomicPtr`/`Mutex`/parking/`Instant` replacements that trap every
+//!   shared-memory access as a scheduling point (the protocols import
+//!   them through [`crate::sync`]).
+//! * [`rt`](self) — a turn-based runtime: one OS thread per model
+//!   thread, strictly serialized, so a run is a deterministic,
+//!   replayable sequence of scheduling decisions.
+//! * [`explore`] — CHESS-style DFS over those decisions with a
+//!   preemption bound, plus a vector-clock happens-before race
+//!   detector over [`shim::RaceCell`] accesses.
+//!
+//! A failing schedule (data race, assertion failure, deadlock, step
+//! budget) is reported as a [`Failure`] whose trace prints as a
+//! replayable schedule. `crates/check`'s `conc-check` binary wraps
+//! this with the repo's lock scenarios and the seeded regression
+//! mutants.
+
+mod explore;
+mod rt;
+pub mod shim;
+mod vc;
+
+pub use explore::{explore, Config, Report};
+pub use rt::{Failure, OpDesc, OpKind, Step};
+pub use shim::RaceCell;
+
+/// Thread shims (spawn/join/park/unpark/yield) for scenario code.
+pub use shim::thread;

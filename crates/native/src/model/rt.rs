@@ -1,0 +1,805 @@
+//! The turn-based model-checking runtime.
+//!
+//! One OS thread per model thread, serialized by a single turn token: a
+//! thread runs user code until it reaches a *scheduling point* (every
+//! shim operation is one), publishes the operation it is about to
+//! perform, hands the turn to the scheduler, and blocks until granted.
+//! The scheduler (the explorer thread) therefore sees the whole run as
+//! a sequence of discrete choices — which thread's pending operation to
+//! execute next — which is exactly what DFS exploration and replay
+//! need.
+//!
+//! Happens-before bookkeeping (vector clocks per thread and per
+//! object) runs at each granted operation, and plain-data accesses
+//! through [`super::shim::RaceCell`] are checked against it: an access
+//! not ordered after the last conflicting access is a data race and
+//! fails the run with the trace as a counterexample.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64, Ordering as O};
+use std::sync::{Arc, Condvar, Mutex};
+
+use super::vc::Vc;
+
+/// Distinguishes object generations across runs (a shim object created
+/// outside the current run re-registers lazily on first touch).
+static RUN_GEN: StdAtomicU64 = StdAtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    rt: Arc<Rt>,
+    tid: usize,
+}
+
+fn cur_ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Panic payload used to tear a thread out of an aborted run; the
+/// per-thread `catch_unwind` recognizes and swallows it.
+pub(super) struct ModelAbort;
+
+fn abort_panic() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+/// What a thread is about to do at a scheduling point.
+#[derive(Clone, Debug)]
+pub struct OpDesc {
+    /// Operation class (drives enabledness and happens-before edges).
+    pub kind: OpKind,
+    /// Trace label, e.g. `"AtomicBool::store"`.
+    pub label: &'static str,
+    /// Dense per-run id of the object acted on, if any.
+    pub obj: Option<u32>,
+}
+
+/// Operation classes at scheduling points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A thread's first point, before any user code runs.
+    Start,
+    /// Atomic load.
+    Load,
+    /// Atomic store.
+    Store,
+    /// Atomic read-modify-write (swap, CAS, fetch-add).
+    Rmw,
+    /// Shim mutex acquisition (disabled while held).
+    MutexLock,
+    /// Shim mutex release.
+    MutexUnlock,
+    /// `thread::park` (disabled until the park token is set).
+    Park,
+    /// `Thread::unpark` of the given model thread.
+    Unpark(usize),
+    /// Voluntary `yield_now` (the scheduler round-robins, no branching).
+    Yield,
+    /// `thread::spawn` of a child model thread.
+    Spawn,
+    /// `JoinHandle::join` (disabled until the target finishes).
+    Join(usize),
+    /// Plain read of a [`super::shim::RaceCell`].
+    CellRead,
+    /// Plain write of a [`super::shim::RaceCell`].
+    CellWrite,
+}
+
+/// Happens-before edge the just-executed operation induces, derived by
+/// the shim from the memory ordering (and, for CAS, the outcome).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// No synchronization (Relaxed).
+    None,
+    /// Acquire: join the object's sync clock into the thread's.
+    Acquire,
+    /// Release: join the thread's clock into the object's.
+    Release,
+    /// Both directions (AcqRel / SeqCst RMW).
+    AcqRel,
+}
+
+/// One executed operation, for counterexample printing.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Model thread id (0 is the scenario root).
+    pub tid: usize,
+    /// Operation label.
+    pub label: &'static str,
+    /// Object id, if any.
+    pub obj: Option<u32>,
+}
+
+/// Why a run failed.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description (race report, panic message, …).
+    pub message: String,
+    /// The executed schedule up to the failure — the counterexample.
+    pub trace: Vec<Step>,
+}
+
+impl Failure {
+    /// Render the counterexample as a replayable printed schedule.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "failure: {}", self.message);
+        let _ = writeln!(out, "counterexample schedule ({} steps):", self.trace.len());
+        for (i, s) in self.trace.iter().enumerate() {
+            match s.obj {
+                Some(o) => {
+                    let _ = writeln!(out, "  {i:4}  t{} {} [obj {o}]", s.tid, s.label);
+                }
+                None => {
+                    let _ = writeln!(out, "  {i:4}  t{} {}", s.tid, s.label);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ThState {
+    /// Published a pending operation; waiting for the grant.
+    AtPoint(OpDesc),
+    /// Owns the turn and is executing user code.
+    Running,
+    /// Returned (or unwound) out of its body.
+    Finished,
+}
+
+struct Th {
+    state: ThState,
+    vc: Vc,
+    /// Clock joined on park return (set by unparkers).
+    wake_vc: Vc,
+    park_token: bool,
+}
+
+impl Th {
+    fn new(vc: Vc) -> Th {
+        Th {
+            state: ThState::AtPoint(OpDesc {
+                kind: OpKind::Start,
+                label: "start",
+                obj: None,
+            }),
+            vc,
+            wake_vc: Vc::new(),
+            park_token: false,
+        }
+    }
+}
+
+/// Per-object model state (atomics, mutexes and race cells share one
+/// table; unused fields stay empty).
+struct ObjState {
+    /// First label that touched the object (trace context).
+    name: &'static str,
+    /// Release-store accumulation clock.
+    sync_vc: Vc,
+    /// Mutex holder.
+    holder: Option<usize>,
+    /// RaceCell: last writer (tid, epoch) and its label.
+    write: Option<(usize, u32, &'static str)>,
+    /// RaceCell: reads since the last write.
+    reads: Vc,
+}
+
+impl ObjState {
+    fn new(name: &'static str) -> ObjState {
+        ObjState {
+            name,
+            sync_vc: Vc::new(),
+            holder: None,
+            write: None,
+            reads: Vc::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Turn {
+    Sched,
+    Thread(usize),
+}
+
+pub(super) struct Sched {
+    turn: Turn,
+    threads: Vec<Th>,
+    objs: Vec<ObjState>,
+    trace: Vec<Step>,
+    /// Virtual nanoseconds: one tick per granted operation.
+    clock: u64,
+    /// Threads registered but not yet finished.
+    live: usize,
+    failure: Option<Failure>,
+}
+
+/// One model run's shared state: scheduler on the explorer thread,
+/// model threads on their own OS threads, serialized via `m`/`cv`.
+pub(super) struct Rt {
+    m: Mutex<Sched>,
+    cv: Condvar,
+    abort: StdAtomicBool,
+    /// Generation stamp for lazy object registration.
+    gen: u64,
+}
+
+impl Rt {
+    pub(super) fn new() -> Arc<Rt> {
+        let mut root_vc = Vc::new();
+        root_vc.bump(0);
+        Arc::new(Rt {
+            m: Mutex::new(Sched {
+                turn: Turn::Sched,
+                threads: vec![Th::new(root_vc)],
+                objs: Vec::new(),
+                trace: Vec::new(),
+                clock: 0,
+                live: 1,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            abort: StdAtomicBool::new(false),
+            // order: Relaxed — plain unique-id counter.
+            gen: RUN_GEN.fetch_add(1, O::Relaxed),
+        })
+    }
+
+    fn aborting(&self) -> bool {
+        // order: Relaxed — advisory flag; the scheduler mutex orders
+        // every state it guards.
+        self.abort.load(O::Relaxed)
+    }
+
+    fn set_abort(&self) {
+        // order: Relaxed — see `aborting`.
+        self.abort.store(true, O::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fail(&self, s: &mut Sched, message: String) {
+        if s.failure.is_none() {
+            s.failure = Some(Failure {
+                message,
+                trace: s.trace.clone(),
+            });
+        }
+        self.set_abort();
+        self.cv.notify_all();
+    }
+}
+
+/// Whether a model run is active on the current thread (and not
+/// unwinding — during unwinds shims pass through so drop glue can't
+/// recursively panic).
+pub(super) fn in_run() -> bool {
+    !std::thread::panicking() && cur_ctx().is_some()
+}
+
+/// Current virtual clock, if in a run.
+pub(super) fn virtual_now() -> Option<u64> {
+    let ctx = cur_ctx()?;
+    if std::thread::panicking() {
+        return None;
+    }
+    let s = ctx.rt.lock();
+    Some(s.clock)
+}
+
+/// Resolve (lazily registering) the dense per-run id of a shim object.
+/// Returns `None` outside a run.
+pub(super) fn obj_id(cell: &StdAtomicU64, name: &'static str) -> Option<u32> {
+    let ctx = cur_ctx()?;
+    if std::thread::panicking() {
+        return None;
+    }
+    // order: Relaxed — the cell is only written while its writer holds
+    // the turn, and stale values only cause a harmless re-register.
+    let v = cell.load(O::Relaxed);
+    if v >> 32 == ctx.rt.gen & 0xffff_ffff {
+        return Some((v & 0xffff_ffff) as u32 - 1);
+    }
+    let mut s = ctx.rt.lock();
+    let id = s.objs.len() as u32;
+    s.objs.push(ObjState::new(name));
+    // order: Relaxed — see above.
+    cell.store(
+        ((ctx.rt.gen & 0xffff_ffff) << 32) | (id as u64 + 1),
+        O::Relaxed,
+    );
+    Some(id)
+}
+
+/// Execute one operation at a scheduling point.
+///
+/// In a run: publish `op`, hand the turn to the scheduler, wait for the
+/// grant, run `f` (the real memory effect), then do the happens-before
+/// and state bookkeeping. Outside a run (or while unwinding), just run
+/// `f`.
+pub(super) fn point<R>(op: OpDesc, f: impl FnOnce() -> (R, Edge)) -> R {
+    let Some(ctx) = cur_ctx() else {
+        return f().0;
+    };
+    if std::thread::panicking() {
+        return f().0;
+    }
+    let rt = ctx.rt.clone();
+    {
+        let mut s = rt.lock();
+        if rt.aborting() {
+            drop(s);
+            abort_panic();
+        }
+        s.threads[ctx.tid].state = ThState::AtPoint(op.clone());
+        s.turn = Turn::Sched;
+        rt.cv.notify_all();
+        loop {
+            if rt.aborting() {
+                drop(s);
+                abort_panic();
+            }
+            if s.turn == Turn::Thread(ctx.tid) {
+                break;
+            }
+            s = rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        // Granted. We own the turn until the next point, so effects and
+        // bookkeeping below cannot interleave with other threads.
+        s.threads[ctx.tid].state = ThState::Running;
+    }
+    let (r, edge) = f();
+    let mut s = rt.lock();
+    s.clock += 1;
+    s.trace.push(Step {
+        tid: ctx.tid,
+        label: op.label,
+        obj: op.obj,
+    });
+    apply_effect(&rt, &mut s, ctx.tid, &op, edge);
+    if s.failure.is_some() {
+        drop(s);
+        abort_panic();
+    }
+    r
+}
+
+/// Happens-before and object-state bookkeeping for a granted op.
+fn apply_effect(rt: &Rt, s: &mut Sched, tid: usize, op: &OpDesc, edge: Edge) {
+    // Object-directed edges.
+    if let Some(obj) = op.obj {
+        let obj = obj as usize;
+        match edge {
+            Edge::None => {}
+            Edge::Acquire => {
+                let ovc = s.objs[obj].sync_vc.clone();
+                s.threads[tid].vc.join(&ovc);
+            }
+            Edge::Release => {
+                let tvc = s.threads[tid].vc.clone();
+                s.objs[obj].sync_vc.join(&tvc);
+                s.threads[tid].vc.bump(tid);
+            }
+            Edge::AcqRel => {
+                let ovc = s.objs[obj].sync_vc.clone();
+                s.threads[tid].vc.join(&ovc);
+                let tvc = s.threads[tid].vc.clone();
+                s.objs[obj].sync_vc.join(&tvc);
+                s.threads[tid].vc.bump(tid);
+            }
+        }
+    }
+    match op.kind {
+        OpKind::MutexLock => {
+            let obj = op.obj.expect("mutex op has an object") as usize;
+            debug_assert!(s.objs[obj].holder.is_none(), "granted a held mutex");
+            s.objs[obj].holder = Some(tid);
+            let ovc = s.objs[obj].sync_vc.clone();
+            s.threads[tid].vc.join(&ovc);
+        }
+        OpKind::MutexUnlock => {
+            let obj = op.obj.expect("mutex op has an object") as usize;
+            debug_assert_eq!(s.objs[obj].holder, Some(tid), "unlock by non-holder");
+            s.objs[obj].holder = None;
+            let tvc = s.threads[tid].vc.clone();
+            s.objs[obj].sync_vc.join(&tvc);
+            s.threads[tid].vc.bump(tid);
+            rt.cv.notify_all(); // blocked lockers become grantable
+        }
+        OpKind::Park => {
+            debug_assert!(s.threads[tid].park_token, "granted a token-less park");
+            s.threads[tid].park_token = false;
+            let wvc = s.threads[tid].wake_vc.clone();
+            s.threads[tid].vc.join(&wvc);
+        }
+        OpKind::Unpark(target) if target < s.threads.len() => {
+            s.threads[target].park_token = true;
+            let tvc = s.threads[tid].vc.clone();
+            s.threads[target].wake_vc.join(&tvc);
+            s.threads[tid].vc.bump(tid);
+        }
+        OpKind::Unpark(_) => {} // unpark of an unregistered/finished thread: no-op
+        OpKind::Join(target) => {
+            let tvc = s.threads[target].vc.clone();
+            s.threads[tid].vc.join(&tvc);
+        }
+        OpKind::CellRead => {
+            let obj = op.obj.expect("cell op has an object") as usize;
+            if let Some((wt, wc, wlabel)) = s.objs[obj].write {
+                if wt != tid && s.threads[tid].vc.get(wt) < wc {
+                    let msg = format!(
+                        "data race on {}: t{tid} {} is concurrent with t{wt} {wlabel}",
+                        s.objs[obj].name, op.label
+                    );
+                    rt.fail(s, msg);
+                    return;
+                }
+            }
+            let epoch = s.threads[tid].vc.get(tid);
+            s.objs[obj].reads.set(tid, epoch.max(1));
+        }
+        OpKind::CellWrite => {
+            let obj = op.obj.expect("cell op has an object") as usize;
+            if let Some((wt, wc, wlabel)) = s.objs[obj].write {
+                if wt != tid && s.threads[tid].vc.get(wt) < wc {
+                    let msg = format!(
+                        "data race on {}: t{tid} {} is concurrent with t{wt} {wlabel}",
+                        s.objs[obj].name, op.label
+                    );
+                    rt.fail(s, msg);
+                    return;
+                }
+            }
+            let reads = s.objs[obj].reads.clone();
+            if !reads.leq(&s.threads[tid].vc) {
+                let msg = format!(
+                    "data race on {}: t{tid} {} is concurrent with an earlier read",
+                    s.objs[obj].name, op.label
+                );
+                rt.fail(s, msg);
+                return;
+            }
+            s.threads[tid].vc.bump(tid);
+            let epoch = s.threads[tid].vc.get(tid);
+            s.objs[obj].write = Some((tid, epoch, op.label));
+            s.objs[obj].reads = Vc::new();
+        }
+        _ => {}
+    }
+}
+
+/// Register a child thread (caller owns the turn via a just-granted
+/// `Spawn` op) and return its tid.
+fn register_child(rt: &Rt, parent: usize) -> usize {
+    let mut s = rt.lock();
+    let tid = s.threads.len();
+    let mut vc = s.threads[parent].vc.clone();
+    s.threads[parent].vc.bump(parent);
+    vc.bump(tid);
+    s.threads.push(Th::new(vc));
+    s.live += 1;
+    tid
+}
+
+/// Body wrapper for every model OS thread: waits for the `Start` grant,
+/// runs `f` under `catch_unwind`, and publishes `Finished` whatever
+/// happens. User panics (assertion failures) become run failures;
+/// [`ModelAbort`] is swallowed.
+fn thread_body(rt: Arc<Rt>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            rt: rt.clone(),
+            tid,
+        })
+    });
+    // Wait for the Start grant.
+    let started = {
+        let mut s = rt.lock();
+        loop {
+            if rt.aborting() {
+                break false;
+            }
+            if s.turn == Turn::Thread(tid) {
+                s.threads[tid].state = ThState::Running;
+                s.clock += 1;
+                s.trace.push(Step {
+                    tid,
+                    label: "start",
+                    obj: None,
+                });
+                break true;
+            }
+            s = rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    };
+    let result = if started {
+        catch_unwind(AssertUnwindSafe(f))
+    } else {
+        Ok(())
+    };
+    let mut s = rt.lock();
+    s.threads[tid].state = ThState::Finished;
+    s.live -= 1;
+    s.turn = Turn::Sched;
+    if let Err(p) = result {
+        if !p.is::<ModelAbort>() {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|m| m.to_string()))
+                .unwrap_or_else(|| "thread panicked (non-string payload)".to_string());
+            rt.fail(&mut s, format!("t{tid} panicked: {msg}"));
+        }
+    }
+    rt.cv.notify_all();
+}
+
+/// Spawn a model thread running `f`. Must be called from inside a run.
+pub(super) fn spawn_model(f: impl FnOnce() + Send + 'static) -> usize {
+    let ctx = cur_ctx().expect("spawn_model outside a run");
+    point(
+        OpDesc {
+            kind: OpKind::Spawn,
+            label: "thread::spawn",
+            obj: None,
+        },
+        || ((), Edge::None),
+    );
+    let tid = register_child(&ctx.rt, ctx.tid);
+    let rt = ctx.rt.clone();
+    std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || thread_body(rt, tid, f))
+        .expect("spawn model thread");
+    tid
+}
+
+/// Join a model thread (blocks at a `Join` point until it finishes).
+pub(super) fn join_model(tid: usize) {
+    point(
+        OpDesc {
+            kind: OpKind::Join(tid),
+            label: "JoinHandle::join",
+            obj: None,
+        },
+        || ((), Edge::None),
+    );
+}
+
+/// Current model tid, if in a run.
+pub(super) fn current_tid() -> Option<usize> {
+    cur_ctx().map(|c| c.tid)
+}
+
+/// Unpark a model thread from inside a run.
+pub(super) fn unpark_model(target: usize) {
+    point(
+        OpDesc {
+            kind: OpKind::Unpark(target),
+            label: "Thread::unpark",
+            obj: None,
+        },
+        || ((), Edge::None),
+    );
+}
+
+/// Park the current model thread (blocks until a token arrives).
+pub(super) fn park_model() {
+    point(
+        OpDesc {
+            kind: OpKind::Park,
+            label: "thread::park",
+            obj: None,
+        },
+        || ((), Edge::None),
+    );
+}
+
+/// Voluntary yield point.
+pub(super) fn yield_model() {
+    point(
+        OpDesc {
+            kind: OpKind::Yield,
+            label: "thread::yield_now",
+            obj: None,
+        },
+        || ((), Edge::None),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Scheduler side (driven by the explorer).
+// ---------------------------------------------------------------------
+
+/// A recorded scheduling decision (one frame of the DFS stack).
+#[derive(Clone, Debug)]
+pub(super) struct Frame {
+    /// Enabled tids, preferred choice first.
+    pub options: Vec<usize>,
+    /// Preemption cost of each option (0 = free, 1 = preemption).
+    pub costs: Vec<u8>,
+    /// Which option this run takes.
+    pub idx: usize,
+    /// Preemptions spent before this decision.
+    pub budget_before: u8,
+}
+
+/// Outcome of one schedule execution.
+pub(super) struct RunOutcome {
+    pub failure: Option<Failure>,
+    pub steps: u64,
+    /// True when the run diverged from its replay prefix (internal
+    /// error — exploration is unsound if this ever happens).
+    pub diverged: bool,
+}
+
+fn op_enabled(s: &Sched, op: &OpDesc, tid: usize) -> bool {
+    match op.kind {
+        OpKind::MutexLock => {
+            let obj = op.obj.expect("mutex op has an object") as usize;
+            s.objs.get(obj).is_none_or(|o| o.holder.is_none())
+        }
+        OpKind::Park => s.threads[tid].park_token,
+        OpKind::Join(target) => matches!(s.threads[target].state, ThState::Finished),
+        _ => true,
+    }
+}
+
+/// Execute one full schedule of `scenario`, replaying the choices in
+/// `stack` and extending it with default choices past the prefix.
+pub(super) fn run_schedule(
+    scenario: &Arc<dyn Fn() + Send + Sync>,
+    stack: &mut Vec<Frame>,
+    max_steps: u64,
+) -> RunOutcome {
+    let rt = Rt::new();
+    let root_rt = rt.clone();
+    let root = std::thread::Builder::new()
+        .name("model-t0".into())
+        .spawn({
+            let f = scenario.clone();
+            move || thread_body(root_rt, 0, move || f())
+        })
+        .expect("spawn model root");
+
+    let mut step: u64 = 0;
+    let mut used: u8 = 0;
+    let mut prev: Option<usize> = None;
+    let mut diverged = false;
+    {
+        let mut s = rt.lock();
+        'sched: loop {
+            while s.turn != Turn::Sched && !rt.aborting() {
+                s = rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            }
+            if s.failure.is_some() || rt.aborting() {
+                break 'sched;
+            }
+            if s.live == 0 {
+                break 'sched; // clean completion
+            }
+            // Enabled pending operations.
+            let mut enabled: Vec<(usize, OpKind)> = Vec::new();
+            let mut any_at_point = false;
+            for (tid, th) in s.threads.iter().enumerate() {
+                if let ThState::AtPoint(op) = &th.state {
+                    any_at_point = true;
+                    if op_enabled(&s, op, tid) {
+                        enabled.push((tid, op.kind));
+                    }
+                }
+            }
+            if !any_at_point {
+                // A spawned thread's OS thread hasn't published yet —
+                // impossible by construction (spawn publishes AtPoint
+                // synchronously), so treat as internal error.
+                rt.fail(&mut s, "scheduler: no thread at a point".into());
+                break 'sched;
+            }
+            if enabled.is_empty() {
+                rt.fail(
+                    &mut s,
+                    "deadlock: every live thread is blocked (mutex/park/join)".into(),
+                );
+                break 'sched;
+            }
+            step += 1;
+            if step > max_steps {
+                rt.fail(
+                    &mut s,
+                    format!("step budget exceeded ({max_steps}): possible livelock"),
+                );
+                break 'sched;
+            }
+            // Decision: canonical option order.
+            let prev_entry = prev.and_then(|p| enabled.iter().find(|(t, _)| *t == p).copied());
+            let (options, costs) = match prev_entry {
+                Some((p, OpKind::Yield)) => {
+                    // Voluntary yield: deterministic round-robin, no
+                    // branching (bounds spin-loop exploration).
+                    let next = enabled
+                        .iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| t > p)
+                        .min()
+                        .or_else(|| enabled.iter().map(|&(t, _)| t).min())
+                        .expect("enabled nonempty");
+                    (vec![next], vec![0u8])
+                }
+                Some((p, _)) => {
+                    // Continuing the running thread is free; switching
+                    // away from a runnable thread is a preemption.
+                    let mut options = vec![p];
+                    let mut costs = vec![0u8];
+                    for &(t, _) in &enabled {
+                        if t != p {
+                            options.push(t);
+                            costs.push(1);
+                        }
+                    }
+                    (options, costs)
+                }
+                None => {
+                    // Previous thread blocked or finished: every switch
+                    // is voluntary.
+                    let options: Vec<usize> = enabled.iter().map(|&(t, _)| t).collect();
+                    let costs = vec![0u8; options.len()];
+                    (options, costs)
+                }
+            };
+            let decision = (step - 1) as usize;
+            let chosen = if decision < stack.len() {
+                let f = &stack[decision];
+                if f.options != options {
+                    diverged = true;
+                    rt.fail(
+                        &mut s,
+                        format!(
+                            "replay divergence at step {decision}: expected options \
+                             {:?}, found {options:?}",
+                            f.options
+                        ),
+                    );
+                    break 'sched;
+                }
+                used = f.budget_before + f.costs[f.idx];
+                f.options[f.idx]
+            } else {
+                stack.push(Frame {
+                    options: options.clone(),
+                    costs,
+                    idx: 0,
+                    budget_before: used,
+                });
+                options[0]
+            };
+            s.turn = Turn::Thread(chosen);
+            prev = Some(chosen);
+            rt.cv.notify_all();
+        }
+        // Teardown: wake everything; threads at points abort out.
+        rt.set_abort();
+        rt.cv.notify_all();
+        while s.live > 0 {
+            s = rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = root.join();
+    let failure = rt.lock().failure.take();
+    RunOutcome {
+        failure,
+        steps: step,
+        diverged,
+    }
+}

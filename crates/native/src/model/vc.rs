@@ -1,0 +1,75 @@
+//! Vector clocks for the happens-before race detector.
+
+/// A vector clock: `vc[t]` is the latest epoch of thread `t` known to
+/// happen-before the owner's next operation. Sparse-tail semantics:
+/// missing entries read as 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Vc(Vec<u32>);
+
+impl Vc {
+    /// The empty (all-zero) clock.
+    pub const fn new() -> Vc {
+        Vc(Vec::new())
+    }
+
+    /// Component for thread `t`.
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Set component `t` to `v`.
+    pub fn set(&mut self, t: usize, v: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Increment component `t` (a new epoch for thread `t`).
+    pub fn bump(&mut self, t: usize) {
+        let v = self.get(t);
+        self.set(t, v + 1);
+    }
+
+    /// Pointwise maximum with `o` (inherit everything `o` has seen).
+    pub fn join(&mut self, o: &Vc) {
+        if self.0.len() < o.0.len() {
+            self.0.resize(o.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&o.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the same component of `o`
+    /// (i.e. everything in `self` happens-before `o`'s owner).
+    pub fn leq(&self, o: &Vc) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= o.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leq() {
+        let mut a = Vc::new();
+        a.set(0, 3);
+        let mut b = Vc::new();
+        b.set(1, 2);
+        assert!(!a.leq(&b));
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert_eq!(b.get(0), 3);
+        assert_eq!(b.get(1), 2);
+    }
+
+    #[test]
+    fn bump_grows() {
+        let mut a = Vc::new();
+        a.bump(2);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(0), 0);
+    }
+}

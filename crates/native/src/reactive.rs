@@ -29,9 +29,12 @@
 //! assert_eq!(log.count(), 0);
 //! ```
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+
+use crate::sync::{
+    spin_loop, thread, AtomicU64, AtomicU8, Instant, Ordering, BACKOFF_INITIAL, BACKOFF_MAX,
+    MODE_CHECK_MASK,
+};
 
 use reactive_api::{
     drive, Instrument, Observation, Policy, ProtocolId, SharedWorld, SwitchKernel, SwitchStyle,
@@ -179,6 +182,7 @@ pub struct ReactiveLock {
 impl std::fmt::Debug for ReactiveLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReactiveLock")
+            // order: Relaxed — diagnostic snapshot.
             .field("mode", &self.mode.load(Ordering::Relaxed))
             .field("switches", &self.kernel.switches())
             .finish()
@@ -198,6 +202,9 @@ impl SwitchableObject for NativeLockSwitch<'_> {
 
     async fn validate(&self, _ctx: &(), to: ProtocolId, _from: ProtocolId, _state: u64) {
         if to == PROTO_QUEUE {
+            // order: Release pairs with the Acquire validity check in
+            // `acquire`, so a winner of the freshly valid queue also
+            // sees the kernel bookkeeping committed before this store.
             self.lock.queue_valid.store(1, Ordering::Release);
         }
     }
@@ -207,12 +214,17 @@ impl SwitchableObject for NativeLockSwitch<'_> {
             // New arrivals bounce on `queue_valid`; waiters already
             // queued still receive FIFO grants and forward them down
             // the chain until the switcher's own unlock drains it.
+            // order: Release orders this store before our subsequent
+            // queue unlock, so a granted waiter's Acquire check sees
+            // invalidity (the §3.2.5 retry discipline relies on it).
             self.lock.queue_valid.store(0, Ordering::Release);
         }
         Some(0)
     }
 
     async fn publish_mode(&self, _ctx: &(), to: ProtocolId) {
+        // order: Release — the hint must not be reordered before the
+        // validity stores above; dispatchers pair with Acquire loads.
         self.lock.mode.store(to.0, Ordering::Release);
     }
 
@@ -221,6 +233,7 @@ impl SwitchableObject for NativeLockSwitch<'_> {
     }
 
     fn reset_monitor(&self, _to: ProtocolId) {
+        // order: Relaxed — monitoring heuristic; no data guarded.
         self.lock.empty_streak.store(0, Ordering::Relaxed);
     }
 }
@@ -251,6 +264,7 @@ impl ReactiveLock {
     /// The protocol the dispatch hint currently points at; diagnostics
     /// only (it may be mid-change).
     pub fn current_protocol(&self) -> ProtocolId {
+        // order: Relaxed — diagnostic snapshot (it may be mid-change).
         ProtocolId(self.mode.load(Ordering::Relaxed))
     }
 
@@ -270,17 +284,21 @@ impl ReactiveLock {
             // Optimistic fast path: in queue mode the TTS flag is pinned
             // busy, so success implies the TTS protocol is current.
             if self.tts.try_lock() {
+                // order: Relaxed — monitoring heuristic; no data guarded.
                 self.empty_streak.store(0, Ordering::Relaxed);
                 let switch = self.consult(&Observation::optimal(PROTO_TTS));
                 return Held {
                     kind: HeldKind::Tts { switch },
                 };
             }
+            // order: Acquire pairs with `publish_mode`'s Release, so a
+            // dispatcher routed to the queue also sees `queue_valid`.
             if self.mode.load(Ordering::Acquire) == MODE_TTS {
                 // TTS acquisition that re-checks the mode hint while
                 // waiting: after a TTS -> queue change the flag is
                 // pinned busy *forever*, so a plain spin would livelock.
                 if let Some(failures) = self.acquire_tts_watching_mode() {
+                    // order: Relaxed — monitoring heuristic.
                     self.empty_streak.store(0, Ordering::Relaxed);
                     let obs = if failures > TTS_RETRY_LIMIT {
                         let residual =
@@ -299,6 +317,9 @@ impl ReactiveLock {
             // Queue mode.
             let node = Box::new(McsNode::new());
             let empty = self.queue.lock(&node);
+            // order: Acquire — pairs with the invalidating Release
+            // store; through the queue grant's release/acquire chain a
+            // granted waiter cannot miss a pre-unlock invalidation.
             if self.queue_valid.load(Ordering::Acquire) == 0 {
                 // We won an *invalid* queue (raced a change back to TTS
                 // mode). Release it and retry via dispatch.
@@ -306,6 +327,8 @@ impl ReactiveLock {
                 continue;
             }
             let obs = if empty {
+                // order: Relaxed — monitoring heuristic; we hold the
+                // lock, and occasional lost updates only delay a switch.
                 let s = self.empty_streak.fetch_add(1, Ordering::Relaxed) + 1;
                 if s > EMPTY_QUEUE_LIMIT {
                     Observation::suboptimal(PROTO_QUEUE, PROTO_TTS, QUEUE_RESIDUAL)
@@ -313,6 +336,7 @@ impl ReactiveLock {
                     Observation::optimal(PROTO_QUEUE)
                 }
             } else {
+                // order: Relaxed — monitoring heuristic.
                 self.empty_streak.store(0, Ordering::Relaxed);
                 Observation::optimal(PROTO_QUEUE)
             };
@@ -328,27 +352,35 @@ impl ReactiveLock {
     /// then be pinned busy forever). Returns the failed-attempt count.
     fn acquire_tts_watching_mode(&self) -> Option<u64> {
         let mut failures = 0u64;
-        let mut delay = 8u32;
+        let mut delay = BACKOFF_INITIAL;
         loop {
             if self.tts.try_lock() {
                 return Some(failures);
             }
             failures += 1;
             for _ in 0..delay {
-                std::hint::spin_loop();
+                spin_loop();
             }
-            delay = (delay * 2).min(4_096);
+            // Under the model feature BACKOFF_* are both 0, which makes
+            // this `min` trivially true — harmless, keep the real shape.
+            #[allow(clippy::unnecessary_min_or_max)]
+            {
+                delay = (delay * 2).min(BACKOFF_MAX);
+            }
             let mut polls = 0u32;
             while self.tts.is_locked() {
-                std::hint::spin_loop();
+                spin_loop();
                 polls += 1;
-                if polls.is_multiple_of(64) {
+                if polls.is_multiple_of(MODE_CHECK_MASK) {
+                    // order: Acquire — see the dispatch comment in
+                    // `acquire`; a stale hint here only costs a retry.
                     if self.mode.load(Ordering::Acquire) != MODE_TTS {
                         return None;
                     }
-                    std::thread::yield_now();
+                    thread::yield_now();
                 }
             }
+            // order: Acquire — same as above.
             if self.mode.load(Ordering::Acquire) != MODE_TTS {
                 return None;
             }
@@ -429,6 +461,7 @@ pub struct ReactiveMutex<T> {
 
 // SAFETY: the lock provides mutual exclusion over `data`.
 unsafe impl<T: Send> Send for ReactiveMutex<T> {}
+// SAFETY: shared access only hands out `&T`/`&mut T` under the lock.
 unsafe impl<T: Send> Sync for ReactiveMutex<T> {}
 
 impl<T> ReactiveMutex<T> {

@@ -2,10 +2,16 @@
 //! (Anderson, §3.1.1) on host atomics.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Per-thread xorshift for backoff jitter.
+use crate::sync::{spin_loop, thread, AtomicBool, Ordering, YIELD_MASK};
+
+/// Per-thread xorshift for backoff jitter. Returns 0 under the model
+/// checker: jittered spinning adds no interleavings (every shim access
+/// is already a scheduling point) and would break deterministic replay.
 fn jitter(bound: u32) -> u32 {
+    if cfg!(feature = "model") {
+        return 0;
+    }
     thread_local! {
         static S: Cell<u64> = const { Cell::new(0x9E37_79B9_7F4A_7C15) };
     }
@@ -50,9 +56,9 @@ pub struct TtsLock {
 }
 
 /// Initial backoff spin iterations.
-const INITIAL: u32 = 8;
+const INITIAL: u32 = crate::sync::BACKOFF_INITIAL;
 /// Backoff cap.
-const MAX: u32 = 4_096;
+const MAX: u32 = crate::sync::BACKOFF_MAX;
 
 impl TtsLock {
     /// Create an unlocked lock.
@@ -65,9 +71,15 @@ impl TtsLock {
     /// Try once; `true` on success.
     #[inline]
     pub fn try_lock(&self) -> bool {
+        // order: Relaxed — cheap "looks free?" probe; the CAS below is
+        // the access that must synchronize.
         !self.flag.load(Ordering::Relaxed)
             && self
                 .flag
+                // order: Acquire on success pairs with the Release store
+                // in `unlock`, making the previous holder's critical
+                // section visible; a failed CAS publishes nothing, so
+                // Relaxed.
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
     }
@@ -84,17 +96,24 @@ impl TtsLock {
             }
             failures += 1;
             for _ in 0..jitter(delay) {
-                std::hint::spin_loop();
+                spin_loop();
             }
-            delay = (delay * 2).min(MAX);
+            // Under the model feature INITIAL/MAX are both 0, which makes
+            // this `min` trivially true — harmless, keep the real shape.
+            #[allow(clippy::unnecessary_min_or_max)]
+            {
+                delay = (delay * 2).min(MAX);
+            }
             // Read-poll the cached flag; yield to the OS periodically so
             // oversubscribed hosts still make progress.
             let mut polls = 0u32;
+            // order: Relaxed — wait until the flag *looks* free; the
+            // acquiring CAS in `try_lock` provides the real edge.
             while self.flag.load(Ordering::Relaxed) {
-                std::hint::spin_loop();
+                spin_loop();
                 polls += 1;
-                if polls.is_multiple_of(256) {
-                    std::thread::yield_now();
+                if polls.is_multiple_of(YIELD_MASK) {
+                    thread::yield_now();
                 }
             }
         }
@@ -108,17 +127,26 @@ impl TtsLock {
     /// Release.
     ///
     /// # Panics
-    /// Debug-asserts the lock was held.
+    /// Debug-asserts the lock was held (a hard assert under the model
+    /// checker, so release-mode `conc-check` runs still catch a
+    /// double-release — the signature of the double-commit race).
     pub fn unlock(&self) {
-        debug_assert!(
-            self.flag.load(Ordering::Relaxed),
-            "unlock of unheld TtsLock"
-        );
+        if cfg!(debug_assertions) || cfg!(feature = "model") {
+            assert!(
+                // order: Relaxed — diagnostic read; we already hold the
+                // lock, so no concurrent writer exists.
+                self.flag.load(Ordering::Relaxed),
+                "unlock of unheld TtsLock"
+            );
+        }
+        // order: Release pairs with the Acquire CAS in `try_lock`,
+        // publishing the critical section to the next holder.
         self.flag.store(false, Ordering::Release);
     }
 
     /// Whether the lock is currently held (racy; diagnostics only).
     pub fn is_locked(&self) -> bool {
+        // order: Relaxed — momentary snapshot, explicitly racy.
         self.flag.load(Ordering::Relaxed)
     }
 }
@@ -156,7 +184,9 @@ mod tests {
                         l.lock();
                         // Split read/write: loses updates unless the
                         // lock really excludes.
+                        // order: Relaxed — the lock orders these.
                         let v = c.load(Ordering::Relaxed);
+                        // order: Relaxed — the lock orders these.
                         c.store(v + 1, Ordering::Relaxed);
                         l.unlock();
                     }
@@ -166,6 +196,7 @@ mod tests {
         for h in hs {
             h.join().unwrap();
         }
+        // order: Relaxed — all threads joined; no concurrency left.
         assert_eq!(counter.load(Ordering::Relaxed), threads * iters);
     }
 }

@@ -4,10 +4,9 @@
 //! exponentially distributed waits.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-use std::thread::Thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::sync::{spin_loop, thread, AtomicBool, Instant, Mutex, Ordering};
 
 /// A two-phase waiting policy: poll for `lpoll`, then park.
 #[derive(Clone, Copy, Debug)]
@@ -42,8 +41,8 @@ impl TwoPhaseWait {
         let mut samples: Vec<Duration> = (0..rounds.max(1))
             .map(|_| {
                 let t0 = Instant::now();
-                std::thread::current().unpark();
-                std::thread::park(); // returns immediately: token is set
+                thread::current().unpark();
+                thread::park(); // returns immediately: token is set
                 t0.elapsed()
             })
             .collect();
@@ -78,7 +77,7 @@ impl Default for TwoPhaseWait {
 #[derive(Debug, Default)]
 pub struct Event {
     set: AtomicBool,
-    parked: Mutex<VecDeque<Thread>>,
+    parked: Mutex<VecDeque<thread::Thread>>,
 }
 
 impl Event {
@@ -89,11 +88,17 @@ impl Event {
 
     /// Whether the event has been set.
     pub fn is_set(&self) -> bool {
+        // order: Acquire pairs with the Release in `set`, so a waiter
+        // that sees the flag also sees everything before `set`.
         self.set.load(Ordering::Acquire)
     }
 
     /// Set the event and wake all parked waiters.
     pub fn set(&self) {
+        // order: Release pairs with the Acquire in `is_set`; it must
+        // also land before the registry drain below (same thread,
+        // program order) so no waiter registers after the drain yet
+        // misses the flag.
         self.set.store(true, Ordering::Release);
         let waiters = {
             let mut q = self.parked.lock().expect("event mutex poisoned");
@@ -112,7 +117,7 @@ impl Event {
             if self.is_set() {
                 return;
             }
-            std::hint::spin_loop();
+            spin_loop();
         }
         // Phase 2: park. Register before the final check so a racing
         // `set` either sees us (and unparks) or we see `set`.
@@ -122,9 +127,9 @@ impl Event {
                 if self.is_set() {
                     return;
                 }
-                q.push_back(std::thread::current());
+                q.push_back(thread::current());
             }
-            std::thread::park();
+            thread::park();
             if self.is_set() {
                 return;
             }

@@ -1,0 +1,117 @@
+//! Sanity checks for the model runtime itself (only with `--features
+//! model`): the checker must find an obvious race and must pass an
+//! obviously correct lock.
+
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use reactive_native::model::{explore, thread, Config, RaceCell};
+use reactive_native::TtsLock;
+
+fn quick() -> Config {
+    Config {
+        preemptions: 2,
+        max_schedules: 50_000,
+        max_steps: 10_000,
+    }
+}
+
+#[test]
+fn finds_unlocked_counter_race() {
+    let report = explore(
+        "unlocked-counter",
+        quick(),
+        Arc::new(|| {
+            let c = Arc::new(RaceCell::new("counter", 0u64));
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                let v = c2.get();
+                c2.set(v + 1);
+            });
+            let v = c.get();
+            c.set(v + 1);
+            h.join().unwrap();
+        }),
+    );
+    let failure = report.failure.expect("unlocked increment must race");
+    assert!(
+        failure.message.contains("data race on counter"),
+        "unexpected failure: {}",
+        failure.render()
+    );
+}
+
+#[test]
+fn tts_lock_protects_counter() {
+    let report = explore(
+        "tts-counter",
+        quick(),
+        Arc::new(|| {
+            let l = Arc::new(TtsLock::new());
+            let c = Arc::new(RaceCell::new("counter", 0u64));
+            let (l2, c2) = (l.clone(), c.clone());
+            let h = thread::spawn(move || {
+                l2.lock();
+                let v = c2.get();
+                c2.set(v + 1);
+                l2.unlock();
+            });
+            l.lock();
+            let v = c.get();
+            c.set(v + 1);
+            l.unlock();
+            h.join().unwrap();
+            assert_eq!(c.get(), 2, "both increments must land");
+        }),
+    );
+    assert!(
+        report.failure.is_none(),
+        "TTS must be race-free: {}",
+        report.failure.unwrap().render()
+    );
+    assert!(report.schedules > 1, "exploration must branch");
+}
+
+#[test]
+fn catches_assertion_failures_as_counterexamples() {
+    let report = explore(
+        "failing-assert",
+        quick(),
+        Arc::new(|| {
+            let c = Arc::new(RaceCell::new("flag", 0u64));
+            let c2 = c.clone();
+            let h = thread::spawn(move || c2.set(1));
+            // Racy in outcome but not in access order… actually this
+            // asserts a schedule-dependent value: some interleaving
+            // violates it, and the checker must surface that schedule.
+            h.join().unwrap();
+            assert_eq!(c.get(), 1);
+        }),
+    );
+    assert!(
+        report.passed(),
+        "join orders the write: {:?}",
+        report.failure
+    );
+
+    let report = explore(
+        "failing-assert-2",
+        quick(),
+        Arc::new(|| {
+            let l = Arc::new(TtsLock::new());
+            let l2 = l.clone();
+            let h = thread::spawn(move || {
+                l2.lock();
+                l2.unlock();
+            });
+            // Schedule-dependent: fails when the child wins the lock
+            // first. The checker must find that interleaving.
+            assert!(l.try_lock(), "child held the lock first");
+            l.unlock();
+            h.join().unwrap();
+        }),
+    );
+    let failure = report.failure.expect("some schedule must fail the assert");
+    assert!(failure.message.contains("child held the lock first"));
+}

@@ -32,6 +32,7 @@ pub const MP_RETRY: u64 = u64::MAX;
 static NEXT_PORT: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0x100);
 
 fn fresh_port() -> Port {
+    // order: Relaxed — unique-id allocation; nothing is published.
     Port(NEXT_PORT.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
 }
 

@@ -170,6 +170,11 @@ pub(crate) enum Ev {
     Dispatch(u32),
 }
 
+// The 16-byte ceiling above is a load-bearing layout invariant (the
+// calendar queue copies events densely); enforced at compile time and
+// checked by the repo lint (`cargo run -p check --bin lint`).
+const _: () = assert!(std::mem::size_of::<Ev>() <= 16);
+
 pub(crate) struct EventEntry {
     pub time: u64,
     pub seq: u64,

@@ -120,7 +120,7 @@ impl HandlerCtx<'_> {
         let (comp, requester) = self
             .st
             .rpc_pending
-            .remove(&tok.0)
+            .remove(tok.0)
             .expect("reply_to: unknown RPC token");
         let at = self.t_end + net::latency(self.st, self.node, requester);
         self.st.stats.net_msgs += 1;
@@ -196,9 +196,7 @@ pub(crate) fn issue_rpc(
     args: [u64; 4],
     comp: Completion,
 ) {
-    let token = st.next_rpc_token;
-    st.next_rpc_token += 1;
-    st.rpc_pending.insert(token, (comp, from));
+    let token = st.rpc_pending.insert((comp, from));
     let at = st.now + st.cost.msg_send + net::latency(st, from, dest);
     st.stats.net_msgs += 1;
     let idx = st.put_msg(ActiveMsg {

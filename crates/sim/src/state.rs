@@ -8,7 +8,7 @@
 //! bucketed calendar queue ([`crate::queue::EventQueue`]). No `HashMap`
 //! sits on the per-event or per-memory-op path.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::coherence::{CacheState, CohReq, DirEntry};
 use crate::cost::CostModel;
@@ -77,6 +77,52 @@ pub(crate) struct Engine {
 /// [`State::recycle_completion`]).
 const COMP_POOL_CAP: usize = 256;
 
+/// Slab of RPCs awaiting replies, keyed by generation-tagged tokens so
+/// the reply path is a bounds-checked index instead of a `HashMap`
+/// probe (the PR 2 arena invariant: no hash maps on the per-message
+/// path).
+///
+/// A token packs `(generation << 32) | (slot + 1)`; the `+ 1` keeps the
+/// raw value nonzero so `ReplyToken(0)` stays the "no token" sentinel.
+/// The generation is bumped on every removal, so a stale token (already
+/// replied) misses rather than aliasing a recycled slot.
+#[derive(Default)]
+pub(crate) struct RpcSlab {
+    slots: Vec<(u32, Option<(Completion, usize)>)>,
+    free: Vec<u32>,
+}
+
+impl RpcSlab {
+    /// Register a pending RPC; returns its raw (nonzero) token value.
+    pub fn insert(&mut self, val: (Completion, usize)) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push((0, None));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let entry = &mut self.slots[slot as usize];
+        debug_assert!(entry.1.is_none());
+        entry.1 = Some(val);
+        ((entry.0 as u64) << 32) | (slot as u64 + 1)
+    }
+
+    /// Complete the RPC for `token`; `None` if unknown or already
+    /// replied.
+    pub fn remove(&mut self, token: u64) -> Option<(Completion, usize)> {
+        let slot = ((token & 0xffff_ffff) as u32).checked_sub(1)?;
+        let entry = self.slots.get_mut(slot as usize)?;
+        if entry.0 as u64 != token >> 32 {
+            return None;
+        }
+        let val = entry.1.take()?;
+        entry.0 = entry.0.wrapping_add(1);
+        self.free.push(slot);
+        Some(val)
+    }
+}
+
 pub(crate) struct State {
     // --- configuration ---
     pub nodes_n: usize,
@@ -135,8 +181,7 @@ pub(crate) struct State {
     /// `handlers[node][port]` — flat per-node dispatch table.
     pub handlers: Vec<Vec<Option<HandlerFn>>>,
     pub msgs: Vec<Engine>,
-    pub rpc_pending: HashMap<u64, (Completion, usize)>,
-    pub next_rpc_token: u64,
+    pub rpc_pending: RpcSlab,
 
     // --- thread runtime ---
     pub scheds: Vec<NodeSched>,
@@ -196,8 +241,7 @@ impl State {
             watchers: Vec::new(),
             handlers: (0..nodes).map(|_| Vec::new()).collect(),
             msgs: (0..nodes).map(|_| Engine::default()).collect(),
-            rpc_pending: HashMap::new(),
-            next_rpc_token: 1,
+            rpc_pending: RpcSlab::default(),
             scheds: (0..nodes).map(|_| NodeSched::new(contexts)).collect(),
             wait_queues: Vec::new(),
             rng: if seed == 0 { 1 } else { seed },

@@ -37,6 +37,8 @@ fn main() {
             let stop = stop.clone();
             std::thread::spawn(move || {
                 let mut ops = 0u64;
+                // order: Relaxed — a shutdown hint; one extra loop
+                // iteration after the flag flips is harmless.
                 while !stop.load(Ordering::Relaxed) {
                     let mut t = table.lock();
                     t.live = t.live.wrapping_add(1);
@@ -48,6 +50,7 @@ fn main() {
         })
         .collect();
     std::thread::sleep(std::time::Duration::from_millis(150));
+    // order: Relaxed — see the worker-loop hint above.
     stop.store(true, Ordering::Relaxed);
     let storm_ops: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
     let storm = t1.elapsed();

@@ -45,13 +45,17 @@ impl ReactiveCounter {
     }
 
     fn add(&self, thread: usize, n: u64) {
+        // order: Acquire pairs with publish_mode's Release, so a thread
+        // routed to a protocol sees the state `validate` installed;
+        // the adds themselves are Relaxed (commutative increments).
         match ProtocolId(self.mode.load(Ordering::Acquire)) {
-            ATOMIC => self.central.fetch_add(n, Ordering::Relaxed),
-            _ => self.stripes[thread % STRIPES].fetch_add(n, Ordering::Relaxed),
+            ATOMIC => self.central.fetch_add(n, Ordering::Relaxed), // order: see above
+            _ => self.stripes[thread % STRIPES].fetch_add(n, Ordering::Relaxed), // order: see above
         };
     }
 
     fn value(&self) -> u64 {
+        // order: Relaxed — read at quiescent points (no adds in flight).
         self.central.load(Ordering::Relaxed)
             + self
                 .stripes
@@ -63,6 +67,7 @@ impl ReactiveCounter {
     /// The monitor, called at application quiescent points (no adds in
     /// flight — the phase boundary is this object's consensus token).
     fn adapt(&self, threads: usize) {
+        // order: Acquire — same pairing as `add`'s dispatch load.
         let cur = ProtocolId(self.mode.load(Ordering::Acquire));
         let obs = match (cur, threads) {
             (ATOMIC, t) if t > 4 => Observation::suboptimal(ATOMIC, STRIPED, 80.0 * t as f64),
@@ -83,19 +88,24 @@ impl SwitchableObject for ReactiveCounter {
         } else {
             &self.stripes[0]
         };
+        // order: Relaxed — runs at a quiescent point; publication
+        // happens through publish_mode's Release store.
         slot.store(state, Ordering::Relaxed);
     }
     async fn invalidate(&self, _c: &(), from: ProtocolId, _t: ProtocolId) -> Option<u64> {
+        // order: Relaxed — quiescent point; see `validate`.
         Some(if from == ATOMIC {
-            self.central.swap(0, Ordering::Relaxed)
+            self.central.swap(0, Ordering::Relaxed) // order: see above
         } else {
             self.stripes
                 .iter()
-                .map(|s| s.swap(0, Ordering::Relaxed))
+                .map(|s| s.swap(0, Ordering::Relaxed)) // order: see above
                 .sum()
         })
     }
     async fn publish_mode(&self, _c: &(), to: ProtocolId) {
+        // order: Release publishes the migrated counter state to the
+        // Acquire dispatch loads in `add`/`adapt`.
         self.mode.store(to.0, Ordering::Release);
     }
     fn now(&self, _c: &()) -> u64 {
