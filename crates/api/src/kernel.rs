@@ -245,6 +245,74 @@ fn mutant(name: &str) -> bool {
 // The kernel
 // ---------------------------------------------------------------------
 
+/// How far an in-flight mode-change transaction had progressed when it
+/// was journaled — the recovery decision hinges on whether the commit
+/// point was reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// The source's shadow validity was cleared; no hook has run yet
+    /// (or, under [`SwitchStyle::Transfer`], the capture is still in
+    /// flight). Recovery rolls back.
+    Cleared,
+    /// The target was physically validated but the commit bookkeeping
+    /// has not landed. The transition is physically irreversible (a
+    /// racer may already hold the target), so recovery rolls *forward*.
+    Validated,
+    /// The commit point was passed; only post-commit steps (publish,
+    /// source invalidation) may be missing. Recovery completes them.
+    Committed,
+}
+
+/// The write-ahead record of an in-flight mode-change transaction:
+/// enough to decide, after a crash, whether to roll back or complete.
+#[derive(Clone, Copy, Debug)]
+struct Journal {
+    from: ProtocolId,
+    to: ProtocolId,
+    phase: Phase,
+}
+
+/// Where [`SwitchKernel::switch_crashed`] stops a transaction — the
+/// crash points a fault-injection run or the model checker exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Immediately after the source's shadow validity is cleared,
+    /// before any object hook runs.
+    AfterSourceInvalidated,
+    /// Immediately after the target's `validate` hook (and its shadow
+    /// flag) land.
+    AfterTargetValidated,
+    /// Immediately after the commit bookkeeping, before the remaining
+    /// post-commit hooks (publish / source invalidation).
+    AfterCommit,
+}
+
+/// What [`SwitchKernel::recover`] found and did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchRecovery {
+    /// No transaction was in flight; nothing to do.
+    Clean,
+    /// A pre-commit crash: the source's validity was restored and the
+    /// attempt's pending residual dropped. The object is exactly as if
+    /// the switch was never attempted.
+    RolledBack {
+        /// The transaction's source protocol (valid again).
+        from: ProtocolId,
+        /// The abandoned target.
+        to: ProtocolId,
+    },
+    /// A post-validation or post-commit crash: the transition was
+    /// completed (commit bookkeeping if missing, mode publication,
+    /// source invalidation). The object is exactly as if the switch
+    /// finished normally.
+    Completed {
+        /// The invalidated source protocol.
+        from: ProtocolId,
+        /// The now-current target.
+        to: ProtocolId,
+    },
+}
+
 /// Mutable engine state, serialized by the holder of the currently
 /// valid consensus object (so the mutex is uncontended by design).
 struct KernelState<W: KernelWorld> {
@@ -259,6 +327,11 @@ struct KernelState<W: KernelWorld> {
     valid: Vec<bool>,
     /// The currently valid protocol (the last committed target).
     current: ProtocolId,
+    /// Write-ahead journal of the in-flight transaction, if any —
+    /// written before the first destructive step, advanced at the
+    /// validate and commit points, cleared when the transaction ends.
+    /// [`SwitchKernel::recover`] consults it after a crash.
+    journal: Option<Journal>,
 }
 
 /// The consensus-object mode-change engine of an N-way reactive object.
@@ -369,6 +442,7 @@ impl<W: KernelWorld> KernelBuilder<W> {
                 pending: None,
                 valid,
                 current: self.initial,
+                journal: None,
             }),
             switches: AtomicU64::new(0),
             sink: self.sink,
@@ -447,6 +521,34 @@ impl<W: KernelWorld> SwitchKernel<W> {
         from: ProtocolId,
         to: ProtocolId,
     ) -> bool {
+        self.run_switch(obj, ctx, from, to, None).await
+    }
+
+    /// Fault-injection entry: run the mode-change transaction exactly
+    /// as [`SwitchKernel::try_switch`] would, but stop dead at `crash`
+    /// — as a processor crash at that instant would — leaving the
+    /// write-ahead journal (and any partially-applied shadow state)
+    /// behind for [`SwitchKernel::recover`] to repair. Used by the
+    /// crash-storm scenarios and the `crates/check` model checker.
+    pub async fn switch_crashed<O: SwitchableObject>(
+        &self,
+        obj: &O,
+        ctx: &O::Ctx,
+        from: ProtocolId,
+        to: ProtocolId,
+        crash: CrashPoint,
+    ) -> bool {
+        self.run_switch(obj, ctx, from, to, Some(crash)).await
+    }
+
+    async fn run_switch<O: SwitchableObject>(
+        &self,
+        obj: &O,
+        ctx: &O::Ctx,
+        from: ProtocolId,
+        to: ProtocolId,
+        crash: Option<CrashPoint>,
+    ) -> bool {
         assert!(
             to.index() < self.protocols.len(),
             "switch target {to} is not a registered slot"
@@ -474,15 +576,32 @@ impl<W: KernelWorld> SwitchKernel<W> {
                 return false;
             }
             st.valid[from.index()] = false;
+            // Journal before any hook runs: a crash from here on leaves
+            // a record recovery can act on.
+            st.journal = Some(Journal {
+                from,
+                to,
+                phase: Phase::Cleared,
+            });
+        }
+        if crash == Some(CrashPoint::AfterSourceInvalidated) {
+            return true;
         }
         match self.exits[from.index()] {
             SwitchStyle::Handoff => {
                 obj.validate(ctx, to, from, 0).await;
                 self.mark_valid(to);
+                self.journal_phase(Phase::Validated);
+                if crash == Some(CrashPoint::AfterTargetValidated) {
+                    return true;
+                }
                 obj.publish_mode(ctx, to).await;
                 self.commit(obj.now(ctx), from, to);
                 obj.note_switch(ctx, from, to);
                 obj.reset_monitor(to);
+                if crash == Some(CrashPoint::AfterCommit) {
+                    return true;
+                }
                 let inv = obj.invalidate(ctx, from, to).await;
                 assert!(inv.is_some(), "post-commit invalidation cannot lose");
             }
@@ -503,19 +622,28 @@ impl<W: KernelWorld> SwitchKernel<W> {
                     // concurrent changer mid-flight; that transaction
                     // (which already cleared `valid[from]` exactly as
                     // we did) completes the transition. Drop this
-                    // attempt's pending residual.
+                    // attempt's pending residual and its journal entry
+                    // (the winner owns the transition now).
                     let mut st = self.state();
                     if matches!(st.pending, Some((t, _)) if t == to) {
                         st.pending = None;
                     }
+                    st.journal = None;
                     return false;
                 };
                 obj.validate(ctx, to, from, state).await;
                 self.mark_valid(to);
+                self.journal_phase(Phase::Validated);
+                if crash == Some(CrashPoint::AfterTargetValidated) {
+                    return true;
+                }
                 obj.publish_mode(ctx, to).await;
                 self.commit(obj.now(ctx), from, to);
                 obj.note_switch(ctx, from, to);
                 obj.reset_monitor(to);
+                if crash == Some(CrashPoint::AfterCommit) {
+                    return true;
+                }
             }
             SwitchStyle::CommitFirst => {
                 // Regression mutant `stale_mode`: revert to the
@@ -535,11 +663,15 @@ impl<W: KernelWorld> SwitchKernel<W> {
                     self.mark_valid(to);
                     let inv = obj.invalidate(ctx, from, to).await;
                     assert!(inv.is_some(), "post-commit invalidation cannot lose");
+                    self.state().journal = None;
                     return true;
                 }
                 self.commit(obj.now(ctx), from, to);
                 obj.note_switch(ctx, from, to);
                 obj.reset_monitor(to);
+                if crash == Some(CrashPoint::AfterCommit) {
+                    return true;
+                }
                 // Shadow state is updated *before* the physical
                 // validation: the instant `validate` lands, a racing
                 // thread may win the target's consensus object and run
@@ -549,17 +681,119 @@ impl<W: KernelWorld> SwitchKernel<W> {
                 // two-valid state).
                 self.mark_valid(to);
                 obj.validate(ctx, to, from, 0).await;
+                if crash == Some(CrashPoint::AfterTargetValidated) {
+                    return true;
+                }
                 obj.publish_mode(ctx, to).await;
                 let inv = obj.invalidate(ctx, from, to).await;
                 assert!(inv.is_some(), "post-commit invalidation cannot lose");
             }
         }
+        self.state().journal = None;
         // No post-transaction snapshot assert here: on real hardware a
         // racing thread may legitimately begin (and commit) an opposite
         // change the instant `publish_mode` lands, so the only sound
         // invariant checks are the per-step ones taken under the state
         // mutex in `mark_valid`.
         true
+    }
+
+    /// Repair the kernel after a crash that may have interrupted a
+    /// mode-change transaction (e.g. the switching node was killed by a
+    /// `FaultPlan`). Consults the write-ahead journal:
+    ///
+    /// * no journal — nothing was in flight; returns
+    ///   [`SwitchRecovery::Clean`];
+    /// * crash before the target was validated — rolls back: the
+    ///   source's validity is restored and the attempt's pending
+    ///   residual dropped, with **no** object hooks run (nothing
+    ///   physical happened yet);
+    /// * crash at or after validation — rolls forward: commit
+    ///   bookkeeping if it is missing, then the idempotent tail
+    ///   (`publish_mode`, `invalidate(from)`) so stale waiters are
+    ///   fenced off the dead source protocol.
+    ///
+    /// Idempotent: the journal is cleared only after the repair
+    /// completes, so a crash *during* recovery just re-runs it, and a
+    /// second call returns [`SwitchRecovery::Clean`]. The object hooks
+    /// invoked on the roll-forward path (`publish_mode`, `invalidate`)
+    /// are idempotent by the [`SwitchableObject`] contract;
+    /// `invalidate` finding the source already invalid (`None`) is
+    /// accepted here — the first, interrupted run may already have
+    /// claimed it.
+    pub async fn recover<O: SwitchableObject>(&self, obj: &O, ctx: &O::Ctx) -> SwitchRecovery {
+        let Some(j) = ({
+            let st = self.state();
+            st.journal
+        }) else {
+            return SwitchRecovery::Clean;
+        };
+        if j.phase == Phase::Cleared {
+            // Nothing physical happened: restore the shadow state.
+            let mut st = self.state();
+            st.valid[j.to.index()] = false;
+            st.valid[j.from.index()] = true;
+            if matches!(st.pending, Some((t, _)) if t == j.to) {
+                st.pending = None;
+            }
+            st.journal = None;
+            return SwitchRecovery::RolledBack {
+                from: j.from,
+                to: j.to,
+            };
+        }
+        // The target is physically valid: the transition must complete.
+        if j.phase == Phase::Validated {
+            // Crash landed between validate and commit.
+            self.commit(obj.now(ctx), j.from, j.to);
+            obj.note_switch(ctx, j.from, j.to);
+            obj.reset_monitor(j.to);
+        }
+        {
+            // CommitFirst crashes can leave the target's shadow flag
+            // unset even though the commit landed; settle it (the ≤1
+            // invariant still holds — the source was cleared first).
+            let mut st = self.state();
+            st.valid[j.to.index()] = true;
+            let count = st.valid.iter().filter(|&&v| v).count();
+            assert!(count <= 1, "{count} protocols valid during recovery");
+        }
+        obj.publish_mode(ctx, j.to).await;
+        // Regression mutant `drop_recovery_fence`: skip the source
+        // invalidation on the recovery path. Waiters parked on the dead
+        // protocol are then never bounced, and a fresh acquirer racing
+        // the recovery can enter through the stale consensus object —
+        // the two-valid/double-grant interleaving the model checker's
+        // `kernel_recovery` scenario must rediscover.
+        #[cfg(conc_check_mutant)]
+        let fence = !mutant("drop_recovery_fence");
+        #[cfg(not(conc_check_mutant))]
+        let fence = true;
+        if fence {
+            // The recovery fence: bounce/migrate everything still
+            // parked on the source. A `None` is fine here (the
+            // interrupted run may already have invalidated it).
+            let _ = obj.invalidate(ctx, j.from, j.to).await;
+        }
+        self.state().journal = None;
+        SwitchRecovery::Completed {
+            from: j.from,
+            to: j.to,
+        }
+    }
+
+    /// The in-flight transaction `(from, to)` recorded in the journal,
+    /// if any — for oracles and diagnostics. `None` in quiescence.
+    pub fn in_flight(&self) -> Option<(ProtocolId, ProtocolId)> {
+        self.state().journal.map(|j| (j.from, j.to))
+    }
+
+    /// Advance the in-flight journal to `phase` (no-op if the journal
+    /// was already cleared).
+    fn journal_phase(&self, phase: Phase) {
+        if let Some(j) = &mut self.state().journal {
+            j.phase = phase;
+        }
     }
 
     /// Mark `to` valid, asserting the §3.2.3 invariant.
@@ -580,6 +814,11 @@ impl<W: KernelWorld> SwitchKernel<W> {
             let mut st = self.state();
             st.current = to;
             st.policy.reset();
+            // The commit point: from here recovery completes, never
+            // rolls back.
+            if let Some(j) = &mut st.journal {
+                j.phase = Phase::Committed;
+            }
             // Consume the pending residual only if it belongs to this
             // transition's target (concurrent approvals of *different*
             // targets must not cross-attribute).
@@ -896,5 +1135,122 @@ mod tests {
     fn shared_world_kernel_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SwitchKernel<SharedWorld>>();
+    }
+
+    // -- crash / recovery ---------------------------------------------
+
+    #[test]
+    fn crash_before_validation_rolls_back() {
+        for style in [
+            SwitchStyle::Handoff,
+            SwitchStyle::Transfer,
+            SwitchStyle::CommitFirst,
+        ] {
+            let k = two(style, style);
+            let r = Recorder::default();
+            drive(k.switch_crashed(&r, &(), A, B, CrashPoint::AfterSourceInvalidated));
+            assert!(r.calls.borrow().is_empty(), "no hooks ran before the crash");
+            assert!(k.valid_protocols().is_empty(), "crash left zero valid");
+            assert_eq!(k.in_flight(), Some((A, B)));
+            let rec = drive(k.recover(&r, &()));
+            assert_eq!(rec, SwitchRecovery::RolledBack { from: A, to: B });
+            assert_eq!(k.valid_protocols(), vec![A], "source valid again");
+            assert_eq!(k.current(), A);
+            assert_eq!(k.switches(), 0, "rolled-back attempts never commit");
+            assert!(
+                r.calls.borrow().is_empty(),
+                "rollback is shadow-only: no hooks"
+            );
+        }
+    }
+
+    #[test]
+    fn handoff_crash_after_validation_completes_forward() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        let r = Recorder::default();
+        drive(k.switch_crashed(&r, &(), A, B, CrashPoint::AfterTargetValidated));
+        // Physically B is valid but the commit never landed.
+        assert_eq!(k.valid_protocols(), vec![B]);
+        assert_eq!(k.current(), A);
+        let rec = drive(k.recover(&r, &()));
+        assert_eq!(rec, SwitchRecovery::Completed { from: A, to: B });
+        assert_eq!(k.current(), B);
+        assert_eq!(k.switches(), 1);
+        // The tail ran: publish + the recovery fence (invalidate).
+        let calls = r.calls.borrow();
+        assert!(calls.iter().any(|c| c == "publish P1"));
+        assert!(calls.iter().any(|c| c == "invalidate P0->P1"));
+    }
+
+    #[test]
+    fn commit_first_crash_after_commit_completes_forward() {
+        let k = two(SwitchStyle::CommitFirst, SwitchStyle::CommitFirst);
+        let r = Recorder::default();
+        drive(k.switch_crashed(&r, &(), A, B, CrashPoint::AfterCommit));
+        // Committed, but the target's shadow flag and the physical
+        // validation are both missing.
+        assert_eq!(k.current(), B);
+        assert!(k.valid_protocols().is_empty());
+        let rec = drive(k.recover(&r, &()));
+        assert_eq!(rec, SwitchRecovery::Completed { from: A, to: B });
+        assert_eq!(k.valid_protocols(), vec![B]);
+        assert_eq!(k.switches(), 1, "commit is not repeated on recovery");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        let r = Recorder::default();
+        drive(k.switch_crashed(&r, &(), A, B, CrashPoint::AfterCommit));
+        assert_eq!(
+            drive(k.recover(&r, &())),
+            SwitchRecovery::Completed { from: A, to: B }
+        );
+        let switches = k.switches();
+        assert_eq!(
+            drive(k.recover(&r, &())),
+            SwitchRecovery::Clean,
+            "second recovery finds nothing in flight"
+        );
+        assert_eq!(k.switches(), switches);
+        assert_eq!(k.current(), B);
+        // The repaired kernel keeps working normally.
+        drive(k.switch(&r, &(), B, A));
+        assert_eq!(k.current(), A);
+        assert_eq!(k.in_flight(), None);
+    }
+
+    #[test]
+    fn recover_on_quiescent_kernel_is_clean() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        let r = Recorder::default();
+        assert_eq!(drive(k.recover(&r, &())), SwitchRecovery::Clean);
+        drive(k.switch(&r, &(), A, B));
+        assert_eq!(
+            drive(k.recover(&r, &())),
+            SwitchRecovery::Clean,
+            "a completed switch leaves no journal"
+        );
+    }
+
+    #[test]
+    fn rolled_back_pending_residual_is_dropped() {
+        let k = two(SwitchStyle::Handoff, SwitchStyle::Handoff);
+        assert_eq!(k.observe(&Observation::suboptimal(A, B, 77.0)), Some(B));
+        let r = Recorder::default();
+        drive(k.switch_crashed(&r, &(), A, B, CrashPoint::AfterSourceInvalidated));
+        drive(k.recover(&r, &()));
+        // A later switch must not inherit the dead attempt's residual.
+        let log = Rc::new(SwitchLog::new());
+        let k2 = SwitchKernel::<LocalWorld>::builder()
+            .register(A, "a", SwitchStyle::Handoff)
+            .register(B, "b", SwitchStyle::Handoff)
+            .sink(log.clone() as Rc<dyn Instrument>)
+            .build();
+        assert_eq!(k2.observe(&Observation::suboptimal(A, B, 77.0)), Some(B));
+        drive(k2.switch_crashed(&r, &(), A, B, CrashPoint::AfterSourceInvalidated));
+        drive(k2.recover(&r, &()));
+        drive(k2.switch(&r, &(), A, B));
+        assert_eq!(log.events()[0].residual, 0.0);
     }
 }

@@ -40,8 +40,8 @@ pub mod kernel;
 pub mod oracle;
 
 pub use kernel::{
-    drive, KernelBuilder, KernelWorld, LocalWorld, SharedWorld, SwitchKernel, SwitchStyle,
-    SwitchableObject,
+    drive, CrashPoint, KernelBuilder, KernelWorld, LocalWorld, SharedWorld, SwitchKernel,
+    SwitchRecovery, SwitchStyle, SwitchableObject,
 };
 
 use std::fmt;

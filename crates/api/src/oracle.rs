@@ -207,6 +207,212 @@ pub fn check_switch_history(
     check_at_most_one_valid(&records, protocols, initial.index())
 }
 
+// ---------------------------------------------------------------------
+// Crash-aware lock-history checkers
+// ---------------------------------------------------------------------
+
+/// One event in a lock's request/grant history, including the crash and
+/// abort events a `FaultPlan` run injects. Times are cycles; ties are
+/// broken by position in the slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockEvent {
+    /// Event time (cycles).
+    pub time: u64,
+    /// The process the event concerns.
+    pub proc_id: usize,
+    /// What happened.
+    pub kind: LockOpKind,
+}
+
+/// The kinds of [`LockEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockOpKind {
+    /// The process asked for the lock (enqueued / began acquiring).
+    Request,
+    /// The process was granted the lock.
+    Grant,
+    /// The process released the lock it held.
+    Release,
+    /// The process abandoned its outstanding request (timeout or abort
+    /// signal) and observed the abandonment take effect.
+    Abort,
+    /// The process crashed: its volatile state — including any
+    /// outstanding request or held lock — is gone.
+    Crash,
+    /// The process completed crash recovery and may request again.
+    Recover,
+}
+
+/// Convenience constructor for [`LockEvent`].
+pub fn lock_event(time: u64, proc_id: usize, kind: LockOpKind) -> LockEvent {
+    LockEvent {
+        time,
+        proc_id,
+        kind,
+    }
+}
+
+fn sorted(events: &[LockEvent]) -> Vec<LockEvent> {
+    let mut evs = events.to_vec();
+    // Stable: equal-time events keep their recorded order.
+    evs.sort_by_key(|e| e.time);
+    evs
+}
+
+/// **Waiter conservation** across kills and recoveries: every `Request`
+/// resolves as exactly one of `Grant`, `Abort`, or `Crash` (of the
+/// requester), and every `Grant`/`Abort`/`Release` matches an
+/// outstanding request or held lock. A request still unresolved at the
+/// end of the history — e.g. a waiter stranded when a crash wiped a
+/// queue link, or dropped by a recovery pass — is the *lost waiter*
+/// this checker exists to catch.
+pub fn check_waiter_conservation(events: &[LockEvent]) -> Result<(), String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Idle,
+        Waiting,
+        Holding,
+    }
+    let n = events.iter().map(|e| e.proc_id + 1).max().unwrap_or(0);
+    let mut st = vec![St::Idle; n];
+    for ev in sorted(events) {
+        let p = ev.proc_id;
+        match ev.kind {
+            LockOpKind::Request => {
+                if st[p] != St::Idle {
+                    return Err(format!(
+                        "proc {p} issued a request at t={} while its previous \
+                         request/hold was unresolved",
+                        ev.time
+                    ));
+                }
+                st[p] = St::Waiting;
+            }
+            LockOpKind::Grant => {
+                if st[p] != St::Waiting {
+                    return Err(format!(
+                        "proc {p} granted at t={} without an outstanding request",
+                        ev.time
+                    ));
+                }
+                st[p] = St::Holding;
+            }
+            LockOpKind::Release => {
+                if st[p] != St::Holding {
+                    return Err(format!(
+                        "proc {p} released at t={} without holding",
+                        ev.time
+                    ));
+                }
+                st[p] = St::Idle;
+            }
+            LockOpKind::Abort => {
+                if st[p] != St::Waiting {
+                    return Err(format!(
+                        "proc {p} aborted at t={} without an outstanding request",
+                        ev.time
+                    ));
+                }
+                st[p] = St::Idle;
+            }
+            // A crash resolves whatever the process had in flight; a
+            // recovery changes nothing about conservation.
+            LockOpKind::Crash => st[p] = St::Idle,
+            LockOpKind::Recover => {}
+        }
+    }
+    for (p, s) in st.iter().enumerate() {
+        if *s == St::Waiting {
+            return Err(format!(
+                "lost waiter: proc {p}'s request never resolved \
+                 (no grant, abort, or crash)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Abort safety**: once a process's request has aborted, that request
+/// is dead — a later `Grant` to the process is legal only after a
+/// *fresh* `Request`. A grant landing on an aborted request is the
+/// race this checker catches: the releaser handed the lock to a waiter
+/// that already left, so the lock is lost (nobody will release it) or
+/// the leaver re-enters a critical section it renounced.
+pub fn check_abort_safety(events: &[LockEvent]) -> Result<(), String> {
+    let n = events.iter().map(|e| e.proc_id + 1).max().unwrap_or(0);
+    let mut waiting = vec![false; n];
+    let mut aborted = vec![false; n];
+    for ev in sorted(events) {
+        let p = ev.proc_id;
+        match ev.kind {
+            LockOpKind::Request => {
+                waiting[p] = true;
+                aborted[p] = false;
+            }
+            LockOpKind::Abort => {
+                waiting[p] = false;
+                aborted[p] = true;
+            }
+            LockOpKind::Grant => {
+                if aborted[p] && !waiting[p] {
+                    return Err(format!(
+                        "abort-safety violation: proc {p} granted at t={} \
+                         after its request aborted (no fresh request between)",
+                        ev.time
+                    ));
+                }
+                waiting[p] = false;
+            }
+            LockOpKind::Crash => {
+                waiting[p] = false;
+                aborted[p] = false;
+            }
+            LockOpKind::Release | LockOpKind::Recover => {}
+        }
+    }
+    Ok(())
+}
+
+/// **Mutual exclusion** across crashes: at most one live holder at any
+/// instant. A holder's crash vacates the lock (recovery is then
+/// responsible for making it grantable again — which is what lets a
+/// later grant be legal); a second `Grant` while a live holder exists
+/// is the double-grant this checker catches.
+pub fn check_no_double_grant(events: &[LockEvent]) -> Result<(), String> {
+    let mut holder: Option<usize> = None;
+    for ev in sorted(events) {
+        let p = ev.proc_id;
+        match ev.kind {
+            LockOpKind::Grant => {
+                if let Some(h) = holder {
+                    return Err(format!(
+                        "double grant: proc {p} granted at t={} while proc {h} \
+                         still holds",
+                        ev.time
+                    ));
+                }
+                holder = Some(p);
+            }
+            // A crash releases the hold the same way an explicit
+            // release does (the recovery routine rebuilds the lock).
+            LockOpKind::Release | LockOpKind::Crash if holder == Some(p) => {
+                holder = None;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Run all three crash-aware lock checkers
+/// ([`check_waiter_conservation`], [`check_abort_safety`],
+/// [`check_no_double_grant`]) over one history.
+pub fn check_crash_lock_history(events: &[LockEvent]) -> Result<(), String> {
+    check_waiter_conservation(events)?;
+    check_abort_safety(events)?;
+    check_no_double_grant(events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +500,25 @@ mod tests {
         let recs = switch_events_to_records(&evs);
         assert_eq!(recs.len(), 4);
         assert!(check_switch_history(&evs, 2, a).is_ok());
+    }
+
+    #[test]
+    fn crash_lock_checkers_accept_a_faulty_but_correct_history() {
+        use LockOpKind::*;
+        // p0 acquires, crashes in CS, recovers; p1's wait spans the
+        // crash, aborts once, retries, and wins.
+        let h = vec![
+            lock_event(0, 0, Request),
+            lock_event(1, 0, Grant),
+            lock_event(2, 1, Request),
+            lock_event(5, 0, Crash),
+            lock_event(6, 1, Abort),
+            lock_event(7, 0, Recover),
+            lock_event(8, 1, Request),
+            lock_event(9, 1, Grant),
+            lock_event(10, 1, Release),
+        ];
+        assert!(check_crash_lock_history(&h).is_ok());
     }
 
     #[test]

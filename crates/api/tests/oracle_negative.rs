@@ -9,8 +9,9 @@
 //! these corruptions would silently pass broken kernels.
 
 use reactive_api::oracle::{
-    check_at_most_one_valid, check_c_serial, check_no_lost_waiters, check_switch_history, OpKind,
-    OpRecord,
+    check_abort_safety, check_at_most_one_valid, check_c_serial, check_no_double_grant,
+    check_no_lost_waiters, check_switch_history, check_waiter_conservation, lock_event, LockEvent,
+    LockOpKind, OpKind, OpRecord,
 };
 use reactive_api::{ProtocolId, SwitchEvent};
 
@@ -147,4 +148,118 @@ fn change_overlapping_execution_is_rejected() {
     ];
     let err = check_c_serial(&bad).unwrap_err();
     assert!(err.contains("overlaps"), "got: {err}");
+}
+
+// ---------------------------------------------------------------------
+// Crash-aware lock-history corruptions
+// ---------------------------------------------------------------------
+
+use LockOpKind::{Abort, Crash, Grant, Recover, Release, Request};
+
+/// A faulty-but-correct baseline history: a crash mid-hold, a recovery,
+/// an abort with a successful retry. Every corruption below is this
+/// history minus or plus one event.
+fn crash_baseline() -> Vec<LockEvent> {
+    vec![
+        lock_event(0, 0, Request),
+        lock_event(1, 0, Grant),
+        lock_event(2, 1, Request),
+        lock_event(5, 0, Crash),
+        lock_event(6, 1, Abort),
+        lock_event(7, 0, Recover),
+        lock_event(8, 1, Request),
+        lock_event(9, 1, Grant),
+        lock_event(10, 1, Release),
+    ]
+}
+
+/// Corruption 4: a lost waiter across a crash. Drop p1's Abort and
+/// retry — its original request then never resolves, which is exactly
+/// what a recovery pass that forgets queued waiters produces.
+#[test]
+fn waiter_lost_across_crash_is_rejected() {
+    assert!(check_waiter_conservation(&crash_baseline()).is_ok());
+
+    let bad = vec![
+        lock_event(0, 0, Request),
+        lock_event(1, 0, Grant),
+        lock_event(2, 1, Request),
+        lock_event(5, 0, Crash),
+        lock_event(7, 0, Recover),
+        // p1 is never granted, aborted, or crashed: stranded.
+    ];
+    let err = check_waiter_conservation(&bad).unwrap_err();
+    assert!(err.contains("lost waiter"), "got: {err}");
+    assert!(err.contains("proc 1"), "must name the culprit, got: {err}");
+}
+
+/// Corruption 4b: a grant out of thin air — the releaser handed the
+/// lock to a process that never (re-)requested it.
+#[test]
+fn grant_without_request_is_rejected() {
+    let bad = vec![
+        lock_event(0, 0, Request),
+        lock_event(1, 0, Grant),
+        lock_event(2, 0, Release),
+        lock_event(3, 1, Grant),
+    ];
+    let err = check_waiter_conservation(&bad).unwrap_err();
+    assert!(err.contains("without an outstanding request"), "got: {err}");
+}
+
+/// Corruption 5: an aborted waiter later granted. p1 aborts at t=6 but
+/// the releaser's stale pointer grants it anyway at t=9 — the race the
+/// abortable lock's WAITING→ABORTED CAS exists to forbid.
+#[test]
+fn aborted_waiter_later_granted_is_rejected() {
+    assert!(check_abort_safety(&crash_baseline()).is_ok());
+
+    let bad = vec![
+        lock_event(0, 0, Request),
+        lock_event(1, 0, Grant),
+        lock_event(2, 1, Request),
+        lock_event(6, 1, Abort),
+        lock_event(8, 0, Release),
+        lock_event(9, 1, Grant), // no fresh request since the abort
+    ];
+    let err = check_abort_safety(&bad).unwrap_err();
+    assert!(err.contains("abort-safety"), "got: {err}");
+    assert!(err.contains("proc 1"), "must name the culprit, got: {err}");
+}
+
+/// Corruption 6: a double grant across a recovery. The recovered
+/// process re-enters its critical section (its pre-crash grant was
+/// never cleaned up) while p1 holds — the outcome when a recovery path
+/// skips releasing a crashed holder's claim but the history records no
+/// crash for it.
+#[test]
+fn double_grant_is_rejected() {
+    assert!(check_no_double_grant(&crash_baseline()).is_ok());
+
+    let bad = vec![
+        lock_event(0, 0, Request),
+        lock_event(1, 0, Grant),
+        lock_event(2, 1, Request),
+        lock_event(3, 1, Grant), // p0 still holds
+    ];
+    let err = check_no_double_grant(&bad).unwrap_err();
+    assert!(err.contains("double grant"), "got: {err}");
+    assert!(err.contains("proc 0"), "must name the holder, got: {err}");
+}
+
+/// A crash legitimately vacates the hold: the same second grant is
+/// accepted once the first holder's crash is on record — the checker
+/// must not reject correct crash-recovery histories.
+#[test]
+fn crash_vacates_hold_for_the_next_grant() {
+    let ok = vec![
+        lock_event(0, 0, Request),
+        lock_event(1, 0, Grant),
+        lock_event(2, 1, Request),
+        lock_event(3, 0, Crash),
+        lock_event(4, 1, Grant),
+        lock_event(5, 1, Release),
+    ];
+    assert!(check_no_double_grant(&ok).is_ok());
+    assert!(check_waiter_conservation(&ok).is_ok());
 }

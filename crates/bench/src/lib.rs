@@ -8,5 +8,6 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod rmr;
 pub mod scenario;
 pub mod table;

@@ -58,6 +58,9 @@ claim_test!(
     fig_4_14_mutex,
     table_4_6_lpoll_half,
     barrier_reactive,
+    rmr_recoverable,
+    rmr_abortable,
+    storm_robustness,
 );
 
 /// Every scenario in the registry is covered by a test above (guards
@@ -84,6 +87,9 @@ fn registry_matches_test_list() {
         "fig_4_14_mutex",
         "table_4_6_lpoll_half",
         "barrier_reactive",
+        "rmr_recoverable",
+        "rmr_abortable",
+        "storm_robustness",
     ];
     let names: Vec<&str> = repro_bench::scenario::all()
         .iter()

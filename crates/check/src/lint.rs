@@ -17,6 +17,11 @@
 //! * `experiments-keys` — scenario keys in `EXPERIMENTS.md` tables and
 //!   row names in `BENCH_experiments.json` must agree (md-only keys
 //!   may be allowlisted: benches that write other artifacts).
+//! * `rmr-keys` — the crash/abort scenario family: every row name in
+//!   `BENCH_rmr.json` must be an `EXPERIMENTS.md` key, and every
+//!   `rmr_*`/`storm_*` key in `EXPERIMENTS.md` must have a
+//!   `BENCH_rmr.json` row (so the artifact the CI uploads cannot
+//!   silently drop a gated scenario).
 //!
 //! The allowlist is `crates/check/lint_allow.txt`: `<rule> <key>` per
 //! line, `#` comments. Keys are workspace-relative paths for the file
@@ -132,6 +137,7 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
         }
     }
     experiments_keys_rule(root, &allow, &mut findings)?;
+    rmr_keys_rule(root, &allow, &mut findings)?;
     Ok(findings)
 }
 
@@ -361,6 +367,42 @@ fn experiments_keys_rule(
     Ok(())
 }
 
+/// Key prefixes that mark an `EXPERIMENTS.md` row as belonging to the
+/// crash/abort scenario family (`BENCH_rmr.json`'s scope).
+const RMR_FAMILY_PREFIXES: [&str; 2] = ["rmr_", "storm_"];
+
+fn rmr_keys_rule(root: &Path, allow: &Allowlist, findings: &mut Vec<Finding>) -> io::Result<()> {
+    let md = fs::read_to_string(root.join("EXPERIMENTS.md"))?;
+    let json = fs::read_to_string(root.join("BENCH_rmr.json"))?;
+    let md_keys = experiment_md_keys(&md);
+    let json_keys = experiment_json_keys(&json);
+    for key in &json_keys {
+        if !md_keys.contains(key) {
+            findings.push(Finding {
+                rule: "rmr-keys",
+                file: "EXPERIMENTS.md".to_string(),
+                line: 0,
+                msg: format!("BENCH_rmr.json row `{key}` has no EXPERIMENTS.md table row"),
+            });
+        }
+    }
+    for key in &md_keys {
+        let in_family = RMR_FAMILY_PREFIXES.iter().any(|p| key.starts_with(p));
+        if in_family && !json_keys.contains(key) && !allow.allows("rmr-keys", key) {
+            findings.push(Finding {
+                rule: "rmr-keys",
+                file: "BENCH_rmr.json".to_string(),
+                line: 0,
+                msg: format!(
+                    "EXPERIMENTS.md crash/abort scenario `{key}` has no BENCH_rmr.json row \
+                     (add it to the rmr bench's ROWS, or allowlist it)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +479,17 @@ mod tests {
             experiment_json_keys(json).into_iter().collect::<Vec<_>>(),
             vec!["fig_1".to_string(), "tbl_2".to_string()]
         );
+    }
+
+    #[test]
+    fn rmr_family_prefixes_scope_the_rule() {
+        // Only `rmr_*`/`storm_*` EXPERIMENTS.md keys are required to
+        // have a BENCH_rmr.json row; everything else is out of scope.
+        let family = |k: &str| RMR_FAMILY_PREFIXES.iter().any(|p| k.starts_with(p));
+        assert!(family("rmr_recoverable"));
+        assert!(family("storm_robustness"));
+        assert!(!family("fig_3_15_baseline"));
+        assert!(!family("switch_cost"));
     }
 
     #[test]

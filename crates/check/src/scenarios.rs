@@ -8,18 +8,18 @@
 //! model's own vector-clock race detector via
 //! [`reactive_native::model::RaceCell`].
 //!
-//! Two scenarios exist to rediscover the seeded regression mutants
+//! Three scenarios exist to rediscover the seeded regression mutants
 //! (`kernel_arbitration` for `double_commit`, `kernel_commit_first`
-//! for `stale_mode`); on an unmutated build they must pass like the
-//! rest.
+//! for `stale_mode`, `kernel_recovery` for `drop_recovery_fence`); on
+//! an unmutated build they must pass like the rest.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use reactive_api::{
-    drive, Decision, Observation, Policy, ProtocolId, SharedWorld, SwitchKernel, SwitchStyle,
-    SwitchableObject,
+    drive, CrashPoint, Decision, Observation, Policy, ProtocolId, SharedWorld, SwitchKernel,
+    SwitchStyle, SwitchableObject,
 };
 use reactive_native::mcs::{McsLock, McsNode};
 use reactive_native::model::shim::{AtomicU64, AtomicU8};
@@ -69,6 +69,16 @@ pub fn all() -> Vec<Scenario> {
             name: "kernel_commit_first",
             about: "CommitFirst bookkeeping is settled before a racer can win the target",
             run: kernel_commit_first,
+        },
+        Scenario {
+            name: "kernel_abort_switch",
+            about: "an abort racing a mode switch resolves to exactly one of {aborted, migrated}",
+            run: kernel_abort_switch,
+        },
+        Scenario {
+            name: "kernel_recovery",
+            about: "crash-recovery racing a fresh acquirer fences the dead protocol first",
+            run: kernel_recovery,
         },
     ]
 }
@@ -387,6 +397,276 @@ impl SwitchableObject for CommitFirstObj {
     fn now(&self, _ctx: &()) -> u64 {
         0
     }
+}
+
+// ---------------------------------------------------------------------
+// Crash/abort scenarios (fault-injection companions)
+// ---------------------------------------------------------------------
+
+/// Qnode status protocol of the abortable lock, miniaturized: a single
+/// parked waiter whose word arbitrates between its own deadline abort
+/// and the mode switch's bounce.
+const ST_WAITING: u64 = 0;
+const ST_ABORTED: u64 = 1;
+const ST_INVALID: u64 = 2;
+
+/// Miniature of the robust lock's Handoff change racing a waiter's
+/// abort: the exiting protocol's invalidation bounces parked waiters
+/// with a conditional `WAITING -> INVALID` transition, and the waiter's
+/// deadline abort is a conditional `WAITING -> ABORTED` transition on
+/// the same word — the consensus that makes the two outcomes exclusive.
+struct AbortSwitchObj {
+    kernel: SwitchKernel<SharedWorld>,
+    /// The parked waiter's status word.
+    status: AtomicU64,
+    /// The entering protocol's sub-lock.
+    b: TtsLock,
+    /// The entering protocol's validity word.
+    b_valid: AtomicU64,
+    mode: AtomicU8,
+}
+
+impl AbortSwitchObj {
+    fn new() -> AbortSwitchObj {
+        AbortSwitchObj {
+            kernel: SwitchKernel::<SharedWorld>::builder()
+                .register(A, "a", SwitchStyle::Handoff)
+                .register(B, "b", SwitchStyle::Handoff)
+                .build(),
+            status: AtomicU64::new(ST_WAITING),
+            b: TtsLock::new(),
+            b_valid: AtomicU64::new(0),
+            mode: AtomicU8::new(A.0),
+        }
+    }
+}
+
+impl SwitchableObject for AbortSwitchObj {
+    type Ctx = ();
+
+    async fn validate(&self, _ctx: &(), to: ProtocolId, _from: ProtocolId, _state: u64) {
+        if to == B {
+            // order: Release pairs with the bounced waiter's Acquire
+            // spin before it re-enters through B.
+            self.b_valid.store(1, Ordering::Release);
+        }
+    }
+
+    async fn invalidate(&self, _ctx: &(), from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        if from == A {
+            // Bounce the parked waiter — conditionally: its deadline
+            // abort may have claimed the word first, and overwriting an
+            // ABORTED status would resurrect a withdrawn request.
+            // order: AcqRel — a successful bounce orders the waiter's
+            // migration after this transaction's validate.
+            let _ = self.status.compare_exchange(
+                ST_WAITING,
+                ST_INVALID,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+        }
+        Some(0)
+    }
+
+    async fn publish_mode(&self, _ctx: &(), to: ProtocolId) {
+        // order: Release — hint only; must trail the validity stores.
+        self.mode.store(to.0, Ordering::Release);
+    }
+
+    fn now(&self, _ctx: &()) -> u64 {
+        0
+    }
+}
+
+fn kernel_abort_switch(cfg: Config) -> Report {
+    explore(
+        "kernel_abort_switch",
+        cfg,
+        Arc::new(|| {
+            let obj = Arc::new(AbortSwitchObj::new());
+            let data = Arc::new(RaceCell::new("abort payload", 0u64));
+            let migrations = Arc::new(AtomicU64::new(0));
+            // The parked waiter's deadline fires: it withdraws with a
+            // conditional abort. If the switch's bounce won the word
+            // first, the withdrawal is off and the waiter must follow
+            // the migration to B instead (the abortable lock's
+            // failed-CAS-means-granted rule).
+            let (o2, d2, m2) = (obj.clone(), data.clone(), migrations.clone());
+            let h = thread::spawn(move || {
+                // order: AcqRel/Acquire — the abort CAS arbitrates
+                // against the bounce CAS on the same word; the loser
+                // must observe the winner's write.
+                match o2.status.compare_exchange(
+                    ST_WAITING,
+                    ST_ABORTED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {} // cleanly aborted: never enters a CS
+                    Err(s) => {
+                        assert_eq!(s, ST_INVALID, "only the bounce may deny an abort");
+                        // order: Acquire pairs with validate's Release.
+                        while o2.b_valid.load(Ordering::Acquire) == 0 {
+                            thread::yield_now();
+                        }
+                        o2.b.lock();
+                        let v = d2.get();
+                        d2.set(v + 1);
+                        o2.b.unlock();
+                        // order: Relaxed — joined before reading.
+                        m2.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            // The holder: critical section under A, then the mode
+            // change (Handoff), then one more passage through B.
+            let v = data.get();
+            data.set(v + 1);
+            drive(obj.kernel.switch(&*obj, &(), A, B));
+            obj.b.lock();
+            let v = data.get();
+            data.set(v + 1);
+            obj.b.unlock();
+            h.join().unwrap();
+            // Conservation: the waiter either aborted or migrated —
+            // exactly one, and the payload count must agree.
+            // order: Relaxed — the join above orders the increment.
+            let migrated = migrations.load(Ordering::Relaxed);
+            // order: Relaxed — the waiter thread is joined; no writer left.
+            let st = obj.status.load(Ordering::Relaxed);
+            assert!(
+                (st == ST_ABORTED && migrated == 0) || (st == ST_INVALID && migrated == 1),
+                "abort/bounce arbitration lost the waiter (status {st}, migrated {migrated})"
+            );
+            assert_eq!(data.get(), 2 + migrated, "a passage was lost");
+            assert_eq!(obj.kernel.switches(), 1);
+        }),
+    )
+}
+
+/// Miniature of the robust lock's crash recovery: the switching holder
+/// died after commit but before the invalidate fence, leaving the dead
+/// protocol's validity word still set and its sub-lock still claimed.
+/// Recovery must run the fence *before* the dead claim is released —
+/// a fresh acquirer that wins the sub-lock afterwards re-checks the
+/// validity word and bails to the new protocol.
+struct RecoveryObj {
+    kernel: SwitchKernel<SharedWorld>,
+    /// The dead protocol's sub-lock (held by the crashed switcher).
+    a: TtsLock,
+    /// The dead protocol's validity word.
+    a_valid: AtomicU64,
+    /// The new protocol's sub-lock.
+    b: TtsLock,
+    b_valid: AtomicU64,
+    mode: AtomicU8,
+}
+
+impl RecoveryObj {
+    fn new() -> RecoveryObj {
+        let obj = RecoveryObj {
+            kernel: SwitchKernel::<SharedWorld>::builder()
+                .register(A, "a", SwitchStyle::Handoff)
+                .register(B, "b", SwitchStyle::Handoff)
+                .build(),
+            a: TtsLock::new(),
+            a_valid: AtomicU64::new(1),
+            b: TtsLock::new(),
+            b_valid: AtomicU64::new(0),
+            mode: AtomicU8::new(A.0),
+        };
+        // The crashed switcher's claim on A, released only by recovery.
+        let held = obj.a.try_lock();
+        assert!(held, "fresh sub-lock must be claimable by the holder");
+        obj
+    }
+}
+
+impl SwitchableObject for RecoveryObj {
+    type Ctx = ();
+
+    async fn validate(&self, _ctx: &(), to: ProtocolId, _from: ProtocolId, _state: u64) {
+        let w = if to == B {
+            &self.b_valid
+        } else {
+            &self.a_valid
+        };
+        // order: Release pairs with an acquirer's validity re-check.
+        w.store(1, Ordering::Release);
+    }
+
+    async fn invalidate(&self, _ctx: &(), from: ProtocolId, _to: ProtocolId) -> Option<u64> {
+        let w = if from == A {
+            &self.a_valid
+        } else {
+            &self.b_valid
+        };
+        // order: Release — the fence must be visible to any acquirer
+        // that subsequently wins the dead sub-lock.
+        w.store(0, Ordering::Release);
+        Some(0)
+    }
+
+    async fn publish_mode(&self, _ctx: &(), to: ProtocolId) {
+        // order: Release — hint only; must trail the validity stores.
+        self.mode.store(to.0, Ordering::Release);
+    }
+
+    fn now(&self, _ctx: &()) -> u64 {
+        0
+    }
+}
+
+fn kernel_recovery(cfg: Config) -> Report {
+    explore(
+        "kernel_recovery",
+        cfg,
+        Arc::new(|| {
+            let obj = Arc::new(RecoveryObj::new());
+            let data = Arc::new(RaceCell::new("recovery payload", 0u64));
+            // The fresh acquirer: dispatched to A before the crash, it
+            // blocks on A's sub-lock, wins it once recovery releases
+            // the dead claim, and must then re-check A's validity word
+            // — entering through A iff the word survived.
+            let (o2, d2) = (obj.clone(), data.clone());
+            let h = thread::spawn(move || {
+                o2.a.lock();
+                // order: Acquire pairs with the recovery fence's store.
+                if o2.a_valid.load(Ordering::Acquire) == 1 {
+                    // The fence never landed: a passage through the
+                    // dead protocol, unserialized against B's holder.
+                    let v = d2.get();
+                    d2.set(v + 1);
+                    o2.a.unlock();
+                } else {
+                    o2.a.unlock();
+                    o2.b.lock();
+                    let v = d2.get();
+                    d2.set(v + 1);
+                    o2.b.unlock();
+                }
+            });
+            // The crash: the switching holder died after commit,
+            // before the invalidate fence (B published, A still valid).
+            drive(
+                obj.kernel
+                    .switch_crashed(&*obj, &(), A, B, CrashPoint::AfterCommit),
+            );
+            // Recovery: complete the transition (the fence clears A's
+            // validity word), then release the dead holder's claim.
+            drive(obj.kernel.recover(&*obj, &()));
+            obj.a.unlock();
+            // The recovered object serves a passage through B.
+            obj.b.lock();
+            let v = data.get();
+            data.set(v + 1);
+            obj.b.unlock();
+            h.join().unwrap();
+            assert_eq!(data.get(), 2, "a passage was lost across the recovery");
+            assert_eq!(obj.kernel.current(), B);
+        }),
+    )
 }
 
 fn kernel_commit_first(cfg: Config) -> Report {

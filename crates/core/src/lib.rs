@@ -29,6 +29,10 @@
 //!   multithreaded nodes.
 //! * [`mp`] — reactive selection between shared-memory and
 //!   message-passing protocols (§3.6).
+//! * [`robust`] — the robust reactive lock: run-time selection between
+//!   an abortable MCS queue and a crash-recoverable Peterson tree,
+//!   with crash-driven switching and journal-backed mode-change
+//!   recovery (the fault-injection companion to [`lock`]).
 
 #![deny(missing_docs)]
 
@@ -38,6 +42,7 @@ pub mod framework;
 pub mod lock;
 pub mod mp;
 pub mod policy;
+pub mod robust;
 pub mod waiting;
 
 pub use barrier::ReactiveBarrier;
@@ -47,4 +52,5 @@ pub use policy::{
     Always, Competitive3, Decision, Hysteresis, Instrument, Observation, Policy, ProtocolId,
     SwitchEvent, SwitchLog,
 };
+pub use robust::{RobustLock, RobustToken};
 pub use waiting::TwoPhase;

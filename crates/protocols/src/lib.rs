@@ -21,13 +21,20 @@
 //! * **Waiting strategies** — the [`waiting::WaitStrategy`] trait plus
 //!   the always-spin and always-block baselines; the two-phase waiting
 //!   algorithm itself lives in `reactive-core` (it is the contribution).
+//! * **Robust locks** — [`recover::RecoverableMutex`] (a Golab–Ramaraju
+//!   style recoverable mutex whose per-process progress words live in
+//!   NVM and survive crashes injected by `alewife_sim::FaultPlan`) and
+//!   [`abortable::AbortableMcsLock`] (an abandonable queue lock with
+//!   constant amortized RMR cost per passage or abort).
 
 #![deny(missing_docs)]
 
+pub mod abortable;
 pub mod barrier;
 pub mod fetch_op;
 pub mod mp;
 pub mod pc;
+pub mod recover;
 pub mod spin;
 pub mod waiting;
 

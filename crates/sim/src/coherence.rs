@@ -142,6 +142,11 @@ fn apply(st: &mut State, addr: Addr, op: RmwOp) -> [u64; 2] {
 /// Issue a read from `node`; fulfills `comp` with `[value, full_bit]`.
 pub(crate) fn issue_read(st: &mut State, node: usize, addr: Addr, comp: Completion) {
     let line = st.line_of(addr);
+    // DSM cost model: no caching, so every access to a remotely-homed
+    // word is a remote memory reference, hit or miss.
+    if st.home_of(line) != node {
+        st.stats.rmr_dsm[node] += 1;
+    }
     if st.cache[st.cache_slot(node, line)].is_some() {
         // Local hit: our copy is valid, so the authoritative arrays agree
         // with it (any remote write would have invalidated us first).
@@ -152,6 +157,8 @@ pub(crate) fn issue_read(st: &mut State, node: usize, addr: Addr, comp: Completi
         return;
     }
     st.stats.remote_misses += 1;
+    // CC cost model: a coherence miss crosses the interconnect.
+    st.stats.rmr_cc[node] += 1;
     let home = st.home_of(line);
     let arrive = st.now + net::latency(st, node, home);
     let idx = st.put_coh(CohReq {
@@ -168,6 +175,10 @@ pub(crate) fn issue_read(st: &mut State, node: usize, addr: Addr, comp: Completi
 /// op-specific result pair.
 pub(crate) fn issue_own(st: &mut State, node: usize, addr: Addr, op: RmwOp, comp: Completion) {
     let line = st.line_of(addr);
+    // DSM model: see `issue_read`.
+    if st.home_of(line) != node {
+        st.stats.rmr_dsm[node] += 1;
+    }
     if st.cache[st.cache_slot(node, line)] == Some(CacheState::Exclusive) {
         // Exclusive hit: mutate in place. No other node can hold a valid
         // copy, but bump the version anyway so any in-flight watcher
@@ -179,6 +190,8 @@ pub(crate) fn issue_own(st: &mut State, node: usize, addr: Addr, op: RmwOp, comp
         return;
     }
     st.stats.remote_misses += 1;
+    // CC model: see `issue_read`.
+    st.stats.rmr_cc[node] += 1;
     let home = st.home_of(line);
     let arrive = st.now + net::latency(st, node, home);
     let idx = st.put_coh(CohReq {

@@ -268,6 +268,33 @@ impl Cpu {
         }
     }
 
+    /// This node's abort epoch (bumped by fault-plan abort signals).
+    pub fn abort_epoch(&self) -> u64 {
+        self.st.borrow().abort_epoch[self.node]
+    }
+
+    /// Read-poll `a` until `pred(value)` holds, `deadline` passes, or an
+    /// abort signal is delivered to this node (its abort epoch moves
+    /// past the snapshot taken at the start of the wait). Returns
+    /// `Some(value)` on success, `None` on timeout or abort — the
+    /// waiting primitive of abortable lock protocols. Pass
+    /// `u64::MAX` as the deadline for an abort-only wait.
+    pub fn poll_until_abortable<'a>(
+        &'a self,
+        a: Addr,
+        pred: impl Fn(u64) -> bool + Unpin + 'a,
+        deadline: u64,
+    ) -> impl Future<Output = Option<u64>> + 'a {
+        SpinReadAbortable {
+            cpu: self,
+            a,
+            accept: move |[v, _f]: [u64; 2]| if pred(v) { Some(v) } else { None },
+            deadline,
+            epoch0: self.abort_epoch(),
+            state: SpinDeadlineSt::Start,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Active messages
     // ------------------------------------------------------------------
@@ -571,6 +598,109 @@ impl<A: Fn([u64; 2]) -> Option<u64> + Unpin> Future for SpinReadDeadline<'_, A> 
                         continue;
                     }
                     // Stale wake: re-register; the timer stays armed.
+                    let cur = st
+                        .current_task
+                        .expect("sim future polled outside the sim executor");
+                    st.watchers[line.idx()].push(cur);
+                    return Poll::Pending;
+                }
+                SpinDeadlineSt::FinalRead { c, tid } => {
+                    if !c.is_done() {
+                        c.set_waiter(*tid);
+                        return Poll::Pending;
+                    }
+                    return Poll::Ready((this.accept)(c.value()));
+                }
+            }
+        }
+    }
+}
+
+/// The fused future behind [`Cpu::poll_until_abortable`]: a
+/// [`SpinReadDeadline`] that additionally gives up when the node's
+/// abort epoch moves past the snapshot taken at wait start (fault-plan
+/// abort signals wake the node's tasks, so the check runs promptly).
+struct SpinReadAbortable<'a, A: Fn([u64; 2]) -> Option<u64>> {
+    cpu: &'a Cpu,
+    a: Addr,
+    accept: A,
+    deadline: u64,
+    epoch0: u64,
+    state: SpinDeadlineSt,
+}
+
+impl<A: Fn([u64; 2]) -> Option<u64> + Unpin> Future for SpinReadAbortable<'_, A> {
+    type Output = Option<u64>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Option<u64>> {
+        use std::task::Poll;
+        let this = self.get_mut();
+        loop {
+            match &this.state {
+                SpinDeadlineSt::Start => {
+                    let mut st = this.cpu.st.borrow_mut();
+                    let line = st.line_of(this.a);
+                    let seen = st.line_ver[line.idx()];
+                    let c = st.new_completion();
+                    coherence::issue_read(&mut st, this.cpu.node, this.a, c.clone());
+                    let tid = st
+                        .current_task
+                        .expect("sim operation issued outside the sim executor");
+                    this.state = SpinDeadlineSt::Read { c, tid, line, seen };
+                }
+                SpinDeadlineSt::Read { c, tid, line, seen } => {
+                    if !c.is_done() {
+                        c.set_waiter(*tid);
+                        return Poll::Pending;
+                    }
+                    if let Some(v) = (this.accept)(c.value()) {
+                        return Poll::Ready(Some(v));
+                    }
+                    let (line, seen, tid) = (*line, *seen, *tid);
+                    let mut st = this.cpu.st.borrow_mut();
+                    if st.abort_epoch[this.cpu.node] != this.epoch0 || st.now >= this.deadline {
+                        return Poll::Ready(None);
+                    }
+                    if st.line_ver[line.idx()] != seen {
+                        drop(st);
+                        this.state = SpinDeadlineSt::Start;
+                        continue;
+                    }
+                    st.watchers[line.idx()].push(tid);
+                    if this.deadline != u64::MAX {
+                        let deadline = this.deadline;
+                        st.schedule(deadline, crate::exec::Ev::Wake(tid));
+                    }
+                    drop(st);
+                    this.state = SpinDeadlineSt::Watch { line, seen };
+                    return Poll::Pending;
+                }
+                SpinDeadlineSt::Watch { line, seen } => {
+                    let (line, seen) = (*line, *seen);
+                    let mut st = this.cpu.st.borrow_mut();
+                    if st.abort_epoch[this.cpu.node] != this.epoch0 {
+                        return Poll::Ready(None);
+                    }
+                    if st.line_ver[line.idx()] != seen {
+                        drop(st);
+                        this.state = SpinDeadlineSt::Start;
+                        continue;
+                    }
+                    if st.now >= this.deadline {
+                        // Deadline passed: issue the final racing read.
+                        let c = st.new_completion();
+                        coherence::issue_read(&mut st, this.cpu.node, this.a, c.clone());
+                        let tid = st
+                            .current_task
+                            .expect("sim operation issued outside the sim executor");
+                        drop(st);
+                        this.state = SpinDeadlineSt::FinalRead { c, tid };
+                        continue;
+                    }
+                    // Stale wake: re-register; any armed timer stays.
                     let cur = st
                         .current_task
                         .expect("sim future polled outside the sim executor");

@@ -168,6 +168,13 @@ pub(crate) enum Ev {
     /// The thread scheduler at `node` should start its next ready thread
     /// if the processor is idle.
     Dispatch(u32),
+    /// Fault injection: kill the node (destroy its threads and volatile
+    /// state; NVM survives).
+    Kill(u32),
+    /// Fault injection: recover the node (spawn its recovery thread).
+    Recover(u32),
+    /// Fault injection: deliver an abort signal to the node.
+    Abort(u32),
 }
 
 // The 16-byte ceiling above is a load-bearing layout invariant (the

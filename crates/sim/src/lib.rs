@@ -60,6 +60,7 @@ mod coherence;
 mod cost;
 mod cpu;
 mod exec;
+mod fault;
 mod machine;
 mod msg;
 mod net;
@@ -73,6 +74,7 @@ pub use coherence::CacheState;
 pub use cost::CostModel;
 pub use cpu::Cpu;
 pub use exec::TaskId;
+pub use fault::{FaultEvent, FaultPlan};
 pub use machine::{Config, Machine};
 pub use msg::{HandlerCtx, Port, PrivAddr, ReplyToken};
 pub use state::Addr;

@@ -3,16 +3,18 @@
 
 use std::cell::RefCell;
 use std::future::Future;
+use std::pin::Pin;
 use std::rc::Rc;
 
 use crate::cost::CostModel;
 use crate::cpu::Cpu;
 use crate::exec::{self, Ev, TaskId};
+use crate::fault::{FaultAction, FaultEvent, FaultPlan};
 use crate::msg::{HandlerCtx, Port};
 use crate::state::{Addr, State};
 use crate::stats::Stats;
 use crate::thread::{self, WaitQueueId};
-use crate::{coherence, msg};
+use crate::{coherence, fault, msg};
 
 /// Machine configuration. Construct with [`Config::default`] and chain
 /// the builder-style setters.
@@ -30,6 +32,7 @@ pub struct Config {
     pub(crate) hw_ptrs: usize,
     pub(crate) full_map: bool,
     pub(crate) seed: u64,
+    pub(crate) faults: FaultPlan,
 }
 
 impl Default for Config {
@@ -42,6 +45,7 @@ impl Default for Config {
             hw_ptrs: 5,
             full_map: false,
             seed: 0xA1EF_17E5,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -91,6 +95,14 @@ impl Config {
         self.seed = s;
         self
     }
+
+    /// Install a fault-injection plan. The empty (default) plan adds no
+    /// events and leaves the simulation bit-identical to a machine
+    /// without one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
 }
 
 /// A simulated multiprocessor. See the crate docs for an example.
@@ -101,16 +113,32 @@ pub struct Machine {
 impl Machine {
     /// Build a machine from a configuration.
     pub fn new(cfg: Config) -> Machine {
+        let mut st = State::new(
+            cfg.nodes,
+            cfg.contexts,
+            cfg.cost,
+            cfg.line_words,
+            cfg.hw_ptrs,
+            cfg.full_map,
+            cfg.seed,
+        );
+        // The fault plan becomes ordinary events up front; an empty
+        // plan schedules nothing, so event sequence numbers (and hence
+        // the determinism goldens) are untouched.
+        for &(at, act) in &cfg.faults.entries {
+            let (ev, n) = match act {
+                FaultAction::Kill(n) => (Ev::Kill(n), n),
+                FaultAction::Recover(n) => (Ev::Recover(n), n),
+                FaultAction::Abort(n) => (Ev::Abort(n), n),
+            };
+            assert!(
+                (n as usize) < cfg.nodes,
+                "fault plan names a node out of range"
+            );
+            st.schedule(at, ev);
+        }
         Machine {
-            st: Rc::new(RefCell::new(State::new(
-                cfg.nodes,
-                cfg.contexts,
-                cfg.cost,
-                cfg.line_words,
-                cfg.hw_ptrs,
-                cfg.full_map,
-                cfg.seed,
-            ))),
+            st: Rc::new(RefCell::new(st)),
         }
     }
 
@@ -207,6 +235,29 @@ impl Machine {
         self.st.borrow().stats.clone()
     }
 
+    /// Register the recovery thread factory for `node`: each time the
+    /// node recovers from a kill, `f()` is spawned as a fresh thread
+    /// there (it should inspect NVM — shared memory — and repair).
+    pub fn on_recovery(
+        &self,
+        node: usize,
+        f: impl Fn() -> Pin<Box<dyn Future<Output = ()>>> + 'static,
+    ) {
+        let mut st = self.st.borrow_mut();
+        assert!(node < st.nodes_n, "on_recovery: node out of range");
+        st.recovery[node] = Some(Box::new(f));
+    }
+
+    /// Whether `node` is currently alive (not killed, or recovered).
+    pub fn alive(&self, node: usize) -> bool {
+        self.st.borrow().alive[node]
+    }
+
+    /// The fault actions that actually fired so far, in order.
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.st.borrow().fault_log.clone()
+    }
+
     /// Run until no events remain; returns the final virtual time.
     pub fn run(&self) -> u64 {
         self.run_until(u64::MAX)
@@ -257,6 +308,9 @@ impl Machine {
                         Ev::MsgArrive(n, idx) => msg::msg_arrive(&mut st, n as usize, idx),
                         Ev::MsgService(n) => msg::msg_service(&mut st, n as usize),
                         Ev::Dispatch(n) => thread::dispatch(&mut st, n as usize),
+                        Ev::Kill(n) => fault::kill_node(&mut st, n as usize),
+                        Ev::Recover(n) => fault::recover_node(&mut st, n as usize),
+                        Ev::Abort(n) => fault::abort_node(&mut st, n as usize),
                     }
                 }
             };

@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use crate::coherence::{CacheState, CohReq, DirEntry};
 use crate::cost::CostModel;
 use crate::exec::{BoxFut, Completion, Ev, EventEntry, TaskId};
+use crate::fault::FaultEvent;
 use crate::msg::{ActiveMsg, HandlerFn};
 use crate::queue::EventQueue;
 use crate::stats::Stats;
@@ -187,10 +188,25 @@ pub(crate) struct State {
     pub scheds: Vec<NodeSched>,
     pub wait_queues: Vec<VecDeque<TaskId>>,
 
+    // --- fault injection ---
+    /// Per-node liveness; killed nodes stay dead until a recovery.
+    pub alive: Vec<bool>,
+    /// Per-node abort epoch, bumped by abort signals; abortable waits
+    /// snapshot it and give up when it moves.
+    pub abort_epoch: Vec<u64>,
+    /// Per-node recovery thread factories (see `Machine::on_recovery`).
+    pub recovery: Vec<Option<RecoveryFn>>,
+    /// Log of fault actions that actually fired, in order.
+    pub fault_log: Vec<FaultEvent>,
+
     // --- misc ---
     pub rng: u64,
     pub stats: Stats,
 }
+
+/// Factory producing a fresh recovery future each time its node
+/// recovers from a kill.
+pub(crate) type RecoveryFn = Box<dyn Fn() -> BoxFut>;
 
 impl State {
     pub fn new(
@@ -244,8 +260,12 @@ impl State {
             rpc_pending: RpcSlab::default(),
             scheds: (0..nodes).map(|_| NodeSched::new(contexts)).collect(),
             wait_queues: Vec::new(),
+            alive: vec![true; nodes],
+            abort_epoch: vec![0; nodes],
+            recovery: (0..nodes).map(|_| None).collect(),
+            fault_log: Vec::new(),
             rng: if seed == 0 { 1 } else { seed },
-            stats: Stats::new(),
+            stats: Stats::new(nodes),
         }
     }
 

@@ -120,6 +120,15 @@ pub struct Stats {
     /// Events processed by the executor (the simulator's unit of work;
     /// `sim_throughput` divides this by wall time for events/sec).
     pub sim_events: u64,
+    /// Per-node remote memory references under the **CC** (cache-
+    /// coherent) cost model: one per coherence miss — an access that
+    /// crossed the interconnect to a directory. Local-cache spins are
+    /// free; each invalidation-triggered re-fetch counts.
+    pub rmr_cc: Vec<u64>,
+    /// Per-node remote memory references under the **DSM** (distributed
+    /// shared memory, no-caching) cost model: one per access to a word
+    /// whose home is another node, hit or miss.
+    pub rmr_dsm: Vec<u64>,
     /// Named event counters incremented by protocol code.
     pub counters: BTreeMap<String, u64>,
     /// Named waiting-time histograms recorded by protocol code.
@@ -127,8 +136,12 @@ pub struct Stats {
 }
 
 impl Stats {
-    pub(crate) fn new() -> Self {
-        Self::default()
+    pub(crate) fn new(nodes: usize) -> Self {
+        Stats {
+            rmr_cc: vec![0; nodes],
+            rmr_dsm: vec![0; nodes],
+            ..Self::default()
+        }
     }
 
     /// Add `n` to the named counter.
@@ -144,6 +157,16 @@ impl Stats {
     /// Read a named counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Machine-wide RMR total under the CC model.
+    pub fn rmr_cc_total(&self) -> u64 {
+        self.rmr_cc.iter().sum()
+    }
+
+    /// Machine-wide RMR total under the DSM model.
+    pub fn rmr_dsm_total(&self) -> u64 {
+        self.rmr_dsm.iter().sum()
     }
 }
 
@@ -192,7 +215,7 @@ mod tests {
 
     #[test]
     fn counters() {
-        let mut s = Stats::new();
+        let mut s = Stats::new(1);
         s.bump("x", 2);
         s.bump("x", 3);
         assert_eq!(s.counter("x"), 5);

@@ -2,6 +2,11 @@
 //! phase (quiet maintenance vs. bursty request storms). The reactive
 //! mutex adapts; a fixed choice is wrong in one phase or the other.
 //!
+//! A third, deadline phase models latency-budgeted requests on the
+//! deterministic simulator: each request carries an absolute deadline
+//! and **aborts** (think: answer 503) rather than queue forever behind
+//! a slow writer — the abortable MCS lock's withdrawal path.
+//!
 //! Run with: `cargo run --release --example adaptive_server_locks`
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -14,6 +19,42 @@ use reactive_sync::native::ReactiveMutex;
 struct SessionTable {
     live: u64,
     peak: u64,
+}
+
+/// Deadline phase: 4 simulated request handlers share one table lock;
+/// every request gets a 300-cycle budget against a 60-cycle critical
+/// section, so a request stuck third in line aborts at its deadline
+/// (cleanly — the MCS queue slot is withdrawn, not leaked) and the
+/// handler reports failure instead of blowing its latency budget.
+fn deadline_phase() -> (u64, u64) {
+    use reactive_sync::protocols::abortable::{AbortableMcsLock, Acquired};
+    use reactive_sync::sim::{Config, Machine};
+
+    const PROCS: usize = 4;
+    const REQS: u64 = 25;
+    let m = Machine::new(Config::default().nodes(PROCS));
+    let lock = AbortableMcsLock::new(&m, 0, PROCS);
+    let tally = m.alloc_on(0, 2); // [served, timed_out]
+    for p in 0..PROCS {
+        let (cpu, l) = (m.cpu(p), lock.clone());
+        m.spawn(p, async move {
+            for _ in 0..REQS {
+                match l.acquire(&cpu, p, cpu.now() + 300).await {
+                    Acquired::Granted(q) => {
+                        cpu.work(60).await; // handle the request
+                        cpu.fetch_and_add(tally, 1).await;
+                        l.release(&cpu, q).await;
+                    }
+                    Acquired::Aborted => {
+                        cpu.fetch_and_add(tally.plus(1), 1).await;
+                        cpu.work(90).await; // send the 503, back off
+                    }
+                }
+            }
+        });
+    }
+    m.run();
+    (m.read_word(tally), m.read_word(tally.plus(1)))
 }
 
 fn main() {
@@ -65,4 +106,16 @@ fn main() {
     // would deadlock (the first guard lives to the statement's end).
     let t = table.lock();
     println!("final table: live={} peak={}", t.live, t.peak);
+    drop(t);
+
+    let (served, timed_out) = deadline_phase();
+    println!(
+        "deadline phase: {served} requests served, {timed_out} aborted at their 300-cycle deadline \
+         (every request resolved exactly once)"
+    );
+    assert_eq!(served + timed_out, 100);
+    assert!(
+        timed_out > 0,
+        "the deadline never fired — no abort path exercised"
+    );
 }

@@ -8,7 +8,10 @@
 //! protocols and their `SwitchableObject` hooks. Like the reactive
 //! barrier, it performs changes at application quiescent points, so
 //! the hooks carry the counter value with the kernel's `Transfer`
-//! discipline. Run with `cargo run --example custom_object`.
+//! discipline. A second demo shows the same kernel driving the
+//! simulator's crash-robust lock, whose abortable protocol accepts a
+//! per-acquire **deadline** and withdraws cleanly when it fires. Run
+//! with `cargo run --example custom_object`.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -113,6 +116,48 @@ impl SwitchableObject for ReactiveCounter {
     }
 }
 
+/// Abort-with-deadline on a kernel-built object: the robust lock
+/// (`reactive_core::robust`) registers an abortable MCS protocol and a
+/// crash-recoverable one on the same `SwitchKernel`; in abortable mode
+/// `acquire` takes an absolute-cycle deadline and returns `None` —
+/// a clean withdrawal, no queue slot leaked — when it fires.
+fn abort_with_deadline_demo() {
+    use reactive_sync::reactive::RobustLock;
+    use reactive_sync::sim::{Config, Machine};
+
+    let m = Machine::new(Config::default().nodes(2));
+    let lock = RobustLock::new(&m, 0, 2);
+    let outcome = m.alloc_on(0, 2); // [aborts, passages]
+    {
+        let (cpu, l) = (m.cpu(0), lock.clone());
+        m.spawn(0, async move {
+            let t = l.acquire(&cpu, 0, u64::MAX).await.expect("no deadline");
+            cpu.work(2_000).await; // a long critical section
+            l.release(&cpu, 0, t).await;
+        });
+    }
+    {
+        let (cpu, l) = (m.cpu(1), lock.clone());
+        m.spawn(1, async move {
+            // Let proc 0 win the lock first.
+            cpu.work(100).await;
+            // Impatient attempt: the deadline fires while proc 0 still
+            // holds the lock, so the acquire aborts instead of waiting.
+            if l.acquire(&cpu, 1, cpu.now() + 200).await.is_none() {
+                cpu.fetch_and_add(outcome, 1).await;
+            }
+            // Patient retry: no deadline, granted once proc 0 releases.
+            let t = l.acquire(&cpu, 1, u64::MAX).await.expect("no deadline");
+            cpu.fetch_and_add(outcome.plus(1), 1).await;
+            l.release(&cpu, 1, t).await;
+        });
+    }
+    m.run();
+    let (aborts, passages) = (m.read_word(outcome), m.read_word(outcome.plus(1)));
+    println!("robust lock: {aborts} abort under a 200-cycle deadline, then {passages} deadline-free passage");
+    assert_eq!((aborts, passages), (1, 1));
+}
+
 fn main() {
     let log = Arc::new(SwitchLog::new());
     let c = Arc::new(ReactiveCounter::new(log.clone()));
@@ -134,4 +179,5 @@ fn main() {
         );
     }
     assert_eq!(c.value(), 200_000);
+    abort_with_deadline_demo();
 }
