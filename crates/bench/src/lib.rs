@@ -10,4 +10,5 @@
 pub mod experiments;
 pub mod rmr;
 pub mod scenario;
+pub mod service;
 pub mod table;

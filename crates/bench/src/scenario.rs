@@ -27,6 +27,7 @@
 //! order) with the measured headline and claim verdicts per row.
 
 use alewife_sim::CostModel;
+use lock_service::ArenaMode;
 use sim_apps::alg::{FetchOpAlg, LockAlg, WaitAlg};
 use sim_apps::{aq, cgrad, cholesky, countnet, fib, fibheap, gamteb, jacobi, mp3d, mutex_app, tsp};
 use waiting_theory::expected::{worst_case_factor, Family};
@@ -435,7 +436,7 @@ impl Scenario {
     }
 }
 
-/// All 22 scenarios, in `EXPERIMENTS.md` table order (Chapter 3 rows,
+/// All 26 scenarios, in `EXPERIMENTS.md` table order (Chapter 3 rows,
 /// then Chapter 4, then the beyond-the-paper rows).
 /// `BENCH_experiments.json` rows follow this order.
 pub fn all() -> Vec<Scenario> {
@@ -462,6 +463,10 @@ pub fn all() -> Vec<Scenario> {
         rmr_recoverable(),
         rmr_abortable(),
         storm_robustness(),
+        service_tail_latency(),
+        service_bytes_per_object(),
+        service_stampede(),
+        service_tracks_best(),
     ]
 }
 
@@ -2127,6 +2132,298 @@ fn storm_robustness() -> Scenario {
     }
 }
 
+fn service_tail_latency() -> Scenario {
+    fn run(scale: Scale) -> Outcome {
+        let ad = crate::service::run_mixed(scale, true, ArenaMode::Adaptive);
+        let tts = crate::service::run_mixed(scale, true, ArenaMode::StaticTts);
+        let mut o = Outcome {
+            sweep: "",
+            headline: format!(
+                "hot mixed tenancy over {} objects: adaptive p50/p99/p999 = {}/{}/{} ns \
+                 ({} acquires, {} switches, abort rate {:.4}) vs static-TTS p999 {} ns \
+                 (abort rate {:.4}); limiter oracle clean",
+                ad.objects,
+                ad.p50_ns(),
+                ad.p99_ns(),
+                ad.p999_ns(),
+                ad.acquires,
+                ad.switches,
+                ad.abort_rate(),
+                tts.p999_ns(),
+                tts.abort_rate(),
+            ),
+            ..Outcome::default()
+        };
+        o.scalar("service/p50_ns", ad.p50_ns() as f64);
+        o.scalar("service/p99_ns", ad.p99_ns() as f64);
+        o.scalar("service/p999_ns", ad.p999_ns() as f64);
+        o.scalar("service/static_tts_p999_ns", tts.p999_ns() as f64);
+        o.scalar("service/abort_rate", ad.abort_rate());
+        o.scalar("service/static_tts_abort_rate", tts.abort_rate());
+        o.scalar("service/switches", ad.switches as f64);
+        o.scalar(
+            "service/tail_oracle_violations",
+            ad.stampedes().len() as f64,
+        );
+        o
+    }
+    Scenario {
+        name: "service_tail_latency",
+        figure: "— (beyond the paper; lock-service tail latency)",
+        paper_says: "a multi-tenant arena of adaptive objects keeps p999 acquire latency \
+                     under the tenant deadline and below static TTS, without shedding load: \
+                     reactive switching is what bounds the tail",
+        claims: &[
+            // The CI-gated tail bound: p999 stays under the hot
+            // tenant's 60 µs deadline with real headroom.
+            Claim::BoundedRatio {
+                num: "service/p999_ns",
+                den: None,
+                min: 100.0,
+                max: 40_000.0,
+            },
+            // Adaptive tail beats the static-TTS tail outright.
+            Claim::BoundedRatio {
+                num: "service/p999_ns",
+                den: Some("service/static_tts_p999_ns"),
+                min: 0.0,
+                max: 0.95,
+            },
+            // …and does so while serving everything (static TTS sheds
+            // >1% of requests at their deadline; adaptive sheds none).
+            Claim::BoundedRatio {
+                num: "service/abort_rate",
+                den: None,
+                min: 0.0,
+                max: 0.005,
+            },
+            Claim::BoundedRatio {
+                num: "service/static_tts_abort_rate",
+                den: None,
+                min: 0.01,
+                max: 1.0,
+            },
+            // The adaptation was real (objects actually switched) and
+            // stampede-free under the default limiter.
+            Claim::BoundedRatio {
+                num: "service/switches",
+                den: None,
+                min: 1.0,
+                max: f64::INFINITY,
+            },
+            Claim::BoundedRatio {
+                num: "service/tail_oracle_violations",
+                den: None,
+                min: 0.0,
+                max: 0.0,
+            },
+        ],
+        run,
+    }
+}
+
+fn service_bytes_per_object() -> Scenario {
+    fn run(scale: Scale) -> Outcome {
+        let sweep = crate::service::residency_sweep(scale);
+        let mut at_rest = Vec::new();
+        let mut total = Vec::new();
+        let mut hot_frac = Vec::new();
+        for &objects in &sweep {
+            let r = crate::service::run_residency(scale, objects);
+            let x = objects as f64;
+            at_rest.push((x, r.footprint.at_rest_bytes_per_object()));
+            total.push((x, r.footprint.total_bytes_per_object()));
+            hot_frac.push((x, r.footprint.hot_objects as f64 / objects as f64));
+        }
+        let mut o = Outcome {
+            sweep: "arena objects",
+            headline: format!(
+                "{} -> {} objects: at-rest {:.2} -> {:.2} bytes/object \
+                 ({:.2} -> {:.2} including hot side state); working-set fraction \
+                 {:.2e} -> {:.2e}",
+                sweep[0],
+                sweep[1],
+                at_rest[0].1,
+                at_rest[1].1,
+                total[0].1,
+                total[1].1,
+                hot_frac[0].1,
+                hot_frac[1].1,
+            ),
+            ..Outcome::default()
+        };
+        o.push("service/at_rest_bytes_per_object", at_rest);
+        o.push("service/total_bytes_per_object", total);
+        o.push("service/hot_fraction", hot_frac);
+        o
+    }
+    Scenario {
+        name: "service_bytes_per_object",
+        figure: "— (beyond the paper; lock-service memory bound)",
+        paper_says: "per-object state is memory-bounded: one packed word per object at \
+                     rest, journals and instrumentation lazily allocated for hot objects \
+                     only, so bytes/object stays flat (≈8, budget 64) as the arena grows \
+                     an order of magnitude",
+        claims: &[
+            // The 64-byte budget, with the slot word's ~8 bytes as the
+            // real floor — measured, not asserted.
+            Claim::BoundedRatio {
+                num: "service/at_rest_bytes_per_object",
+                den: None,
+                min: 8.0,
+                max: 64.0,
+            },
+            Claim::BoundedRatio {
+                num: "service/total_bytes_per_object",
+                den: None,
+                min: 8.0,
+                max: 64.0,
+            },
+            // Flat scaling: growing the arena 10x must not move
+            // bytes/object (fixed costs amortise; nothing per-object
+            // grows).
+            Claim::FlatScaling {
+                series: "service/at_rest_bytes_per_object",
+                from_x: 0.0,
+                factor: 1.05,
+            },
+            // Side state tracks the working set, not the arena.
+            Claim::BoundedRatio {
+                num: "service/hot_fraction",
+                den: None,
+                min: 0.0,
+                max: 1e-3,
+            },
+        ],
+        run,
+    }
+}
+
+fn service_stampede() -> Scenario {
+    fn run(scale: Scale) -> Outcome {
+        let limited = crate::service::run_burst(scale, true);
+        let control = crate::service::run_burst(scale, false);
+        let cfg = crate::service::BURST_LIMITER;
+        let limited_viol = limited.stampedes().len();
+        let control_viol = lock_service::check_no_stampede(&control.switch_log, cfg).len();
+        let mut o = Outcome {
+            sweep: "",
+            headline: format!(
+                "spiking load over {} objects: limited run committed {} switches \
+                 ({} denied, oracle clean); unlimited control stampeded {} switches \
+                 with {} window violations of the same bound",
+                limited.objects,
+                limited.switches,
+                limited.switch_denials,
+                control.switches,
+                control_viol,
+            ),
+            ..Outcome::default()
+        };
+        o.scalar("service/stampede_violations", limited_viol as f64);
+        o.scalar("service/control_violations", control_viol as f64);
+        o.scalar("service/limited_switches", limited.switches as f64);
+        o.scalar("service/switch_denials", limited.switch_denials as f64);
+        o
+    }
+    Scenario {
+        name: "service_stampede",
+        figure: "— (beyond the paper; switch-rate limiting under bursts)",
+        paper_says: "a per-shard token bucket keeps synchronized switch demand from \
+                     stampeding: every window obeys burst + W/period + 1, checked by an \
+                     offline oracle that provably rejects the unthrottled control run",
+        claims: &[
+            // The limited run satisfies the no-stampede invariant…
+            Claim::BoundedRatio {
+                num: "service/stampede_violations",
+                den: None,
+                min: 0.0,
+                max: 0.0,
+            },
+            // …while the unthrottled control violates the same bound,
+            // so the oracle demonstrably has teeth on real logs.
+            Claim::BoundedRatio {
+                num: "service/control_violations",
+                den: None,
+                min: 1.0,
+                max: f64::INFINITY,
+            },
+            // The limiter throttled without freezing: switches still
+            // happened, and denials prove the spike actually pressed
+            // against the cap.
+            Claim::BoundedRatio {
+                num: "service/limited_switches",
+                den: None,
+                min: 1.0,
+                max: f64::INFINITY,
+            },
+            Claim::BoundedRatio {
+                num: "service/switch_denials",
+                den: None,
+                min: 1.0,
+                max: f64::INFINITY,
+            },
+        ],
+        run,
+    }
+}
+
+fn service_tracks_best() -> Scenario {
+    fn run(scale: Scale) -> Outcome {
+        let deadline = crate::service::MIXED_DEADLINE_NS;
+        type ModeSeries = (&'static str, ArenaMode, Vec<(f64, f64)>);
+        let mut series: Vec<ModeSeries> = vec![
+            ("service/adaptive", ArenaMode::Adaptive, Vec::new()),
+            ("service/static_tts", ArenaMode::StaticTts, Vec::new()),
+            ("service/static_queue", ArenaMode::StaticQueue, Vec::new()),
+        ];
+        for (x, hot) in [(0.0, false), (1.0, true)] {
+            for (_, mode, points) in series.iter_mut() {
+                let r = crate::service::run_mixed(scale, hot, *mode);
+                points.push((x, crate::service::adjusted_mean_ns(&r, deadline)));
+            }
+        }
+        let fmt = |p: &Vec<(f64, f64)>| format!("{:.0}/{:.0}", p[0].1, p[1].1);
+        let mut o = Outcome {
+            sweep: "contention regime (0 = calm, 1 = hot)",
+            headline: format!(
+                "deadline-adjusted mean acquire ns (calm/hot): adaptive {}, \
+                 static TTS {}, static queue {} — the arena tracks the best static \
+                 protocol in both regimes",
+                fmt(&series[0].2),
+                fmt(&series[1].2),
+                fmt(&series[2].2),
+            ),
+            ..Outcome::default()
+        };
+        for (label, _, points) in series {
+            o.push(label, points);
+        }
+        o
+    }
+    Scenario {
+        name: "service_tracks_best",
+        figure: "— (beyond the paper; Fig. 3.15's shape at service scale)",
+        paper_says: "across contention regimes the adaptive arena stays within 1.5x of \
+                     the best static protocol choice, while each static choice loses a \
+                     regime (TTS cheap when calm, queue the only survivor when hot)",
+        claims: &[
+            Claim::TracksBest {
+                series: "service/adaptive",
+                over: &["service/static_tts", "service/static_queue"],
+                slack: 1.5,
+            },
+            // The regimes genuinely disagree about the best static
+            // protocol — otherwise tracking the best would be vacuous.
+            Claim::Crossover {
+                cheap: "service/static_tts",
+                scalable: "service/static_queue",
+            },
+        ],
+        run,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2134,14 +2431,14 @@ mod tests {
     #[test]
     fn all_scenarios_have_unique_names_and_claims() {
         let s = all();
-        assert_eq!(s.len(), 22, "EXPERIMENTS.md has 22 figure/table rows");
+        assert_eq!(s.len(), 26, "EXPERIMENTS.md has 26 figure/table rows");
         for sc in &s {
             assert!(!sc.claims.is_empty(), "{} has no claims", sc.name);
         }
         let mut names: Vec<&str> = s.iter().map(|sc| sc.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 22, "duplicate scenario names");
+        assert_eq!(names.len(), 26, "duplicate scenario names");
     }
 
     #[test]

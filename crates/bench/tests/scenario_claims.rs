@@ -61,6 +61,10 @@ claim_test!(
     rmr_recoverable,
     rmr_abortable,
     storm_robustness,
+    service_tail_latency,
+    service_bytes_per_object,
+    service_stampede,
+    service_tracks_best,
 );
 
 /// Every scenario in the registry is covered by a test above (guards
@@ -90,6 +94,10 @@ fn registry_matches_test_list() {
         "rmr_recoverable",
         "rmr_abortable",
         "storm_robustness",
+        "service_tail_latency",
+        "service_bytes_per_object",
+        "service_stampede",
+        "service_tracks_best",
     ];
     let names: Vec<&str> = repro_bench::scenario::all()
         .iter()

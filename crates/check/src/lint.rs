@@ -22,6 +22,10 @@
 //!   `rmr_*`/`storm_*` key in `EXPERIMENTS.md` must have a
 //!   `BENCH_rmr.json` row (so the artifact the CI uploads cannot
 //!   silently drop a gated scenario).
+//! * `service-keys` — the lock-service scenario family, same contract
+//!   against `BENCH_service.json`: every row name must be an
+//!   `EXPERIMENTS.md` key, and every `service_*` key must have a
+//!   `BENCH_service.json` row.
 //!
 //! The allowlist is `crates/check/lint_allow.txt`: `<rule> <key>` per
 //! line, `#` comments. Keys are workspace-relative paths for the file
@@ -138,6 +142,7 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
     }
     experiments_keys_rule(root, &allow, &mut findings)?;
     rmr_keys_rule(root, &allow, &mut findings)?;
+    service_keys_rule(root, &allow, &mut findings)?;
     Ok(findings)
 }
 
@@ -403,6 +408,46 @@ fn rmr_keys_rule(root: &Path, allow: &Allowlist, findings: &mut Vec<Finding>) ->
     Ok(())
 }
 
+/// Key prefixes that mark an `EXPERIMENTS.md` row as belonging to the
+/// lock-service scenario family (`BENCH_service.json`'s scope).
+const SERVICE_FAMILY_PREFIXES: [&str; 1] = ["service_"];
+
+fn service_keys_rule(
+    root: &Path,
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let md = fs::read_to_string(root.join("EXPERIMENTS.md"))?;
+    let json = fs::read_to_string(root.join("BENCH_service.json"))?;
+    let md_keys = experiment_md_keys(&md);
+    let json_keys = experiment_json_keys(&json);
+    for key in &json_keys {
+        if !md_keys.contains(key) {
+            findings.push(Finding {
+                rule: "service-keys",
+                file: "EXPERIMENTS.md".to_string(),
+                line: 0,
+                msg: format!("BENCH_service.json row `{key}` has no EXPERIMENTS.md table row"),
+            });
+        }
+    }
+    for key in &md_keys {
+        let in_family = SERVICE_FAMILY_PREFIXES.iter().any(|p| key.starts_with(p));
+        if in_family && !json_keys.contains(key) && !allow.allows("service-keys", key) {
+            findings.push(Finding {
+                rule: "service-keys",
+                file: "BENCH_service.json".to_string(),
+                line: 0,
+                msg: format!(
+                    "EXPERIMENTS.md lock-service scenario `{key}` has no BENCH_service.json \
+                     row (add it to the service bench's ROWS, or allowlist it)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +535,18 @@ mod tests {
         assert!(family("storm_robustness"));
         assert!(!family("fig_3_15_baseline"));
         assert!(!family("switch_cost"));
+        assert!(!family("service_tail_latency"));
+    }
+
+    #[test]
+    fn service_family_prefixes_scope_the_rule() {
+        // Only `service_*` EXPERIMENTS.md keys are required to have a
+        // BENCH_service.json row; everything else is out of scope.
+        let family = |k: &str| SERVICE_FAMILY_PREFIXES.iter().any(|p| k.starts_with(p));
+        assert!(family("service_tail_latency"));
+        assert!(family("service_stampede"));
+        assert!(!family("rmr_recoverable"));
+        assert!(!family("fig_3_15_baseline"));
     }
 
     #[test]

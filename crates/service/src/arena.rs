@@ -1,0 +1,169 @@
+//! The sharded object arena: one packed word per object, at rest.
+//!
+//! The arena is the memory-bound half of the tentpole contract: hosting
+//! 10⁶ adaptive objects means the *per-object* cost must be a handful
+//! of bytes, not a kernel-backed lock each. The arena therefore stores
+//! exactly one `AtomicU64` slot word per object (layout in
+//! [`crate::slot`]); everything else — switch journals, hot-object
+//! statistics, inflated native locks, limiter state — is *per shard* or
+//! *per hot object*, allocated lazily, and accounted for by
+//! [`Footprint`] so the bytes/object claim is measured rather than
+//! asserted.
+//!
+//! Sharding is by low bits of the object id (`object % shards`), which
+//! spreads each tenant's contiguous range across all shards — a hot
+//! tenant heats every limiter a little instead of one limiter a lot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The slot array plus shard router.
+pub struct ObjectArena {
+    slots: Box<[AtomicU64]>,
+    shards: u32,
+}
+
+impl ObjectArena {
+    /// Allocate `objects` slots routed across `shards` shards, all in
+    /// TTS mode with clear streaks (slot word 0).
+    ///
+    /// # Panics
+    /// If `objects` or `shards` is 0.
+    pub fn new(objects: u64, shards: u32) -> Self {
+        assert!(objects > 0, "arena must hold at least one object");
+        assert!(shards > 0, "arena must have at least one shard");
+        let slots = (0..objects).map(|_| AtomicU64::new(0)).collect();
+        ObjectArena { slots, shards }
+    }
+
+    /// Number of objects hosted.
+    pub fn objects(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Shard owning `object`.
+    pub fn shard_of(&self, object: u64) -> u32 {
+        (object % u64::from(self.shards)) as u32
+    }
+
+    /// Read a slot word. Relaxed suffices for the deterministic
+    /// executor (single-threaded) and for native heuristic reads whose
+    /// decisions are re-validated under the fast-path bit.
+    pub fn load(&self, object: u64) -> u64 {
+        // order: Relaxed — heuristic read; any mutation that matters is
+        // re-checked by a CAS on the same word.
+        self.slots[object as usize].load(Ordering::Relaxed)
+    }
+
+    /// Unconditionally store a slot word (deterministic executor only,
+    /// where the simulation loop is the sole mutator).
+    pub fn store(&self, object: u64, word: u64) {
+        // order: Relaxed — single-mutator virtual-time executor.
+        self.slots[object as usize].store(word, Ordering::Relaxed)
+    }
+
+    /// Compare-and-swap a slot word (native executor). Success is
+    /// AcqRel: acquiring the HELD bit must see the critical section it
+    /// protects, releasing must publish it.
+    pub fn cas(&self, object: u64, old: u64, new: u64) -> Result<u64, u64> {
+        // order: AcqRel/Acquire — slot word doubles as a lock word in
+        // the native fast path.
+        self.slots[object as usize].compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Bytes occupied by at-rest per-object state: the slot array only.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<AtomicU64>()) as u64
+    }
+}
+
+/// Measured memory footprint of a service instance, split so the
+/// bytes/object claim can distinguish the at-rest cost (which must stay
+/// flat as the arena grows) from the hot-object cost (which tracks the
+/// *working set*, not the arena size).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Footprint {
+    /// Objects hosted.
+    pub objects: u64,
+    /// Slot-array bytes (8 × objects).
+    pub slot_bytes: u64,
+    /// Per-shard fixed state: limiters, switch logs, router tables.
+    pub shard_bytes: u64,
+    /// Lazily allocated hot-object side state (journals, stats,
+    /// inflated locks).
+    pub hot_bytes: u64,
+    /// Hot objects currently tracked.
+    pub hot_objects: u64,
+}
+
+impl Footprint {
+    /// At-rest bytes per object: slot array plus shard overhead,
+    /// excluding hot side state (which scales with the working set).
+    pub fn at_rest_bytes_per_object(&self) -> f64 {
+        if self.objects == 0 {
+            return 0.0;
+        }
+        (self.slot_bytes + self.shard_bytes) as f64 / self.objects as f64
+    }
+
+    /// Total bytes per object including hot side state.
+    pub fn total_bytes_per_object(&self) -> f64 {
+        if self.objects == 0 {
+            return 0.0;
+        }
+        (self.slot_bytes + self.shard_bytes + self.hot_bytes) as f64 / self.objects as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_array_is_eight_bytes_per_object() {
+        let a = ObjectArena::new(1_000, 8);
+        assert_eq!(a.resident_bytes(), 8_000);
+        assert_eq!(a.objects(), 1_000);
+    }
+
+    #[test]
+    fn router_covers_all_shards() {
+        let a = ObjectArena::new(100, 7);
+        let mut seen = [false; 7];
+        for obj in 0..100 {
+            seen[a.shard_of(obj) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cas_and_load_roundtrip() {
+        let a = ObjectArena::new(4, 2);
+        assert_eq!(a.load(3), 0);
+        assert!(a.cas(3, 0, 42).is_ok());
+        assert_eq!(a.load(3), 42);
+        assert_eq!(a.cas(3, 0, 7), Err(42));
+    }
+
+    #[test]
+    fn at_rest_footprint_is_flat() {
+        let small = Footprint {
+            objects: 1_000,
+            slot_bytes: 8_000,
+            shard_bytes: 4_096,
+            ..Footprint::default()
+        };
+        let big = Footprint {
+            objects: 1_000_000,
+            slot_bytes: 8_000_000,
+            shard_bytes: 4_096,
+            ..Footprint::default()
+        };
+        assert!(big.at_rest_bytes_per_object() < small.at_rest_bytes_per_object());
+        assert!(big.at_rest_bytes_per_object() < 9.0);
+    }
+}

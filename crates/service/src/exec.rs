@@ -1,0 +1,585 @@
+//! The deterministic virtual-time service executor.
+//!
+//! This is the executor behind every CI-gated claim: a single-threaded
+//! discrete-event simulation over the arena, so a `ServiceConfig` plus
+//! a seed reproduces the exact event sequence — and therefore the exact
+//! p999, switch count, and footprint — on every run. (The threaded
+//! executor over real [`reactive_native`] locks lives in
+//! [`crate::native`]; it shares the arena and limiter but measures wall
+//! time, so it demos rather than gates.)
+//!
+//! The memory discipline is the point of the design: an object at rest
+//! is *only* its slot word. A side-table entry (holder + waiter queue)
+//! exists only while the object is in flight, and is removed the moment
+//! the last waiter drains — so 10⁶ objects with a 10³-object working
+//! set cost 8 MB of slots plus kilobytes of side state, not 10⁶
+//! lock structures.
+//!
+//! Protocol cost model (virtual ns, loosely calibrated to the paper's
+//! Alewife measurements scaled to a modern cache-coherent part):
+//!
+//! * test-and-set grant, uncontended: 15 ns — the cheap case TTS wins.
+//! * test-and-set handoff under `w` waiters: 90 ns × `w` — every waiter
+//!   re-fetches the invalidated line, so handoff degrades linearly
+//!   (Fig. 4.6's melting slope).
+//! * queue grant, empty: 28 ns — the queue's fixed overhead.
+//! * queue handoff: 40 ns, flat — the whole reason to switch.
+//! * protocol switch: 400 ns — drain + republish.
+//!
+//! TTS handoff picks the *newest* waiter (last-in wins the re-fetch
+//! race more often than not on real hardware); the queue is FIFO. That
+//! unfairness is what gives static TTS its long p999 tail under
+//! contention, and the adaptive arena its headline.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use alewife_sim::WaitHistogram;
+
+use crate::arena::{Footprint, ObjectArena};
+use crate::limiter::{LimiterConfig, TokenBucket};
+use crate::oracle::{self, Stampede, SwitchRecord};
+use crate::slot;
+use crate::workload::{think_time, Arrivals, Load, TenantConfig};
+
+/// Protocol-selection regime for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArenaMode {
+    /// Reactive: observe contention streaks per object and switch
+    /// protocols through the per-shard limiter.
+    Adaptive,
+    /// Every object pinned to the TTS-like protocol.
+    StaticTts,
+    /// Every object pinned to the queue protocol.
+    StaticQueue,
+}
+
+/// Full description of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Objects in the arena.
+    pub objects: u64,
+    /// Shards (each with its own limiter and switch log).
+    pub shards: u32,
+    /// Master seed; every tenant generator derives its own stream.
+    pub seed: u64,
+    /// Virtual-time horizon: no arrivals are generated at or after
+    /// this time (in-flight requests drain past it).
+    pub horizon_ns: u64,
+    /// Per-shard switch limiter; `None` disables throttling (the
+    /// stampede scenario's control arm).
+    pub limiter: Option<LimiterConfig>,
+    /// Protocol-selection regime.
+    pub mode: ArenaMode,
+    /// The tenants driving load.
+    pub tenants: Vec<TenantConfig>,
+    /// Wait-histogram reservoir capacity (samples kept for
+    /// percentiles); scaled down in `--quick` runs.
+    pub reservoir: usize,
+}
+
+impl ServiceConfig {
+    /// A config with the standard knob defaults; callers fill in
+    /// tenants.
+    pub fn new(objects: u64, shards: u32, seed: u64) -> Self {
+        ServiceConfig {
+            objects,
+            shards,
+            seed,
+            horizon_ns: 2_000_000,
+            limiter: Some(LimiterConfig::default()),
+            mode: ArenaMode::Adaptive,
+            tenants: Vec::new(),
+            reservoir: 65_536,
+        }
+    }
+}
+
+/// Contended-grant streak at which an adaptive TTS object asks to
+/// switch to the queue protocol.
+const SWITCH_UP_STREAK: u8 = 3;
+/// Calm-grant streak at which an adaptive queue object asks to switch
+/// back to TTS. Asymmetric (higher) on purpose: switching down is
+/// cheap to regret, so demand longer evidence — the hysteresis lesson
+/// of the paper's §5 threshold tuning.
+const SWITCH_DOWN_STREAK: u8 = 12;
+
+const COST_TTS_UNCONTENDED: u64 = 15;
+const COST_TTS_HANDOFF_PER_WAITER: u64 = 90;
+const COST_QUEUE_EMPTY: u64 = 28;
+const COST_QUEUE_HANDOFF: u64 = 40;
+const COST_SWITCH: u64 = 400;
+
+/// Where a request came from, so completions can close the loop.
+#[derive(Clone, Copy, Debug)]
+enum Source {
+    Open,
+    Closed { tenant: u32, client: u32 },
+}
+
+/// A request waiting for an object.
+#[derive(Clone, Copy, Debug)]
+struct Waiter {
+    arrived_ns: u64,
+    /// Absolute abort deadline (u64::MAX when none).
+    deadline_ns: u64,
+    hold_ns: u64,
+    source: Source,
+}
+
+/// In-flight side state for one object; exists only while the object
+/// is held or has waiters.
+#[derive(Debug, Default)]
+struct Active {
+    waiters: VecDeque<Waiter>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// An open-loop tenant's next generated arrival.
+    OpenArrival { tenant: u32 },
+    /// A closed-loop client issues its next request.
+    ClosedArrival { tenant: u32, client: u32 },
+    /// The current holder of `object` releases it.
+    Release { object: u64 },
+}
+
+/// Heap entry ordered by (time, seq) so ties break deterministically
+/// in insertion order.
+#[derive(Debug)]
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Everything a run measured, for the bench harness and scenarios.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Objects hosted.
+    pub objects: u64,
+    /// Grants completed.
+    pub acquires: u64,
+    /// Requests aborted at their deadline.
+    pub aborts: u64,
+    /// Committed protocol switches.
+    pub switches: u64,
+    /// Switch requests denied by the limiter.
+    pub switch_denials: u64,
+    /// Virtual time of the last processed event.
+    pub end_ns: u64,
+    /// Acquire-latency histogram (arrival → grant, ns).
+    pub wait: WaitHistogram,
+    /// Measured memory footprint at the run's high-water mark.
+    pub footprint: Footprint,
+    /// Full per-shard switch log for the oracle.
+    pub switch_log: Vec<SwitchRecord>,
+    /// Limiter in force, if any.
+    pub limiter: Option<LimiterConfig>,
+    /// High-water mark of concurrently in-flight objects.
+    pub max_active: u64,
+}
+
+impl ServiceReport {
+    /// Median acquire latency (ns).
+    pub fn p50_ns(&self) -> u64 {
+        self.wait.p50()
+    }
+
+    /// 99th-percentile acquire latency (ns).
+    pub fn p99_ns(&self) -> u64 {
+        self.wait.p99()
+    }
+
+    /// 99.9th-percentile acquire latency (ns).
+    pub fn p999_ns(&self) -> u64 {
+        self.wait.p999()
+    }
+
+    /// Mean acquire latency (ns).
+    pub fn mean_wait_ns(&self) -> f64 {
+        self.wait.mean()
+    }
+
+    /// Committed switches per second of virtual time.
+    pub fn switches_per_sec(&self) -> f64 {
+        if self.end_ns == 0 {
+            return 0.0;
+        }
+        self.switches as f64 * 1e9 / self.end_ns as f64
+    }
+
+    /// Fraction of requests that aborted at their deadline.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.acquires + self.aborts;
+        if total == 0 {
+            return 0.0;
+        }
+        self.aborts as f64 / total as f64
+    }
+
+    /// Run the no-stampede oracle over this run's switch log (empty =
+    /// clean; meaningful only when a limiter was configured).
+    pub fn stampedes(&self) -> Vec<Stampede> {
+        match self.limiter {
+            Some(cfg) => oracle::check_no_stampede(&self.switch_log, cfg),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Per-shard mutable state for the simulation.
+struct ShardState {
+    limiter: Option<TokenBucket>,
+}
+
+/// The discrete-event executor. Build with a [`ServiceConfig`], call
+/// [`run`](ServiceSim::run), read the [`ServiceReport`].
+pub struct ServiceSim {
+    cfg: ServiceConfig,
+    arena: ObjectArena,
+    shards: Vec<ShardState>,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: u64,
+    /// Side table: only in-flight objects appear here.
+    active: BTreeMap<u64, Active>,
+    /// Per-tenant open-loop arrival generators (index = tenant id).
+    arrivals: Vec<Option<Arrivals>>,
+    /// Per-tenant object-pick and think-time RNG streams.
+    picks: Vec<crate::workload::Zipf>,
+    think_rng: Vec<u64>,
+    wait: WaitHistogram,
+    acquires: u64,
+    aborts: u64,
+    switches: u64,
+    switch_denials: u64,
+    switch_log: Vec<SwitchRecord>,
+    max_active: u64,
+    max_waiters: u64,
+}
+
+impl ServiceSim {
+    /// Build the arena and seed every tenant's generator streams.
+    ///
+    /// # Panics
+    /// If the config has no tenants, or a tenant's object range falls
+    /// outside the arena.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        assert!(
+            !cfg.tenants.is_empty(),
+            "service run needs at least one tenant"
+        );
+        for t in &cfg.tenants {
+            assert!(
+                t.first_object + t.objects <= cfg.objects,
+                "tenant range [{}, {}) exceeds arena of {}",
+                t.first_object,
+                t.first_object + t.objects,
+                cfg.objects
+            );
+        }
+        let arena = ObjectArena::new(cfg.objects, cfg.shards);
+        if cfg.mode == ArenaMode::StaticQueue {
+            for obj in 0..cfg.objects {
+                arena.store(obj, slot::with_mode(0, slot::MODE_QUEUE));
+            }
+        }
+        let shards = (0..cfg.shards)
+            .map(|_| ShardState {
+                limiter: cfg.limiter.map(TokenBucket::new),
+            })
+            .collect();
+        let mut arrivals = Vec::new();
+        let mut picks = Vec::new();
+        let mut think_rng = Vec::new();
+        for (i, t) in cfg.tenants.iter().enumerate() {
+            // Distinct derived streams per tenant and per purpose, so
+            // adding a tenant never perturbs another's draws.
+            let base = cfg.seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+            arrivals.push(match t.load {
+                Load::Open { curve } => Some(Arrivals::new(curve, base ^ 1)),
+                Load::Closed { .. } => None,
+            });
+            picks.push(crate::workload::Zipf::new(t.objects, t.theta, base ^ 2));
+            think_rng.push(base ^ 3);
+        }
+        let reservoir = cfg.reservoir.max(1);
+        let seed = cfg.seed;
+        ServiceSim {
+            arena,
+            shards,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            active: BTreeMap::new(),
+            arrivals,
+            picks,
+            think_rng,
+            wait: WaitHistogram::with_sampling(reservoir, seed ^ 0x5EED),
+            acquires: 0,
+            aborts: 0,
+            switches: 0,
+            switch_denials: 0,
+            switch_log: Vec::new(),
+            max_active: 0,
+            max_waiters: 0,
+            cfg,
+        }
+    }
+
+    fn push(&mut self, time: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Schedule a tenant's next open-loop arrival, if one lands before
+    /// the horizon.
+    fn schedule_open(&mut self, tenant: u32) {
+        if let Some(gen) = self.arrivals[tenant as usize].as_mut() {
+            if let Some(t) = gen.next_arrival() {
+                if t < self.cfg.horizon_ns {
+                    self.push(t, Ev::OpenArrival { tenant });
+                }
+            }
+        }
+    }
+
+    /// Schedule a closed-loop client's next request after think time.
+    fn schedule_closed(&mut self, tenant: u32, client: u32, after_ns: u64) {
+        let Load::Closed { think_ns, .. } = self.cfg.tenants[tenant as usize].load else {
+            return;
+        };
+        let think = think_time(think_ns, &mut self.think_rng[tenant as usize]);
+        let t = after_ns.saturating_add(think);
+        if t < self.cfg.horizon_ns {
+            self.push(t, Ev::ClosedArrival { tenant, client });
+        }
+    }
+
+    /// One tenant request hitting the arena at `self.now`.
+    fn handle_arrival(&mut self, tenant: u32, source: Source) {
+        let t = &self.cfg.tenants[tenant as usize];
+        let object = t.first_object + self.picks[tenant as usize].sample();
+        let deadline = if t.deadline_ns == 0 {
+            u64::MAX
+        } else {
+            self.now.saturating_add(t.deadline_ns)
+        };
+        let w = Waiter {
+            arrived_ns: self.now,
+            deadline_ns: deadline,
+            hold_ns: t.hold_ns,
+            source,
+        };
+        let word = self.arena.load(object);
+        if word & slot::HELD == 0 && !self.active.contains_key(&object) {
+            // Uncontended grant: pay the mode's empty-acquire cost.
+            let cost = match slot::mode(word) {
+                slot::MODE_QUEUE => COST_QUEUE_EMPTY,
+                _ => COST_TTS_UNCONTENDED,
+            };
+            self.grant(object, w, cost, 0);
+        } else {
+            let entry = self.active.entry(object).or_default();
+            entry.waiters.push_back(w);
+            self.max_waiters = self.max_waiters.max(entry.waiters.len() as u64);
+        }
+        self.max_active = self.max_active.max(self.active.len() as u64);
+    }
+
+    /// Commit a grant: adaptive observation (maybe a switch), latency
+    /// accounting, release scheduling, HELD bookkeeping.
+    fn grant(&mut self, object: u64, w: Waiter, base_cost: u64, waiters_seen: u64) {
+        let mut cost = base_cost;
+        if self.cfg.mode == ArenaMode::Adaptive {
+            cost += self.observe_and_maybe_switch(object, waiters_seen > 0);
+        }
+        let granted_at = self.now + cost;
+        self.wait.record(granted_at - w.arrived_ns);
+        self.acquires += 1;
+        let word = self.arena.load(object);
+        self.arena.store(object, word | slot::HELD);
+        self.active.entry(object).or_default();
+        self.push(granted_at + w.hold_ns, Ev::Release { object });
+        if let Source::Closed { tenant, client } = w.source {
+            self.schedule_closed(tenant, client, granted_at + w.hold_ns);
+        }
+    }
+
+    /// Update the slot streaks for one grant; if a switch threshold is
+    /// crossed, ask the shard limiter and either commit (returning the
+    /// switch cost) or clear streaks and back off.
+    fn observe_and_maybe_switch(&mut self, object: u64, contended: bool) -> u64 {
+        let word = slot::observe(self.arena.load(object), contended);
+        self.arena.store(object, word);
+        let cur = slot::mode(word);
+        let want = if cur == slot::MODE_TTS && slot::contended_streak(word) >= SWITCH_UP_STREAK {
+            Some(slot::MODE_QUEUE)
+        } else if cur == slot::MODE_QUEUE && slot::calm_streak(word) >= SWITCH_DOWN_STREAK {
+            Some(slot::MODE_TTS)
+        } else {
+            None
+        };
+        let Some(to) = want else { return 0 };
+        let shard = self.arena.shard_of(object);
+        let allowed = match self.shards[shard as usize].limiter.as_mut() {
+            Some(bucket) => bucket.try_acquire(self.now),
+            None => true,
+        };
+        if allowed {
+            self.arena.store(object, slot::with_mode(word, to));
+            self.switches += 1;
+            self.switch_log.push(SwitchRecord {
+                time_ns: self.now,
+                shard,
+                object,
+                from: cur,
+                to,
+            });
+            COST_SWITCH
+        } else {
+            // Denied: clear the evidence so the object re-earns its
+            // switch instead of stampeding on the next grant.
+            self.arena.store(object, slot::clear_streaks(word));
+            self.switch_denials += 1;
+            0
+        }
+    }
+
+    /// The holder of `object` leaves; hand off to a waiter or go idle.
+    fn handle_release(&mut self, object: u64) {
+        let word = self.arena.load(object);
+        self.arena.store(object, word & !slot::HELD);
+        // Abort every waiter whose deadline already passed (the PR 7
+        // abortable-acquire path: they have left the queue by now).
+        let now = self.now;
+        let (waiters, next, aborted) = {
+            let Some(entry) = self.active.get_mut(&object) else {
+                return;
+            };
+            let mut aborted = Vec::new();
+            entry.waiters.retain(|w| {
+                if w.deadline_ns <= now {
+                    aborted.push(*w);
+                    false
+                } else {
+                    true
+                }
+            });
+            let waiters = entry.waiters.len() as u64;
+            let next = match slot::mode(word) {
+                // Queue: FIFO handoff, flat cost.
+                slot::MODE_QUEUE => entry.waiters.pop_front(),
+                // TTS: the newest waiter usually wins the re-fetch
+                // race; cost scales with the herd re-fetching the line.
+                _ => entry.waiters.pop_back(),
+            };
+            (waiters, next, aborted)
+        };
+        self.aborts += aborted.len() as u64;
+        for w in aborted {
+            if let Source::Closed { tenant, client } = w.source {
+                self.schedule_closed(tenant, client, now);
+            }
+        }
+        match next {
+            Some(w) => {
+                let cost = match slot::mode(word) {
+                    slot::MODE_QUEUE => COST_QUEUE_HANDOFF,
+                    _ => COST_TTS_HANDOFF_PER_WAITER.saturating_mul(waiters),
+                };
+                self.grant(object, w, cost, waiters - 1);
+            }
+            None => {
+                // Last one out: drop the side entry so the object is
+                // back to slot-word-only residency.
+                self.active.remove(&object);
+            }
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> ServiceReport {
+        for tenant in 0..self.cfg.tenants.len() as u32 {
+            match self.cfg.tenants[tenant as usize].load {
+                Load::Open { .. } => self.schedule_open(tenant),
+                Load::Closed { clients, .. } => {
+                    for client in 0..clients {
+                        self.schedule_closed(tenant, client, 0);
+                    }
+                }
+            }
+        }
+        while let Some(Reverse(s)) = self.heap.pop() {
+            self.now = s.time;
+            match s.ev {
+                Ev::OpenArrival { tenant } => {
+                    self.schedule_open(tenant);
+                    self.handle_arrival(tenant, Source::Open);
+                }
+                Ev::ClosedArrival { tenant, client } => {
+                    self.handle_arrival(tenant, Source::Closed { tenant, client });
+                }
+                Ev::Release { object } => self.handle_release(object),
+            }
+        }
+        let footprint = self.measure_footprint();
+        ServiceReport {
+            objects: self.cfg.objects,
+            acquires: self.acquires,
+            aborts: self.aborts,
+            switches: self.switches,
+            switch_denials: self.switch_denials,
+            end_ns: self.now,
+            wait: self.wait,
+            footprint,
+            switch_log: self.switch_log,
+            limiter: self.cfg.limiter,
+            max_active: self.max_active,
+        }
+    }
+
+    /// Account the run's memory: the slot array, fixed per-shard state,
+    /// and the high-water lazily allocated side state.
+    fn measure_footprint(&self) -> Footprint {
+        let shard_fixed = std::mem::size_of::<ShardState>() as u64;
+        let active_entry = (std::mem::size_of::<u64>()
+            + std::mem::size_of::<Active>()
+            + 4 * std::mem::size_of::<Waiter>()) as u64;
+        Footprint {
+            objects: self.cfg.objects,
+            slot_bytes: self.arena.resident_bytes(),
+            shard_bytes: u64::from(self.cfg.shards) * shard_fixed,
+            hot_bytes: self.max_active * active_entry
+                + self.switch_log.len() as u64 * std::mem::size_of::<SwitchRecord>() as u64,
+            hot_objects: self.max_active,
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_service(cfg: ServiceConfig) -> ServiceReport {
+    ServiceSim::new(cfg).run()
+}

@@ -1,0 +1,190 @@
+//! Per-shard switch-rate limiter.
+//!
+//! A protocol switch is the service's most expensive single operation:
+//! it drains the old protocol, rewrites the slot word, and (in the
+//! native world) republishes the inflated lock. Under a load spike
+//! every hot object's streak crosses the switch threshold within the
+//! same few microseconds, and an unthrottled arena would stampede —
+//! thousands of simultaneous switches, each adding latency exactly when
+//! the service is least able to afford it. (Lim & Agarwal's §6 hybrid
+//! waiting makes the same move at the level of a single lock: damp the
+//! reaction, don't chase every transient.)
+//!
+//! The limiter is a deterministic integer token bucket per shard:
+//! capacity `burst`, one token refilled every `period_ns` of virtual
+//! (or native monotonic) time. A switch proceeds only if a token is
+//! available; a denied switch clears the object's streaks
+//! ([`crate::slot::clear_streaks`]), so the object backs off and
+//! re-accumulates evidence instead of retrying on the very next grant —
+//! that is what spreads the herd.
+//!
+//! The oracle-checkable contract (see [`crate::oracle`]): in *any* time
+//! window of length `W`, grants ≤ `burst + W / period_ns + 1`. The `+1`
+//! covers the token that can be refilled at the window's open edge.
+
+/// Token-bucket parameters for one shard.
+#[derive(Clone, Copy, Debug)]
+pub struct LimiterConfig {
+    /// Bucket capacity: switches that may pass back-to-back after a
+    /// long calm stretch.
+    pub burst: u32,
+    /// Virtual ns per refilled token: the steady-state switch budget is
+    /// one per `period_ns`.
+    pub period_ns: u64,
+}
+
+impl Default for LimiterConfig {
+    fn default() -> Self {
+        LimiterConfig {
+            burst: 8,
+            period_ns: 50_000,
+        }
+    }
+}
+
+/// Deterministic integer token bucket. All arithmetic is u64/u128 ns —
+/// no floats — so the native and virtual-time executors, and the
+/// oracle replaying the grant log, agree exactly.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    cfg: LimiterConfig,
+    /// Tokens currently available.
+    tokens: u32,
+    /// Time of the last refill accounting, in ns.
+    last_refill_ns: u64,
+    /// Grants issued (for reporting).
+    pub granted: u64,
+    /// Denials issued (for reporting).
+    pub denied: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket whose clock starts at 0 ns.
+    ///
+    /// # Panics
+    /// If `burst` is 0 or `period_ns` is 0 (the bucket could never
+    /// grant, resp. never meter).
+    pub fn new(cfg: LimiterConfig) -> Self {
+        assert!(cfg.burst > 0, "limiter burst must be positive");
+        assert!(cfg.period_ns > 0, "limiter period must be positive");
+        TokenBucket {
+            cfg,
+            tokens: cfg.burst,
+            last_refill_ns: 0,
+            granted: 0,
+            denied: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> LimiterConfig {
+        self.cfg
+    }
+
+    /// Credit tokens earned since the last refill. Time is monotone in
+    /// both executors; a non-monotone `now` (native clock quirks) is
+    /// treated as no elapsed time.
+    fn refill(&mut self, now_ns: u64) {
+        let elapsed = now_ns.saturating_sub(self.last_refill_ns);
+        let earned = elapsed / self.cfg.period_ns;
+        if earned > 0 {
+            self.tokens = self
+                .tokens
+                .saturating_add(earned.min(u64::from(u32::MAX)) as u32)
+                .min(self.cfg.burst);
+            // Advance by whole periods only, so fractional progress
+            // toward the next token is never discarded.
+            self.last_refill_ns += earned * self.cfg.period_ns;
+        }
+        if now_ns < self.last_refill_ns {
+            self.last_refill_ns = now_ns;
+        }
+    }
+
+    /// Try to take one token at time `now_ns`. `true` means the switch
+    /// may proceed.
+    pub fn try_acquire(&mut self, now_ns: u64) -> bool {
+        self.refill(now_ns);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            self.granted += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_starve() {
+        let mut b = TokenBucket::new(LimiterConfig {
+            burst: 3,
+            period_ns: 100,
+        });
+        assert!(b.try_acquire(0));
+        assert!(b.try_acquire(0));
+        assert!(b.try_acquire(0));
+        assert!(!b.try_acquire(0));
+        assert!(!b.try_acquire(99));
+        assert!(b.try_acquire(100)); // one token refilled
+        assert!(!b.try_acquire(100));
+        assert_eq!(b.granted, 4);
+        assert_eq!(b.denied, 3);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(LimiterConfig {
+            burst: 2,
+            period_ns: 10,
+        });
+        assert!(b.try_acquire(0));
+        assert!(b.try_acquire(0));
+        // A long calm stretch earns at most `burst` tokens.
+        assert!(b.try_acquire(1_000_000));
+        assert!(b.try_acquire(1_000_000));
+        assert!(!b.try_acquire(1_000_000));
+    }
+
+    #[test]
+    fn fractional_progress_is_preserved() {
+        let mut b = TokenBucket::new(LimiterConfig {
+            burst: 1,
+            period_ns: 100,
+        });
+        assert!(b.try_acquire(0));
+        assert!(!b.try_acquire(60));
+        assert!(!b.try_acquire(90)); // 90ns elapsed: still < 1 period
+        assert!(b.try_acquire(110)); // crossed 100ns since last refill
+    }
+
+    #[test]
+    fn window_bound_holds_under_hammering() {
+        let cfg = LimiterConfig {
+            burst: 4,
+            period_ns: 50,
+        };
+        let mut b = TokenBucket::new(cfg);
+        let mut grants = Vec::new();
+        for t in 0..5_000u64 {
+            if b.try_acquire(t) {
+                grants.push(t);
+            }
+        }
+        for w in [50u64, 200, 800] {
+            for (i, &t0) in grants.iter().enumerate() {
+                let in_window = grants[i..].iter().take_while(|&&t| t < t0 + w).count() as u64;
+                let bound = u64::from(cfg.burst) + w / cfg.period_ns + 1;
+                assert!(
+                    in_window <= bound,
+                    "{in_window} grants in window [{t0}, {t0}+{w}) > bound {bound}"
+                );
+            }
+        }
+    }
+}

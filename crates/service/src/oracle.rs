@@ -1,0 +1,174 @@
+//! The no-stampede oracle.
+//!
+//! The limiter in [`crate::limiter`] *claims* a window bound; this
+//! module *checks* it, from the outside, against the raw switch log —
+//! the same offline-oracle discipline as the repo's conc-check gate
+//! (record everything, replay nothing, verify an invariant the
+//! implementation cannot vouch for about itself).
+//!
+//! **Invariant (no-stampede).** For a shard limited by
+//! `(burst, period_ns)`, every time window of length `W` contains at
+//! most `burst + W / period_ns + 1` committed switches. The check
+//! slides a window over the per-shard switch log starting at each
+//! event, for several window lengths spanning one to many refill
+//! periods — a stampede that squeaks past one window length is caught
+//! by another.
+//!
+//! The checker has teeth: the bench's stampede scenario also runs a
+//! limiter-off control and asserts the oracle *rejects* it (see
+//! `violates_without_limiter` below and the `service_stampede`
+//! scenario), so a vacuously-green checker cannot hide.
+
+use crate::limiter::LimiterConfig;
+
+/// One committed protocol switch, as logged by an executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchRecord {
+    /// Time of the commit, in virtual (or native monotonic) ns.
+    pub time_ns: u64,
+    /// Shard that performed it.
+    pub shard: u32,
+    /// Arena object id.
+    pub object: u64,
+    /// Protocol switched from.
+    pub from: u8,
+    /// Protocol switched to.
+    pub to: u8,
+}
+
+/// A detected violation of the no-stampede invariant.
+#[derive(Clone, Copy, Debug)]
+pub struct Stampede {
+    /// Shard in which the over-dense window was found.
+    pub shard: u32,
+    /// Start of the offending window (ns).
+    pub window_start_ns: u64,
+    /// Length of the offending window (ns).
+    pub window_ns: u64,
+    /// Switches observed inside the window.
+    pub observed: u64,
+    /// Maximum the invariant allows in a window of this length.
+    pub allowed: u64,
+}
+
+/// Window lengths to scan, as multiples of the refill period: one
+/// period (catches raw bursts above `burst + 2`), and three longer
+/// windows (catch sustained over-rate leaks a single period can hide).
+const WINDOW_PERIODS: [u64; 4] = [1, 4, 16, 64];
+
+/// Check the no-stampede invariant over a switch log. Records may be
+/// in any order (they are sorted per shard internally). Returns every
+/// violation found, or an empty vec if the log is clean.
+pub fn check_no_stampede(log: &[SwitchRecord], cfg: LimiterConfig) -> Vec<Stampede> {
+    let mut violations = Vec::new();
+    let mut shards: Vec<u32> = log.iter().map(|r| r.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    for shard in shards {
+        let mut times: Vec<u64> = log
+            .iter()
+            .filter(|r| r.shard == shard)
+            .map(|r| r.time_ns)
+            .collect();
+        times.sort_unstable();
+        for &mult in &WINDOW_PERIODS {
+            let w = cfg.period_ns.saturating_mul(mult);
+            let allowed = u64::from(cfg.burst) + w / cfg.period_ns + 1;
+            // Two-pointer sweep: for each window anchored at a switch,
+            // count switches with time in [t0, t0 + w).
+            let mut hi = 0usize;
+            for (lo, &t0) in times.iter().enumerate() {
+                if hi < lo {
+                    hi = lo;
+                }
+                let end = t0.saturating_add(w);
+                while hi < times.len() && times[hi] < end {
+                    hi += 1;
+                }
+                let observed = (hi - lo) as u64;
+                if observed > allowed {
+                    violations.push(Stampede {
+                        shard,
+                        window_start_ns: t0,
+                        window_ns: w,
+                        observed,
+                        allowed,
+                    });
+                    break; // one violation per (shard, window length) is enough
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(time_ns: u64, shard: u32) -> SwitchRecord {
+        SwitchRecord {
+            time_ns,
+            shard,
+            object: 0,
+            from: 0,
+            to: 1,
+        }
+    }
+
+    const CFG: LimiterConfig = LimiterConfig {
+        burst: 2,
+        period_ns: 100,
+    };
+
+    #[test]
+    fn clean_log_passes() {
+        // 2-burst then exactly one per period: the limiter's own shape.
+        let log: Vec<_> = [0, 0, 100, 200, 300, 400]
+            .iter()
+            .map(|&t| rec(t, 0))
+            .collect();
+        assert!(check_no_stampede(&log, CFG).is_empty());
+    }
+
+    #[test]
+    fn violates_without_limiter() {
+        // A stampede: 20 switches in one period-sized window.
+        let log: Vec<_> = (0..20).map(|i| rec(i, 0)).collect();
+        let v = check_no_stampede(&log, CFG);
+        assert!(!v.is_empty(), "oracle must reject an unthrottled burst");
+        assert!(v[0].observed > v[0].allowed);
+    }
+
+    #[test]
+    fn sustained_over_rate_caught_by_long_window() {
+        // 2 per period forever: each 1-period window holds 2 <= 2+1+1,
+        // but a 64-period window holds 128 > 2+64+1.
+        let log: Vec<_> = (0..200u64).map(|i| rec(i * 50, 0)).collect();
+        let v = check_no_stampede(&log, CFG);
+        assert!(
+            v.iter().any(|s| s.window_ns > CFG.period_ns),
+            "sustained leak must be caught by a multi-period window"
+        );
+    }
+
+    #[test]
+    fn shards_are_checked_independently() {
+        // 3 shards each at the legal rate; together they'd exceed a
+        // single bucket, but the invariant is per shard.
+        let mut log = Vec::new();
+        for shard in 0..3 {
+            for i in 0..10u64 {
+                log.push(rec(i * 100, shard));
+            }
+        }
+        assert!(check_no_stampede(&log, CFG).is_empty());
+    }
+
+    #[test]
+    fn unsorted_log_is_handled() {
+        let mut log: Vec<_> = (0..20).map(|i| rec(i, 0)).collect();
+        log.reverse();
+        assert!(!check_no_stampede(&log, CFG).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Seeded xorshift64* streams (the simulator's generator, replicated
+//! here so workload draws never depend on `alewife-sim` internals).
+//! Every generator in the service owns its own stream, so adding a
+//! tenant never perturbs another tenant's draws.
+
+/// xorshift64* step. A zero state is replaced by a fixed non-zero
+/// constant, so a zero seed is valid and deterministic.
+pub(crate) fn next(state: &mut u64) -> u64 {
+    if *state == 0 {
+        *state = 0x9E37_79B9_7F4A_7C15;
+    }
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Uniform value in `[0, bound)`; `bound == 0` yields 0.
+pub(crate) fn below(state: &mut u64, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    next(state) % bound
+}
+
+/// Uniform `f64` in `(0, 1]` (never 0, so `ln` is always finite).
+pub(crate) fn unit(state: &mut u64) -> f64 {
+    let bits = next(state) >> 11; // 53 significant bits
+    (bits + 1) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_in_half_open_range() {
+        let mut s = 9;
+        for _ in 0..1_000 {
+            let u = unit(&mut s);
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let (mut a, mut b, mut c) = (5u64, 5u64, 6u64);
+        let xs: Vec<u64> = (0..16).map(|_| next(&mut a)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| next(&mut b)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| next(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

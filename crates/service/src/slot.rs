@@ -1,0 +1,157 @@
+//! The packed per-object slot word.
+//!
+//! At 10⁶ objects the per-object state must be memory-bounded: a full
+//! [`SwitchKernel`](reactive_api::SwitchKernel)-backed reactive lock
+//! carries a boxed policy, an instrumentation `Arc`, and a journal —
+//! hundreds of bytes. The arena instead keeps **one `u64` per object at
+//! rest** and packs everything the cold path needs into it; switch
+//! journals, per-object statistics, and (in the native executor) a full
+//! kernel-backed [`ReactiveLock`](reactive_native::ReactiveLock) are
+//! lazily allocated only once an object proves hot.
+//!
+//! Layout (low to high bits):
+//!
+//! | bits  | field            | meaning                                          |
+//! |-------|------------------|--------------------------------------------------|
+//! | 0     | `HELD`           | native fast-path spin bit                        |
+//! | 1     | `INFLATED`       | native: object promoted to a full reactive lock  |
+//! | 2-3   | `MODE`           | current protocol (0 = TTS-like, 1 = queue)       |
+//! | 4-7   | contended streak | saturating count of consecutive contended grants |
+//! | 8-11  | calm streak      | saturating count of consecutive calm grants      |
+//! | 12    | `HOT`            | a lazily allocated hot-stat entry exists         |
+//! | 32-63 | inflation index  | slab index of the inflated lock (when `INFLATED`)|
+//!
+//! The mode/validity discipline mirrors the switching kernel's: the
+//! mode field is committed in one store together with the streak reset,
+//! so an object is never observably "between" protocols, and in the
+//! native world the `INFLATED` bit is only ever set by the current
+//! holder of the fast-path bit (see `native.rs`), preserving the
+//! at-most-one-valid-protocol invariant across the promotion.
+
+/// Native fast-path lock bit.
+pub const HELD: u64 = 1;
+/// Object has been promoted to a full kernel-backed reactive lock.
+pub const INFLATED: u64 = 1 << 1;
+/// A lazily allocated hot-stat entry exists for this object.
+pub const HOT: u64 = 1 << 12;
+
+const MODE_SHIFT: u32 = 2;
+const MODE_MASK: u64 = 0b11 << MODE_SHIFT;
+const CONTENDED_SHIFT: u32 = 4;
+const CALM_SHIFT: u32 = 8;
+const STREAK_MASK: u64 = 0xF;
+const INDEX_SHIFT: u32 = 32;
+
+/// Protocol id of the TTS-like (cheap, unfair, melts under contention)
+/// mode — matches [`reactive_native::reactive::PROTO_TTS`].
+pub const MODE_TTS: u8 = 0;
+/// Protocol id of the queue (scalable, FIFO, dearer when idle) mode —
+/// matches [`reactive_native::reactive::PROTO_QUEUE`].
+pub const MODE_QUEUE: u8 = 1;
+
+/// Current protocol of a slot word.
+pub fn mode(word: u64) -> u8 {
+    ((word & MODE_MASK) >> MODE_SHIFT) as u8
+}
+
+/// Replace the protocol field, clearing both streaks (a mode change
+/// resets the evidence that drove it, exactly like the kernel's
+/// post-commit policy reset).
+pub fn with_mode(word: u64, m: u8) -> u64 {
+    let cleared =
+        word & !(MODE_MASK | (STREAK_MASK << CONTENDED_SHIFT) | (STREAK_MASK << CALM_SHIFT));
+    cleared | ((m as u64) << MODE_SHIFT)
+}
+
+/// Saturating contended-grant streak.
+pub fn contended_streak(word: u64) -> u8 {
+    ((word >> CONTENDED_SHIFT) & STREAK_MASK) as u8
+}
+
+/// Saturating calm-grant streak.
+pub fn calm_streak(word: u64) -> u8 {
+    ((word >> CALM_SHIFT) & STREAK_MASK) as u8
+}
+
+/// Record one grant observation: bump the matching streak (saturating
+/// at 15) and zero the opposite one.
+pub fn observe(word: u64, contended: bool) -> u64 {
+    let (bump_shift, clear_shift) = if contended {
+        (CONTENDED_SHIFT, CALM_SHIFT)
+    } else {
+        (CALM_SHIFT, CONTENDED_SHIFT)
+    };
+    let streak = ((word >> bump_shift) & STREAK_MASK)
+        .saturating_add(1)
+        .min(15);
+    (word & !((STREAK_MASK << bump_shift) | (STREAK_MASK << clear_shift))) | (streak << bump_shift)
+}
+
+/// Zero both streaks (the limiter-denied backoff: the object must
+/// re-accumulate its evidence before asking again, which spreads a
+/// thundering herd of switch requests over time).
+pub fn clear_streaks(word: u64) -> u64 {
+    word & !((STREAK_MASK << CONTENDED_SHIFT) | (STREAK_MASK << CALM_SHIFT))
+}
+
+/// Inflation slab index (meaningful only when `INFLATED` is set).
+pub fn index(word: u64) -> u32 {
+    (word >> INDEX_SHIFT) as u32
+}
+
+/// Mark the word inflated with the given slab index.
+pub fn with_index(word: u64, idx: u32) -> u64 {
+    (word & !(u64::MAX << INDEX_SHIFT)) | INFLATED | ((idx as u64) << INDEX_SHIFT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrip_preserves_other_bits() {
+        let w = HELD | HOT | with_index(0, 7);
+        for m in [MODE_TTS, MODE_QUEUE, 2, 3] {
+            let v = with_mode(w, m);
+            assert_eq!(mode(v), m);
+            assert_eq!(v & HELD, HELD);
+            assert_eq!(v & HOT, HOT);
+            assert_eq!(index(v), 7);
+        }
+    }
+
+    #[test]
+    fn observe_bumps_and_clears() {
+        let mut w = 0u64;
+        for i in 1..=20u8 {
+            w = observe(w, true);
+            assert_eq!(contended_streak(w), i.min(15));
+            assert_eq!(calm_streak(w), 0);
+        }
+        w = observe(w, false);
+        assert_eq!(contended_streak(w), 0);
+        assert_eq!(calm_streak(w), 1);
+        assert_eq!(clear_streaks(w), 0);
+    }
+
+    #[test]
+    fn mode_change_resets_streaks() {
+        let mut w = 0u64;
+        for _ in 0..5 {
+            w = observe(w, true);
+        }
+        let v = with_mode(w, MODE_QUEUE);
+        assert_eq!(mode(v), MODE_QUEUE);
+        assert_eq!(contended_streak(v), 0);
+        assert_eq!(calm_streak(v), 0);
+    }
+
+    #[test]
+    fn index_field_is_independent() {
+        let w = with_mode(HELD, MODE_QUEUE);
+        let v = with_index(w, u32::MAX);
+        assert_eq!(index(v), u32::MAX);
+        assert_eq!(mode(v), MODE_QUEUE);
+        assert_ne!(v & INFLATED, 0);
+    }
+}

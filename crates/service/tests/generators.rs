@@ -1,0 +1,164 @@
+//! Workload-generator contracts: determinism under a fixed seed,
+//! empirical Zipf skew within tolerance, and open-loop arrival-rate
+//! accuracy — the statistical ground the bench scenarios stand on.
+
+use lock_service::{ArrivalCurve, Arrivals, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Same (n, theta, seed) → bit-identical rank sequence; different
+    /// seed → a different one (no accidental seed swallowing).
+    #[test]
+    fn zipf_is_deterministic_per_seed(
+        n in 2u64..100_000,
+        theta in 0.0f64..0.99,
+        seed in 1u64..u64::MAX - 1,
+    ) {
+        let mut a = Zipf::new(n, theta, seed);
+        let mut b = Zipf::new(n, theta, seed);
+        let mut c = Zipf::new(n, theta, seed + 1);
+        let xs: Vec<u64> = (0..256).map(|_| a.sample()).collect();
+        let ys: Vec<u64> = (0..256).map(|_| b.sample()).collect();
+        let zs: Vec<u64> = (0..256).map(|_| c.sample()).collect();
+        prop_assert_eq!(&xs, &ys);
+        prop_assert!(xs.iter().all(|&r| r < n));
+        prop_assert_ne!(xs, zs);
+    }
+
+    /// Open-loop arrivals are deterministic, strictly ordered in time,
+    /// and within the horizon used by the executor.
+    #[test]
+    fn arrivals_are_deterministic_per_seed(
+        rate in 1e5f64..1e8,
+        seed in 1u64..u64::MAX,
+    ) {
+        let curve = ArrivalCurve::Constant { rate_per_sec: rate };
+        let mut a = Arrivals::new(curve, seed);
+        let mut b = Arrivals::new(curve, seed);
+        let mut last = 0u64;
+        for _ in 0..512 {
+            let ta = a.next_arrival().unwrap();
+            prop_assert_eq!(ta, b.next_arrival().unwrap());
+            prop_assert!(ta >= last);
+            last = ta;
+        }
+    }
+}
+
+/// Empirical skew: at θ=0.99 over 10⁴ ranks the hottest rank must
+/// carry far more mass than the uniform share, and the top decile of
+/// ranks must dominate the stream; at θ=0 the distribution must be
+/// flat within sampling noise.
+#[test]
+fn zipf_empirical_skew_matches_theta() {
+    const N: u64 = 10_000;
+    const DRAWS: usize = 200_000;
+
+    let mut hot = Zipf::new(N, 0.99, 7);
+    let mut counts = vec![0u64; N as usize];
+    for _ in 0..DRAWS {
+        counts[hot.sample() as usize] += 1;
+    }
+    // H_{10^4, 0.99} ≈ 9.8 → rank 0 carries ~10% of all draws; demand
+    // at least 5% (vs a uniform share of 0.01%).
+    assert!(
+        counts[0] as f64 > 0.05 * DRAWS as f64,
+        "rank 0 drew only {} of {DRAWS}",
+        counts[0]
+    );
+    // The hottest 10% of ranks must carry the large majority of mass.
+    let top_decile: u64 = counts[..(N / 10) as usize].iter().sum();
+    assert!(
+        top_decile as f64 > 0.75 * DRAWS as f64,
+        "top decile drew only {top_decile} of {DRAWS}"
+    );
+
+    let mut flat = Zipf::new(N, 0.0, 7);
+    let mut counts = vec![0u64; N as usize];
+    for _ in 0..DRAWS {
+        counts[flat.sample() as usize] += 1;
+    }
+    let expect = DRAWS as f64 / N as f64; // 20 per rank
+    let worst = counts
+        .iter()
+        .map(|&c| (c as f64 - expect).abs())
+        .fold(0.0, f64::max);
+    // Poisson(20) essentially never strays 25 away from its mean.
+    assert!(worst < 25.0, "uniform draw strayed {worst} from {expect}");
+}
+
+/// Open-loop rate accuracy: over a long horizon the realised arrival
+/// count tracks the curve's integrated rate within a few percent, for
+/// all three curve shapes.
+#[test]
+fn open_loop_rate_is_accurate() {
+    const HORIZON_NS: u64 = 100_000_000; // 0.1 s of virtual time
+
+    // (curve, expected arrivals over the horizon)
+    let cases: Vec<(ArrivalCurve, f64)> = vec![
+        (ArrivalCurve::Constant { rate_per_sec: 1e6 }, 1e6 * 0.1),
+        (
+            // Triangle between 0.5e6 and 1.5e6 averages 1e6.
+            ArrivalCurve::Diurnal {
+                low_per_sec: 5e5,
+                high_per_sec: 1.5e6,
+                period_ns: 10_000_000,
+            },
+            1e6 * 0.1,
+        ),
+        (
+            // 10% duty at 5e6 + 90% at 5e5 averages 9.5e5.
+            ArrivalCurve::Burst {
+                base_per_sec: 5e5,
+                spike_per_sec: 5e6,
+                duty_ns: 1_000_000,
+                period_ns: 10_000_000,
+            },
+            (0.1 * 5e6 + 0.9 * 5e5) * 0.1,
+        ),
+    ];
+    for (i, (curve, expected)) in cases.into_iter().enumerate() {
+        let mut gen = Arrivals::new(curve, 11 + i as u64);
+        let mut n = 0u64;
+        while let Some(t) = gen.next_arrival() {
+            if t >= HORIZON_NS {
+                break;
+            }
+            n += 1;
+        }
+        let err = (n as f64 - expected).abs() / expected;
+        assert!(
+            err < 0.03,
+            "curve {i}: {n} arrivals vs expected {expected} (err {err:.3})"
+        );
+    }
+}
+
+/// The burst curve's arrivals actually cluster in the duty window.
+#[test]
+fn burst_arrivals_cluster_in_spikes() {
+    let curve = ArrivalCurve::Burst {
+        base_per_sec: 1e5,
+        spike_per_sec: 1e7,
+        duty_ns: 1_000_000,
+        period_ns: 10_000_000,
+    };
+    let mut gen = Arrivals::new(curve, 3);
+    let (mut in_spike, mut total) = (0u64, 0u64);
+    while let Some(t) = gen.next_arrival() {
+        if t >= 100_000_000 {
+            break;
+        }
+        total += 1;
+        if t % 10_000_000 < 1_000_000 {
+            in_spike += 1;
+        }
+    }
+    // Spikes carry 10/10.9 ≈ 92% of the mass.
+    assert!(
+        in_spike as f64 > 0.85 * total as f64,
+        "{in_spike}/{total} arrivals in spikes"
+    );
+}

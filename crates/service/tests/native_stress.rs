@@ -1,0 +1,96 @@
+//! Threaded stress of the native executor: mutual exclusion must hold
+//! across the flat path, the inflated path, and — the dangerous part —
+//! the promotion between them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lock_service::{LimiterConfig, NativeService};
+
+/// Hammer a handful of objects from many threads while a per-object
+/// `in_cs` counter checks that no two threads ever overlap inside a
+/// critical section. The contention forces inflation mid-test, so the
+/// flat→reactive promotion happens while the herd is racing.
+#[test]
+fn mutual_exclusion_survives_inflation() {
+    const OBJECTS: u64 = 2;
+    const THREADS: usize = 8;
+    const ITERS: usize = 2_000;
+
+    let svc = Arc::new(NativeService::new(
+        OBJECTS,
+        2,
+        Some(LimiterConfig::default()),
+    ));
+    let in_cs: Arc<Vec<AtomicU64>> = Arc::new((0..OBJECTS).map(|_| AtomicU64::new(0)).collect());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let in_cs = Arc::clone(&in_cs);
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let obj = ((t + i) % OBJECTS as usize) as u64;
+                    let guard = svc.acquire(obj, None).expect("no deadline, must acquire");
+                    // order: SeqCst — the test's whole point is cross-
+                    // thread visibility of the overlap counter.
+                    let inside = in_cs[obj as usize].fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(inside, 0, "two holders inside object {obj}");
+                    // Stay inside long enough that other threads pile
+                    // up and the contended streak actually builds.
+                    for _ in 0..200 {
+                        std::hint::spin_loop();
+                    }
+                    // order: SeqCst — see above.
+                    in_cs[obj as usize].fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+    // 8 threads over 4 objects is contended enough that at least one
+    // object must have inflated along the way.
+    assert!(svc.inflations() > 0, "stress never promoted an object");
+    assert!(
+        svc.inflations() <= OBJECTS,
+        "each object inflates at most once"
+    );
+}
+
+/// Deadline-bounded acquires on a monopolised object abort instead of
+/// blocking forever, and a later unbounded acquire still succeeds.
+#[test]
+fn deadlines_abort_under_monopoly() {
+    let svc = Arc::new(NativeService::new(1, 1, None));
+    let holder = Arc::clone(&svc);
+    let g = holder.acquire(0, None).expect("uncontended");
+    let svc2 = Arc::clone(&svc);
+    let waiter = std::thread::spawn(move || {
+        let mut aborted = 0;
+        for _ in 0..5 {
+            if svc2.acquire(0, Some(Duration::from_millis(1))).is_none() {
+                aborted += 1;
+            }
+        }
+        aborted
+    });
+    let aborted = waiter.join().expect("waiter panicked");
+    assert_eq!(aborted, 5);
+    assert_eq!(svc.aborts(), 5);
+    drop(g);
+    assert!(svc.acquire(0, Some(Duration::from_millis(50))).is_some());
+}
+
+/// The measured native footprint obeys the same at-rest bound as the
+/// simulated one: slots dominate, inflated locks track the hot set.
+#[test]
+fn native_footprint_is_slot_dominated() {
+    let svc = NativeService::new(100_000, 8, Some(LimiterConfig::default()));
+    let fp = svc.footprint();
+    assert_eq!(fp.slot_bytes, 800_000);
+    assert!(fp.at_rest_bytes_per_object() <= 64.0);
+    assert_eq!(fp.hot_objects, 0);
+}

@@ -1,12 +1,17 @@
 //! Simulation statistics: machine-level counters and waiting-time
-//! histograms used by the Chapter 4 experiments (Figures 4.6-4.11).
+//! histograms used by the Chapter 4 experiments (Figures 4.6-4.11) and
+//! the lock-service percentile reporting (p50/p99/p999).
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::BTreeMap;
 
 /// A histogram of waiting times (cycles) with power-of-two buckets plus
 /// exact moments. Keeps up to [`WaitHistogram::MAX_RAW`] raw samples for
-/// percentile/profile plots.
+/// percentile/profile plots; past the cap it switches to seeded
+/// reservoir sampling (Algorithm R over a deterministic xorshift64*
+/// stream), so percentiles of long runs stay a uniform — and, for a
+/// fixed seed and input stream, bit-reproducible — sample instead of a
+/// biased prefix.
 #[derive(Clone, Debug, Default)]
 pub struct WaitHistogram {
     /// bucket\[i\] counts samples in `[2^i, 2^(i+1))` (bucket 0 holds 0-1).
@@ -17,16 +22,25 @@ pub struct WaitHistogram {
     pub sum: u64,
     /// Largest sample.
     pub max: u64,
-    /// Raw samples (capped at [`WaitHistogram::MAX_RAW`]).
+    /// Retained samples (size capped; reservoir-sampled past the cap).
     pub raw: Vec<u64>,
     /// Lazily maintained sorted copy of `raw` for percentile queries;
-    /// rebuilt only when `raw` has grown since the last query instead
+    /// rebuilt only when `raw` has changed since the last query instead
     /// of clone-and-sort on every call.
     sorted: RefCell<Vec<u64>>,
+    /// Dirty flag for `sorted` (reservoir replacement mutates `raw`
+    /// without growing it, so a length check is not enough).
+    stale: Cell<bool>,
+    /// xorshift64* state for reservoir replacement. 0 (the default)
+    /// lets the generator substitute its fixed non-zero constant, so a
+    /// default-built histogram is already deterministically seeded.
+    rng: u64,
+    /// Raw-sample cap override; 0 means [`WaitHistogram::MAX_RAW`].
+    cap: usize,
 }
 
 impl WaitHistogram {
-    /// Cap on retained raw samples.
+    /// Cap on retained raw samples (default; see [`Self::with_sampling`]).
     pub const MAX_RAW: usize = 200_000;
 
     /// Reserve step for `raw` (chunked so long runs do not pay a
@@ -36,6 +50,31 @@ impl WaitHistogram {
     /// Create an empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty histogram with an explicit reservoir capacity
+    /// and seed. Two histograms fed the same sample stream with the
+    /// same `cap` and `seed` retain identical reservoirs, so reported
+    /// percentiles are reproducible run-to-run.
+    ///
+    /// # Panics
+    /// If `cap` is 0 (a percentile query needs at least one sample).
+    pub fn with_sampling(cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "reservoir capacity must be positive");
+        WaitHistogram {
+            rng: seed,
+            cap,
+            ..Self::default()
+        }
+    }
+
+    /// The effective raw-sample cap.
+    fn raw_cap(&self) -> usize {
+        if self.cap == 0 {
+            Self::MAX_RAW
+        } else {
+            self.cap
+        }
     }
 
     /// Record one waiting time in cycles.
@@ -48,13 +87,25 @@ impl WaitHistogram {
         self.count += 1;
         self.sum += t;
         self.max = self.max.max(t);
-        if self.raw.len() < Self::MAX_RAW {
+        let cap = self.raw_cap();
+        if self.raw.len() < cap {
             if self.raw.len() == self.raw.capacity() {
                 // Pre-reserve growth toward the cap in fixed chunks.
-                let grow = Self::RAW_CHUNK.min(Self::MAX_RAW - self.raw.len());
+                let grow = Self::RAW_CHUNK.min(cap - self.raw.len());
                 self.raw.reserve_exact(grow);
             }
             self.raw.push(t);
+            self.stale.set(true);
+        } else {
+            // Algorithm R: sample `count` (1-based index of this item)
+            // replaces a uniformly random reservoir slot with
+            // probability cap/count, keeping the reservoir a uniform
+            // sample of everything seen so far.
+            let j = crate::rng::below(&mut self.rng, self.count);
+            if (j as usize) < cap {
+                self.raw[j as usize] = t;
+                self.stale.set(true);
+            }
         }
     }
 
@@ -67,15 +118,16 @@ impl WaitHistogram {
         }
     }
 
-    /// Sorted view of the retained samples, rebuilt only when stale
-    /// (`raw` only ever grows, so a length mismatch is the dirty flag).
+    /// Sorted view of the retained samples, rebuilt only when `record`
+    /// has touched `raw` since the last query.
     fn sorted(&self) -> Ref<'_, Vec<u64>> {
         {
             let mut s = self.sorted.borrow_mut();
-            if s.len() != self.raw.len() {
+            if self.stale.get() || s.len() != self.raw.len() {
                 s.clear();
                 s.extend_from_slice(&self.raw);
                 s.sort_unstable();
+                self.stale.set(false);
             }
         }
         self.sorted.borrow()
@@ -89,6 +141,24 @@ impl WaitHistogram {
         }
         let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
         v[idx.min(v.len() - 1)]
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile — the lock-service tail-latency gate. Like
+    /// every percentile here it is computed over the retained reservoir,
+    /// so past the cap it is an estimate from a uniform (seeded,
+    /// reproducible) sample; `max` stays exact regardless.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
     }
 
     /// Fraction of samples strictly below `t`.

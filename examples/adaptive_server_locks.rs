@@ -1,121 +1,102 @@
-//! A realistic native scenario: a server whose lock contention varies by
-//! phase (quiet maintenance vs. bursty request storms). The reactive
-//! mutex adapts; a fixed choice is wrong in one phase or the other.
+//! A server's lock fleet in one screen: the multi-tenant lock service
+//! hosts 100,000 adaptive objects in a packed arena and drives them
+//! with two tenants — a latency-budgeted closed-loop tenant hammering
+//! a Zipf-skewed hot set, and a bursty open-loop tenant whose spikes
+//! try to stampede every hot object into a protocol switch at once.
 //!
-//! A third, deadline phase models latency-budgeted requests on the
-//! deterministic simulator: each request carries an absolute deadline
-//! and **aborts** (think: answer 503) rather than queue forever behind
-//! a slow writer — the abortable MCS lock's withdrawal path.
+//! The demo runs the same workload three ways (adaptive, always-TTS,
+//! always-queue) and prints what the CI bench gates on: tail latency,
+//! abort rate, switch rate under the per-shard limiter, bytes/object
+//! at rest, and the offline no-stampede oracle's verdict.
 //!
 //! Run with: `cargo run --release --example adaptive_server_locks`
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use reactive_sync::service::{
+    run_service, ArenaMode, ArrivalCurve, Load, ServiceConfig, ServiceReport, TenantConfig,
+};
 
-use reactive_sync::native::ReactiveMutex;
+const OBJECTS: u64 = 100_000;
 
-#[derive(Default)]
-struct SessionTable {
-    live: u64,
-    peak: u64,
+fn config(mode: ArenaMode) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(OBJECTS, 16, 0xADA97);
+    cfg.horizon_ns = 2_000_000; // 2 ms of virtual time
+    cfg.mode = mode;
+    // Tenant A: 32 request handlers in a closed loop over a Zipf-skewed
+    // table (a few keys absorb most traffic), each request carrying a
+    // 60 µs deadline — stuck waiters abort (think: answer 503).
+    cfg.tenants.push(TenantConfig {
+        first_object: 0,
+        objects: OBJECTS,
+        theta: 0.95,
+        load: Load::Closed {
+            clients: 32,
+            think_ns: 300,
+        },
+        hold_ns: 250,
+        deadline_ns: 60_000,
+    });
+    // Tenant B: open-loop background traffic that spikes 10x for 50 µs
+    // out of every 200 µs across a small hot range.
+    cfg.tenants.push(TenantConfig {
+        first_object: 0,
+        objects: 512,
+        theta: 0.0,
+        load: Load::Open {
+            curve: ArrivalCurve::Burst {
+                base_per_sec: 2_000_000.0,
+                spike_per_sec: 20_000_000.0,
+                duty_ns: 50_000,
+                period_ns: 200_000,
+            },
+        },
+        hold_ns: 100,
+        deadline_ns: 0,
+    });
+    cfg
 }
 
-/// Deadline phase: 4 simulated request handlers share one table lock;
-/// every request gets a 300-cycle budget against a 60-cycle critical
-/// section, so a request stuck third in line aborts at its deadline
-/// (cleanly — the MCS queue slot is withdrawn, not leaked) and the
-/// handler reports failure instead of blowing its latency budget.
-fn deadline_phase() -> (u64, u64) {
-    use reactive_sync::protocols::abortable::{AbortableMcsLock, Acquired};
-    use reactive_sync::sim::{Config, Machine};
-
-    const PROCS: usize = 4;
-    const REQS: u64 = 25;
-    let m = Machine::new(Config::default().nodes(PROCS));
-    let lock = AbortableMcsLock::new(&m, 0, PROCS);
-    let tally = m.alloc_on(0, 2); // [served, timed_out]
-    for p in 0..PROCS {
-        let (cpu, l) = (m.cpu(p), lock.clone());
-        m.spawn(p, async move {
-            for _ in 0..REQS {
-                match l.acquire(&cpu, p, cpu.now() + 300).await {
-                    Acquired::Granted(q) => {
-                        cpu.work(60).await; // handle the request
-                        cpu.fetch_and_add(tally, 1).await;
-                        l.release(&cpu, q).await;
-                    }
-                    Acquired::Aborted => {
-                        cpu.fetch_and_add(tally.plus(1), 1).await;
-                        cpu.work(90).await; // send the 503, back off
-                    }
-                }
-            }
-        });
-    }
-    m.run();
-    (m.read_word(tally), m.read_word(tally.plus(1)))
+fn row(label: &str, r: &ServiceReport) {
+    println!(
+        "{label:>9} | p50 {:>5} ns | p99 {:>6} ns | p999 {:>6} ns | \
+         aborts {:>5.2}% | switches {:>4} (+{} denied)",
+        r.p50_ns(),
+        r.p99_ns(),
+        r.p999_ns(),
+        100.0 * r.abort_rate(),
+        r.switches,
+        r.switch_denials,
+    );
 }
 
 fn main() {
-    let table = Arc::new(ReactiveMutex::new(SessionTable::default()));
-    let stop = Arc::new(AtomicBool::new(false));
+    let adaptive = run_service(config(ArenaMode::Adaptive));
+    let tts = run_service(config(ArenaMode::StaticTts));
+    let queue = run_service(config(ArenaMode::StaticQueue));
 
-    // Quiet phase: one maintenance thread touching the table.
-    let t0 = Instant::now();
-    for _ in 0..200_000 {
-        let mut t = table.lock();
-        t.live = t.live.wrapping_add(1);
-        t.peak = t.peak.max(t.live);
-    }
-    let quiet = t0.elapsed();
+    println!("{OBJECTS} objects, 2 tenants, 2 ms virtual time\n");
+    row("adaptive", &adaptive);
+    row("all-TTS", &tts);
+    row("all-queue", &queue);
 
-    // Storm phase: 8 request threads hammer the table.
-    let t1 = Instant::now();
-    let workers: Vec<_> = (0..4)
-        .map(|_| {
-            let table = table.clone();
-            let stop = stop.clone();
-            std::thread::spawn(move || {
-                let mut ops = 0u64;
-                // order: Relaxed — a shutdown hint; one extra loop
-                // iteration after the flag flips is harmless.
-                while !stop.load(Ordering::Relaxed) {
-                    let mut t = table.lock();
-                    t.live = t.live.wrapping_add(1);
-                    t.peak = t.peak.max(t.live);
-                    ops += 1;
-                }
-                ops
-            })
-        })
-        .collect();
-    std::thread::sleep(std::time::Duration::from_millis(150));
-    // order: Relaxed — see the worker-loop hint above.
-    stop.store(true, Ordering::Relaxed);
-    let storm_ops: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
-    let storm = t1.elapsed();
-
-    println!("quiet phase : 200,000 ops in {quiet:?} (single thread)");
-    println!("storm phase : {storm_ops} ops in {storm:?} (4 threads contending)");
+    let fp = &adaptive.footprint;
     println!(
-        "protocol switches performed by the lock: {}",
-        table.switches()
+        "\narena at rest: {:.2} bytes/object ({} of {} objects ever went hot)",
+        fp.at_rest_bytes_per_object(),
+        fp.hot_objects,
+        fp.objects,
     );
-    // Take the guard once: two `table.lock()` calls in one statement
-    // would deadlock (the first guard lives to the statement's end).
-    let t = table.lock();
-    println!("final table: live={} peak={}", t.live, t.peak);
-    drop(t);
-
-    let (served, timed_out) = deadline_phase();
+    let stampedes = adaptive.stampedes();
     println!(
-        "deadline phase: {served} requests served, {timed_out} aborted at their 300-cycle deadline \
-         (every request resolved exactly once)"
+        "no-stampede oracle over {} logged switches: {}",
+        adaptive.switch_log.len(),
+        if stampedes.is_empty() {
+            "clean".to_string()
+        } else {
+            format!("{} window violations", stampedes.len())
+        },
     );
-    assert_eq!(served + timed_out, 100);
     assert!(
-        timed_out > 0,
-        "the deadline never fired — no abort path exercised"
+        stampedes.is_empty(),
+        "limiter let a switch stampede through"
     );
 }

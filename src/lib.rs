@@ -23,11 +23,16 @@
 //!   (`std::sync::atomic` + thread parking), usable as a library.
 //! * [`apps`] — miniature parallel applications with the paper's
 //!   synchronization signatures, used by the benchmark harness.
+//! * [`service`] — the multi-tenant adaptive lock service: millions of
+//!   reactive objects in a sharded arena (one packed word per object at
+//!   rest), with lock inflation, per-shard switch-rate limiting, an
+//!   offline no-stampede oracle, and tail-latency reporting.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
 //! for the paper-vs-measured record of every table and figure.
 
 pub use alewife_sim as sim;
+pub use lock_service as service;
 pub use reactive_api as api;
 pub use reactive_core as reactive;
 pub use reactive_native as native;
