@@ -59,11 +59,36 @@ impl ObjectArena {
         self.slots[object as usize].load(Ordering::Relaxed)
     }
 
+    /// Read a slot word with acquire ordering (native executor): pairs
+    /// with [`store_release`](Self::store_release) so a reader that
+    /// observes a published word also sees everything the publisher
+    /// wrote before it — in particular, an `INFLATED` word's slab entry.
+    pub fn load_acquire(&self, object: u64) -> u64 {
+        // order: Acquire — pairs with store_release; observing an
+        // INFLATED word must make the slab push that preceded it
+        // visible, and observing a cleared HELD bit must make the
+        // previous holder's critical section visible.
+        self.slots[object as usize].load(Ordering::Acquire)
+    }
+
     /// Unconditionally store a slot word (deterministic executor only,
     /// where the simulation loop is the sole mutator).
     pub fn store(&self, object: u64, word: u64) {
         // order: Relaxed — single-mutator virtual-time executor.
         self.slots[object as usize].store(word, Ordering::Relaxed)
+    }
+
+    /// Store a slot word with release ordering (native executor). This
+    /// is the unlock/publish store: clearing `HELD` must make the
+    /// critical section visible to the next acquirer's
+    /// [`cas`](Self::cas)/[`load_acquire`](Self::load_acquire), and
+    /// publishing `INFLATED | index` must order the slab push before
+    /// the word that points at it.
+    pub fn store_release(&self, object: u64, word: u64) {
+        // order: Release — pairs with the Acquire side of cas/
+        // load_acquire; the slot word doubles as a lock word in the
+        // native fast path.
+        self.slots[object as usize].store(word, Ordering::Release)
     }
 
     /// Compare-and-swap a slot word (native executor). Success is

@@ -475,7 +475,7 @@ impl ServiceSim {
         // Abort every waiter whose deadline already passed (the PR 7
         // abortable-acquire path: they have left the queue by now).
         let now = self.now;
-        let (waiters, next, aborted) = {
+        let (next, aborted) = {
             let Some(entry) = self.active.get_mut(&object) else {
                 return;
             };
@@ -488,15 +488,35 @@ impl ServiceSim {
                     true
                 }
             });
-            let waiters = entry.waiters.len() as u64;
-            let next = match slot::mode(word) {
-                // Queue: FIFO handoff, flat cost.
-                slot::MODE_QUEUE => entry.waiters.pop_front(),
-                // TTS: the newest waiter usually wins the re-fetch
-                // race; cost scales with the herd re-fetching the line.
-                _ => entry.waiters.pop_back(),
+            // Pop handoff candidates until one can still meet its
+            // deadline at the grant completion time `now + cost` (not
+            // merely at `now`); the TTS handoff cost shrinks as the
+            // herd thins, so it is recomputed per candidate. An
+            // adaptive switch committed inside `grant` may still add
+            // its surcharge past the deadline — that residual keeps
+            // admission-time semantics, bounded by `COST_SWITCH`.
+            let next = loop {
+                let waiters = entry.waiters.len() as u64;
+                let cand = match slot::mode(word) {
+                    // Queue: FIFO handoff, flat cost.
+                    slot::MODE_QUEUE => entry.waiters.pop_front(),
+                    // TTS: the newest waiter usually wins the re-fetch
+                    // race; cost scales with the herd re-fetching the
+                    // line.
+                    _ => entry.waiters.pop_back(),
+                };
+                let Some(w) = cand else { break None };
+                let cost = match slot::mode(word) {
+                    slot::MODE_QUEUE => COST_QUEUE_HANDOFF,
+                    _ => COST_TTS_HANDOFF_PER_WAITER.saturating_mul(waiters),
+                };
+                if w.deadline_ns <= now.saturating_add(cost) {
+                    aborted.push(w);
+                    continue;
+                }
+                break Some((w, cost, waiters - 1));
             };
-            (waiters, next, aborted)
+            (next, aborted)
         };
         self.aborts += aborted.len() as u64;
         for w in aborted {
@@ -505,13 +525,7 @@ impl ServiceSim {
             }
         }
         match next {
-            Some(w) => {
-                let cost = match slot::mode(word) {
-                    slot::MODE_QUEUE => COST_QUEUE_HANDOFF,
-                    _ => COST_TTS_HANDOFF_PER_WAITER.saturating_mul(waiters),
-                };
-                self.grant(object, w, cost, waiters - 1);
-            }
+            Some((w, cost, waiters_seen)) => self.grant(object, w, cost, waiters_seen),
             None => {
                 // Last one out: drop the side entry so the object is
                 // back to slot-word-only residency.

@@ -83,7 +83,9 @@ impl TokenBucket {
 
     /// Credit tokens earned since the last refill. Time is monotone in
     /// both executors; a non-monotone `now` (native clock quirks) is
-    /// treated as no elapsed time.
+    /// treated as no elapsed time — the anchor is left where it was, so
+    /// a backward reading never retroactively re-credits fractional
+    /// progress toward the next token.
     fn refill(&mut self, now_ns: u64) {
         let elapsed = now_ns.saturating_sub(self.last_refill_ns);
         let earned = elapsed / self.cfg.period_ns;
@@ -95,9 +97,6 @@ impl TokenBucket {
             // Advance by whole periods only, so fractional progress
             // toward the next token is never discarded.
             self.last_refill_ns += earned * self.cfg.period_ns;
-        }
-        if now_ns < self.last_refill_ns {
-            self.last_refill_ns = now_ns;
         }
     }
 
@@ -161,6 +160,21 @@ mod tests {
         assert!(!b.try_acquire(60));
         assert!(!b.try_acquire(90)); // 90ns elapsed: still < 1 period
         assert!(b.try_acquire(110)); // crossed 100ns since last refill
+    }
+
+    #[test]
+    fn backward_clock_does_not_recredit_progress() {
+        let mut b = TokenBucket::new(LimiterConfig {
+            burst: 1,
+            period_ns: 100,
+        });
+        // The first acquire refills at t=1000 and spends the token.
+        assert!(b.try_acquire(1_000));
+        // A backward reading is zero elapsed time; the anchor must
+        // stay at 1000, so by 1050 only 50 ns have accrued, not 100.
+        assert!(!b.try_acquire(950));
+        assert!(!b.try_acquire(1_050));
+        assert!(b.try_acquire(1_100));
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl NativeService {
         let limit = deadline.map(|d| Instant::now() + d);
         let mut contended = false;
         loop {
-            let word = self.arena.load(object);
+            // Acquire: pairs with release_flat's store_release, so an
+            // INFLATED word guarantees the slab entry it indexes is
+            // visible, and a clear HELD bit guarantees the previous
+            // holder's critical section is.
+            let word = self.arena.load_acquire(object);
             if word & slot::INFLATED != 0 {
                 // Admission check: entering the reactive queue commits
                 // us, so the deadline is tested before enqueueing.
@@ -183,8 +187,10 @@ impl NativeService {
                     to: PROTO_QUEUE.0,
                 });
                 // Publish the inflated identity and drop HELD in one
-                // store; we own HELD, so no flat CAS can interleave.
-                self.arena.store(
+                // release store; we own HELD, so no flat CAS can
+                // interleave, and Release orders the slab push above
+                // before the word that indexes it.
+                self.arena.store_release(
                     object,
                     slot::with_index(slot::with_mode(0, slot::MODE_QUEUE), index),
                 );
@@ -192,10 +198,10 @@ impl NativeService {
             }
             // Denied: back off by clearing the evidence (and HELD).
             self.arena
-                .store(object, slot::clear_streaks(word) & !slot::HELD);
+                .store_release(object, slot::clear_streaks(word) & !slot::HELD);
             return;
         }
-        self.arena.store(object, word & !slot::HELD);
+        self.arena.store_release(object, word & !slot::HELD);
     }
 
     /// Total deadline aborts so far.

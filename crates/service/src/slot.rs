@@ -56,11 +56,12 @@ pub fn mode(word: u64) -> u8 {
 
 /// Replace the protocol field, clearing both streaks (a mode change
 /// resets the evidence that drove it, exactly like the kernel's
-/// post-commit policy reset).
+/// post-commit policy reset). `m` is masked to the 2-bit field so an
+/// out-of-range id can never leak into the streak bits.
 pub fn with_mode(word: u64, m: u8) -> u64 {
     let cleared =
         word & !(MODE_MASK | (STREAK_MASK << CONTENDED_SHIFT) | (STREAK_MASK << CALM_SHIFT));
-    cleared | ((m as u64) << MODE_SHIFT)
+    cleared | (((m as u64) << MODE_SHIFT) & MODE_MASK)
 }
 
 /// Saturating contended-grant streak.
@@ -118,6 +119,20 @@ mod tests {
             assert_eq!(v & HOT, HOT);
             assert_eq!(index(v), 7);
         }
+    }
+
+    #[test]
+    fn out_of_range_mode_is_masked_to_the_field() {
+        let w = HELD | HOT | with_index(0, 7);
+        // Only the low two bits of `m` may land in the word: bit 2 of
+        // an oversized id must not shift into the contended streak.
+        let v = with_mode(w, 0b111);
+        assert_eq!(mode(v), 0b11);
+        assert_eq!(contended_streak(v), 0);
+        assert_eq!(calm_streak(v), 0);
+        assert_eq!(v & HELD, HELD);
+        assert_eq!(v & HOT, HOT);
+        assert_eq!(index(v), 7);
     }
 
     #[test]

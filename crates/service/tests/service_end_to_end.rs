@@ -119,6 +119,39 @@ fn at_rest_memory_stays_bounded_as_arena_grows() {
 }
 
 #[test]
+fn no_grant_completes_past_its_deadline() {
+    // One scorching object, many clients, tight deadline: handoffs
+    // regularly collide with deadlines. A waiter is aborted unless the
+    // grant *completes* (handoff cost included) before its deadline,
+    // so in the static modes (no switch surcharge) every recorded
+    // acquire latency must fall strictly below the deadline.
+    for mode in [ArenaMode::StaticTts, ArenaMode::StaticQueue] {
+        let mut cfg = ServiceConfig::new(16, 4, 99);
+        cfg.mode = mode;
+        cfg.horizon_ns = 500_000;
+        cfg.tenants.push(TenantConfig {
+            first_object: 0,
+            objects: 1,
+            theta: 0.0,
+            load: Load::Closed {
+                clients: 32,
+                think_ns: 100,
+            },
+            hold_ns: 400,
+            deadline_ns: 2_000,
+        });
+        let r = run_service(cfg);
+        assert!(r.aborts > 0, "deadline never bit in {mode:?}");
+        assert!(r.acquires > 0, "nothing was ever granted in {mode:?}");
+        assert!(
+            r.wait.max < 2_000,
+            "a {mode:?} grant completed past its deadline: {} ns",
+            r.wait.max
+        );
+    }
+}
+
+#[test]
 fn static_modes_never_switch() {
     for mode in [ArenaMode::StaticTts, ArenaMode::StaticQueue] {
         let r = run_service(mixed_config(20_000, mode, Some(LimiterConfig::default())));

@@ -95,8 +95,5 @@ fn main() {
             format!("{} window violations", stampedes.len())
         },
     );
-    assert!(
-        stampedes.is_empty(),
-        "limiter let a switch stampede through"
-    );
+    assert!(stampedes.is_empty(), "limiter let a stampede through");
 }
