@@ -11,4 +11,5 @@ pub mod experiments;
 pub mod rmr;
 pub mod scenario;
 pub mod service;
+pub mod service_native;
 pub mod table;

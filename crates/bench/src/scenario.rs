@@ -436,7 +436,7 @@ impl Scenario {
     }
 }
 
-/// All 26 scenarios, in `EXPERIMENTS.md` table order (Chapter 3 rows,
+/// All 28 scenarios, in `EXPERIMENTS.md` table order (Chapter 3 rows,
 /// then Chapter 4, then the beyond-the-paper rows).
 /// `BENCH_experiments.json` rows follow this order.
 pub fn all() -> Vec<Scenario> {
@@ -467,6 +467,8 @@ pub fn all() -> Vec<Scenario> {
         service_bytes_per_object(),
         service_stampede(),
         service_tracks_best(),
+        service_native_tail(),
+        service_native_deflation(),
     ]
 }
 
@@ -2424,6 +2426,214 @@ fn service_tracks_best() -> Scenario {
     }
 }
 
+fn service_native_tail() -> Scenario {
+    fn run(scale: Scale) -> Outcome {
+        let ad = crate::service_native::run_tail(scale, ArenaMode::Adaptive);
+        let tts = crate::service_native::run_tail(scale, ArenaMode::StaticTts);
+        let mut o = Outcome {
+            sweep: "",
+            headline: format!(
+                "{} host threads, wall clock: adaptive hot-tenant adjusted p999 {} ns \
+                 ({} grants, {} shed, {} inflations) vs static-TTS flat-spin adjusted \
+                 p999 {} ns ({} grants, {} shed at their 50 ms deadline); adaptive \
+                 merged p50/p99/p999 = {}/{}/{} ns, abort rate {:.4}; limiter oracle \
+                 clean",
+                ad.threads,
+                ad.tenant_adjusted_p999_ns(0),
+                ad.tenant_wait[0].count,
+                ad.aborts_by_tenant[0],
+                ad.inflations,
+                tts.tenant_adjusted_p999_ns(0),
+                tts.tenant_wait[0].count,
+                tts.aborts_by_tenant[0],
+                ad.p50_ns(),
+                ad.p99_ns(),
+                ad.p999_ns(),
+                ad.abort_rate(),
+            ),
+            ..Outcome::default()
+        };
+        o.scalar("service_native/p50_ns", ad.p50_ns() as f64);
+        o.scalar("service_native/p99_ns", ad.p99_ns() as f64);
+        o.scalar("service_native/p999_ns", ad.p999_ns() as f64);
+        // The gated comparison runs on the *hot tenant's own
+        // deadline-adjusted* histogram, for two reasons. First, the
+        // merged histogram folds in the open tenant's
+        // scheduled-arrival backlog — a measure of CPU saturation
+        // that drowns the policy signal on small hosts. Second, a
+        // completed-only percentile is survivorship-biased: flat TTS
+        // starves a descheduled waiter so thoroughly that its acquire
+        // never finishes and never lands a sample, so the *worse* the
+        // flat lock behaves the *better* its completed tail looks.
+        // The adjusted histogram charges every shed request its full
+        // 50 ms deadline, which is a lower bound on the truth.
+        o.scalar(
+            "service_native/hot_adjusted_p999_ns",
+            ad.tenant_adjusted_p999_ns(0) as f64,
+        );
+        o.scalar(
+            "service_native/static_tts_hot_adjusted_p999_ns",
+            tts.tenant_adjusted_p999_ns(0) as f64,
+        );
+        o.scalar("service_native/hot_grants", ad.tenant_wait[0].count as f64);
+        o.scalar(
+            "service_native/static_tts_hot_grants",
+            tts.tenant_wait[0].count as f64,
+        );
+        o.scalar(
+            "service_native/static_tts_hot_shed",
+            tts.aborts_by_tenant[0] as f64,
+        );
+        o.scalar("service_native/inflations", ad.inflations as f64);
+        o.scalar("service_native/abort_rate", ad.abort_rate());
+        o.scalar("service_native/switches_per_sec", ad.switches_per_sec());
+        o.scalar(
+            "service_native/tail_oracle_violations",
+            ad.stampedes().len() as f64,
+        );
+        o
+    }
+    Scenario {
+        name: "service_native_tail",
+        figure: "— (beyond the paper; the service tail row on real threads)",
+        paper_says: "the adaptive arena's tail advantage survives the move from virtual \
+                     time to real preempted threads: inflating hot objects to FIFO \
+                     kernel-backed locks beats a static flat-TTS pin at the \
+                     deadline-adjusted p999 (shed requests charged their full deadline) \
+                     under mixed tenancy, because an unfair flat spin lock lets a \
+                     zero-think captor starve its waiters to the deadline",
+        claims: &[
+            // The CI-gated native sanity claim: the hot tenant's
+            // adaptive deadline-adjusted p999 beats its static-TTS
+            // one outright. Under flat TTS the running captor starves
+            // whichever worker is descheduled until the 50 ms
+            // deadline sheds it (charged in full); once inflated, the
+            // kernel lock's FIFO queue grants everyone at handoff
+            // scale (calibrated: adjusted p999 ~0.1-1.6 ms vs the
+            // 50 ms shed plateau, ratio <= 0.032 across reps).
+            // Real-thread numbers are noisy, so the bound is
+            // deliberately far looser than the measurements.
+            Claim::BoundedRatio {
+                num: "service_native/hot_adjusted_p999_ns",
+                den: Some("service_native/static_tts_hot_adjusted_p999_ns"),
+                min: 0.0,
+                max: 0.9,
+            },
+            // The adaptation was real: hot objects actually inflated.
+            Claim::BoundedRatio {
+                num: "service_native/inflations",
+                den: None,
+                min: 1.0,
+                max: f64::INFINITY,
+            },
+            // The calm tenant's 60 µs deadline sheds almost nothing on
+            // the adaptive arm.
+            Claim::BoundedRatio {
+                num: "service_native/abort_rate",
+                den: None,
+                min: 0.0,
+                max: 0.05,
+            },
+            // The switch log stays stampede-free under the default
+            // limiter even with real racing threads writing it.
+            Claim::BoundedRatio {
+                num: "service_native/tail_oracle_violations",
+                den: None,
+                min: 0.0,
+                max: 0.0,
+            },
+        ],
+        run,
+    }
+}
+
+fn service_native_deflation() -> Scenario {
+    fn run(scale: Scale) -> Outcome {
+        let d = crate::service_native::run_deflation(scale);
+        let footprint_ratio = d.hot_bytes_calm as f64 / d.hot_bytes_storm as f64;
+        let mut o = Outcome {
+            sweep: "",
+            headline: format!(
+                "storm -> calm -> storm on one object: {} inflations / {} deflations, \
+                 {} live after calm, hot footprint {} -> {} bytes ({:.2}x), slab holds \
+                 {} entry after re-inflation; {} mutual-exclusion violations",
+                d.inflations,
+                d.deflations,
+                d.live_after_calm,
+                d.hot_bytes_storm,
+                d.hot_bytes_calm,
+                footprint_ratio,
+                d.slab_entries,
+                d.violations,
+            ),
+            ..Outcome::default()
+        };
+        o.scalar("service_native/roundtrip_inflations", d.inflations as f64);
+        o.scalar("service_native/deflations", d.deflations as f64);
+        o.scalar("service_native/live_after_calm", d.live_after_calm as f64);
+        o.scalar("service_native/footprint_ratio", footprint_ratio);
+        o.scalar("service_native/slab_entries", d.slab_entries as f64);
+        o.scalar("service_native/mutex_violations", d.violations as f64);
+        o
+    }
+    Scenario {
+        name: "service_native_deflation",
+        figure: "— (beyond the paper; lock deflation reclaims the hot set)",
+        paper_says: "a durably calm inflated object demotes back to a flat slot word: \
+                     the slab entry is reclaimed (footprint shrinks when a hot phase \
+                     cools), a later storm re-inflates through the free list without \
+                     growing the slab, and mutual exclusion holds across both \
+                     promotion boundaries",
+        claims: &[
+            // The round trip really happened: inflate, deflate, and
+            // inflate again (>= 2 cumulative inflations).
+            Claim::BoundedRatio {
+                num: "service_native/roundtrip_inflations",
+                den: None,
+                min: 2.0,
+                max: f64::INFINITY,
+            },
+            Claim::BoundedRatio {
+                num: "service_native/deflations",
+                den: None,
+                min: 1.0,
+                max: f64::INFINITY,
+            },
+            // Deflation fully drained the live hot set…
+            Claim::BoundedRatio {
+                num: "service_native/live_after_calm",
+                den: None,
+                min: 0.0,
+                max: 0.0,
+            },
+            // …and gave the bytes back.
+            Claim::BoundedRatio {
+                num: "service_native/footprint_ratio",
+                den: None,
+                min: 0.0,
+                max: 0.95,
+            },
+            // Re-inflation reused the retired slab entry instead of
+            // growing the slab.
+            Claim::BoundedRatio {
+                num: "service_native/slab_entries",
+                den: None,
+                min: 1.0,
+                max: 1.0,
+            },
+            // The in-CS overlap counter saw exclusive holds across the
+            // flat path, the inflated path, and both transitions.
+            Claim::BoundedRatio {
+                num: "service_native/mutex_violations",
+                den: None,
+                min: 0.0,
+                max: 0.0,
+            },
+        ],
+        run,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2431,14 +2641,14 @@ mod tests {
     #[test]
     fn all_scenarios_have_unique_names_and_claims() {
         let s = all();
-        assert_eq!(s.len(), 26, "EXPERIMENTS.md has 26 figure/table rows");
+        assert_eq!(s.len(), 28, "EXPERIMENTS.md has 28 figure/table rows");
         for sc in &s {
             assert!(!sc.claims.is_empty(), "{} has no claims", sc.name);
         }
         let mut names: Vec<&str> = s.iter().map(|sc| sc.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 26, "duplicate scenario names");
+        assert_eq!(names.len(), 28, "duplicate scenario names");
     }
 
     #[test]

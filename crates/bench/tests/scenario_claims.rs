@@ -5,7 +5,10 @@
 //! `Lpoll = B/2` rule — fails the corresponding test here.
 //!
 //! The quick variants are deterministic (fixed simulator seeds, fixed
-//! closed-form sweeps), so these tests are bit-stable run to run.
+//! closed-form sweeps), so these tests are bit-stable run to run — with
+//! one deliberate exception: the `service_native_*` rows run real host
+//! threads on a wall clock, so their claims gate the *shape* of the
+//! result with wide margins rather than exact numbers.
 
 use repro_bench::scenario::{by_name, Scale};
 
@@ -65,6 +68,8 @@ claim_test!(
     service_bytes_per_object,
     service_stampede,
     service_tracks_best,
+    service_native_tail,
+    service_native_deflation,
 );
 
 /// Every scenario in the registry is covered by a test above (guards
@@ -98,6 +103,8 @@ fn registry_matches_test_list() {
         "service_bytes_per_object",
         "service_stampede",
         "service_tracks_best",
+        "service_native_tail",
+        "service_native_deflation",
     ];
     let names: Vec<&str> = repro_bench::scenario::all()
         .iter()

@@ -24,8 +24,14 @@
 //!   silently drop a gated scenario).
 //! * `service-keys` — the lock-service scenario family, same contract
 //!   against `BENCH_service.json`: every row name must be an
-//!   `EXPERIMENTS.md` key, and every `service_*` key must have a
+//!   `EXPERIMENTS.md` key, and every `service_*` key (except the
+//!   `service_native_*` sub-family below) must have a
 //!   `BENCH_service.json` row.
+//! * `service-native-keys` — the native (real-thread) lock-service
+//!   sub-family, same contract against `BENCH_service_native.json`:
+//!   every row name must be an `EXPERIMENTS.md` key, and every
+//!   `service_native_*` key must have a `BENCH_service_native.json`
+//!   row.
 //!
 //! The allowlist is `crates/check/lint_allow.txt`: `<rule> <key>` per
 //! line, `#` comments. Keys are workspace-relative paths for the file
@@ -143,6 +149,7 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
     experiments_keys_rule(root, &allow, &mut findings)?;
     rmr_keys_rule(root, &allow, &mut findings)?;
     service_keys_rule(root, &allow, &mut findings)?;
+    service_native_keys_rule(root, &allow, &mut findings)?;
     Ok(findings)
 }
 
@@ -409,8 +416,14 @@ fn rmr_keys_rule(root: &Path, allow: &Allowlist, findings: &mut Vec<Finding>) ->
 }
 
 /// Key prefixes that mark an `EXPERIMENTS.md` row as belonging to the
-/// lock-service scenario family (`BENCH_service.json`'s scope).
+/// lock-service scenario family (`BENCH_service.json`'s scope). The
+/// native sub-family is carved out: its rows live in
+/// `BENCH_service_native.json` (see `SERVICE_NATIVE_FAMILY_PREFIXES`).
 const SERVICE_FAMILY_PREFIXES: [&str; 1] = ["service_"];
+
+/// Key prefixes of the native (real-thread) lock-service sub-family
+/// (`BENCH_service_native.json`'s scope).
+const SERVICE_NATIVE_FAMILY_PREFIXES: [&str; 1] = ["service_native_"];
 
 fn service_keys_rule(
     root: &Path,
@@ -432,7 +445,10 @@ fn service_keys_rule(
         }
     }
     for key in &md_keys {
-        let in_family = SERVICE_FAMILY_PREFIXES.iter().any(|p| key.starts_with(p));
+        let in_family = SERVICE_FAMILY_PREFIXES.iter().any(|p| key.starts_with(p))
+            && !SERVICE_NATIVE_FAMILY_PREFIXES
+                .iter()
+                .any(|p| key.starts_with(p));
         if in_family && !json_keys.contains(key) && !allow.allows("service-keys", key) {
             findings.push(Finding {
                 rule: "service-keys",
@@ -441,6 +457,47 @@ fn service_keys_rule(
                 msg: format!(
                     "EXPERIMENTS.md lock-service scenario `{key}` has no BENCH_service.json \
                      row (add it to the service bench's ROWS, or allowlist it)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn service_native_keys_rule(
+    root: &Path,
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let md = fs::read_to_string(root.join("EXPERIMENTS.md"))?;
+    let json = fs::read_to_string(root.join("BENCH_service_native.json"))?;
+    let md_keys = experiment_md_keys(&md);
+    let json_keys = experiment_json_keys(&json);
+    for key in &json_keys {
+        if !md_keys.contains(key) {
+            findings.push(Finding {
+                rule: "service-native-keys",
+                file: "EXPERIMENTS.md".to_string(),
+                line: 0,
+                msg: format!(
+                    "BENCH_service_native.json row `{key}` has no EXPERIMENTS.md table row"
+                ),
+            });
+        }
+    }
+    for key in &md_keys {
+        let in_family = SERVICE_NATIVE_FAMILY_PREFIXES
+            .iter()
+            .any(|p| key.starts_with(p));
+        if in_family && !json_keys.contains(key) && !allow.allows("service-native-keys", key) {
+            findings.push(Finding {
+                rule: "service-native-keys",
+                file: "BENCH_service_native.json".to_string(),
+                line: 0,
+                msg: format!(
+                    "EXPERIMENTS.md native lock-service scenario `{key}` has no \
+                     BENCH_service_native.json row (add it to the service_native bench's \
+                     ROWS, or allowlist it)"
                 ),
             });
         }
@@ -541,12 +598,36 @@ mod tests {
     #[test]
     fn service_family_prefixes_scope_the_rule() {
         // Only `service_*` EXPERIMENTS.md keys are required to have a
-        // BENCH_service.json row; everything else is out of scope.
-        let family = |k: &str| SERVICE_FAMILY_PREFIXES.iter().any(|p| k.starts_with(p));
+        // BENCH_service.json row; everything else is out of scope —
+        // including the `service_native_*` sub-family, which the
+        // service-native-keys rule owns.
+        let family = |k: &str| {
+            SERVICE_FAMILY_PREFIXES.iter().any(|p| k.starts_with(p))
+                && !SERVICE_NATIVE_FAMILY_PREFIXES
+                    .iter()
+                    .any(|p| k.starts_with(p))
+        };
         assert!(family("service_tail_latency"));
         assert!(family("service_stampede"));
+        assert!(!family("service_native_tail"));
+        assert!(!family("service_native_deflation"));
         assert!(!family("rmr_recoverable"));
         assert!(!family("fig_3_15_baseline"));
+    }
+
+    #[test]
+    fn service_native_family_prefixes_scope_the_rule() {
+        // Only `service_native_*` EXPERIMENTS.md keys are required to
+        // have a BENCH_service_native.json row.
+        let family = |k: &str| {
+            SERVICE_NATIVE_FAMILY_PREFIXES
+                .iter()
+                .any(|p| k.starts_with(p))
+        };
+        assert!(family("service_native_tail"));
+        assert!(family("service_native_deflation"));
+        assert!(!family("service_tail_latency"));
+        assert!(!family("rmr_recoverable"));
     }
 
     #[test]

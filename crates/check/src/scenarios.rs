@@ -80,6 +80,11 @@ pub fn all() -> Vec<Scenario> {
             about: "crash-recovery racing a fresh acquirer fences the dead protocol first",
             run: kernel_recovery,
         },
+        Scenario {
+            name: "arena_inflation",
+            about: "slot-word inflate -> deflate -> re-inflate keeps mutual exclusion (2 threads)",
+            run: arena_inflation,
+        },
     ]
 }
 
@@ -692,6 +697,209 @@ fn kernel_commit_first(cfg: Config) -> Report {
             h.join().unwrap();
             assert_eq!(obj.kernel.switches(), 2);
             assert_eq!(obj.kernel.current(), A, "the racer's change committed last");
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Service-arena scenario
+// ---------------------------------------------------------------------
+
+/// Shared state of the [`arena_inflation`] miniature: a one-object
+/// arena whose packed word is the lock in the flat regime and an
+/// in-flight-refcounted pointer to `lock` in the inflated regime.
+struct MiniArena {
+    /// The slot word (layout in the local constants below).
+    word: AtomicU64,
+    /// The one "slab entry", deliberately recycled across inflations so
+    /// a stale registration that survives deflation would reach the
+    /// *new* era's lock — the ABA the registration CAS must prevent.
+    lock: TtsLock,
+    /// Critical-section payload; the model's vector clocks flag any
+    /// unserialized access.
+    payload: RaceCell<u64>,
+}
+
+/// How [`MiniArena::acquire`] won, so release takes the matching door.
+enum MiniHold {
+    Flat,
+    Inflated,
+}
+
+impl MiniArena {
+    fn acquire(&self) -> MiniHold {
+        // Local mini-word layout (the real one is
+        // crates/service/src/slot.rs): thresholds are 1, so a single
+        // contended release inflates and a single calm inflated
+        // release deflates — every boundary is reachable within the
+        // preemption bound.
+        const HELD: u64 = 1;
+        const INFLATED: u64 = 2;
+        const WAITERS: u64 = 4;
+        const REF_ONE: u64 = 8;
+        let mut fought = false;
+        loop {
+            // order: Acquire — pairs with the inflation publish and
+            // the releaser's store, as in the native arena.
+            let w = self.word.load(Ordering::Acquire);
+            if w & INFLATED != 0 {
+                // Register (+REF_ONE) before touching the lock: the
+                // refcount pins the entry against deflation; a failed
+                // CAS means the word moved — possibly deflated — so
+                // reload and re-dispatch.
+                // order: AcqRel — the registration is the consensus
+                // against the demotion CAS on the same word.
+                if self
+                    .word
+                    .compare_exchange(w, w + REF_ONE, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.lock.lock();
+                    return MiniHold::Inflated;
+                }
+                continue;
+            }
+            if w & HELD == 0 {
+                let next = if fought {
+                    w | HELD | WAITERS
+                } else {
+                    (w | HELD) & !WAITERS
+                };
+                // order: AcqRel — winning the flat word is the lock
+                // acquisition itself.
+                if self
+                    .word
+                    .compare_exchange(w, next, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return MiniHold::Flat;
+                }
+                fought = true;
+                continue;
+            }
+            fought = true;
+            if w & WAITERS == 0 {
+                // order: Relaxed — evidence bit; the releaser reads it
+                // under its own word load.
+                let _ = self.word.compare_exchange(
+                    w,
+                    w | WAITERS,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                continue;
+            }
+            thread::yield_now();
+        }
+    }
+
+    fn release(&self, hold: MiniHold) {
+        const HELD: u64 = 1;
+        const INFLATED: u64 = 2;
+        const WAITERS: u64 = 4;
+        const REF_ONE: u64 = 8;
+        const REF_MASK: u64 = !7;
+        match hold {
+            MiniHold::Flat => {
+                loop {
+                    // order: Relaxed — we own HELD; the CAS below
+                    // publishes.
+                    let w = self.word.load(Ordering::Relaxed);
+                    if w & WAITERS != 0 {
+                        // Contended release at threshold 1: inflate.
+                        // We own HELD, so publishing the inflated word
+                        // (ref 0, evidence consumed) in one store is
+                        // the whole promotion.
+                        // order: Release — publishes the entry the
+                        // INFLATED bit points acquirers at.
+                        self.word.store(INFLATED, Ordering::Release);
+                        return;
+                    }
+                    // order: Release — ends the critical section.
+                    if self
+                        .word
+                        .compare_exchange(w, w & !HELD, Ordering::Release, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+            }
+            MiniHold::Inflated => {
+                loop {
+                    // order: Relaxed — arbitration is via the CASes.
+                    let w = self.word.load(Ordering::Relaxed);
+                    if w & REF_MASK == REF_ONE {
+                        // Calm at threshold 1 (our registration is the
+                        // only one): demote. The CAS expects our exact
+                        // ref==1 word, so it arbitrates against racing
+                        // registrations.
+                        // order: AcqRel — the demotion consensus.
+                        if self
+                            .word
+                            .compare_exchange(w, 0, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            // Provably uncontended: we held the lock
+                            // and no registration was en route.
+                            self.lock.unlock();
+                            return;
+                        }
+                        continue;
+                    }
+                    // Deregister and release normally.
+                    // order: Release — ends the critical section.
+                    if self
+                        .word
+                        .compare_exchange(w, w - REF_ONE, Ordering::Release, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        self.lock.unlock();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Miniature of the service arena's native slot-word protocol
+/// (`crates/service/src/native.rs`), with both thresholds at 1 so the
+/// checker reaches every boundary: flat wins racing the inflation
+/// publish, registration racing demotion on the same word, a stale
+/// registration retrying against the deflated word, and re-inflation
+/// recycling the same lock. Two threads of two lock/unlock pairs each;
+/// mutual exclusion is checked by a [`RaceCell`] payload and a final
+/// count.
+fn arena_inflation(cfg: Config) -> Report {
+    explore(
+        "arena_inflation",
+        cfg,
+        Arc::new(|| {
+            let arena = Arc::new(MiniArena {
+                word: AtomicU64::new(0),
+                lock: TtsLock::new(),
+                payload: RaceCell::new("arena payload", 0u64),
+            });
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = arena.clone();
+                    thread::spawn(move || {
+                        for _ in 0..2 {
+                            let hold = a.acquire();
+                            let v = a.payload.get();
+                            a.payload.set(v + 1);
+                            a.release(hold);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            let hold = arena.acquire();
+            assert_eq!(arena.payload.get(), 4, "an increment was lost");
+            arena.release(hold);
         }),
     )
 }

@@ -10,9 +10,12 @@
 //! [`Footprint`] so the bytes/object claim is measured rather than
 //! asserted.
 //!
-//! Sharding is by low bits of the object id (`object % shards`), which
-//! spreads each tenant's contiguous range across all shards — a hot
-//! tenant heats every limiter a little instead of one limiter a lot.
+//! Sharding is `object mod shards`, which spreads each tenant's
+//! contiguous object range across all shards — a hot tenant heats every
+//! limiter a little instead of one limiter a lot. When the shard count
+//! is a power of two (every config this repo ships) the modulo is a
+//! single mask; the router keeps a precomputed mask for that case and
+//! falls back to the division only for odd shard counts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -20,6 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ObjectArena {
     slots: Box<[AtomicU64]>,
     shards: u32,
+    /// `shards - 1` when `shards` is a power of two (so `object & mask`
+    /// equals `object % shards`), else `None`.
+    shard_mask: Option<u64>,
 }
 
 impl ObjectArena {
@@ -32,7 +38,12 @@ impl ObjectArena {
         assert!(objects > 0, "arena must hold at least one object");
         assert!(shards > 0, "arena must have at least one shard");
         let slots = (0..objects).map(|_| AtomicU64::new(0)).collect();
-        ObjectArena { slots, shards }
+        let shard_mask = shards.is_power_of_two().then(|| u64::from(shards) - 1);
+        ObjectArena {
+            slots,
+            shards,
+            shard_mask,
+        }
     }
 
     /// Number of objects hosted.
@@ -45,9 +56,13 @@ impl ObjectArena {
         self.shards
     }
 
-    /// Shard owning `object`.
+    /// Shard owning `object`: `object % shards`, computed as a mask
+    /// when the shard count is a power of two.
     pub fn shard_of(&self, object: u64) -> u32 {
-        (object % u64::from(self.shards)) as u32
+        match self.shard_mask {
+            Some(mask) => (object & mask) as u32,
+            None => (object % u64::from(self.shards)) as u32,
+        }
     }
 
     /// Read a slot word. Relaxed suffices for the deterministic
@@ -163,6 +178,21 @@ mod tests {
             seen[a.shard_of(obj) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest::proptest! {
+        /// The mask fast path must be indistinguishable from the
+        /// modulo definition for every object id and shard count.
+        #[test]
+        fn router_is_object_mod_shards(object in 0u64..u64::MAX,
+                                       shards in 1u32..4097) {
+            let a = ObjectArena::new(1, shards);
+            proptest::prop_assert_eq!(
+                u64::from(a.shard_of(object)),
+                object % u64::from(shards)
+            );
+            proptest::prop_assert!(a.shard_of(object) < shards);
+        }
     }
 
     #[test]

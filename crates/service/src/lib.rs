@@ -25,7 +25,11 @@
 //!   acquire latency, switch and abort rates, bytes/object.
 //! * [`native`] — the threaded executor ([`NativeService`]): real
 //!   threads over real kernel-backed [`reactive_native::ReactiveLock`]s
-//!   via lock inflation.
+//!   via lock inflation and (for durably calm objects) deflation.
+//! * [`drive`] — the native load driver ([`run_native`]): worker
+//!   threads replaying the same tenant configs against a
+//!   [`NativeService`], reporting measured wall-clock percentiles next
+//!   to the simulated ones.
 //!
 //! Quick taste (the bench scenarios in `crates/bench` are the real
 //! entry point):
@@ -50,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub mod arena;
+pub mod drive;
 pub mod exec;
 pub mod limiter;
 pub mod native;
@@ -59,6 +64,7 @@ pub mod slot;
 pub mod workload;
 
 pub use arena::{Footprint, ObjectArena};
+pub use drive::{run_native, NativeReport, NativeRunConfig};
 pub use exec::{run_service, ArenaMode, ServiceConfig, ServiceReport, ServiceSim};
 pub use limiter::{LimiterConfig, TokenBucket};
 pub use native::{NativeGuard, NativeService};

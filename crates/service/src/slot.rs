@@ -19,6 +19,9 @@
 //! | 4-7   | contended streak | saturating count of consecutive contended grants |
 //! | 8-11  | calm streak      | saturating count of consecutive calm grants      |
 //! | 12    | `HOT`            | a lazily allocated hot-stat entry exists         |
+//! | 13    | `WAITERS`        | native: a spinner registered during this hold    |
+//! | 14-15 | (reserved)       | zero                                             |
+//! | 16-31 | in-flight count  | native: registered inflated-path acquirers       |
 //! | 32-63 | inflation index  | slab index of the inflated lock (when `INFLATED`)|
 //!
 //! The mode/validity discipline mirrors the switching kernel's: the
@@ -27,6 +30,18 @@
 //! native world the `INFLATED` bit is only ever set by the current
 //! holder of the fast-path bit (see `native.rs`), preserving the
 //! at-most-one-valid-protocol invariant across the promotion.
+//!
+//! Two fields exist purely for the native executor's *demotion*
+//! (deflation) protocol. `WAITERS` is the futex-style contended bit: a
+//! flat spinner sets it once per hold, the releasing owner reads it as
+//! this hold's contention evidence, and the next flat winner clears it
+//! — so streaks accrue at release time and survive the capture effect
+//! (one thread re-winning its own lock) that starves acquirer-side
+//! observation on small machines. The in-flight count is the
+//! registration refcount of inflated-path acquirers: registering (a
+//! `+= REF_ONE` CAS) and deflating (a CAS that requires the count to be
+//! exactly the holder's own 1) arbitrate on the same word, which is
+//! what makes demotion linearizable without a stop-the-world quiesce.
 
 /// Native fast-path lock bit.
 pub const HELD: u64 = 1;
@@ -34,13 +49,27 @@ pub const HELD: u64 = 1;
 pub const INFLATED: u64 = 1 << 1;
 /// A lazily allocated hot-stat entry exists for this object.
 pub const HOT: u64 = 1 << 12;
+/// Native flat path: a spinner registered interest during the current
+/// hold. Set by waiters, read (as contention evidence) and cleared by
+/// the release/acquire that ends the hold.
+pub const WAITERS: u64 = 1 << 13;
+/// One in-flight inflated-path acquirer (the registration refcount
+/// lives in bits 16-31; add/subtract this to register/deregister).
+pub const REF_ONE: u64 = 1 << REF_SHIFT;
 
 const MODE_SHIFT: u32 = 2;
 const MODE_MASK: u64 = 0b11 << MODE_SHIFT;
 const CONTENDED_SHIFT: u32 = 4;
 const CALM_SHIFT: u32 = 8;
 const STREAK_MASK: u64 = 0xF;
+const REF_SHIFT: u32 = 16;
+const REF_MASK: u64 = 0xFFFF;
 const INDEX_SHIFT: u32 = 32;
+
+/// Per-object bits that survive a protocol promotion or demotion: the
+/// hot-stat marker is object identity, not hold state, so inflation and
+/// deflation must carry it through their published words.
+const CARRY_MASK: u64 = HOT;
 
 /// Protocol id of the TTS-like (cheap, unfair, melts under contention)
 /// mode — matches [`reactive_native::reactive::PROTO_TTS`].
@@ -93,6 +122,38 @@ pub fn observe(word: u64, contended: bool) -> u64 {
 /// thundering herd of switch requests over time).
 pub fn clear_streaks(word: u64) -> u64 {
     word & !((STREAK_MASK << CONTENDED_SHIFT) | (STREAK_MASK << CALM_SHIFT))
+}
+
+/// Raise the contended streak to at least `streak` (saturating at 15)
+/// and zero the calm streak — the long-wait fast path: a winner whose
+/// measured flat wait was pathological seeds the full inflation
+/// evidence at once, instead of waiting for per-release observations
+/// that a capturing holder keeps wiping out.
+pub fn saturate_contended(word: u64, streak: u8) -> u64 {
+    let cur = contended_streak(word);
+    let new = u64::from(cur.max(streak).min(15));
+    (word & !((STREAK_MASK << CONTENDED_SHIFT) | (STREAK_MASK << CALM_SHIFT)))
+        | (new << CONTENDED_SHIFT)
+}
+
+/// Registered inflated-path acquirers currently in flight (meaningful
+/// only while `INFLATED` is set; the holder's own registration counts).
+pub fn inflight(word: u64) -> u32 {
+    ((word >> REF_SHIFT) & REF_MASK) as u32
+}
+
+/// The per-object bits that persist across inflation and deflation
+/// (currently just `HOT`); everything transient — hold bits, streaks,
+/// refcount, index — is dropped.
+pub fn carry_bits(word: u64) -> u64 {
+    word & CARRY_MASK
+}
+
+/// The flat word a deflating holder publishes: demoted to TTS mode with
+/// clear streaks and no hold/waiter/refcount state, carrying only the
+/// persistent per-object bits.
+pub fn deflated(word: u64) -> u64 {
+    with_mode(carry_bits(word), MODE_TTS)
 }
 
 /// Inflation slab index (meaningful only when `INFLATED` is set).
@@ -168,5 +229,54 @@ mod tests {
         assert_eq!(index(v), u32::MAX);
         assert_eq!(mode(v), MODE_QUEUE);
         assert_ne!(v & INFLATED, 0);
+    }
+
+    #[test]
+    fn saturate_contended_seeds_without_touching_other_fields() {
+        let word = with_index(HELD | WAITERS | HOT | REF_ONE, 7);
+        let seeded = saturate_contended(word, 3);
+        assert_eq!(contended_streak(seeded), 3);
+        assert_eq!(calm_streak(seeded), 0);
+        assert_eq!(seeded & !0xFF0, word & !0xFF0, "only streak fields move");
+        // Already past the seed: the higher streak survives.
+        let hot = observe(observe(observe(observe(word, true), true), true), true);
+        assert_eq!(contended_streak(saturate_contended(hot, 3)), 4);
+        // Saturates at the 4-bit field cap.
+        assert_eq!(contended_streak(saturate_contended(word, 99)), 15);
+    }
+
+    #[test]
+    fn refcount_field_is_independent() {
+        let mut w = with_index(with_mode(HOT | WAITERS, MODE_QUEUE), 9);
+        assert_eq!(inflight(w), 0);
+        for n in 1..=5u32 {
+            w += REF_ONE;
+            assert_eq!(inflight(w), n);
+        }
+        // Registration arithmetic must not leak into its neighbours.
+        assert_eq!(index(w), 9);
+        assert_eq!(mode(w), MODE_QUEUE);
+        assert_ne!(w & HOT, 0);
+        assert_ne!(w & WAITERS, 0);
+        w -= REF_ONE;
+        assert_eq!(inflight(w), 4);
+        // Streak observation leaves the refcount alone.
+        assert_eq!(inflight(observe(w, true)), 4);
+        assert_eq!(inflight(with_mode(w, MODE_TTS)), 4);
+    }
+
+    #[test]
+    fn deflated_word_keeps_only_carry_bits() {
+        let mut w = with_index(HELD | HOT | WAITERS, 3) + 2 * REF_ONE;
+        for _ in 0..5 {
+            w = observe(w, false);
+        }
+        let d = deflated(w);
+        assert_eq!(d, HOT, "only the carry bits survive demotion");
+        assert_eq!(mode(d), MODE_TTS);
+        assert_eq!(inflight(d), 0);
+        assert_eq!(calm_streak(d), 0);
+        assert_eq!(d & (HELD | INFLATED | WAITERS), 0);
+        assert_eq!(carry_bits(w), HOT);
     }
 }

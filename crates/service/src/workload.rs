@@ -167,6 +167,40 @@ impl ArrivalCurve {
         }
     }
 
+    /// The same curve shape with every rate multiplied by `factor`.
+    /// The native driver partitions one tenant's open-loop process
+    /// across its worker threads by handing each a `1/threads`-scaled
+    /// copy (with a distinct seed): the superposition of independent
+    /// thinned Poisson processes at `rate/T` is a Poisson process at
+    /// `rate`, so the offered load is preserved exactly.
+    pub fn scaled(&self, factor: f64) -> ArrivalCurve {
+        match *self {
+            ArrivalCurve::Constant { rate_per_sec } => ArrivalCurve::Constant {
+                rate_per_sec: rate_per_sec * factor,
+            },
+            ArrivalCurve::Diurnal {
+                low_per_sec,
+                high_per_sec,
+                period_ns,
+            } => ArrivalCurve::Diurnal {
+                low_per_sec: low_per_sec * factor,
+                high_per_sec: high_per_sec * factor,
+                period_ns,
+            },
+            ArrivalCurve::Burst {
+                base_per_sec,
+                spike_per_sec,
+                duty_ns,
+                period_ns,
+            } => ArrivalCurve::Burst {
+                base_per_sec: base_per_sec * factor,
+                spike_per_sec: spike_per_sec * factor,
+                duty_ns,
+                period_ns,
+            },
+        }
+    }
+
     /// Peak instantaneous rate (arrivals per virtual ns) — used to
     /// bound the thinning envelope in [`Arrivals`].
     fn peak_per_ns(&self) -> f64 {
@@ -325,6 +359,27 @@ mod tests {
             period_ns: 1_000,
         };
         assert!(c.rate_per_ns(50) > c.rate_per_ns(500) * 100.0);
+    }
+
+    #[test]
+    fn scaled_curve_scales_every_rate() {
+        let c = ArrivalCurve::Burst {
+            base_per_sec: 1e3,
+            spike_per_sec: 1e6,
+            duty_ns: 100,
+            period_ns: 1_000,
+        };
+        let half = c.scaled(0.5);
+        for t in [0u64, 50, 500, 999] {
+            assert!((half.rate_per_ns(t) - c.rate_per_ns(t) * 0.5).abs() < 1e-15);
+        }
+        let d = ArrivalCurve::Diurnal {
+            low_per_sec: 10.0,
+            high_per_sec: 90.0,
+            period_ns: 1_000,
+        }
+        .scaled(2.0);
+        assert!((d.rate_per_ns(0) - 20.0e-9).abs() < 1e-12);
     }
 
     #[test]
