@@ -70,6 +70,7 @@ claim_test!(
     service_tracks_best,
     service_native_tail,
     service_native_deflation,
+    sim_parallel_scale,
 );
 
 /// Every scenario in the registry is covered by a test above (guards
@@ -105,6 +106,7 @@ fn registry_matches_test_list() {
         "service_tracks_best",
         "service_native_tail",
         "service_native_deflation",
+        "sim_parallel_scale",
     ];
     let names: Vec<&str> = repro_bench::scenario::all()
         .iter()

@@ -12,6 +12,10 @@
 //!   comment (same placement rule), or its file is allowlisted.
 //! * `hot-path-maps` — the simulator's hot-path modules must stay on
 //!   dense arena/slab structures: no `HashMap`/`BTreeMap`.
+//! * `horizon-comments` — every cross-shard channel send/recv site in
+//!   the parallel scheduler (`crates/sim/src/parallel.rs`) carries an
+//!   adjacent `// horizon:` comment justifying why the transfer cannot
+//!   violate the conservative safe-horizon invariant.
 //! * `event-size` — the compile-time 16-byte bound on simulator events
 //!   must stay present in `exec.rs`.
 //! * `experiments-keys` — scenario keys in `EXPERIMENTS.md` tables and
@@ -50,6 +54,19 @@ const SAFETY_COMMENT: &str = concat!("SAF", "ETY:");
 const UNSAFE_KW: &str = concat!("un", "safe");
 const HASH_MAP: &str = concat!("Hash", "Map");
 const BTREE_MAP: &str = concat!("BTree", "Map");
+const HORIZON_COMMENT: &str = concat!("hori", "zon:");
+
+/// Cross-shard channel transfer calls in the parallel scheduler; each
+/// occurrence must justify the safe-horizon invariant.
+const CHANNEL_OPS: [&str; 4] = [
+    concat!(".try_", "send("),
+    concat!(".try_", "recv("),
+    concat!(".se", "nd("),
+    concat!(".re", "cv("),
+];
+
+/// The one file the `horizon-comments` rule applies to.
+const PARALLEL_FILE: &str = "crates/sim/src/parallel.rs";
 
 /// Atomic-ordering variants (`std::cmp::Ordering`'s variants are not
 /// in this list, so comparison code never trips the rule).
@@ -141,6 +158,9 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
         }
         if HOT_PATH_FILES.contains(&rel.as_str()) {
             hot_path_rule(&rel, &lines, &mut findings);
+        }
+        if rel == PARALLEL_FILE && !allow.allows("horizon-comments", &rel) {
+            horizon_rule(&rel, &lines, &mut findings);
         }
         if rel == "crates/sim/src/exec.rs" {
             event_size_rule(&rel, &text, &mut findings);
@@ -294,6 +314,28 @@ fn hot_path_rule(file: &str, lines: &[&str], findings: &mut Vec<Finding>) {
                     msg: format!("`{map}` on the simulator hot path (use a dense arena/slab)"),
                 });
             }
+        }
+    }
+}
+
+fn horizon_rule(file: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if is_comment_line(line) {
+            continue;
+        }
+        if !CHANNEL_OPS.iter().any(|op| line.contains(op)) {
+            continue;
+        }
+        if !justified(lines, i, HORIZON_COMMENT) {
+            findings.push(Finding {
+                rule: "horizon-comments",
+                file: file.to_string(),
+                line: i + 1,
+                msg: format!(
+                    "cross-shard channel transfer without an adjacent `// {HORIZON_COMMENT}` \
+                     justification of the safe-horizon invariant"
+                ),
+            });
         }
     }
 }
@@ -567,6 +609,29 @@ mod tests {
         hot_path_rule("crates/sim/src/state.rs", &refs, &mut f);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn horizon_rule_requires_adjacent_justification() {
+        let send = format!("tx{}msg){};", CHANNEL_OPS[0], ".unwrap()");
+        let recv = format!("while let Ok(m) = rx{}) {{", CHANNEL_OPS[1]);
+        let comment = format!("// {HORIZON_COMMENT} drained only at the epoch barrier.");
+        let mut f = Vec::new();
+        horizon_rule(PARALLEL_FILE, &[comment.as_str(), send.as_str()], &mut f);
+        assert!(f.is_empty(), "{f:?}");
+        horizon_rule(PARALLEL_FILE, &[send.as_str(), recv.as_str()], &mut f);
+        assert_eq!(f.len(), 2, "both unjustified transfer sites flagged");
+        assert_eq!((f[0].line, f[1].line), (1, 2));
+        f.clear();
+        // A multi-line statement reaches back to the block above its head.
+        let head = "match txs[dst]";
+        let tail = format!("    .as_ref().unwrap(){}", &send);
+        horizon_rule(
+            PARALLEL_FILE,
+            &[comment.as_str(), head, tail.as_str()],
+            &mut f,
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

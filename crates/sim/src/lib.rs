@@ -64,6 +64,7 @@ mod fault;
 mod machine;
 mod msg;
 mod net;
+pub mod parallel;
 mod queue;
 mod rng;
 mod state;
@@ -77,6 +78,7 @@ pub use exec::TaskId;
 pub use fault::{FaultEvent, FaultPlan};
 pub use machine::{Config, Machine};
 pub use msg::{HandlerCtx, Port, PrivAddr, ReplyToken};
+pub use parallel::{Cluster, ClusterReport, ParallelConfig, RemoteMail, ShardCtx};
 pub use state::Addr;
 pub use stats::{Stats, WaitHistogram};
 pub use thread::WaitQueueId;

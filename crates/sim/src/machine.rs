@@ -224,6 +224,42 @@ impl Machine {
         self.st.borrow().now
     }
 
+    /// Time of the earliest pending event, if any. The parallel
+    /// scheduler reads every shard's next-event time to compute the
+    /// global safe horizon; reading commits nothing (event order is
+    /// untouched).
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.st.borrow().events.peek_time()
+    }
+
+    /// Inject an externally-routed active message (cross-shard
+    /// delivery) for `node` at absolute virtual time `at`, which must
+    /// not precede any event this machine has already executed.
+    pub(crate) fn inject_message(
+        &self,
+        node: usize,
+        from: usize,
+        port: Port,
+        args: [u64; 4],
+        at: u64,
+    ) {
+        let mut st = self.st.borrow_mut();
+        assert!(node < st.nodes_n, "inject_message: node out of range");
+        assert!(
+            at >= st.now,
+            "inject_message: delivery at {at} precedes shard time {}",
+            st.now
+        );
+        msg::inject(&mut st, node, from, port, args, at);
+    }
+
+    /// Cumulative executor events, cheap to poll between `run_until`
+    /// calls (the parallel scheduler differences this per epoch for its
+    /// deterministic critical-path accounting).
+    pub(crate) fn events_executed(&self) -> u64 {
+        self.st.borrow().stats.sim_events
+    }
+
     /// Number of live (unfinished) tasks — nonzero after [`Machine::run`]
     /// indicates deadlock (tasks waiting on conditions that never fire).
     pub fn live_tasks(&self) -> usize {

@@ -132,6 +132,11 @@ impl HandlerCtx<'_> {
         self.st.stats.bump(name, n);
     }
 
+    /// Record a waiting time into a named histogram.
+    pub fn record_wait(&mut self, name: &str, t: u64) {
+        self.st.stats.record_wait(name, t);
+    }
+
     /// Deterministic random value in `[0, bound)`.
     pub fn rand_below(&mut self, bound: u64) -> u64 {
         self.st.rand_below(bound)
@@ -206,6 +211,31 @@ pub(crate) fn issue_rpc(
         token,
     });
     st.schedule(at, Ev::MsgArrive(dest as u32, idx));
+}
+
+/// Inject an externally-routed active message (a cross-shard delivery
+/// from the parallel scheduler) arriving at `node` at absolute time
+/// `at`. `from` is the *global* sender id — it is surfaced through
+/// [`HandlerCtx::sender`] but takes part in no local latency math, and
+/// the message carries no RPC token (cross-shard replies travel back as
+/// ordinary posted messages). Counted as one network message, exactly
+/// as both execution modes must agree on.
+pub(crate) fn inject(
+    st: &mut State,
+    node: usize,
+    from: usize,
+    port: Port,
+    args: [u64; 4],
+    at: u64,
+) {
+    st.stats.net_msgs += 1;
+    let idx = st.put_msg(ActiveMsg {
+        port: port.0,
+        from,
+        args,
+        token: 0,
+    });
+    st.schedule(at, Ev::MsgArrive(node as u32, idx));
 }
 
 /// Fire-and-forget send from a processor.

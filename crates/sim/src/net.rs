@@ -7,7 +7,36 @@
 //! is where synchronization traffic actually piles up; wire contention is
 //! not modelled.
 
+use crate::cost::CostModel;
 use crate::state::State;
+
+/// Side length of the smallest square mesh holding `nodes` nodes (the
+/// rule shared by the per-shard machines and the global cluster
+/// topology the parallel scheduler derives its lookahead from).
+pub(crate) fn mesh_dim(nodes: usize) -> usize {
+    (1..).find(|d| d * d >= nodes).unwrap_or(1)
+}
+
+/// Row-major mesh coordinates for a `nodes`-node machine.
+pub(crate) fn coords_for(nodes: usize) -> Vec<(u16, u16)> {
+    let dim = mesh_dim(nodes);
+    (0..nodes)
+        .map(|n| ((n % dim) as u16, (n / dim) as u16))
+        .collect()
+}
+
+/// Manhattan distance between two precomputed mesh coordinates.
+#[inline]
+pub(crate) fn hops_between(a: (u16, u16), b: (u16, u16)) -> u64 {
+    (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u64
+}
+
+/// One-way latency for a message crossing `hops` mesh hops (`hops > 0`;
+/// same-node loopback is priced separately).
+#[inline]
+pub(crate) fn latency_for_hops(cost: &CostModel, hops: u64) -> u64 {
+    cost.net_base + cost.net_per_hop * hops
+}
 
 /// Manhattan distance between `a` and `b` on the mesh (coordinates are
 /// precomputed in `State::coords`; no division on this path).
@@ -16,9 +45,7 @@ pub(crate) fn hops(st: &State, a: usize, b: usize) -> u64 {
     if a == b {
         return 0;
     }
-    let (ax, ay) = st.coords[a];
-    let (bx, by) = st.coords[b];
-    (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    hops_between(st.coords[a], st.coords[b])
 }
 
 /// One-way message latency from `a` to `b` in cycles.
@@ -27,7 +54,7 @@ pub(crate) fn latency(st: &State, a: usize, b: usize) -> u64 {
         // Loopback through the network interface.
         return st.cost.net_base / 2;
     }
-    st.cost.net_base + st.cost.net_per_hop * hops(st, a, b)
+    latency_for_hops(&st.cost, hops(st, a, b))
 }
 
 #[cfg(test)]

@@ -206,9 +206,12 @@ impl EventQueue {
     }
 
     /// Time of the next pending event, **without** committing any
-    /// window movement (pure with respect to event order).
+    /// window movement (pure with respect to event order). Public
+    /// within the crate: the parallel conservative scheduler reads
+    /// every shard's next-event time to compute the global safe
+    /// horizon.
     #[inline]
-    fn peek_time(&self) -> Option<u64> {
+    pub fn peek_time(&self) -> Option<u64> {
         // Fast path: an event is pending at the window's current head
         // (the overwhelmingly common case right after a same-time push).
         if self.ends[(self.window_start as usize) & (WINDOW as usize - 1)].0 != NIL {

@@ -26,6 +26,12 @@ pub(crate) fn below(state: &mut u64, bound: u64) -> u64 {
     next(state) % bound
 }
 
+/// Uniform value in `[0, 1)` with 53 bits of precision (IEEE-exact, so
+/// runs are reproducible across hosts).
+pub(crate) fn unit(state: &mut u64) -> f64 {
+    (next(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -218,7 +218,7 @@ impl State {
         full_map: bool,
         seed: u64,
     ) -> State {
-        let mesh_dim = (1..).find(|d| d * d >= nodes).unwrap_or(1);
+        let mesh_dim = crate::net::mesh_dim(nodes);
         State {
             nodes_n: nodes,
             contexts,
@@ -230,9 +230,7 @@ impl State {
             hw_ptrs,
             full_map,
             mesh_dim,
-            coords: (0..nodes)
-                .map(|n| ((n % mesh_dim) as u16, (n / mesh_dim) as u16))
-                .collect(),
+            coords: crate::net::coords_for(nodes),
             now: 0,
             seq: 0,
             events: EventQueue::new(),

@@ -161,6 +161,65 @@ impl WaitHistogram {
         self.percentile(99.9)
     }
 
+    /// Merge `other` into `self` (parallel-mode stat collection: each
+    /// worker records into its own histogram and the shards are folded
+    /// at the end).
+    ///
+    /// Moments and buckets combine exactly. The raw reservoirs combine
+    /// by a weighted Algorithm R merge: when the union still fits the
+    /// cap it is kept whole; past the cap, elements are drawn without
+    /// replacement from the two reservoirs with probabilities
+    /// proportional to the population each remaining element represents
+    /// (`count/len` per element), so the merged reservoir is again a
+    /// uniform sample of the combined population. Draws come from
+    /// `self`'s seeded stream, so a fixed merge order is reproducible.
+    pub fn merge(&mut self, other: &WaitHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        let cap = self.raw_cap();
+        if self.raw.len() + other.raw.len() <= cap {
+            self.raw.extend_from_slice(&other.raw);
+        } else {
+            // Weighted draw: each remaining element of reservoir i
+            // stands in for `count_i / len_i` of its population.
+            let (n1, n2) = (self.count as f64, other.count as f64);
+            let (l1, l2) = (self.raw.len() as f64, other.raw.len() as f64);
+            let (w1, w2) = (n1 / l1.max(1.0), n2 / l2.max(1.0));
+            let mut out = Vec::with_capacity(cap);
+            let (mut i, mut j) = (0usize, 0usize);
+            while out.len() < cap && (i < self.raw.len() || j < other.raw.len()) {
+                let rem1 = w1 * (self.raw.len() - i) as f64;
+                let rem2 = w2 * (other.raw.len() - j) as f64;
+                let take_self = if j >= other.raw.len() {
+                    true
+                } else if i >= self.raw.len() {
+                    false
+                } else {
+                    crate::rng::unit(&mut self.rng) * (rem1 + rem2) < rem1
+                };
+                if take_self {
+                    out.push(self.raw[i]);
+                    i += 1;
+                } else {
+                    out.push(other.raw[j]);
+                    j += 1;
+                }
+            }
+            self.raw = out;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.stale.set(true);
+    }
+
     /// Fraction of samples strictly below `t`.
     pub fn frac_below(&self, t: u64) -> f64 {
         let v = self.sorted();
@@ -227,6 +286,39 @@ impl Stats {
     /// Read a named counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fold `other`'s counts into `self` (parallel collection: one
+    /// partial `Stats` per worker, absorbed in shard order at the end).
+    /// Scalar counters and named counters sum; per-node RMR vectors sum
+    /// elementwise (extending to the longer shape); wait histograms
+    /// merge via [`WaitHistogram::merge`].
+    pub fn absorb(&mut self, other: &Stats) {
+        self.net_msgs += other.net_msgs;
+        self.remote_misses += other.remote_misses;
+        self.invalidations += other.invalidations;
+        self.limitless_traps += other.limitless_traps;
+        self.dir_requests += other.dir_requests;
+        self.active_msgs += other.active_msgs;
+        self.sim_events += other.sim_events;
+        if self.rmr_cc.len() < other.rmr_cc.len() {
+            self.rmr_cc.resize(other.rmr_cc.len(), 0);
+        }
+        for (a, &b) in self.rmr_cc.iter_mut().zip(&other.rmr_cc) {
+            *a += b;
+        }
+        if self.rmr_dsm.len() < other.rmr_dsm.len() {
+            self.rmr_dsm.resize(other.rmr_dsm.len(), 0);
+        }
+        for (a, &b) in self.rmr_dsm.iter_mut().zip(&other.rmr_dsm) {
+            *a += b;
+        }
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, w) in &other.waits {
+            self.waits.entry(name.clone()).or_default().merge(w);
+        }
     }
 
     /// Machine-wide RMR total under the CC model.

@@ -6,7 +6,7 @@
 //! a sampling tolerance, while the moments (`count`/`sum`/`max`) stay
 //! exact at any stream length.
 
-use alewife_sim::WaitHistogram;
+use alewife_sim::{Stats, WaitHistogram};
 use proptest::prelude::*;
 
 /// The model: the exact percentile over *all* samples, using the same
@@ -105,4 +105,118 @@ proptest! {
             );
         }
     }
+
+    /// Merging per-worker histograms keeps moments exact and percentiles
+    /// within sampling tolerance of a single histogram fed the whole
+    /// stream — the contract behind parallel-mode stat collection.
+    #[test]
+    fn merge_matches_single_reservoir(
+        seed in 1u64..u64::MAX,
+        n1 in 2_000u64..6_000,
+        n2 in 2_000u64..6_000,
+    ) {
+        let cap = 1_024;
+        // Worker streams drawn from the same increasing shape so rank
+        // error converts directly to value error (see above).
+        let mut a = WaitHistogram::with_sampling(cap, seed);
+        let mut b = WaitHistogram::with_sampling(cap, seed.rotate_left(17) | 1);
+        let total = n1 + n2;
+        for i in 0..n1 {
+            a.record(i);
+        }
+        for i in n1..total {
+            b.record(i);
+        }
+        a.merge(&b);
+        // Moments combine exactly regardless of reservoir state.
+        prop_assert_eq!(a.count, total);
+        prop_assert_eq!(a.sum, (0..total).sum::<u64>());
+        prop_assert_eq!(a.max, total - 1);
+        prop_assert_eq!(a.raw.len(), cap);
+        // Percentiles track the union model within the sampling band.
+        let sorted: Vec<u64> = (0..total).collect();
+        for p in [50.0, 90.0] {
+            let est = a.percentile(p) as f64;
+            let lo = model_percentile(&sorted, (p - 12.0).max(0.0)) as f64;
+            let hi = model_percentile(&sorted, (p + 12.0).min(100.0)) as f64;
+            prop_assert!(
+                (lo..=hi).contains(&est),
+                "merged p{p} estimate {est} outside [{lo}, {hi}] (n1 = {n1}, n2 = {n2})"
+            );
+        }
+    }
+
+    /// Below the cap a merge is exact: the union reservoir is the
+    /// concatenation, so every percentile equals the full-union model.
+    #[test]
+    fn merge_below_cap_is_exact(
+        s1 in prop::collection::vec(0u64..1_000_000, 1..200),
+        s2 in prop::collection::vec(0u64..1_000_000, 1..200),
+        seed in 1u64..u64::MAX,
+    ) {
+        let mut a = WaitHistogram::with_sampling(512, seed);
+        let mut b = WaitHistogram::with_sampling(512, seed ^ 0x9E37);
+        for &s in &s1 {
+            a.record(s);
+        }
+        for &s in &s2 {
+            b.record(s);
+        }
+        a.merge(&b);
+        let mut union: Vec<u64> = s1.iter().chain(&s2).copied().collect();
+        union.sort_unstable();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            prop_assert_eq!(a.percentile(p), model_percentile(&union, p));
+        }
+    }
+}
+
+/// `Stats::absorb` folds per-worker partials into exactly the arithmetic
+/// sums: every scalar, per-node vector slot, named counter, and
+/// histogram moment of the absorbed total equals the sum over partials.
+#[test]
+fn absorb_sums_partials() {
+    let mk = |k: u64, nodes: usize| {
+        let mut s = Stats {
+            net_msgs: 10 * k,
+            remote_misses: 3 * k,
+            invalidations: 2 * k,
+            limitless_traps: k,
+            dir_requests: 7 * k,
+            active_msgs: 5 * k,
+            sim_events: 100 * k,
+            rmr_cc: (0..nodes as u64).map(|i| i + k).collect(),
+            rmr_dsm: (0..nodes as u64).map(|i| 2 * i + k).collect(),
+            ..Stats::default()
+        };
+        s.bump("shared", k);
+        s.bump(&format!("only_{k}"), k);
+        for i in 0..20 * k {
+            s.record_wait("acq", i);
+        }
+        s
+    };
+    // Unequal shard widths: absorb must extend to the longer shape.
+    let parts = [mk(1, 3), mk(2, 5), mk(3, 2)];
+    let mut total = Stats::default();
+    for p in &parts {
+        total.absorb(p);
+    }
+    assert_eq!(total.net_msgs, 60);
+    assert_eq!(total.sim_events, 600);
+    assert_eq!(total.dir_requests, 42);
+    assert_eq!(total.counter("shared"), 6);
+    assert_eq!(total.counter("only_2"), 2);
+    // Vector slots: node 0 gets 1+2+3, node 3 exists only in part 2.
+    assert_eq!(total.rmr_cc[0], 6);
+    assert_eq!(total.rmr_cc[3], 3 + 2);
+    assert_eq!(total.rmr_cc.len(), 5);
+    assert_eq!(
+        total.rmr_cc_total(),
+        parts.iter().map(|p| p.rmr_cc_total()).sum::<u64>()
+    );
+    let w = &total.waits["acq"];
+    assert_eq!(w.count, 20 + 40 + 60);
+    assert_eq!(w.sum, parts.iter().map(|p| p.waits["acq"].sum).sum::<u64>());
+    assert_eq!(w.max, 59);
 }
